@@ -1,0 +1,60 @@
+"""Bench: the Section 5 design-choice ablations.
+
+Reproduced claims: the cold-start bypass buys >= 10x in charge time;
+the switched-bank mechanism cold-starts faster than the Vtop-threshold
+alternative at half its area and two-thirds its leakage; normally-open
+switches livelock a naive runtime under adversarial input power while
+normally-closed switches need no mitigation.
+"""
+
+from conftest import attach
+
+from repro.experiments import ablation
+
+
+def test_bypass_ablation(benchmark):
+    result = benchmark.pedantic(ablation.bypass_ablation, rounds=1, iterations=1)
+    assert result.value("speedup") >= 10.0
+    attach(benchmark, result, ["with_bypass", "without_bypass", "speedup"])
+
+
+def test_mechanism_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablation.mechanism_ablation, rounds=1, iterations=1
+    )
+    assert result.value("switched_cold_start") < result.value(
+        "threshold_cold_start"
+    )
+    assert result.value("area_ratio") == 2.0
+    attach(
+        benchmark,
+        result,
+        ["switched_cold_start", "threshold_cold_start", "area_ratio"],
+    )
+
+
+def test_polarity_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablation.polarity_ablation, kwargs={"horizon": 1500.0}, rounds=1, iterations=1
+    )
+    # The naive runtime on NO switches barely completes anything and
+    # burns power failures; the robust runtime and NC polarity recover.
+    assert result.value("NO-naive/completions") < result.value(
+        "NO-robust/completions"
+    )
+    assert result.value("NO-naive/completions") < result.value(
+        "NC-naive/completions"
+    )
+    assert result.value("NO-naive/power_failures") > result.value(
+        "NC-naive/power_failures"
+    )
+    attach(
+        benchmark,
+        result,
+        [
+            "NO-naive/completions",
+            "NO-robust/completions",
+            "NC-naive/completions",
+            "NO-naive/power_failures",
+        ],
+    )

@@ -1,0 +1,36 @@
+"""Bench: regenerate the Section 6.6 CapySat case study.
+
+Reproduced facts: both energy modes served concurrently through the
+diode splitter at 20% of a bank switch's area; the satellite rides out
+each eclipse and resumes with non-volatile state intact.
+"""
+
+import pytest
+
+from conftest import attach
+
+from repro.experiments import capysat_study
+
+
+def test_capysat_case_study(benchmark):
+    data = benchmark.pedantic(
+        capysat_study.run, kwargs={"seed": 0, "orbits": 1.5}, rounds=1, iterations=1
+    )
+    result = data.result
+    assert result.value("samples") > 0.0
+    assert result.value("beacons") > 0.0
+    assert result.value("splitter_ratio") == pytest.approx(0.2)
+    # The comms node spends real time charging (its bank is sized for
+    # the redundant-encoding downlink burst).
+    assert result.value("comms_charging_s") > 0.0
+    attach(
+        benchmark,
+        result,
+        [
+            "samples",
+            "beacons",
+            "samples_per_sun_hour",
+            "beacons_per_sun_hour",
+            "splitter_ratio",
+        ],
+    )

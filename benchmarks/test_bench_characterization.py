@@ -1,0 +1,31 @@
+"""Bench: regenerate the Section 6.5 characterization table.
+
+Reproduced facts: 80 mm^2 per switch, 4.7 uF latch retaining ~3 min,
+and the Vtop-threshold alternative's 2x area / 1.5x leakage penalty.
+"""
+
+import pytest
+
+from conftest import attach
+
+from repro.experiments import characterization
+
+
+def test_characterization(benchmark):
+    result = benchmark.pedantic(characterization.run, rounds=1, iterations=1)
+    assert result.value("switch_area_mm2") == pytest.approx(80.0)
+    assert result.value("threshold_area_ratio") == pytest.approx(2.0)
+    assert result.value("threshold_leakage_ratio") == pytest.approx(1.5)
+    assert 2.0 < result.value("retention_min") < 5.0
+    attach(
+        benchmark,
+        result,
+        [
+            "switch_area_mm2",
+            "latch_uF",
+            "retention_min",
+            "threshold_area_ratio",
+            "threshold_leakage_ratio",
+            "splitter_fraction",
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Bench: checkpointing vs task-based execution (related-work study).
+
+Reproduced claim structure: an atomic region ~5x the energy buffer
+livelocks under task-restart semantics (Capybara's answer is a bigger
+energy mode) but completes under dynamic checkpointing, at the price of
+snapshot overhead on every discharge cycle.
+"""
+
+from conftest import attach
+
+from repro.experiments import checkpoint_study
+
+
+def test_checkpoint_study(benchmark):
+    result = benchmark.pedantic(
+        checkpoint_study.run, kwargs={"horizon": 300.0}, rounds=1, iterations=1
+    )
+    assert result.value("task-based/completions") == 0.0
+    assert result.value("task-based/livelocked") == 1.0
+    assert result.value("checkpointing/voltage/completions") > 0.0
+    assert result.value("checkpointing/voltage/checkpoints") > 0.0
+    attach(
+        benchmark,
+        result,
+        [
+            "task-based/completions",
+            "task-based/power_failures",
+            "checkpointing/voltage/completions",
+            "checkpointing/voltage/checkpoints",
+            "checkpointing/periodic/completions",
+        ],
+    )

@@ -1,0 +1,38 @@
+"""Bench: Capybara vs the DEBS-style Vtop-threshold system on TempAlarm.
+
+Reproduced claims (Section 5.2's grounds for rejecting the threshold
+mechanism, measured at application level): the single-array threshold
+system cannot pre-charge bursts — alarms pay the charge latency on the
+critical path — and every mode change consumes EEPROM endurance,
+bounding device lifetime.
+"""
+
+from conftest import attach
+
+from repro.experiments import debs_comparison
+
+
+def test_debs_comparison(benchmark):
+    result = benchmark.pedantic(
+        debs_comparison.run,
+        kwargs={"seed": 0, "event_count": 12},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.value("capybara/reported") >= result.value("threshold/reported")
+    assert result.value("threshold/mean_latency") > result.value(
+        "capybara/mean_latency"
+    )
+    assert result.value("threshold/eeprom_writes") > 0.0
+    attach(
+        benchmark,
+        result,
+        [
+            "capybara/reported",
+            "threshold/reported",
+            "capybara/mean_latency",
+            "threshold/mean_latency",
+            "threshold/eeprom_writes",
+            "threshold/lifetime_hours",
+        ],
+    )

@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 2 (fixed-capacity execution trace).
+
+Reproduced shape: the low-capacity device samples reactively but never
+completes the 25-byte packet; the high-capacity device completes
+packets but batches its samples behind long recharges.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig02_fixed_capacity
+
+
+def test_fig02_fixed_capacity(benchmark):
+    data = benchmark.pedantic(
+        fig02_fixed_capacity.run,
+        kwargs={"horizon": 400.0},
+        rounds=1,
+        iterations=1,
+    )
+    result = data.result
+    assert result.value("low-capacity/packets") == 0.0
+    assert result.value("low-capacity/tx_failures") > 0.0
+    assert result.value("high-capacity/packets") > 0.0
+    assert result.value("high-capacity/max_gap") > result.value(
+        "low-capacity/max_gap"
+    )
+    attach(
+        benchmark,
+        result,
+        [
+            "low-capacity/packets",
+            "low-capacity/tx_failures",
+            "high-capacity/packets",
+            "high-capacity/max_gap",
+            "low-capacity/max_gap",
+        ],
+    )

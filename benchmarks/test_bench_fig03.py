@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 3 (atomicity vs capacitance design space).
+
+Reproduced shape: atomicity grows monotonically with capacitance,
+spanning the paper's 0-4 Mops order over 100 uF - 10 mF, while recharge
+time grows alongside (the reactivity cost of over-provisioning).
+"""
+
+from conftest import attach
+
+from repro.experiments import fig03_design_space
+
+
+def test_fig03_design_space(benchmark):
+    result, curve = benchmark.pedantic(
+        fig03_design_space.run, kwargs={"points": 13}, rounds=1, iterations=1
+    )
+    mops = [point.atomicity_mops for point in curve]
+    charge_times = [point.charge_time for point in curve]
+    assert mops == sorted(mops)
+    assert charge_times == sorted(charge_times)
+    # Paper magnitude check: ~Mops-scale at 10 mF, far less at 100 uF.
+    assert mops[-1] > 1.0
+    assert mops[0] < 0.2
+    attach(
+        benchmark,
+        result,
+        ["100uF/mops", "10000uF/mops", "10000uF/charge_time"],
+    )

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 4 (atomicity by capacitor volume and type).
+
+Reproduced shapes: supercapacitors dwarf ceramics per unit volume, and
+the supercap curve shows a diminishing marginal gain as paralleling
+dilutes its ESR penalty.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig04_volume
+
+
+def test_fig04_volume(benchmark):
+    result = benchmark.pedantic(
+        fig04_volume.run, kwargs={"max_parts": 8}, rounds=1, iterations=1
+    )
+    # Density: supercap at ~36 mm^3 crushes ceramic at ~40 mm^3.
+    assert result.value("supercap/5/mops") > 10.0 * result.value("ceramic/2/mops")
+    # Diminishing increase on the log-log plot.
+    assert result.value("supercap/gain/2") > result.value("supercap/gain/6")
+    attach(
+        benchmark,
+        result,
+        [
+            "ceramic/2/mops",
+            "supercap/1/mops",
+            "supercap/5/mops",
+            "supercap/gain/2",
+            "supercap/gain/6",
+        ],
+    )

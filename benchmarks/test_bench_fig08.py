@@ -1,0 +1,46 @@
+"""Bench: regenerate Figure 8 (event detection accuracy).
+
+Reproduced shapes: Capybara detects 2x+ the events of the Fixed
+baseline across applications; Capy-R reports no gestures at all; the
+continuous-power reference upper-bounds everyone.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig08_accuracy
+
+#: Fraction of the paper's event counts used in the bench (keeps one
+#: full regeneration to a few minutes).
+BENCH_SCALE = 0.2
+
+
+def test_fig08_accuracy(benchmark):
+    data = benchmark.pedantic(
+        fig08_accuracy.run,
+        kwargs={"seed": 0, "scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    values = data.result.values
+    for app in ("TempAlarm", "GestureFast", "GestureCompact", "CorrSense"):
+        assert values[f"{app}/CB-P/accuracy"] > values[f"{app}/Fixed/accuracy"]
+    assert values["GestureFast/CB-R/accuracy"] == 0.0
+    ratio = values["TempAlarm/CB-P/accuracy"] / max(
+        values["TempAlarm/Fixed/accuracy"], 1e-9
+    )
+    assert ratio >= 1.5
+    attach(
+        benchmark,
+        data.result,
+        [
+            "TempAlarm/Fixed/accuracy",
+            "TempAlarm/CB-R/accuracy",
+            "TempAlarm/CB-P/accuracy",
+            "GestureFast/Fixed/accuracy",
+            "GestureFast/CB-P/accuracy",
+            "GestureCompact/CB-P/accuracy",
+            "CorrSense/Fixed/accuracy",
+            "CorrSense/CB-R/accuracy",
+            "CorrSense/CB-P/accuracy",
+        ],
+    )

@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 9 (report latency for detected events).
+
+Reproduced shapes: Capy-P's TA latency stays near the continuous
+reference while Capy-R pays the large-bank charge on the critical path;
+the Fixed baseline's mean is inflated by retry-after-recharge.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig09_latency
+
+BENCH_SCALE = 0.2
+
+
+def test_fig09_latency(benchmark):
+    data = benchmark.pedantic(
+        fig09_latency.run,
+        kwargs={"seed": 0, "scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    values = data.result.values
+    assert (
+        values["TempAlarm/CB-P/mean_latency"]
+        < values["TempAlarm/CB-R/mean_latency"]
+    )
+    assert values["TempAlarm/CB-P/mean_latency"] < 10.0
+    # Capy-R reports nothing on GRC, so its latency set is empty.
+    assert values["GestureFast/CB-R/reported"] == 0.0
+    attach(
+        benchmark,
+        data.result,
+        [
+            "TempAlarm/Fixed/mean_latency",
+            "TempAlarm/CB-R/mean_latency",
+            "TempAlarm/CB-P/mean_latency",
+            "GestureFast/CB-P/mean_latency",
+            "GestureCompact/CB-P/mean_latency",
+            "CorrSense/CB-R/mean_latency",
+            "CorrSense/CB-P/mean_latency",
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 10 (accuracy vs event inter-arrival).
+
+Reproduced shapes: every system improves as events spread out, but
+sparser events never rescue the Fixed baseline to Capybara's level.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig10_sensitivity
+
+
+def test_fig10_sensitivity(benchmark):
+    data = benchmark.pedantic(
+        fig10_sensitivity.run,
+        kwargs={
+            "seed": 0,
+            "ta_events": 8,
+            "grc_events": 12,
+            "ta_means": (120.0, 280.0, 400.0),
+            "grc_means": (10.0, 20.0, 30.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for fixed, capy in zip(data.ta_series["Fixed"], data.ta_series["CB-P"]):
+        assert capy > fixed
+    for fixed, capy in zip(data.grc_series["Fixed"], data.grc_series["CB-P"]):
+        assert capy > fixed
+    attach(
+        benchmark,
+        data.result,
+        [
+            "TempAlarm/120/Fixed",
+            "TempAlarm/120/CB-P",
+            "TempAlarm/400/Fixed",
+            "TempAlarm/400/CB-P",
+            "GestureFast/10/CB-P",
+            "GestureFast/30/CB-P",
+        ],
+    )

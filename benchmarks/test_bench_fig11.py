@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 11 (inter-sample time distributions).
+
+Reproduced shapes: Fixed's spaced gaps sit at its big-bank recharge
+time (order 100 s in the paper, tens of seconds here) and carry the
+missed events; Capybara's spaced gaps sit at the small-bank charge time
+(paper: 1.5-4 s), and its large capacity recharges only around events.
+"""
+
+from conftest import attach
+
+from repro.experiments import fig11_intersample
+
+
+def test_fig11_intersample(benchmark):
+    data = benchmark.pedantic(
+        fig11_intersample.run,
+        kwargs={"seed": 0, "event_count": 12},
+        rounds=1,
+        iterations=1,
+    )
+    values = data.result.values
+    assert values["Fixed/median_spaced_gap"] > 5.0 * values["CB-P/median_spaced_gap"]
+    assert 0.5 < values["CB-P/median_spaced_gap"] < 8.0
+    assert values["Fixed/missed"] >= values["CB-P/missed"]
+    attach(
+        benchmark,
+        data.result,
+        [
+            "Fixed/median_spaced_gap",
+            "CB-R/median_spaced_gap",
+            "CB-P/median_spaced_gap",
+            "Fixed/missed",
+            "CB-R/missed",
+            "CB-P/missed",
+            "CB-R/mean_charge_time",
+            "CB-P/mean_charge_time",
+        ],
+    )

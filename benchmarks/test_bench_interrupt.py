@@ -1,0 +1,36 @@
+"""Bench: polling vs interrupt-driven reactivity (extension study).
+
+Reproduced shape: on the same Capy-P platform both strategies report
+every magnet event, but arming the sensor's wake comparator and
+sleeping on a pre-charged burst cuts sensor activations by orders of
+magnitude (and never charges more often than the polling loop).
+"""
+
+from conftest import attach
+
+from repro.experiments import interrupt_study
+
+
+def test_interrupt_study(benchmark):
+    result = benchmark.pedantic(
+        interrupt_study.run, kwargs={"seed": 0, "event_count": 10}, rounds=1, iterations=1
+    )
+    assert result.value("interrupt/reported") >= result.value("polling/reported") - 1
+    assert result.value("interrupt/activations") < 0.05 * result.value(
+        "polling/activations"
+    )
+    assert result.value("interrupt/charge_cycles") <= result.value(
+        "polling/charge_cycles"
+    )
+    attach(
+        benchmark,
+        result,
+        [
+            "polling/reported",
+            "interrupt/reported",
+            "polling/activations",
+            "interrupt/activations",
+            "polling/charge_cycles",
+            "interrupt/charge_cycles",
+        ],
+    )

@@ -1,0 +1,34 @@
+"""Bench: input-power sensitivity (extension study).
+
+Reproduced shape: the Fixed baseline's accuracy collapses as harvest
+power shrinks (its worst-case recharge grows as 1/P) while Capybara's
+small reactive mode holds — reconfigurability matters most exactly in
+the energy-starved regime the domain targets.
+"""
+
+from conftest import attach
+
+from repro.experiments import power_sweep
+
+
+def test_power_sweep(benchmark):
+    data = benchmark.pedantic(
+        power_sweep.run,
+        kwargs={"seed": 0, "event_count": 8, "scales": (0.25, 1.0, 4.0)},
+        rounds=1,
+        iterations=1,
+    )
+    fixed = data.series["Fixed"]
+    capy = data.series["CB-P"]
+    # Fixed improves monotonically-ish with power and is worst when starved.
+    assert fixed[0] <= fixed[-1]
+    # Capybara dominates at every power level.
+    for f, c in zip(fixed, capy):
+        assert c >= f
+    # The gap is widest at the starved end.
+    assert (capy[0] - fixed[0]) >= (capy[-1] - fixed[-1])
+    attach(
+        benchmark,
+        data.result,
+        ["0.25/Fixed", "0.25/CB-P", "1.0/Fixed", "4.0/Fixed"],
+    )

@@ -1,0 +1,48 @@
+"""Fly CapySat for two orbits (the Section 6.6 case study).
+
+The two-MCU satellite shares solar panels through a diode splitter:
+one MCU rides the small ceramic bank and samples the IMU; the other
+accumulates into the dense bank and keys the redundant-encoded downlink
+for 250 ms per 1-byte beacon.  Both go dark each eclipse and resume
+with their non-volatile counters intact.
+
+Run:  python examples/capysat_orbit.py
+"""
+
+from repro.apps import build_capysat
+from repro.energy.environment import OrbitTrace
+
+
+def main() -> None:
+    orbit = OrbitTrace()  # 93-minute LEO with a ~36% eclipse
+    satellite = build_capysat(seed=3, orbit=orbit)
+    orbits = 2.0
+    horizon = orbits * orbit.period
+    traces = satellite.run(horizon)
+
+    sampling = traces["sampling"]
+    comms = traces["comms"]
+
+    print(f"CapySat, {orbits:.0f} orbits ({horizon / 60:.0f} minutes)")
+    print(f"  orbital period:      {orbit.period / 60:.0f} min")
+    print(f"  eclipse per orbit:   {orbit.eclipse_fraction:.0%}")
+    print()
+    print("Sampling MCU (small ceramic bank):")
+    print(f"  IMU sample rounds:   {len(sampling.samples)}")
+    print(f"  power failures:      {sampling.counters.get('power_failures', 0)}")
+    print(f"  NV sample counter:   {satellite.sampling.executor.nv.get('samples_taken')}")
+    print()
+    print("Comms MCU (tantalum + EDLC bank):")
+    print(f"  beacons downlinked:  {len(comms.packets)}")
+    print(f"  time charging:       {comms.time_in_state('charging'):.0f} s")
+    print(f"  NV beacon counter:   {satellite.comms.executor.nv.get('beacons_sent')}")
+    print()
+    # Show the eclipse gap: no beacons while in shadow.
+    beacon_times = [packet.time for packet in comms.packets]
+    gaps = [b - a for a, b in zip(beacon_times, beacon_times[1:])]
+    if gaps:
+        print(f"Largest beacon gap: {max(gaps) / 60:.1f} min (the eclipse)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Build a brand-new reactive application on the Capybara API.
+
+A vibration data-logger: poll an accelerometer on a small energy mode;
+when sustained vibration is detected, immediately capture a dense burst
+of samples and transmit a summary packet — a capacity- *and*
+temporally-constrained reactive task, exactly the workload Capybara's
+``preburst``/``burst`` annotations exist for.
+
+Everything is assembled from public building blocks: custom sensor
+model, custom banks and modes, a generator-based task graph, a
+synthetic environment binding, and the stock executor.
+
+Run:  python examples/custom_application.py
+"""
+
+import math
+
+from repro.core.builder import PlatformSpec, SystemKind, build_capybara_system
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SensorModel
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.harvester import RegulatedSupply
+from repro.kernel.annotations import BurstAnnotation, PreburstAnnotation
+from repro.kernel.executor import IntermittentExecutor, SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+
+ACCELEROMETER = SensorModel(
+    name="accelerometer",
+    active_power=0.9e-3,
+    warmup_time=2e-3,
+    sample_time=5e-3,
+)
+
+#: Vibration bursts occur periodically in the synthetic environment.
+VIBRATION_PERIOD = 45.0
+VIBRATION_LENGTH = 6.0
+
+
+def environment(sensor: str, time: float) -> SensorReading:
+    """Synthetic machinery: strong vibration for a few seconds every
+    ~45 s, mild noise otherwise."""
+    phase = time % VIBRATION_PERIOD
+    vibrating = phase < VIBRATION_LENGTH
+    magnitude = 3.0 + (9.0 * math.sin(phase) ** 2 if vibrating else 0.0)
+    event_id = int(time // VIBRATION_PERIOD) if vibrating else None
+    return SensorReading(value=magnitude, event_id=event_id)
+
+
+def build_graph() -> TaskGraph:
+    def poll(ctx):
+        reading = yield Sample("accelerometer")
+        if reading.value > 8.0:
+            ctx.write("trigger", reading.event_id)
+            return "capture"
+        return "poll"
+
+    def capture(ctx):
+        burst = yield Sample("accelerometer", samples=64)  # dense capture
+        yield Compute(80_000)  # feature extraction
+        yield Transmit("vibration-report", 16, event_id=ctx.read("trigger"))
+        ctx.write("reports", ctx.read("reports", 0) + 1)
+        return "poll"
+
+    return TaskGraph(
+        [
+            # The poll loop pre-charges the capture mode off the
+            # critical path, so the burst fires with zero charge delay.
+            Task("poll", poll, PreburstAnnotation("mode-capture", "mode-poll")),
+            Task("capture", capture, BurstAnnotation("mode-capture")),
+        ],
+        entry="poll",
+    )
+
+
+def main() -> None:
+    spec = PlatformSpec(
+        banks=[
+            BankSpec.of_parts("small", [(CERAMIC_X5R, 4)]),
+            BankSpec.of_parts("capture", [(TANTALUM_POLYMER, 8)]),
+        ],
+        modes={"mode-poll": ["small"], "mode-capture": ["small", "capture"]},
+        fixed_bank=BankSpec.of_parts(
+            "fixed", [(CERAMIC_X5R, 4), (TANTALUM_POLYMER, 8)]
+        ),
+        harvester=RegulatedSupply(voltage=3.0, max_power=1.5e-3),
+    )
+    assembly = build_capybara_system(spec, SystemKind.CAPY_P)
+    board = Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[ACCELEROMETER],
+        radio=BLE_CC2650,
+    )
+    executor = IntermittentExecutor(
+        board, build_graph(), assembly.runtime, sensor_binding=environment
+    )
+    horizon = 600.0
+    trace = executor.run(horizon)
+
+    events = int(horizon // VIBRATION_PERIOD)
+    print(f"Vibration logger, {horizon:.0f} s on harvested power")
+    print(f"  vibration episodes:  {events}")
+    print(f"  reports transmitted: {len(trace.packets)}")
+    print(f"  power failures:      {trace.counters.get('power_failures', 0)}")
+    print(f"  reconfigurations:    {trace.counters.get('reconfigurations', 0)}")
+    latencies = []
+    for episode in range(events):
+        first = trace.first_report_time(episode)
+        if first is not None:
+            latencies.append(first - episode * VIBRATION_PERIOD)
+    if latencies:
+        print(
+            f"  detection latency:   mean {sum(latencies) / len(latencies):.2f} s "
+            f"(episodes start every {VIBRATION_PERIOD:.0f} s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Provision banks for an application's tasks, automatically.
+
+The paper sizes capacitor banks by hand ("run the task while
+progressively increasing the capacity until it completes") and leaves
+bank allocation as future work.  This example does both with the
+library:
+
+1. describe each task as a sequence of load points (duration, power);
+2. measure the storage energy each task needs, through the booster
+   models (:mod:`repro.core.provisioning`);
+3. allocate a capacitor inventory into telescoping banks and an energy
+   mode table (:mod:`repro.core.allocation`);
+4. verify each provisioned bank empirically by simulating its task.
+
+Run:  python examples/provision_and_allocate.py
+"""
+
+from repro.core.allocation import ModeRequirement, allocate_banks, allocation_summary
+from repro.core.provisioning import simulate_loads_on_bank
+from repro.device.board import LoadPoint
+from repro.device.mcu import MCU_MSP430FR5969 as MCU
+from repro.device.radio import BLE_CC2650 as RADIO
+from repro.device.sensors import SENSOR_APDS9960_GESTURE, SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.booster import OutputBooster
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+
+
+def task_loads() -> dict:
+    """Describe the application's tasks as load-point sequences."""
+    sense = [
+        LoadPoint(SENSOR_TMP36.acquisition_time(4), SENSOR_TMP36.active_power + MCU.sense_power),
+        LoadPoint(MCU.compute_time(50_000), MCU.active_power),
+    ]
+    gesture = [
+        LoadPoint(
+            SENSOR_APDS9960_GESTURE.acquisition_time(1),
+            SENSOR_APDS9960_GESTURE.active_power + MCU.sense_power,
+        ),
+    ]
+    radio = [
+        LoadPoint(RADIO.transmit_time(25), RADIO.transmit_energy(25) / RADIO.transmit_time(25)),
+    ]
+    return {"sense": sense, "gesture": gesture, "radio": radio}
+
+
+def storage_energy(loads, booster: OutputBooster) -> float:
+    """Energy drawn from storage for a load sequence, joules."""
+    return sum(
+        load.energy() / booster.efficiency + booster.quiescent_power * load.duration
+        for load in loads
+    )
+
+
+def main() -> None:
+    booster = OutputBooster()
+    loads = task_loads()
+
+    print("Task energy measurements (from storage):")
+    requirements = []
+    for name, sequence in loads.items():
+        energy = storage_energy(sequence, booster)
+        print(f"  {name:8s} {energy * 1e3:7.3f} mJ")
+        requirements.append(
+            ModeRequirement(name, energy, frequent=(name == "sense"))
+        )
+
+    menu = [CERAMIC_X5R, TANTALUM_POLYMER, EDLC_CPH3225A]
+    result = allocate_banks(requirements, menu)
+    print()
+    print(allocation_summary(result))
+
+    # Empirical verification: each mode's cumulative banks must complete
+    # the corresponding task from a full charge.
+    print("\nEmpirical verification (simulate each task on its banks):")
+    by_name = {bank.name: bank for bank in result.banks}
+    for requirement in requirements:
+        groups = []
+        for bank_name in result.mode_banks[requirement.name]:
+            groups.extend(by_name[bank_name].groups)
+        merged = BankSpec.of_parts(f"mode-{requirement.name}", groups)
+        ok = simulate_loads_on_bank(
+            merged, loads[requirement.name], booster, charge_voltage=2.4
+        )
+        print(f"  {requirement.name:8s} -> {'completes' if ok else 'FAILS'}")
+
+
+if __name__ == "__main__":
+    main()

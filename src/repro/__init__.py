@@ -1,0 +1,48 @@
+"""Capybara: a reconfigurable energy storage architecture for
+energy-harvesting devices — full-system simulation reproduction of
+Colin, Ruppel & Lucia (ASPLOS 2018).
+
+The public API is organised in layers:
+
+* :mod:`repro.energy` — circuit-level substrate: capacitors, banks,
+  harvesters, boosters, switches, and the reconfigurable reservoir.
+* :mod:`repro.device` — board-level hardware: MCUs, sensors, radios.
+* :mod:`repro.kernel` — the intermittent-computing runtime: task DSL,
+  non-volatile memory, Capybara annotations, executors.
+* :mod:`repro.core` — the assembled contribution: energy modes, the
+  power system, provisioning, allocation, and system builders.
+* :mod:`repro.apps` — the paper's evaluation applications and rigs.
+* :mod:`repro.experiments` — one module per evaluation figure.
+
+Quickstart::
+
+    from repro.apps import build_temp_alarm
+    from repro.core import SystemKind
+
+    app = build_temp_alarm(SystemKind.CAPY_P, seed=1)
+    trace = app.run(horizon=600.0)
+    print(len(trace.packets), "alarm packets")
+"""
+
+from repro.core import (
+    CapybaraPowerSystem,
+    EnergyMode,
+    ModeRegistry,
+    SystemKind,
+    build_capybara_system,
+    build_fixed_system,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "EnergyMode",
+    "ModeRegistry",
+    "CapybaraPowerSystem",
+    "SystemKind",
+    "build_capybara_system",
+    "build_fixed_system",
+    "__version__",
+]

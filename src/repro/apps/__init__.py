@@ -1,0 +1,33 @@
+"""The paper's evaluation applications (Section 6.1) and their rigs.
+
+Each application module exposes a ``build_*`` function that assembles
+the full stack — banks, modes, harvester, board, task graph, rig — for
+any of the four evaluated systems (Pwr / Fixed / Capy-R / Capy-P), and
+returns an :class:`~repro.apps.base.AppInstance` ready to ``run``.
+"""
+
+from repro.apps.base import AppInstance, assemble_app
+from repro.apps.csr import build_csr
+from repro.apps.grc import GRCVariant, build_grc
+from repro.apps.rigs import (
+    EventSchedule,
+    PendulumRig,
+    ScheduledEvent,
+    ThermalRig,
+)
+from repro.apps.temp_alarm import build_temp_alarm
+from repro.apps.capysat import build_capysat
+
+__all__ = [
+    "AppInstance",
+    "assemble_app",
+    "EventSchedule",
+    "ScheduledEvent",
+    "PendulumRig",
+    "ThermalRig",
+    "build_grc",
+    "GRCVariant",
+    "build_temp_alarm",
+    "build_csr",
+    "build_capysat",
+]

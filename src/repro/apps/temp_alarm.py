@@ -1,0 +1,174 @@
+"""Temperature Monitor with Alarm (TA, Section 6.1.2).
+
+Senses an external analog temperature sensor, keeps a short time
+series, and — when the temperature leaves the alarm range — transmits a
+25-byte BLE packet carrying the alarm and the recent series.
+
+Atomicity requirements: (1) acquire one temperature sample, (2)
+transmit a 25-byte BLE packet.  Temporal requirements: sample with
+minimal charging gaps (don't miss excursions), and send the alarm
+immediately upon detection.
+
+Bank recipes follow the paper: the Capybara small mode uses a few
+hundred uF of ceramic, the radio mode adds ~1 mF tantalum + an EDLC
+part; the Fixed baseline solders the union down as one bank.  The board
+harvests from two series solar panels under a 20 W halogen lamp dimmed
+to 42% (Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import AppInstance, assemble_app, make_binding
+from repro.apps.rigs import EventSchedule, ThermalRig
+from repro.core.builder import PlatformSpec, SystemKind
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+from repro.energy.environment import DimmedLampTrace
+from repro.energy.harvester import SolarPanel
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+from repro.sim.rand import RandomStreams
+
+APP_NAME = "TempAlarm"
+
+#: Energy mode names (Figure 5 style).
+MODE_SENSE = "ta-sense"
+MODE_RADIO = "ta-radio"
+
+#: Default experiment shape: 50 events over 120 minutes (Section 6.2).
+DEFAULT_EVENT_COUNT = 50
+DEFAULT_MEAN_INTERARRIVAL = 144.0
+DEFAULT_HORIZON = 7500.0
+#: Quiet warm-up before the first event.
+WARMUP = 300.0
+#: How long the controller holds the out-of-range setpoint.
+EVENT_DURATION = 20.0
+
+#: ALU work per processing pass (threshold check + series bookkeeping).
+PROC_OPS = 50_000
+#: Oversampling per acquisition (ADC averaging).
+OVERSAMPLE = 4
+
+
+def make_banks() -> PlatformSpec:
+    """Bank recipes and modes for the TA platform (paper Section 6.1.2)."""
+    small = BankSpec.of_parts("small", [(CERAMIC_X5R, 5)])
+    radio = BankSpec.of_parts(
+        "radio", [(TANTALUM_POLYMER, 3), (EDLC_CPH3225A, 1)]
+    )
+    fixed = BankSpec.of_parts(
+        "fixed",
+        [(CERAMIC_X5R, 4), (TANTALUM_POLYMER, 3), (EDLC_CPH3225A, 1)],
+    )
+    harvester = SolarPanel(
+        cells_in_series=2,
+        irradiance=DimmedLampTrace(full_irradiance=30.0, duty=0.42),
+    )
+    return PlatformSpec(
+        banks=[small, radio],
+        modes={MODE_SENSE: ["small"], MODE_RADIO: ["small", "radio"]},
+        fixed_bank=fixed,
+        harvester=harvester,
+    )
+
+
+def make_graph() -> TaskGraph:
+    """The TA task graph: sense -> proc -> (alarm) -> sense."""
+
+    def sense(ctx):
+        reading = yield Sample("tmp36", samples=OVERSAMPLE)
+        ctx.write("latest_value", reading.value)
+        ctx.write("latest_event", reading.event_id)
+        history = list(ctx.read("history", []))
+        history.append(reading.value)
+        ctx.write("history", history[-8:])
+        return "proc"
+
+    def proc(ctx):
+        yield Compute(PROC_OPS)
+        value = ctx.read("latest_value", 0.0)
+        event_id = ctx.read("latest_event")
+        out_of_range = value > ALARM_HIGH or value < ALARM_LOW
+        already_reported = (
+            event_id is not None and event_id == ctx.read("last_reported")
+        )
+        if out_of_range and event_id is not None and not already_reported:
+            return "alarm"
+        return "sense"
+
+    def alarm(ctx):
+        event_id = ctx.read("latest_event")
+        delivered = yield Transmit("alarm", 25, event_id=event_id)
+        if delivered:
+            ctx.write("last_reported", event_id)
+        return "sense"
+
+    return TaskGraph(
+        [
+            Task("sense", sense, ConfigAnnotation(MODE_SENSE)),
+            Task("proc", proc, PreburstAnnotation(MODE_RADIO, MODE_SENSE)),
+            Task("alarm", alarm, BurstAnnotation(MODE_RADIO)),
+        ],
+        entry="sense",
+    )
+
+
+#: Alarm thresholds shared between the app logic and the rig.
+ALARM_LOW = 30.0
+ALARM_HIGH = 45.0
+
+
+def build_temp_alarm(
+    kind: SystemKind,
+    seed: int = 0,
+    event_count: int = DEFAULT_EVENT_COUNT,
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
+    horizon: float = DEFAULT_HORIZON,
+    schedule: Optional[EventSchedule] = None,
+) -> AppInstance:
+    """Assemble TA on one of the four systems.
+
+    The event schedule derives from ``(seed, "events")`` so all variants
+    replay identical ground truth; sensor/radio noise streams are
+    per-variant.
+    """
+    streams = RandomStreams(seed)
+    if schedule is None:
+        schedule = EventSchedule.poisson(
+            streams.get("events"),
+            mean_interarrival=mean_interarrival,
+            count=event_count,
+            duration=EVENT_DURATION,
+            kind="temperature",
+            start_offset=WARMUP,
+        )
+    rig = ThermalRig(
+        schedule,
+        horizon=max(horizon, schedule.horizon + 120.0),
+        alarm_low=ALARM_LOW,
+        alarm_high=ALARM_HIGH,
+    )
+    binding = make_binding({"tmp36": rig.temp_reading})
+    instance = assemble_app(
+        name=APP_NAME,
+        kind=kind,
+        spec=make_banks(),
+        mcu=MCU_MSP430FR5969,
+        graph=make_graph(),
+        binding=binding,
+        schedule=schedule,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+        rng=streams.get(f"radio-{kind.value}"),
+        extras={"rig": rig},
+    )
+    return instance

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Three subcommands drive the library without writing Python::
+
+    python -m repro.cli list
+    python -m repro.cli run-app temp-alarm --system CB-P --events 5
+    python -m repro.cli experiment fig08 --scale 0.2
+    python -m repro.cli experiment all --scale 0.5
+
+``run-app`` executes one evaluation application on one power system and
+prints a trace summary (optionally exporting the full trace as JSON);
+``experiment`` regenerates a paper figure; ``list`` enumerates both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import GRCVariant, build_csr, build_grc, build_temp_alarm
+from repro.apps.base import AppInstance
+from repro.core.builder import SystemKind
+from repro.sim.export import save_trace_json
+
+#: Application name -> builder taking (kind, seed, event_count).
+APP_BUILDERS: Dict[str, Callable[..., AppInstance]] = {
+    "temp-alarm": lambda kind, seed, events: build_temp_alarm(
+        kind, seed=seed, event_count=events
+    ),
+    "grc-fast": lambda kind, seed, events: build_grc(
+        kind, GRCVariant.FAST, seed=seed, event_count=events
+    ),
+    "grc-compact": lambda kind, seed, events: build_grc(
+        kind, GRCVariant.COMPACT, seed=seed, event_count=events
+    ),
+    "csr": lambda kind, seed, events: build_csr(
+        kind, seed=seed, event_count=events
+    ),
+}
+
+#: Experiment name -> module (resolved lazily to keep startup fast).
+EXPERIMENT_MODULES = [
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "characterization",
+    "capysat",
+    "ablation",
+    "checkpoint",
+    "debs",
+    "power-sweep",
+    "versatility",
+    "interrupt",
+    "all",
+]
+
+_SYSTEM_BY_NAME = {kind.value: kind for kind in SystemKind}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("applications (run-app):")
+    for name in APP_BUILDERS:
+        print(f"  {name}")
+    print("power systems (--system):")
+    for kind in SystemKind:
+        print(f"  {kind.value}")
+    print("experiments (experiment):")
+    for name in EXPERIMENT_MODULES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run_app(args: argparse.Namespace) -> int:
+    builder = APP_BUILDERS[args.app]
+    kind = _SYSTEM_BY_NAME[args.system]
+    instance = builder(kind, args.seed, args.events)
+    horizon = (
+        args.horizon if args.horizon is not None else instance.schedule.horizon + 60.0
+    )
+    trace = instance.run(horizon)
+
+    print(f"{instance.name} on {kind.value}: {horizon:.0f} s simulated")
+    for counter in sorted(trace.counters):
+        print(f"  {counter:24s} {trace.counters[counter]}")
+    print(f"  {'samples':24s} {len(trace.samples)}")
+    print(f"  {'packets':24s} {len(trace.packets)}")
+    reported = trace.reported_event_ids()
+    print(f"  {'events reported':24s} {len(reported)} / {len(instance.schedule)}")
+    if args.export:
+        path = save_trace_json(trace, args.export)
+        print(f"trace exported to {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    # Imports are local so `repro.cli list` stays instant.
+    name = args.name
+    if name == "fig02":
+        from repro.experiments import fig02_fixed_capacity as module
+
+        module.main()
+    elif name == "fig03":
+        from repro.experiments import fig03_design_space as module
+
+        module.main()
+    elif name == "fig04":
+        from repro.experiments import fig04_volume as module
+
+        module.main()
+    elif name == "fig08":
+        from repro.experiments import fig08_accuracy as module
+
+        module.main(seed=args.seed, scale=args.scale)
+    elif name == "fig09":
+        from repro.experiments import fig09_latency as module
+
+        module.main(seed=args.seed, scale=args.scale)
+    elif name == "fig10":
+        from repro.experiments import fig10_sensitivity as module
+
+        module.main(seed=args.seed)
+    elif name == "fig11":
+        from repro.experiments import fig11_intersample as module
+
+        module.main(seed=args.seed)
+    elif name == "characterization":
+        from repro.experiments import characterization as module
+
+        module.main()
+    elif name == "capysat":
+        from repro.experiments import capysat_study as module
+
+        module.main(seed=args.seed)
+    elif name == "ablation":
+        from repro.experiments import ablation as module
+
+        module.main()
+    elif name == "checkpoint":
+        from repro.experiments import checkpoint_study as module
+
+        module.main()
+    elif name == "debs":
+        from repro.experiments import debs_comparison as module
+
+        module.main(seed=args.seed)
+    elif name == "power-sweep":
+        from repro.experiments import power_sweep as module
+
+        module.main(seed=args.seed)
+    elif name == "versatility":
+        from repro.experiments import versatility as module
+
+        module.main(seed=args.seed)
+    elif name == "interrupt":
+        from repro.experiments import interrupt_study as module
+
+        module.main(seed=args.seed)
+    elif name == "all":
+        from repro.experiments import run_all as module
+
+        module.main(seed=args.seed, scale=args.scale)
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown experiment {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Capybara (ASPLOS 2018) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="enumerate apps and experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run-app", help="run one app on one system")
+    run_parser.add_argument("app", choices=sorted(APP_BUILDERS))
+    run_parser.add_argument(
+        "--system",
+        choices=sorted(_SYSTEM_BY_NAME),
+        default=SystemKind.CAPY_P.value,
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--events", type=int, default=10)
+    run_parser.add_argument(
+        "--horizon", type=float, default=None, help="seconds (default: schedule + 60)"
+    )
+    run_parser.add_argument(
+        "--export", type=str, default=None, help="write the trace to this JSON file"
+    )
+    run_parser.set_defaults(func=_cmd_run_app)
+
+    exp_parser = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp_parser.add_argument("name", choices=EXPERIMENT_MODULES)
+    exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.add_argument("--scale", type=float, default=0.25)
+    exp_parser.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

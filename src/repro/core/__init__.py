@@ -1,0 +1,39 @@
+"""The paper's primary contribution, assembled.
+
+:mod:`repro.core.modes` defines the energy-mode abstraction (the
+declarative identifier a task is annotated with); :mod:`repro.core.powersystem`
+assembles harvester, limiter, boosters and the reconfigurable reservoir
+into the Capybara power system; :mod:`repro.core.provisioning` automates
+the paper's Section 6.1 capacity-provisioning procedure;
+:mod:`repro.core.allocation` implements the paper's future-work
+capacitor-to-bank allocation; :mod:`repro.core.builder` provides
+ready-made Fixed / Capy-R / Capy-P system builders.
+"""
+
+from repro.core.modes import EnergyMode, ModeRegistry
+from repro.core.powersystem import CapybaraPowerSystem
+from repro.core.builder import (
+    build_capybara_system,
+    build_fixed_system,
+    SystemKind,
+)
+from repro.core.allocation import ModeRequirement, allocate_banks
+from repro.core.estimation import estimate_modes, measure_task
+from repro.core.threshold_system import ThresholdRuntime, build_threshold_system
+from repro.core.wear import wear_report
+
+__all__ = [
+    "EnergyMode",
+    "ModeRegistry",
+    "CapybaraPowerSystem",
+    "build_capybara_system",
+    "build_fixed_system",
+    "SystemKind",
+    "ModeRequirement",
+    "allocate_banks",
+    "estimate_modes",
+    "measure_task",
+    "wear_report",
+    "ThresholdRuntime",
+    "build_threshold_system",
+]

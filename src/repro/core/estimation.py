@@ -1,0 +1,191 @@
+"""Automatic task-energy estimation (the paper's future work).
+
+Section 8: "Future work should automate energy capacity estimation for
+application tasks".  Because tasks in this reproduction are executable
+generators, their energy demand can be *measured* instead of hand-
+estimated: :func:`measure_task` dry-runs a task body against a sensor
+binding on unconstrained power, records every operation as a
+:class:`~repro.device.board.LoadPoint`, and totals the energy drawn
+from storage through the board's output booster.
+
+:func:`estimate_modes` lifts this to a whole task graph: each energy
+mode's requirement is the worst storage energy over the tasks annotated
+with it (burst modes take the burst task's demand; preburst annotations
+contribute their exec-mode demand).  The result feeds straight into
+:func:`repro.core.allocation.allocate_banks`, closing the loop from
+*code* to *capacitor bank recipe* with no hand measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.allocation import ModeRequirement
+from repro.device.board import Board, LoadPoint
+from repro.errors import ProvisioningError, TaskGraphError
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.executor import SensorBinding
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import (
+    Compute,
+    Sample,
+    Sleep,
+    Task,
+    TaskContext,
+    TaskGraph,
+    Transmit,
+)
+
+
+@dataclass
+class TaskMeasurement:
+    """Measured energy demand of one task execution path.
+
+    Attributes:
+        task: task name.
+        loads: the operation sequence as load points.
+        rail_energy: energy delivered at the regulated rail, joules.
+        storage_energy: energy drawn from storage (booster losses and
+            quiescent overheads included), joules.
+        duration: active time of the path, seconds.
+        next_task: where the measured path transferred control.
+    """
+
+    task: str
+    loads: List[LoadPoint] = field(default_factory=list)
+    rail_energy: float = 0.0
+    storage_energy: float = 0.0
+    duration: float = 0.0
+    next_task: Optional[str] = None
+
+
+def measure_task(
+    board: Board,
+    task: Task,
+    binding: SensorBinding,
+    channels: Optional[Dict[str, Any]] = None,
+    max_operations: int = 10_000,
+) -> TaskMeasurement:
+    """Dry-run *task* once and measure its energy demand.
+
+    The task body executes against *binding* with channel state seeded
+    from *channels* — control flow follows whatever path those inputs
+    select, exactly as the paper's "measure task energy consumption on
+    continuous power" procedure would.
+
+    Args:
+        board: supplies the electrical cost of each operation.
+        task: the task to measure.
+        binding: sensor readings for ``Sample`` operations (time 0-based).
+        channels: initial committed channel values (e.g. a trigger flag
+            that steers the task down its expensive branch).
+        max_operations: guard against non-terminating bodies.
+
+    Raises:
+        ProvisioningError: if the body exceeds *max_operations*.
+    """
+    nv = NonVolatileStore()
+    for key, value in (channels or {}).items():
+        nv.put(key, value)
+    measurement = TaskMeasurement(task=task.name)
+    clock = {"now": 0.0}
+    context = TaskContext(nv, now=lambda: clock["now"])
+    generator = task.body(context)
+    to_send: Any = None
+    for _ in range(max_operations):
+        try:
+            operation = generator.send(to_send)
+        except StopIteration as stop:
+            measurement.next_task = stop.value
+            break
+        if isinstance(operation, Compute):
+            load = board.compute_load(operation.ops)
+            to_send = None
+        elif isinstance(operation, Sample):
+            load = board.sense_load(operation.sensor, operation.samples)
+            to_send = binding(operation.sensor, clock["now"] + load.duration)
+        elif isinstance(operation, Transmit):
+            load = board.transmit_load(operation.size_bytes)
+            to_send = True
+        elif isinstance(operation, Sleep):
+            load = board.sleep_load(operation.duration)
+            to_send = None
+        else:
+            raise TaskGraphError(
+                f"task {task.name!r} yielded unknown operation {operation!r}"
+            )
+        measurement.loads.append(load)
+        clock["now"] += load.duration
+    else:
+        raise ProvisioningError(
+            f"task {task.name!r} did not finish within {max_operations} "
+            "operations; seed its channels to select a terminating path"
+        )
+    measurement.duration = clock["now"]
+    measurement.rail_energy = board.load_energy(measurement.loads)
+    measurement.storage_energy = board.storage_energy_estimate(measurement.loads)
+    return measurement
+
+
+def estimate_modes(
+    board: Board,
+    graph: TaskGraph,
+    binding: SensorBinding,
+    channel_presets: Optional[Dict[str, Dict[str, Any]]] = None,
+    boot_overhead: bool = True,
+) -> List[ModeRequirement]:
+    """Measure every task and aggregate per energy mode.
+
+    Args:
+        board: the hardware platform.
+        graph: the application.
+        binding: sensor readings for the dry runs.
+        channel_presets: per-task channel seeds (``{task: {chan: val}}``)
+            to steer each task down its *worst-case* (most expensive)
+            path; tasks without presets run on empty channels.
+        boot_overhead: include one cold boot per task (a mode must fund
+            the boot that precedes its task).
+
+    Returns:
+        One :class:`ModeRequirement` per mode named by any annotation,
+        sized at the maximum storage energy over its tasks.  Modes used
+        by ``config`` annotations on loop-like tasks are marked
+        ``frequent`` so the allocator keeps fragile parts out of them.
+    """
+    presets = channel_presets or {}
+    demand: Dict[str, float] = {}
+    frequent: Dict[str, bool] = {}
+    boot_energy = (
+        board.storage_energy_estimate([board.boot_load()]) if boot_overhead else 0.0
+    )
+    for name in graph.task_names:
+        task = graph.task(name)
+        annotation = task.annotation
+        if isinstance(annotation, ConfigAnnotation):
+            mode_names = [annotation.mode]
+            is_frequent = True
+        elif isinstance(annotation, BurstAnnotation):
+            mode_names = [annotation.mode]
+            is_frequent = False
+        elif isinstance(annotation, PreburstAnnotation):
+            # The preburst task itself runs in its exec mode.
+            mode_names = [annotation.exec_mode]
+            is_frequent = True
+        else:
+            continue
+        measurement = measure_task(board, task, binding, presets.get(name))
+        energy = measurement.storage_energy + boot_energy
+        for mode_name in mode_names:
+            demand[mode_name] = max(demand.get(mode_name, 0.0), energy)
+            frequent[mode_name] = frequent.get(mode_name, False) or is_frequent
+    if not demand:
+        raise ProvisioningError("graph has no annotated tasks to estimate")
+    return [
+        ModeRequirement(name, energy, frequent=frequent[name])
+        for name, energy in sorted(demand.items(), key=lambda item: item[1])
+    ]

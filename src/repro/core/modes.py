@@ -1,0 +1,114 @@
+"""Energy modes (Section 4.1).
+
+An *energy mode* is the declarative identifier a programmer attaches to
+a task; it names a specific configuration of the hardware reservoir —
+"which banks are connected".  The mode abstracts the absolute energy
+quantity: software says ``config(MODE_SENSE)``, and the mapping from
+mode to capacitance lives in one place, established at provisioning
+time.
+
+:class:`ModeRegistry` is that one place: it maps mode names to
+:class:`~repro.energy.reservoir.ReservoirConfig` bank sets and validates
+them against a reservoir.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.errors import EnergyModeError
+from repro.energy.reservoir import ReconfigurableReservoir, ReservoirConfig
+
+
+@dataclass(frozen=True)
+class EnergyMode:
+    """A named energy capacity configuration.
+
+    Attributes:
+        name: the identifier tasks use in annotations.
+        banks: the reservoir banks this mode activates.
+        description: optional provisioning note (which task sized it).
+    """
+
+    name: str
+    banks: FrozenSet[str]
+    description: str = ""
+
+    @staticmethod
+    def of(name: str, banks: Iterable[str], description: str = "") -> "EnergyMode":
+        return EnergyMode(name=name, banks=frozenset(banks), description=description)
+
+    def to_config(self) -> ReservoirConfig:
+        """The hardware-layer configuration this mode names."""
+        return ReservoirConfig(name=self.name, bank_names=self.banks)
+
+
+class ModeRegistry:
+    """The application's table of energy modes.
+
+    A registry is built once at provisioning time (Section 3: "define
+    energy modes and provision hardware only once an application's code
+    is stable") and consulted by the runtime on every task transition.
+    """
+
+    def __init__(self, reservoir: Optional[ReconfigurableReservoir] = None) -> None:
+        self._modes: Dict[str, EnergyMode] = {}
+        self._reservoir = reservoir
+
+    def register(self, mode: EnergyMode) -> EnergyMode:
+        """Add a mode, validating its banks against the reservoir.
+
+        Raises:
+            EnergyModeError: on duplicate names, empty bank sets, or
+                banks the reservoir does not have.
+        """
+        if mode.name in self._modes:
+            raise EnergyModeError(f"duplicate energy mode {mode.name!r}")
+        if not mode.banks:
+            raise EnergyModeError(f"mode {mode.name!r} activates no banks")
+        if self._reservoir is not None:
+            unknown = set(mode.banks) - set(self._reservoir.bank_names)
+            if unknown:
+                raise EnergyModeError(
+                    f"mode {mode.name!r} references unknown banks "
+                    f"{sorted(unknown)}"
+                )
+            missing = set(self._reservoir.hardwired_names) - set(mode.banks)
+            if missing:
+                raise EnergyModeError(
+                    f"mode {mode.name!r} must include hardwired banks "
+                    f"{sorted(missing)}"
+                )
+        self._modes[mode.name] = mode
+        return mode
+
+    def define(
+        self, name: str, banks: Iterable[str], description: str = ""
+    ) -> EnergyMode:
+        """Convenience: build and register a mode in one call."""
+        return self.register(EnergyMode.of(name, banks, description))
+
+    def get(self, name: str) -> EnergyMode:
+        if name not in self._modes:
+            raise EnergyModeError(f"unknown energy mode {name!r}")
+        return self._modes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modes
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._modes)
+
+    def capacitance_of(self, name: str) -> float:
+        """Total capacitance the mode activates, farads.
+
+        Requires the registry to be bound to a reservoir.
+        """
+        if self._reservoir is None:
+            raise EnergyModeError("registry is not bound to a reservoir")
+        mode = self.get(name)
+        return sum(
+            self._reservoir.bank(bank).capacitance for bank in mode.banks
+        )

@@ -1,0 +1,117 @@
+"""Task-energy measurement and capacity provisioning (Sections 3 & 6.1).
+
+The paper sizes each application's banks by "starting with a pessimistic
+energy estimate based on load current specified in the datasheets, we
+ran the task while progressively increasing the capacity on the board
+until the task completed".  This module automates both halves against
+the simulator:
+
+* :func:`analytic_capacitance` — the datasheet-style estimate: the
+  capacitance that stores a task's energy between the charge target and
+  the discharge floor, padded by a derating margin;
+* :func:`min_parts_for_loads` — the empirical loop: grow a bank one
+  part at a time and *simulate* the task until it completes from a full
+  charge;
+* :func:`provision_bank` — combine both into a named
+  :class:`~repro.energy.bank.BankSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ProvisioningError
+from repro.device.board import LoadPoint
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.booster import OutputBooster
+from repro.energy.capacitor import CapacitorSpec
+
+
+def analytic_capacitance(
+    energy: float,
+    v_top: float,
+    v_floor: float,
+    derating_margin: float = 1.25,
+) -> float:
+    """Capacitance storing *energy* joules between two voltages, farads.
+
+    Implements ``C = 2 E / (V_top^2 - V_floor^2)`` with the standard
+    derating over-provisioning margin (Section 3).
+    """
+    if energy < 0.0:
+        raise ProvisioningError("energy must be non-negative")
+    if v_top <= v_floor:
+        raise ProvisioningError("v_top must exceed v_floor")
+    if derating_margin < 1.0:
+        raise ProvisioningError("derating_margin must be >= 1")
+    return derating_margin * 2.0 * energy / (v_top * v_top - v_floor * v_floor)
+
+
+def simulate_loads_on_bank(
+    bank_spec: BankSpec,
+    loads: Sequence[LoadPoint],
+    output_booster: OutputBooster,
+    charge_voltage: float,
+    quiescent_power: float = 2e-6,
+) -> bool:
+    """Whether a fully-charged *bank_spec* completes the load sequence.
+
+    The empirical provisioning probe: charge the bank to
+    *charge_voltage* and drain the loads through the booster; success
+    means no brownout before the last load ends.
+    """
+    v_start = min(charge_voltage, bank_spec.rated_voltage)
+    bank = CapacitorBank(bank_spec, initial_voltage=v_start)
+    for load in loads:
+        time_ran, browned_out = output_booster.discharge(
+            bank, load.power + quiescent_power, load.duration
+        )
+        if browned_out and time_ran < load.duration:
+            return False
+    return True
+
+
+def min_parts_for_loads(
+    part: CapacitorSpec,
+    loads: Sequence[LoadPoint],
+    output_booster: Optional[OutputBooster] = None,
+    charge_voltage: float = 2.4,
+    max_count: int = 64,
+) -> int:
+    """Smallest number of *part* capacitors (in parallel) that completes
+    *loads* from a full charge.
+
+    Raises:
+        ProvisioningError: if even *max_count* parts are insufficient —
+            the task cannot be provisioned with this part at all (e.g. a
+            single high-ESR supercap under a radio load).
+    """
+    booster = output_booster or OutputBooster()
+    for count in range(1, max_count + 1):
+        spec = BankSpec.single(f"probe-{part.name}", part, count)
+        if simulate_loads_on_bank(spec, loads, booster, charge_voltage):
+            return count
+    raise ProvisioningError(
+        f"{max_count}x {part.name} cannot complete the load sequence; "
+        "choose a denser part or split the task"
+    )
+
+
+def provision_bank(
+    name: str,
+    loads: Sequence[LoadPoint],
+    part: CapacitorSpec,
+    output_booster: Optional[OutputBooster] = None,
+    charge_voltage: float = 2.4,
+    max_count: int = 64,
+) -> BankSpec:
+    """Provision a named bank of *part* capacitors for a load sequence."""
+    count = min_parts_for_loads(
+        part, loads, output_booster, charge_voltage, max_count
+    )
+    return BankSpec.single(name, part, count)
+
+
+def loads_energy(loads: Sequence[LoadPoint]) -> float:
+    """Total rail energy of a load sequence, joules."""
+    return sum(load.energy() for load in loads)

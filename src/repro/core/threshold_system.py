@@ -1,0 +1,203 @@
+"""A complete Vtop-threshold power system (the DEBS-style alternative).
+
+Section 5.2 describes — and rejects for Capybara — reconfiguring energy
+capacity by changing the voltage ``V_top`` to which one fixed capacitor
+array charges, via a non-volatile EEPROM potentiometer and a voltage
+supervisor (the mechanism DEBS uses).  This module makes that
+alternative *runnable* end to end, so the two mechanisms can be compared
+on real applications (:mod:`repro.experiments.debs_comparison`):
+
+* :class:`ThresholdRuntime` duck-types the Capybara runtime: a
+  ``config(mode)`` annotation programs the potentiometer to the mode's
+  threshold (one EEPROM write, counted against the part's endurance)
+  and charges to it.  ``burst``/``preburst`` degrade exactly as in
+  Capy-R — a single capacitor bank has nothing to pre-charge apart, so
+  on-demand energy is charged on the critical path.
+* :func:`build_threshold_system` assembles the single full-size bank,
+  the reconfigurator, and a power system whose charge target follows
+  the potentiometer.
+
+The paper's verdict shows up measurably: cold start is slowest of all
+mechanisms (the full capacitance must pass the output booster minimum
+before any energy is usable), every mode change burns an EEPROM write,
+and reactive bursts pay their charge latency on-demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.builder import PlatformSpec
+from repro.core.powersystem import CapybaraPowerSystem
+from repro.energy.bank import BankSpec
+from repro.energy.booster import InputBooster
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.energy.threshold import ThresholdReconfigurator
+from repro.errors import ConfigurationError, EnergyModeError
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    NoAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.capybara import Charge, PlanStep
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import Task
+
+
+class ThresholdRuntime:
+    """DEBS-style runtime: energy modes are charge thresholds.
+
+    Duck-types :class:`~repro.kernel.capybara.CapybaraRuntime` for the
+    intermittent executor: plans contain only
+    :class:`~repro.kernel.capybara.Charge` steps (there are no switches
+    to toggle); the EEPROM potentiometer write happens inside planning,
+    while the device is powered.
+    """
+
+    def __init__(
+        self,
+        reconfigurator: ThresholdReconfigurator,
+        mode_thresholds: Dict[str, float],
+        nv: NonVolatileStore,
+    ) -> None:
+        if not mode_thresholds:
+            raise ConfigurationError("mode_thresholds must not be empty")
+        for mode, v_top in mode_thresholds.items():
+            if not (
+                reconfigurator.v_top_min
+                <= v_top
+                <= reconfigurator.bank_spec.rated_voltage
+            ):
+                raise ConfigurationError(
+                    f"mode {mode!r} threshold {v_top} outside the "
+                    "potentiometer's settable range"
+                )
+        self.reconfigurator = reconfigurator
+        self.mode_thresholds = dict(mode_thresholds)
+        self.nv = nv
+
+    # ------------------------------------------------------------------
+    # CapybaraRuntime interface
+    # ------------------------------------------------------------------
+
+    def plan_for_task(self, task: Task, time: float) -> List[PlanStep]:
+        annotation = task.annotation
+        if isinstance(annotation, NoAnnotation):
+            return []
+        if isinstance(annotation, ConfigAnnotation):
+            mode = annotation.mode
+        elif isinstance(annotation, BurstAnnotation):
+            # No second bank exists to pre-charge: on-demand, like Capy-R.
+            mode = annotation.mode
+        elif isinstance(annotation, PreburstAnnotation):
+            mode = annotation.exec_mode
+        else:
+            raise EnergyModeError(
+                f"task {task.name!r} has unknown annotation {annotation!r}"
+            )
+        if mode not in self.mode_thresholds:
+            raise EnergyModeError(f"unknown threshold mode {mode!r}")
+        target = self.mode_thresholds[mode]
+        if abs(self.reconfigurator.v_top - target) < 1e-9:
+            return []
+        # Program the potentiometer now (one EEPROM write; may raise
+        # WearLimitExceeded once the part is exhausted — the lifetime
+        # bound the paper holds against this design).
+        self.reconfigurator.set_v_top(target)
+        return [Charge(reason=f"threshold:{mode}")]
+
+    def note_task_complete(self, task: Task) -> None:
+        """No burst bookkeeping: a single bank has no pre-charge."""
+
+    def note_reconfigured(self, config) -> None:  # pragma: no cover - unused
+        """No switches exist; nothing to believe about."""
+
+    def note_power_failure(self) -> None:
+        """The potentiometer is EEPROM: nothing reverts, nothing to
+        suspect."""
+
+    @property
+    def eeprom_writes(self) -> int:
+        """EEPROM writes consumed so far (lifetime accounting)."""
+        return self.reconfigurator.writes
+
+
+@dataclass
+class ThresholdAssembly:
+    """An assembled threshold-controlled system."""
+
+    power_system: CapybaraPowerSystem
+    runtime: ThresholdRuntime
+    reconfigurator: ThresholdReconfigurator
+    nv: NonVolatileStore
+
+
+def build_threshold_system(
+    spec: PlatformSpec,
+    mode_thresholds: Optional[Dict[str, float]] = None,
+    v_floor: float = 0.8,
+) -> ThresholdAssembly:
+    """Assemble the DEBS-style system for a platform spec.
+
+    The single capacitor array is the platform's ``fixed_bank`` (the
+    worst-case-provisioned array).  Each mode's threshold defaults to
+    the voltage at which the array stores the same energy the mode's
+    Capybara bank set would hold between the charge target and
+    *v_floor* — i.e. energy-equivalent modes, different mechanism.
+    """
+    array: BankSpec = spec.fixed_bank
+    reconfigurator = ThresholdReconfigurator(bank_spec=array)
+    # The charger cannot regulate above its own output target, so no
+    # threshold may exceed it — charging toward a higher supervisor
+    # setpoint would never terminate.
+    charger = spec.input_booster if spec.input_booster is not None else InputBooster()
+    v_ceiling = min(charger.v_charge_target, array.rated_voltage)
+
+    if mode_thresholds is None:
+        mode_thresholds = {}
+        by_name = {bank.name: bank for bank in spec.banks}
+        for mode, bank_names in spec.modes.items():
+            hardwired = spec.banks[0].name
+            names = set(bank_names) | {hardwired}
+            mode_c = sum(by_name[name].capacitance for name in names)
+            energy = 0.5 * mode_c * (v_ceiling**2 - v_floor**2)
+            v_top = (2.0 * energy / array.capacitance + v_floor**2) ** 0.5
+            v_top = min(max(v_top, reconfigurator.v_top_min), v_ceiling)
+            mode_thresholds[mode] = v_top
+    else:
+        excessive = {
+            mode: v_top
+            for mode, v_top in mode_thresholds.items()
+            if v_top > v_ceiling + 1e-9
+        }
+        if excessive:
+            raise ConfigurationError(
+                f"thresholds above the charger ceiling {v_ceiling} V would "
+                f"never terminate charging: {excessive}"
+            )
+
+    reservoir = ReconfigurableReservoir()
+    reservoir.add_bank(array)
+    power_system = CapybaraPowerSystem(
+        harvester=spec.harvester,
+        reservoir=reservoir,
+        limiter=spec.limiter,
+        input_booster=spec.input_booster,
+        output_booster=spec.output_booster,
+        quiescent_power=spec.quiescent_power,
+    )
+    nv = NonVolatileStore()
+    runtime = ThresholdRuntime(reconfigurator, mode_thresholds, nv)
+    # The supervisor terminates charging at the programmed threshold.
+    power_system.charge_target_source = lambda: reconfigurator.v_top
+    # Start at the smallest mode's threshold so cold start is as kind to
+    # this design as possible.
+    reconfigurator.set_v_top(min(mode_thresholds.values()))
+    return ThresholdAssembly(
+        power_system=power_system,
+        runtime=runtime,
+        reconfigurator=reconfigurator,
+        nv=nv,
+    )

@@ -1,0 +1,148 @@
+"""Wear accounting and the cache-inspired bank dedication policy.
+
+Section 5.2: "Taking inspiration from the concept of caching, dense but
+fragile capacitors can be dedicated to a bank and used only when
+another bank with less dense but more robust capacitors is
+insufficient" — and a side benefit of the C-control mechanism is its
+"natural wear leveling for capacitors with limited charge-discharge
+cycles (e.g. EDLC supercapacitors)".
+
+This module provides the observability half of that story: per-bank,
+per-part-group wear reports against rated cycle endurance, lifetime
+projections from observed cycling rates, and a policy check that flags
+allocations where fragile parts sit in frequently-cycled banks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GroupWear:
+    """Wear state of one part group inside one bank.
+
+    Attributes:
+        bank: bank name.
+        part: part name.
+        technology: capacitor technology.
+        cycles: equivalent full cycles accumulated.
+        endurance: rated cycle endurance (``inf`` for ceramics).
+        remaining_fraction: share of rated life left, in [0, 1]
+            (1.0 for unlimited-endurance parts).
+    """
+
+    bank: str
+    part: str
+    technology: str
+    cycles: float
+    endurance: float
+    remaining_fraction: float
+
+
+def wear_report(reservoir: ReconfigurableReservoir) -> List[GroupWear]:
+    """Per-group wear across all banks of a reservoir."""
+    report: List[GroupWear] = []
+    for bank_name in reservoir.bank_names:
+        bank = reservoir.bank(bank_name)
+        for spec, _count in bank.spec.groups:
+            cycles = bank.group_cycles(spec.name)
+            if math.isfinite(spec.cycle_endurance):
+                remaining = max(0.0, 1.0 - cycles / spec.cycle_endurance)
+            else:
+                remaining = 1.0
+            report.append(
+                GroupWear(
+                    bank=bank_name,
+                    part=spec.name,
+                    technology=spec.technology,
+                    cycles=cycles,
+                    endurance=spec.cycle_endurance,
+                    remaining_fraction=remaining,
+                )
+            )
+    return report
+
+
+def most_worn(reservoir: ReconfigurableReservoir) -> Optional[GroupWear]:
+    """The part group closest to wear-out, or ``None`` if every part has
+    unlimited endurance."""
+    finite = [
+        entry
+        for entry in wear_report(reservoir)
+        if math.isfinite(entry.endurance)
+    ]
+    if not finite:
+        return None
+    return min(finite, key=lambda entry: entry.remaining_fraction)
+
+
+def projected_lifetime(
+    reservoir: ReconfigurableReservoir, observed_duration: float
+) -> float:
+    """Seconds until the most-worn part exhausts its endurance, assuming
+    the cycling rate observed over *observed_duration* continues.
+
+    Returns ``inf`` when nothing wears (ceramic/tantalum-only designs,
+    or no cycling observed yet).
+    """
+    if observed_duration <= 0.0:
+        raise ConfigurationError("observed_duration must be positive")
+    worst = most_worn(reservoir)
+    if worst is None or worst.cycles <= 0.0:
+        return math.inf
+    rate = worst.cycles / observed_duration  # cycles per second
+    remaining_cycles = worst.endurance - worst.cycles
+    if remaining_cycles <= 0.0:
+        return 0.0
+    return remaining_cycles / rate
+
+
+def fragile_banks(reservoir: ReconfigurableReservoir) -> List[str]:
+    """Banks containing finite-endurance (fragile) parts."""
+    names: List[str] = []
+    for bank_name in reservoir.bank_names:
+        bank = reservoir.bank(bank_name)
+        if any(
+            math.isfinite(spec.cycle_endurance) for spec, _ in bank.spec.groups
+        ):
+            names.append(bank_name)
+    return names
+
+
+def check_dedication_policy(
+    reservoir: ReconfigurableReservoir,
+    cycle_counts: Dict[str, int],
+) -> List[str]:
+    """Validate the Section 5.2 dedication policy against usage.
+
+    Args:
+        reservoir: the bank array.
+        cycle_counts: observed activation counts per bank (e.g. how many
+            charge cycles each bank participated in).
+
+    Returns:
+        Warnings for fragile banks that cycle more often than some
+        robust bank — the anti-pattern the policy exists to avoid.
+        Empty when the dedication policy holds.
+    """
+    fragile = set(fragile_banks(reservoir))
+    robust = [name for name in reservoir.bank_names if name not in fragile]
+    if not fragile or not robust:
+        return []
+    max_robust = max((cycle_counts.get(name, 0) for name in robust), default=0)
+    warnings: List[str] = []
+    for name in sorted(fragile):
+        count = cycle_counts.get(name, 0)
+        if count > max_robust:
+            warnings.append(
+                f"fragile bank {name!r} cycled {count} times, more than any "
+                f"robust bank (max {max_robust}); dedicate it to rarer "
+                "high-energy modes"
+            )
+    return warnings

@@ -1,0 +1,38 @@
+"""Board-level hardware models.
+
+The paper's prototypes pair an MSP430FR5969 / CC2650 microcontroller
+with five sensors and a BLE radio.  This package models each component's
+electrical envelope — active power, warm-up time, minimum operating
+voltage, per-operation energy — which is what determines task atomicity
+and energy-mode sizing.
+"""
+
+from repro.device.mcu import MCU_CC2650, MCU_MSP430FR5969, MCUModel
+from repro.device.radio import BLE_CC2650, CAPYSAT_RADIO, RadioModel
+from repro.device.sensors import (
+    SENSOR_APDS9960_GESTURE,
+    SENSOR_APDS9960_PROXIMITY,
+    SENSOR_LED,
+    SENSOR_LSM303_MAGNETOMETER,
+    SENSOR_PHOTOTRANSISTOR,
+    SENSOR_TMP36,
+    SensorModel,
+)
+from repro.device.board import Board
+
+__all__ = [
+    "MCUModel",
+    "MCU_MSP430FR5969",
+    "MCU_CC2650",
+    "RadioModel",
+    "BLE_CC2650",
+    "CAPYSAT_RADIO",
+    "SensorModel",
+    "SENSOR_PHOTOTRANSISTOR",
+    "SENSOR_APDS9960_GESTURE",
+    "SENSOR_APDS9960_PROXIMITY",
+    "SENSOR_TMP36",
+    "SENSOR_LSM303_MAGNETOMETER",
+    "SENSOR_LED",
+    "Board",
+]

@@ -1,0 +1,96 @@
+"""Microcontroller electrical models.
+
+Constants are datasheet-order values for the two MCUs the paper uses
+(MSP430FR5969 on the sensing platform, CC2650 wireless MCU on the GRC
+board), calibrated so the Figure 3 design-space curve spans the paper's
+0-4 Mops over 100 uF - 10 mF (see DESIGN.md Section 3: what matters is
+the ~6 nJ consumed from storage per ALU op once booster losses are
+included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MCUModel:
+    """Electrical envelope of a microcontroller.
+
+    Attributes:
+        name: part name.
+        active_power: draw while computing at full clock, watts (at the
+            regulated rail; booster losses are applied by the power
+            system).
+        sense_power: draw while awaiting/driving a peripheral, watts
+            (CPU mostly idle, clocks on).
+        sleep_power: draw in the deepest memory-retaining sleep, watts.
+        op_rate: ALU operations per second at full clock.
+        boot_time: cold-boot time (hardware init + runtime restore), s.
+        min_voltage: minimum rail voltage for operation, volts.
+    """
+
+    name: str
+    active_power: float
+    sense_power: float
+    sleep_power: float
+    op_rate: float
+    boot_time: float
+    min_voltage: float
+
+    def __post_init__(self) -> None:
+        if self.active_power <= 0.0:
+            raise ConfigurationError("active_power must be positive")
+        if not 0.0 < self.sense_power <= self.active_power:
+            raise ConfigurationError("sense_power must be in (0, active_power]")
+        if not 0.0 < self.sleep_power <= self.sense_power:
+            raise ConfigurationError("sleep_power must be in (0, sense_power]")
+        if self.op_rate <= 0.0:
+            raise ConfigurationError("op_rate must be positive")
+        if self.boot_time < 0.0:
+            raise ConfigurationError("boot_time must be non-negative")
+        if self.min_voltage <= 0.0:
+            raise ConfigurationError("min_voltage must be positive")
+
+    @property
+    def op_energy(self) -> float:
+        """Rail energy per ALU operation, joules."""
+        return self.active_power / self.op_rate
+
+    def compute_time(self, ops: float) -> float:
+        """Seconds to execute *ops* ALU operations."""
+        if ops < 0.0:
+            raise ConfigurationError("ops must be non-negative")
+        return ops / self.op_rate
+
+    def boot_energy(self) -> float:
+        """Rail energy consumed by a cold boot, joules."""
+        return self.active_power * self.boot_time
+
+
+#: MSP430FR5969: the paper's Figure 3/4 measurement MCU.  1 MIPS-class
+#: low-power operation; ~4 mW active at the 2.5 V rail yields ~4 nJ/op
+#: at the rail, landing near 6 nJ/op from storage after booster losses.
+MCU_MSP430FR5969 = MCUModel(
+    name="MSP430FR5969",
+    active_power=4.0e-3,
+    sense_power=1.2e-3,
+    sleep_power=6.0e-6,
+    op_rate=1.0e6,
+    boot_time=5.0e-3,
+    min_voltage=1.8,
+)
+
+#: CC2650 wireless MCU (GRC board): similar compute envelope, slightly
+#: hungrier active draw because the BLE stack keeps more clocks running.
+MCU_CC2650 = MCUModel(
+    name="CC2650",
+    active_power=6.0e-3,
+    sense_power=1.8e-3,
+    sleep_power=3.0e-6,
+    op_rate=2.0e6,
+    boot_time=8.0e-3,
+    min_voltage=1.8,
+)

@@ -1,0 +1,123 @@
+"""Sensor and actuator electrical models.
+
+Each sensor is characterised by its warm-up time (power-on until valid
+data), per-sample acquisition time, active draw, and minimum operating
+voltage.  The paper's examples pin several of these: "collecting a
+sample from a sensor may require operating atomically at a low power
+level for only 8 milliseconds"; the APDS-9960 gesture engine must stay
+on "for the minimum duration of a gesture motion (250 ms)" and needs a
+2.5 V rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensorModel:
+    """Electrical envelope of a sensor (or simple actuator).
+
+    Attributes:
+        name: part name.
+        active_power: draw while acquiring, watts.
+        warmup_time: power-on to first valid sample, seconds.
+        sample_time: acquisition time per sample, seconds.
+        min_voltage: minimum rail voltage, volts.
+    """
+
+    name: str
+    active_power: float
+    warmup_time: float
+    sample_time: float
+    min_voltage: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.active_power <= 0.0:
+            raise ConfigurationError(f"{self.name}: active_power must be positive")
+        if self.warmup_time < 0.0:
+            raise ConfigurationError(f"{self.name}: warmup_time must be non-negative")
+        if self.sample_time <= 0.0:
+            raise ConfigurationError(f"{self.name}: sample_time must be positive")
+        if self.min_voltage <= 0.0:
+            raise ConfigurationError(f"{self.name}: min_voltage must be positive")
+
+    def acquisition_time(self, samples: int = 1) -> float:
+        """Warm-up plus *samples* acquisitions, seconds."""
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        return self.warmup_time + samples * self.sample_time
+
+    def acquisition_energy(self, samples: int = 1) -> float:
+        """Rail energy for warm-up plus *samples* acquisitions, joules
+        (sensor draw only; add the MCU's sense power separately)."""
+        return self.active_power * self.acquisition_time(samples)
+
+
+#: Bare phototransistor + ADC read: the GRC proximity pre-check.
+SENSOR_PHOTOTRANSISTOR = SensorModel(
+    name="phototransistor",
+    active_power=0.2e-3,
+    warmup_time=0.5e-3,
+    sample_time=1.0e-3,
+    min_voltage=1.8,
+)
+
+#: APDS-9960 gesture engine: must run for a full gesture motion (250 ms
+#: minimum per the paper) and wants a 2.5 V rail.
+SENSOR_APDS9960_GESTURE = SensorModel(
+    name="apds9960-gesture",
+    active_power=8.0e-3,
+    warmup_time=30.0e-3,
+    sample_time=250.0e-3,
+    min_voltage=2.5,
+)
+
+#: APDS-9960 proximity engine: short ranging burst (CSR's distance
+#: sampler; 32 samples per event in the paper).
+SENSOR_APDS9960_PROXIMITY = SensorModel(
+    name="apds9960-proximity",
+    active_power=3.0e-3,
+    warmup_time=5.0e-3,
+    sample_time=3.0e-3,
+    min_voltage=2.5,
+)
+
+#: TMP36 analog temperature sensor: the paper's 8 ms low-power sample.
+SENSOR_TMP36 = SensorModel(
+    name="tmp36",
+    active_power=0.15e-3,
+    warmup_time=1.0e-3,
+    sample_time=8.0e-3,
+    min_voltage=1.8,
+)
+
+#: Magnetometer (LSM303-class), CSR's field monitor.
+SENSOR_LSM303_MAGNETOMETER = SensorModel(
+    name="magnetometer",
+    active_power=1.0e-3,
+    warmup_time=4.0e-3,
+    sample_time=10.0e-3,
+    min_voltage=1.8,
+)
+
+#: Indicator LED held on for 250 ms (CSR task 3).
+SENSOR_LED = SensorModel(
+    name="led",
+    active_power=6.0e-3,
+    warmup_time=0.0,
+    sample_time=250.0e-3,
+    min_voltage=1.8,
+)
+
+#: CapySat inertial/magnetic sampling suite (magnetometer +
+#: accelerometer + gyroscope read back-to-back).
+SENSOR_CAPYSAT_IMU = SensorModel(
+    name="capysat-imu",
+    active_power=4.0e-3,
+    warmup_time=20.0e-3,
+    sample_time=15.0e-3,
+    min_voltage=1.8,
+)

@@ -1,0 +1,56 @@
+"""Circuit-level energy substrate.
+
+Everything the Capybara board does with electrons is modelled here:
+capacitor technologies and parallel banks (:mod:`repro.energy.capacitor`,
+:mod:`repro.energy.bank`), harvesters and their environments
+(:mod:`repro.energy.harvester`, :mod:`repro.energy.environment`), the
+power-distribution circuit (:mod:`repro.energy.limiter`,
+:mod:`repro.energy.booster`), the latch-capacitor bank switch
+(:mod:`repro.energy.switch`), the Vtop-threshold design alternative
+(:mod:`repro.energy.threshold`), and the reconfigurable reservoir that
+ties banks and switches together (:mod:`repro.energy.reservoir`).
+"""
+
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+    Capacitor,
+    CapacitorSpec,
+    parallel_esr,
+)
+from repro.energy.harvester import (
+    Harvester,
+    RegulatedSupply,
+    RFHarvester,
+    SolarPanel,
+)
+from repro.energy.limiter import InputVoltageLimiter
+from repro.energy.reservoir import ReconfigurableReservoir, ReservoirConfig
+from repro.energy.switch import BankSwitch, SwitchPolarity
+from repro.energy.threshold import ThresholdReconfigurator
+
+__all__ = [
+    "CapacitorSpec",
+    "Capacitor",
+    "parallel_esr",
+    "CERAMIC_X5R",
+    "TANTALUM_POLYMER",
+    "EDLC_CPH3225A",
+    "BankSpec",
+    "CapacitorBank",
+    "Harvester",
+    "RegulatedSupply",
+    "SolarPanel",
+    "RFHarvester",
+    "InputVoltageLimiter",
+    "InputBooster",
+    "OutputBooster",
+    "BankSwitch",
+    "SwitchPolarity",
+    "ThresholdReconfigurator",
+    "ReconfigurableReservoir",
+    "ReservoirConfig",
+]

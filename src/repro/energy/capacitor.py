@@ -1,0 +1,302 @@
+"""Capacitor technologies and the single-capacitor electrical model.
+
+The paper provisions banks from three capacitor families (Section 6.1's
+"400 uF ceramic + 330 uF tantalum + 67.5 mF EDLC" style recipes) and its
+Figure 4 design-space study contrasts ceramic X5R parts against the
+ultra-compact CPH3225A supercapacitor, whose very high equivalent series
+resistance (ESR) limits extractable energy.  This module defines:
+
+* :class:`CapacitorSpec` — an immutable datasheet-style description of a
+  capacitor part (capacitance, ESR, leakage, rated voltage, volume,
+  cycle endurance, derating);
+* :class:`Capacitor` — a stateful single part tracking its voltage and
+  charge/discharge cycle wear;
+* reference specs for the three technologies used throughout the
+  reproduction.
+
+Constants are datasheet-order values chosen so the shapes of the paper's
+Figures 3 and 4 hold; see DESIGN.md Section 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Iterable
+
+from repro.errors import ConfigurationError, PowerSystemError, WearLimitExceeded
+from repro.units import capacitor_energy
+
+
+@dataclass(frozen=True)
+class CapacitorSpec:
+    """Datasheet-style description of one capacitor part.
+
+    Attributes:
+        name: human-readable part/family name.
+        technology: one of ``"ceramic"``, ``"tantalum"``, ``"edlc"``.
+        capacitance: nominal capacitance, farads.
+        esr: equivalent series resistance, ohms.
+        leak_resistance: parallel self-discharge resistance, ohms.
+        rated_voltage: maximum safe terminal voltage, volts.
+        volume: package volume, cubic metres.
+        cycle_endurance: rated full charge/discharge cycles before the
+            part is considered worn out (``math.inf`` for ceramics).
+        derating: fraction of nominal capacitance available after
+            standard derating for bias and aging (Section 3 of the paper
+            mentions derating as the provisioning margin practice).
+    """
+
+    name: str
+    technology: str
+    capacitance: float
+    esr: float
+    leak_resistance: float
+    rated_voltage: float
+    volume: float
+    cycle_endurance: float = math.inf
+    derating: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ConfigurationError(f"{self.name}: capacitance must be positive")
+        if self.esr < 0.0:
+            raise ConfigurationError(f"{self.name}: esr must be non-negative")
+        if self.leak_resistance <= 0.0:
+            raise ConfigurationError(f"{self.name}: leak_resistance must be positive")
+        if self.rated_voltage <= 0.0:
+            raise ConfigurationError(f"{self.name}: rated_voltage must be positive")
+        if self.volume <= 0.0:
+            raise ConfigurationError(f"{self.name}: volume must be positive")
+        if not 0.0 < self.derating <= 1.0:
+            raise ConfigurationError(f"{self.name}: derating must be in (0, 1]")
+        if self.technology not in ("ceramic", "tantalum", "edlc"):
+            raise ConfigurationError(
+                f"{self.name}: unknown technology {self.technology!r}"
+            )
+
+    @cached_property
+    def effective_capacitance(self) -> float:
+        """Capacitance after derating, farads."""
+        return self.capacitance * self.derating
+
+    def energy_at(self, voltage: float) -> float:
+        """Energy stored at *voltage* relative to fully drained, joules."""
+        return capacitor_energy(self.effective_capacitance, voltage)
+
+    def max_energy(self) -> float:
+        """Energy stored at the rated voltage, joules."""
+        return self.energy_at(self.rated_voltage)
+
+    def energy_density(self) -> float:
+        """Maximum stored energy per unit volume, J/m^3 (Figure 4 axis)."""
+        return self.max_energy() / self.volume
+
+    def scaled(self, count: int) -> "CapacitorSpec":
+        """Spec of *count* identical parts wired in parallel.
+
+        Capacitance and volume scale up by *count*; ESR scales down
+        (parallel resistances) — the mechanism behind Figure 4's
+        observation that paralleling supercapacitors recovers usable
+        energy by cutting ESR.  Leakage resistance also divides.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return replace(
+            self,
+            name=f"{self.name} x{count}",
+            capacitance=self.capacitance * count,
+            esr=self.esr / count,
+            leak_resistance=self.leak_resistance / count,
+            volume=self.volume * count,
+        )
+
+
+def parallel_esr(esrs: Iterable[float]) -> float:
+    """Combined ESR of parallel parts (resistors in parallel).
+
+    Parts with zero ESR short the combination to zero.
+    """
+    inverse = 0.0
+    for esr in esrs:
+        if esr < 0.0:
+            raise ConfigurationError(f"esr must be non-negative, got {esr}")
+        if esr == 0.0:
+            return 0.0
+        inverse += 1.0 / esr
+    if inverse == 0.0:
+        raise ConfigurationError("parallel_esr of an empty collection")
+    return 1.0 / inverse
+
+
+class Capacitor:
+    """A single stateful capacitor: a spec plus terminal voltage and wear.
+
+    Energy accounting is exact: :meth:`store` and :meth:`extract` convert
+    between joules and the terminal voltage via ``E = 1/2 C V^2``.  Wear is
+    tracked as *equivalent full cycles*: each joule moved through the part
+    counts as ``1 / max_energy`` of a cycle, which approximates datasheet
+    cycle-life accounting for partial cycles.
+    """
+
+    def __init__(self, spec: CapacitorSpec, initial_voltage: float = 0.0) -> None:
+        if initial_voltage < 0.0 or initial_voltage > spec.rated_voltage:
+            raise ConfigurationError(
+                f"initial voltage {initial_voltage} outside [0, {spec.rated_voltage}]"
+            )
+        self.spec = spec
+        self._voltage = float(initial_voltage)
+        self._cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def voltage(self) -> float:
+        """Current terminal voltage, volts."""
+        return self._voltage
+
+    @property
+    def energy(self) -> float:
+        """Current stored energy relative to fully drained, joules."""
+        return self.spec.energy_at(self._voltage)
+
+    @property
+    def equivalent_cycles(self) -> float:
+        """Accumulated wear, in equivalent full charge/discharge cycles."""
+        return self._cycles
+
+    @property
+    def worn_out(self) -> bool:
+        """Whether wear exceeds the rated cycle endurance."""
+        return self._cycles > self.spec.cycle_endurance
+
+    # ------------------------------------------------------------------
+    # Energy movement
+    # ------------------------------------------------------------------
+
+    def set_voltage(self, voltage: float) -> None:
+        """Force the terminal voltage (initialisation / test helper)."""
+        if voltage < 0.0 or voltage > self.spec.rated_voltage:
+            raise PowerSystemError(
+                f"voltage {voltage} outside [0, {self.spec.rated_voltage}]"
+            )
+        self._voltage = float(voltage)
+
+    def store(self, energy: float) -> float:
+        """Add *energy* joules, clipping at the rated voltage.
+
+        Returns:
+            The energy actually absorbed (less than *energy* if the part
+            saturated at its rated voltage).
+        """
+        if energy < 0.0:
+            raise PowerSystemError(f"cannot store negative energy ({energy})")
+        headroom = self.spec.max_energy() - self.energy
+        absorbed = min(energy, headroom)
+        new_energy = self.energy + absorbed
+        self._voltage = math.sqrt(
+            2.0 * new_energy / self.spec.effective_capacitance
+        )
+        self._wear(absorbed)
+        return absorbed
+
+    def extract(self, energy: float) -> float:
+        """Remove *energy* joules, clipping at fully drained.
+
+        Returns:
+            The energy actually delivered.
+        """
+        if energy < 0.0:
+            raise PowerSystemError(f"cannot extract negative energy ({energy})")
+        available = self.energy
+        delivered = min(energy, available)
+        new_energy = available - delivered
+        self._voltage = math.sqrt(
+            2.0 * new_energy / self.spec.effective_capacitance
+        )
+        self._wear(delivered)
+        return delivered
+
+    def leak(self, duration: float) -> float:
+        """Self-discharge through the leak resistance for *duration* seconds.
+
+        Models the parallel leak resistance as an RC decay:
+        ``V(t) = V0 * exp(-t / (R_leak * C))``.
+
+        Returns:
+            Energy lost to leakage, joules.
+        """
+        if duration < 0.0:
+            raise PowerSystemError(f"duration must be non-negative, got {duration}")
+        if duration == 0.0 or self._voltage == 0.0:
+            return 0.0
+        tau = self.spec.leak_resistance * self.spec.effective_capacitance
+        before = self.energy
+        self._voltage *= math.exp(-duration / tau)
+        return before - self.energy
+
+    def check_wear(self) -> None:
+        """Raise :class:`WearLimitExceeded` if the part is worn out."""
+        if self.worn_out:
+            raise WearLimitExceeded(
+                f"{self.spec.name}: {self._cycles:.1f} equivalent cycles exceeds "
+                f"endurance of {self.spec.cycle_endurance}"
+            )
+
+    def _wear(self, energy_moved: float) -> None:
+        max_energy = self.spec.max_energy()
+        if max_energy > 0.0 and math.isfinite(self.spec.cycle_endurance):
+            # A full cycle moves max_energy twice (charge + discharge);
+            # count each direction as half a cycle worth of throughput.
+            self._cycles += 0.5 * energy_moved / max_energy
+
+
+# ---------------------------------------------------------------------------
+# Reference parts (datasheet-order constants; see DESIGN.md Section 3)
+# ---------------------------------------------------------------------------
+
+#: Multi-layer ceramic X5R chip capacitor, 1210-class package.  Low ESR
+#: and effectively unlimited cycle life, but low energy density — the
+#: "ceramic" series of Figure 4.
+CERAMIC_X5R = CapacitorSpec(
+    name="X5R-100uF",
+    technology="ceramic",
+    capacitance=100e-6,
+    esr=0.015,
+    leak_resistance=50e6,
+    rated_voltage=6.3,
+    volume=20e-9,  # ~3.2 x 2.5 x 2.5 mm
+    cycle_endurance=math.inf,
+    derating=0.8,  # X5R loses capacitance under DC bias
+)
+
+#: Polymer tantalum, mid-density option used in the paper's mixed banks.
+TANTALUM_POLYMER = CapacitorSpec(
+    name="Tant-330uF",
+    technology="tantalum",
+    capacitance=330e-6,
+    esr=0.1,
+    leak_resistance=10e6,
+    rated_voltage=6.3,
+    volume=40e-9,  # ~7.3 x 4.3 x 1.9 mm (D case)
+    cycle_endurance=math.inf,
+    derating=0.95,
+)
+
+#: Seiko CPH3225A ultra-compact EDLC supercapacitor: extreme density but
+#: ~160 ohm ESR and limited cycle endurance — the "supercap" series of
+#: Figure 4 whose high ESR strands stored energy without output boosting.
+EDLC_CPH3225A = CapacitorSpec(
+    name="CPH3225A-11mF",
+    technology="edlc",
+    capacitance=11e-3,
+    esr=160.0,
+    leak_resistance=2e6,
+    rated_voltage=3.3,
+    volume=7.2e-9,  # 3.2 x 2.5 x 0.9 mm
+    cycle_endurance=100_000.0,
+    derating=1.0,
+)

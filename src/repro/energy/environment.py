@@ -1,0 +1,137 @@
+"""Environmental input-power profiles.
+
+The paper drives its boards from physical sources: a 20 W halogen bulb
+PWM-dimmed to 42% over TrisolX solar panels (TempAlarm), a bench supply
+behind an attenuating resistor capped at 10 mW (GRC/CSR), and — for the
+CapySat case study — sunlight over a low-Earth-orbit illumination cycle.
+This module models those sources as *traces*: callables from simulation
+time (seconds) to a scalar intensity in W/m^2 (for light) or a direct
+scale factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Standard full-sun irradiance, W/m^2.
+FULL_SUN = 1000.0
+
+
+@dataclass(frozen=True)
+class ConstantTrace:
+    """A constant intensity (a fixed lamp, a bench light box)."""
+
+    level: float
+
+    def __post_init__(self) -> None:
+        if self.level < 0.0:
+            raise ConfigurationError(f"level must be non-negative, got {self.level}")
+
+    def __call__(self, time: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class DimmedLampTrace:
+    """A lamp dimmed by PWM duty cycle (Section 6.1.2's halogen at 42%).
+
+    The lamp's full-brightness irradiance at the panel is scaled by the
+    duty cycle; PWM is far faster than any capacitor time constant so we
+    model the average.
+    """
+
+    full_irradiance: float
+    duty: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1], got {self.duty}")
+        if self.full_irradiance < 0.0:
+            raise ConfigurationError("full_irradiance must be non-negative")
+
+    def __call__(self, time: float) -> float:
+        return self.full_irradiance * self.duty
+
+
+@dataclass(frozen=True)
+class OrbitTrace:
+    """Low-Earth-orbit illumination: full sun, with eclipse each orbit.
+
+    CapySat (Section 6.6) rides a KickSat-class carrier in LEO; a ~93
+    minute orbit spends roughly a third of each period in Earth's shadow.
+
+    Attributes:
+        period: orbital period, seconds.
+        eclipse_fraction: fraction of each orbit in shadow.
+        irradiance: in-sun irradiance, W/m^2 (space solar constant is
+            ~1361; default keeps the terrestrial convention of 1000).
+    """
+
+    period: float = 93.0 * 60.0
+    eclipse_fraction: float = 0.36
+    irradiance: float = FULL_SUN
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ConfigurationError("period must be positive")
+        if not 0.0 <= self.eclipse_fraction < 1.0:
+            raise ConfigurationError("eclipse_fraction must be in [0, 1)")
+
+    def __call__(self, time: float) -> float:
+        phase = (time % self.period) / self.period
+        return self.irradiance if phase >= self.eclipse_fraction else 0.0
+
+    def next_sunrise(self, time: float) -> float:
+        """First time at or after *time* when the panel is illuminated."""
+        phase = (time % self.period) / self.period
+        if phase >= self.eclipse_fraction:
+            return time
+        return time + (self.eclipse_fraction - phase) * self.period
+
+
+class PiecewiseTrace:
+    """An arbitrary step trace: ``[(start_time, level), ...]``.
+
+    Levels hold from each start time until the next; before the first
+    breakpoint the level is ``initial``.  Used for adversarial input-power
+    timing experiments (Section 5.2's NO/NC switch hazard).
+    """
+
+    def __init__(
+        self,
+        breakpoints: Sequence[Tuple[float, float]],
+        initial: float = 0.0,
+    ) -> None:
+        if initial < 0.0:
+            raise ConfigurationError("initial level must be non-negative")
+        previous = -math.inf
+        for time, level in breakpoints:
+            if time <= previous:
+                raise ConfigurationError(
+                    "breakpoints must be strictly increasing in time"
+                )
+            if level < 0.0:
+                raise ConfigurationError("levels must be non-negative")
+            previous = time
+        self._breakpoints: List[Tuple[float, float]] = list(breakpoints)
+        self._initial = initial
+
+    def __call__(self, time: float) -> float:
+        level = self._initial
+        for start, value in self._breakpoints:
+            if time >= start:
+                level = value
+            else:
+                break
+        return level
+
+    def change_times(self) -> List[float]:
+        """Times at which the level changes (for event scheduling)."""
+        return [time for time, _ in self._breakpoints]
+
+
+Trace = Callable[[float], float]

@@ -1,0 +1,149 @@
+"""Energy harvester models.
+
+A harvester converts an environmental trace into electrical output,
+characterised at each instant by an *output voltage* and an *available
+power* (the maximum the downstream converter can draw, i.e. the maximum
+power point).  The input booster (:mod:`repro.energy.booster`) performs
+maximum-power-point extraction, so harvesters report MPP power directly.
+
+Three sources cover the paper's experiments:
+
+* :class:`RegulatedSupply` — the GRC/CSR rig: "a harvester built from a
+  voltage regulator and an attenuating resistor that supplies at most
+  10 mW" (Section 6.1.1).
+* :class:`SolarPanel` — TrisolX-class panels, possibly in series (the
+  input limiter motivation of Section 5.1), driven by an irradiance
+  trace.
+* :class:`RFHarvester` — a Powercast-class RF source: microwatts at low
+  voltage; exercises the input booster's weak-input path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.energy.environment import FULL_SUN, ConstantTrace, Trace
+
+
+class Harvester:
+    """Interface: electrical output of an environmental energy source."""
+
+    def output(self, time: float) -> Tuple[float, float]:
+        """Return ``(voltage, power)`` available at *time*.
+
+        voltage: open-circuit-order output voltage, volts (used for the
+            limiter and the cold-start bypass path).
+        power: maximum extractable power, watts.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class RegulatedSupply(Harvester):
+    """Bench supply behind an attenuating resistor (GRC/CSR rig).
+
+    Supplies a constant voltage and at most *max_power* watts.
+    """
+
+    voltage: float = 3.0
+    max_power: float = 10e-3
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0.0:
+            raise ConfigurationError("voltage must be positive")
+        if self.max_power < 0.0:
+            raise ConfigurationError("max_power must be non-negative")
+
+    def output(self, time: float) -> Tuple[float, float]:
+        return self.voltage, self.max_power
+
+
+@dataclass
+class SolarPanel(Harvester):
+    """A small solar panel (or series string) under an irradiance trace.
+
+    Attributes:
+        area: active cell area, m^2 (a TrisolX wing is ~2.3 cm^2).
+        efficiency: cell conversion efficiency at MPP.
+        cells_in_series: panels chained in series; multiplies voltage
+            (the Section 5.1 dim-light trick the limiter makes safe).
+        voltage_per_panel: MPP voltage of one panel at full sun.
+        irradiance: trace of W/m^2 versus time.
+    """
+
+    area: float = 2.3e-4
+    efficiency: float = 0.18
+    cells_in_series: int = 2
+    voltage_per_panel: float = 2.7
+    irradiance: Trace = field(default_factory=lambda: ConstantTrace(FULL_SUN))
+
+    def __post_init__(self) -> None:
+        if self.area <= 0.0:
+            raise ConfigurationError("area must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        if self.cells_in_series < 1:
+            raise ConfigurationError("cells_in_series must be >= 1")
+        if self.voltage_per_panel <= 0.0:
+            raise ConfigurationError("voltage_per_panel must be positive")
+
+    def output(self, time: float) -> Tuple[float, float]:
+        level = self.irradiance(time)
+        if level <= 0.0:
+            return 0.0, 0.0
+        # Series panels add voltage at the same current, so MPP power
+        # scales with the string length too.
+        power = level * self.area * self.efficiency * self.cells_in_series
+        # MPP voltage sags gently in dim light; model as a sqrt roll-off
+        # that reaches the full value at full sun.
+        dimness = min(1.0, level / FULL_SUN)
+        voltage = self.cells_in_series * self.voltage_per_panel * (
+            0.6 + 0.4 * dimness ** 0.5
+        )
+        return voltage, power
+
+
+@dataclass
+class RFHarvester(Harvester):
+    """Far-field RF harvesting (Powercast-class receiver).
+
+    Power falls with distance squared from the transmitter; output
+    voltage is low, exercising the input booster's weak-input path.
+    """
+
+    transmit_power: float = 3.0
+    distance: float = 3.0
+    #: Aggregate path gain constant folding antenna gains and rectifier
+    #: efficiency; calibrated so 3 W at 3 m yields ~100 uW.
+    path_gain: float = 3e-4
+    voltage: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.transmit_power < 0.0:
+            raise ConfigurationError("transmit_power must be non-negative")
+        if self.distance <= 0.0:
+            raise ConfigurationError("distance must be positive")
+        if self.voltage <= 0.0:
+            raise ConfigurationError("voltage must be positive")
+
+    def output(self, time: float) -> Tuple[float, float]:
+        power = self.transmit_power * self.path_gain / (self.distance ** 2)
+        return self.voltage, power
+
+
+@dataclass
+class ScaledHarvester(Harvester):
+    """Wrap a harvester, scaling its power (test and sweep helper)."""
+
+    inner: Harvester
+    power_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.power_scale < 0.0:
+            raise ConfigurationError("power_scale must be non-negative")
+
+    def output(self, time: float) -> Tuple[float, float]:
+        voltage, power = self.inner.output(time)
+        return voltage, power * self.power_scale

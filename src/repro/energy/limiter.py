@@ -1,0 +1,51 @@
+"""Input voltage limiter (Section 5.1).
+
+The limiter lets the harvester's open-circuit voltage exceed component
+ratings safely — e.g. solar panels wired in series for dim light would
+produce damagingly high voltage in bright light.  We model a series-pass
+limiter: output voltage is clamped to ``v_clamp``; when clamping, the
+excess voltage headroom is dissipated, so the available power scales by
+``v_clamp / v_in``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InputVoltageLimiter:
+    """Series-pass clamp between the harvester and the input booster.
+
+    Attributes:
+        v_clamp: maximum voltage passed downstream, volts.
+    """
+
+    v_clamp: float = 5.5
+
+    def __post_init__(self) -> None:
+        if self.v_clamp <= 0.0:
+            raise ConfigurationError("v_clamp must be positive")
+
+    def limit(self, voltage: float, power: float) -> Tuple[float, float]:
+        """Clamp a harvester operating point.
+
+        Args:
+            voltage: harvester output voltage, volts.
+            power: harvester available power, watts.
+
+        Returns:
+            ``(voltage, power)`` after limiting.  Below the clamp the
+            point passes through unchanged; above it, voltage is clamped
+            and power is reduced by the pass-element drop.
+        """
+        if voltage < 0.0:
+            raise ConfigurationError(f"voltage must be non-negative, got {voltage}")
+        if power < 0.0:
+            raise ConfigurationError(f"power must be non-negative, got {power}")
+        if voltage <= self.v_clamp:
+            return voltage, power
+        return self.v_clamp, power * (self.v_clamp / voltage)

@@ -1,0 +1,345 @@
+"""The reconfigurable energy reservoir (Section 5.2).
+
+A reservoir is Capybara's array of capacitor banks, each individually
+connectable through a state-retaining :class:`~repro.energy.switch.BankSwitch`.
+Banks without a switch are hardwired (the paper's boards keep a small
+default bank always connected so the device can cold-start).
+
+The *active set* — the banks whose switches are effectively closed —
+behaves as one parallel capacitor: capacitance adds, ESR combines in
+parallel, and all active banks share a terminal voltage.  Connecting a
+charged bank to the active set redistributes charge at constant total
+charge (``V = sum(C_i V_i) / sum(C_i)``), losing energy irreversibly as
+real parallel capacitors do.  Disconnected banks hold their voltage,
+minus leakage — the property that makes pre-charged bursts possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import BankConfigurationError, PowerSystemError
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.capacitor import parallel_esr
+from repro.energy.switch import BankSwitch
+
+
+@dataclass(frozen=True)
+class ReservoirConfig:
+    """A named set of banks to activate — the hardware face of an
+    energy mode."""
+
+    name: str
+    bank_names: FrozenSet[str]
+
+    @staticmethod
+    def of(name: str, banks: Iterable[str]) -> "ReservoirConfig":
+        return ReservoirConfig(name=name, bank_names=frozenset(banks))
+
+
+class ReconfigurableReservoir:
+    """An array of capacitor banks behind programmable switches.
+
+    The reservoir exposes two layers of API:
+
+    * a *bank* layer (:meth:`bank`, :meth:`configure`) used by the
+      Capybara runtime to implement energy modes; and
+    * an *aggregate* layer (:meth:`active_voltage`, :meth:`store`,
+      :meth:`extract`) used by the boosters and executor, which see the
+      active set as a single capacitor.
+    """
+
+    def __init__(self, precharge_voltage_penalty: float = 0.3) -> None:
+        if precharge_voltage_penalty < 0.0:
+            raise BankConfigurationError(
+                "precharge_voltage_penalty must be non-negative"
+            )
+        self._banks: Dict[str, CapacitorBank] = {}
+        self._switches: Dict[str, BankSwitch] = {}
+        self._order: List[str] = []
+        #: The paper's Section 6.4 limitation: a deactivated bank can be
+        #: pre-charged only to ~0.3 V below the normal charge target.
+        self.precharge_voltage_penalty = precharge_voltage_penalty
+        self._reconfigurations = 0
+        # Active-set cache: (valid_from, valid_until, switch_version_sum,
+        # names, banks, capacitance, esr).  Hot paths query the active
+        # set hundreds of thousands of times between reconfigurations.
+        self._active_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_bank(
+        self,
+        spec: BankSpec,
+        switch: Optional[BankSwitch] = None,
+        initial_voltage: float = 0.0,
+    ) -> CapacitorBank:
+        """Register a bank, optionally behind *switch*.
+
+        A bank with no switch is hardwired active (the default bank).
+        """
+        if spec.name in self._banks:
+            raise BankConfigurationError(f"duplicate bank name {spec.name!r}")
+        bank = CapacitorBank(spec, initial_voltage=initial_voltage)
+        self._banks[spec.name] = bank
+        if switch is not None:
+            self._switches[spec.name] = switch
+        self._order.append(spec.name)
+        return bank
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def bank_names(self) -> List[str]:
+        """All bank names in registration order."""
+        return list(self._order)
+
+    @property
+    def hardwired_names(self) -> List[str]:
+        """Banks that are always connected (no switch)."""
+        return [name for name in self._order if name not in self._switches]
+
+    @property
+    def reconfiguration_count(self) -> int:
+        """Number of :meth:`configure` calls that changed any switch."""
+        return self._reconfigurations
+
+    def bank(self, name: str) -> CapacitorBank:
+        if name not in self._banks:
+            raise BankConfigurationError(f"unknown bank {name!r}")
+        return self._banks[name]
+
+    def switch(self, name: str) -> BankSwitch:
+        if name not in self._switches:
+            raise BankConfigurationError(f"bank {name!r} has no switch")
+        return self._switches[name]
+
+    def _active_entry(self, time: float) -> tuple:
+        """The cached active-set tuple for *time* (rebuilds if stale).
+
+        A cache entry stays valid from its build time until the first
+        possible latch reversion among switches holding a non-default
+        state; switch ``version`` counters catch direct state changes.
+        """
+        versions = 0
+        for switch in self._switches.values():
+            versions += switch.version
+        cache = self._active_cache
+        if cache is not None and cache[2] == versions and cache[0] <= time < cache[1]:
+            return cache
+        names: List[str] = []
+        for name in self._order:
+            switch = self._switches.get(name)
+            if switch is None or switch.is_closed(time):
+                names.append(name)
+        # is_closed() may have just resolved reversions (bumping
+        # versions); recompute the sum after resolution.
+        versions = 0
+        boundary = math.inf
+        for switch in self._switches.values():
+            versions += switch.version
+            if switch._commanded_closed != switch.default_closed:
+                boundary = min(
+                    boundary, switch._last_replenished + switch.retention_time
+                )
+        banks = [self._banks[name] for name in names]
+        capacitance = sum(bank.capacitance for bank in banks)
+        esr = parallel_esr(bank.esr for bank in banks) if banks else 0.0
+        entry = (time, boundary, versions, names, banks, capacitance, esr)
+        self._active_cache = entry
+        return entry
+
+    def active_names(self, time: float) -> List[str]:
+        """Banks currently connected, honouring latch reversion."""
+        return list(self._active_entry(time)[3])
+
+    def active_banks(self, time: float) -> List[CapacitorBank]:
+        return self._active_entry(time)[4]
+
+    def active_capacitance(self, time: float) -> float:
+        """Total capacitance of the active set, farads."""
+        return self._active_entry(time)[5]
+
+    def active_esr(self, time: float) -> float:
+        """Combined ESR of the active set, ohms."""
+        entry = self._active_entry(time)
+        if not entry[4]:
+            raise PowerSystemError("no banks are active")
+        return entry[6]
+
+    def active_voltage(self, time: float) -> float:
+        """Shared terminal voltage of the active set, volts.
+
+        Active banks are always equalized after reconfiguration, so they
+        agree; this asserts that invariant.
+        """
+        banks = self.active_banks(time)
+        if not banks:
+            raise PowerSystemError("no banks are active")
+        voltage = banks[0].voltage
+        for bank in banks[1:]:
+            if abs(bank.voltage - voltage) > 1e-6:
+                raise PowerSystemError(
+                    "active banks diverged in voltage; reconfiguration "
+                    "must equalize them"
+                )
+        return voltage
+
+    def active_energy(self, time: float) -> float:
+        """Stored energy of the active set, joules."""
+        return sum(bank.energy for bank in self.active_banks(time))
+
+    def active_rated_voltage(self, time: float) -> float:
+        """Rated (minimum over active banks) voltage of the active set."""
+        banks = self.active_banks(time)
+        if not banks:
+            raise PowerSystemError("no banks are active")
+        return min(bank.spec.rated_voltage for bank in banks)
+
+    def total_volume(self) -> float:
+        """Capacitor volume across all banks, m^3."""
+        return sum(bank.spec.volume for bank in self._banks.values())
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def configure(self, config: ReservoirConfig, time: float) -> float:
+        """Switch the active set to exactly *config*'s banks.
+
+        Hardwired banks are always active; including them in the config
+        is allowed (and conventional), excluding them is an error.
+
+        Returns:
+            Energy spent toggling latch capacitors, joules (the runtime
+            charges this to the active reservoir).
+
+        Raises:
+            BankConfigurationError: for unknown banks or configs that try
+                to disconnect a hardwired bank.
+        """
+        unknown = config.bank_names - set(self._banks)
+        if unknown:
+            raise BankConfigurationError(
+                f"config {config.name!r} references unknown banks {sorted(unknown)}"
+            )
+        missing_hardwired = set(self.hardwired_names) - config.bank_names
+        if missing_hardwired:
+            raise BankConfigurationError(
+                f"config {config.name!r} cannot disconnect hardwired banks "
+                f"{sorted(missing_hardwired)}"
+            )
+        toggle_energy = 0.0
+        changed = False
+        for name in self._order:
+            switch = self._switches.get(name)
+            if switch is None:
+                continue
+            want_closed = name in config.bank_names
+            before = switch.is_closed(time)
+            toggle_energy += switch.set_closed(want_closed, time)
+            if before != want_closed:
+                changed = True
+        if changed:
+            self._reconfigurations += 1
+        self.equalize_active(time)
+        return toggle_energy
+
+    def equalize_active(self, time: float) -> float:
+        """Redistribute charge across the active set at constant charge.
+
+        Returns the energy lost to redistribution, joules.  Real parallel
+        capacitors at unequal voltages lose ``dE`` as heat through the
+        interconnect when joined; the model conserves charge, not energy.
+        """
+        banks = self.active_banks(time)
+        if len(banks) <= 1:
+            return 0.0
+        total_charge = sum(bank.capacitance * bank.voltage for bank in banks)
+        total_capacitance = sum(bank.capacitance for bank in banks)
+        v_common = total_charge / total_capacitance
+        before = sum(bank.energy for bank in banks)
+        for bank in banks:
+            bank.set_voltage(min(v_common, bank.spec.rated_voltage))
+        after = sum(bank.energy for bank in banks)
+        return max(0.0, before - after)
+
+    def replenish_switches(self, time: float) -> None:
+        """Top up every latch (call while input power is present)."""
+        for switch in self._switches.values():
+            switch.replenish(time)
+
+    # ------------------------------------------------------------------
+    # Aggregate energy movement (active set as one capacitor)
+    # ------------------------------------------------------------------
+
+    def store(self, energy: float, time: float) -> float:
+        """Add *energy* joules to the active set, split by capacitance.
+
+        Returns the energy actually absorbed (saturates at the lowest
+        rated voltage across the active set, keeping voltages equal).
+        """
+        entry = self._active_entry(time)
+        banks, total_c = entry[4], entry[5]
+        if not banks:
+            raise PowerSystemError("no banks are active")
+        if len(banks) == 1:
+            return banks[0].store(energy)
+        voltage = self.active_voltage(time)
+        rated = min(bank.spec.rated_voltage for bank in banks)
+        headroom = 0.5 * total_c * (rated * rated - voltage * voltage)
+        absorbed = min(energy, max(0.0, headroom))
+        new_energy = 0.5 * total_c * voltage * voltage + absorbed
+        v_new = math.sqrt(2.0 * new_energy / total_c)
+        for bank in banks:
+            # max() guards against -1e-19-scale float residue when a
+            # bank is already saturated at its rated voltage.
+            bank.store(max(0.0, bank.spec.energy_at(v_new) - bank.energy))
+        return absorbed
+
+    def extract(self, energy: float, time: float) -> float:
+        """Remove *energy* joules from the active set, split by capacitance.
+
+        Returns the energy actually delivered.
+        """
+        entry = self._active_entry(time)
+        banks, total_c = entry[4], entry[5]
+        if not banks:
+            raise PowerSystemError("no banks are active")
+        if len(banks) == 1:
+            return banks[0].extract(energy)
+        voltage = self.active_voltage(time)
+        available = 0.5 * total_c * voltage * voltage
+        delivered = min(energy, available)
+        v_new = math.sqrt(2.0 * max(0.0, available - delivered) / total_c)
+        for bank in banks:
+            bank.extract(max(0.0, bank.energy - bank.spec.energy_at(v_new)))
+        return delivered
+
+    def leak_all(self, duration: float, time: float) -> float:
+        """Apply leakage to every bank (active and dormant).
+
+        Dormant pre-charged banks losing energy "except the energy lost
+        to leakage" is exactly the Section 4.2 retention property.
+
+        Returns total energy lost, joules.
+        """
+        lost = sum(bank.leak(duration) for bank in self._banks.values())
+        # Leakage can nudge active-bank voltages apart (different leak
+        # resistances); re-equalize to preserve the shared-voltage
+        # invariant.  The redistribution loss here is second-order.
+        lost += self.equalize_active(time)
+        return lost
+
+    def snapshot(self) -> Dict[str, Tuple[float, bool]]:
+        """Voltage and switch presence per bank (debug/trace helper)."""
+        return {
+            name: (self._banks[name].voltage, name in self._switches)
+            for name in self._order
+        }

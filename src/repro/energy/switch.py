@@ -1,0 +1,162 @@
+"""Latch-capacitor bank switches (Section 5.2, Figure 6b).
+
+Each reconfigurable bank sits behind a P-channel MOSFET high-side switch
+whose gate state is held by a small *latch capacitor*.  The latch leaks:
+if the device is unpowered longer than the retention time (~3 minutes
+with the paper's 4.7 uF latch), the switch forgets its commanded state
+and reverts to its default:
+
+* a **normally-open (NO)** switch reverts to *disconnected* — the
+  reservoir falls back to the small default bank, which recharges fast
+  but may be too small for the pending task (the paper's adversarial
+  indefinite-retry hazard);
+* a **normally-closed (NC)** switch reverts to *connected* — maximum
+  capacity, slowest recharge, but guaranteed first-attempt success.
+
+While the device is powered, a replenishment circuit tops the latch up,
+so retention only matters across dark periods.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import capacitor_energy
+
+
+class SwitchPolarity(enum.Enum):
+    """Default state a switch reverts to after latch decay."""
+
+    NORMALLY_OPEN = "NO"
+    NORMALLY_CLOSED = "NC"
+
+
+def retention_from_latch(
+    latch_capacitance: float,
+    leak_current: float,
+    v_latch: float = 2.5,
+    v_hold_min: float = 1.5,
+) -> float:
+    """Retention time implied by a latch capacitor and its leakage.
+
+    The gate holds while the latch voltage stays above *v_hold_min*;
+    with a constant leak current the latch discharges linearly:
+    ``t = C * (v_latch - v_hold_min) / I_leak``.
+
+    The paper's 4.7 uF latch retains for about 3 minutes, implying a
+    leak current of roughly 25 nA.
+    """
+    if latch_capacitance <= 0.0:
+        raise ConfigurationError("latch_capacitance must be positive")
+    if leak_current <= 0.0:
+        raise ConfigurationError("leak_current must be positive")
+    if v_hold_min >= v_latch:
+        raise ConfigurationError("v_hold_min must be below v_latch")
+    return latch_capacitance * (v_latch - v_hold_min) / leak_current
+
+
+@dataclass
+class BankSwitch:
+    """A state-retaining high-side switch for one capacitor bank.
+
+    Attributes:
+        name: switch identifier (usually the bank name).
+        polarity: NO or NC default behaviour after latch decay.
+        latch_capacitance: latch capacitor value, farads (paper: 4.7 uF).
+        retention_time: seconds of unpowered time before reversion
+            (paper: ~3 minutes).
+        v_latch: latch operating voltage, volts.
+        area: board area of the switch module, m^2 (paper: 80 mm^2 with
+            debug features).
+        leakage_current: standing leakage while powered, amperes.
+    """
+
+    name: str
+    polarity: SwitchPolarity = SwitchPolarity.NORMALLY_OPEN
+    latch_capacitance: float = 4.7e-6
+    retention_time: float = 180.0
+    v_latch: float = 2.5
+    area: float = 80e-6
+    leakage_current: float = 25e-9
+    _commanded_closed: bool = field(init=False)
+    _last_replenished: float = field(init=False, default=0.0)
+    _toggles: int = field(init=False, default=0)
+    #: Monotone change counter so callers (the reservoir's active-set
+    #: cache) can detect state changes cheaply.
+    version: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.latch_capacitance <= 0.0:
+            raise ConfigurationError("latch_capacitance must be positive")
+        if self.retention_time <= 0.0:
+            raise ConfigurationError("retention_time must be positive")
+        if self.area <= 0.0:
+            raise ConfigurationError("area must be positive")
+        self._commanded_closed = self.polarity is SwitchPolarity.NORMALLY_CLOSED
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    @property
+    def default_closed(self) -> bool:
+        """State the switch reverts to when the latch decays."""
+        return self.polarity is SwitchPolarity.NORMALLY_CLOSED
+
+    @property
+    def toggle_count(self) -> int:
+        """Number of commanded state changes (wear observation)."""
+        return self._toggles
+
+    def is_closed(self, time: float) -> bool:
+        """Effective switch state at *time*.
+
+        If the latch has not been replenished within the retention time,
+        the commanded state is lost and the default applies.  Reversion
+        is *silent*: the runtime cannot observe it (the paper notes an
+        introspection circuit would ruin retention), so this method also
+        updates the internal commanded state on reversion — exactly the
+        "runtime remains unaware" behaviour of Section 5.2.
+        """
+        if time - self._last_replenished > self.retention_time:
+            if self._commanded_closed != self.default_closed:
+                self.version += 1
+            self._commanded_closed = self.default_closed
+        return self._commanded_closed
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def set_closed(self, closed: bool, time: float) -> float:
+        """Command the switch state at *time* (device must be powered).
+
+        Returns:
+            Energy consumed by the GPIO interface charging or
+            discharging the latch capacitor, joules.
+        """
+        # Resolve any pending reversion first so a toggle is counted
+        # against the true current state.
+        current = self.is_closed(time)
+        self._last_replenished = time
+        if closed == current:
+            return 0.0
+        self._commanded_closed = closed
+        self._toggles += 1
+        self.version += 1
+        return capacitor_energy(self.latch_capacitance, self.v_latch)
+
+    def replenish(self, time: float) -> None:
+        """Top up the latch (called while the device is powered)."""
+        # Resolve reversion before refreshing: if the latch already
+        # decayed, power returning must not resurrect the old state.
+        self.is_closed(time)
+        self._last_replenished = time
+
+    def time_to_reversion(self, time: float) -> float:
+        """Seconds of additional darkness before the state reverts."""
+        remaining = self.retention_time - (time - self._last_replenished)
+        return max(0.0, remaining) if remaining > -math.inf else 0.0

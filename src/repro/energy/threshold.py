@@ -1,0 +1,133 @@
+"""The Vtop-threshold design alternative (Section 5.2).
+
+Instead of switching capacitance ``C``, energy capacity can be
+reconfigured by changing the voltage ``V_top`` to which a single large
+capacitor is charged, using a non-volatile EEPROM digital potentiometer
+feeding a voltage supervisor (this is the mechanism DEBS uses).  The
+paper prototyped this alternative and rejected it for Capybara because:
+
+* it occupies **twice the board area** of a bank switch,
+* it draws **1.5x the leakage current**,
+* the EEPROM potentiometer has **limited write endurance**, bounding
+  device lifetime, and
+* cold start is slowest of all mechanisms: the capacitor must charge
+  past the output booster's minimum before *any* usable energy exists,
+  and the full capacitance is always attached, so even small energy
+  targets charge slowly.
+
+This module implements the alternative faithfully so the ablation bench
+(`benchmarks/test_bench_ablation.py`) can regenerate the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, WearLimitExceeded
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.switch import BankSwitch
+
+
+@dataclass
+class ThresholdReconfigurator:
+    """Vtop-based capacity reconfiguration over one fixed bank.
+
+    Attributes:
+        bank_spec: the single, always-connected capacitor bank.
+        v_top_min: lowest settable charge threshold, volts.  Must exceed
+            the output booster's minimum input or the setting is useless.
+        write_endurance: EEPROM potentiometer write cycles before wear-out.
+        area: board area of the threshold circuit, m^2 (2x a switch).
+        leakage_current: standing leakage, amperes (1.5x a switch).
+    """
+
+    bank_spec: BankSpec
+    v_top_min: float = 1.6
+    write_endurance: int = 50_000
+    area: float = 160e-6
+    leakage_current: float = 37.5e-9
+    _v_top: float = field(init=False)
+    _writes: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.v_top_min <= 0.0:
+            raise ConfigurationError("v_top_min must be positive")
+        if self.v_top_min > self.bank_spec.rated_voltage:
+            raise ConfigurationError(
+                "v_top_min exceeds the bank's rated voltage"
+            )
+        if self.write_endurance <= 0:
+            raise ConfigurationError("write_endurance must be positive")
+        self._v_top = self.bank_spec.rated_voltage
+        self.bank = CapacitorBank(self.bank_spec)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    @property
+    def v_top(self) -> float:
+        """Current charge-termination threshold, volts."""
+        return self._v_top
+
+    @property
+    def writes(self) -> int:
+        """EEPROM writes performed so far."""
+        return self._writes
+
+    @property
+    def worn_out(self) -> bool:
+        return self._writes >= self.write_endurance
+
+    def set_v_top(self, v_top: float) -> None:
+        """Program a new charge threshold (one EEPROM write).
+
+        Raises:
+            ConfigurationError: if the threshold is outside the settable
+                range.
+            WearLimitExceeded: if the potentiometer's write endurance is
+                exhausted.
+        """
+        if not self.v_top_min <= v_top <= self.bank_spec.rated_voltage:
+            raise ConfigurationError(
+                f"v_top {v_top} outside "
+                f"[{self.v_top_min}, {self.bank_spec.rated_voltage}]"
+            )
+        if self.worn_out:
+            raise WearLimitExceeded(
+                f"EEPROM potentiometer exhausted its {self.write_endurance} "
+                "write cycles"
+            )
+        if v_top != self._v_top:
+            self._writes += 1
+            self._v_top = v_top
+
+    def v_top_for_energy(self, energy: float) -> float:
+        """Lowest legal threshold storing at least *energy* joules
+        above zero volts.
+
+        Raises:
+            ConfigurationError: if even the rated voltage stores less
+                than *energy*.
+        """
+        if energy < 0.0:
+            raise ConfigurationError("energy must be non-negative")
+        c = self.bank_spec.capacitance
+        v_needed = (2.0 * energy / c) ** 0.5
+        if v_needed > self.bank_spec.rated_voltage + 1e-12:
+            raise ConfigurationError(
+                f"bank cannot store {energy} J below its rated voltage"
+            )
+        return max(self.v_top_min, v_needed)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (Section 5.2 accounting)
+    # ------------------------------------------------------------------
+
+    def area_ratio_to(self, switch: BankSwitch) -> float:
+        """Area relative to one bank switch (paper reports 2x)."""
+        return self.area / switch.area
+
+    def leakage_ratio_to(self, switch: BankSwitch) -> float:
+        """Leakage relative to one bank switch (paper reports 1.5x)."""
+        return self.leakage_current / switch.leakage_current

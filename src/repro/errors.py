@@ -1,0 +1,69 @@
+"""Exception hierarchy for the Capybara reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler
+while still distinguishing configuration mistakes from simulation-time
+faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class PowerSystemError(ReproError):
+    """The power system was driven outside its electrical envelope."""
+
+
+class BankConfigurationError(PowerSystemError):
+    """A reservoir reconfiguration request referenced unknown or
+    incompatible banks."""
+
+
+class BrownoutError(PowerSystemError):
+    """Energy was requested from a reservoir that cannot deliver it.
+
+    Raised only by *strict* APIs; the intermittent executor treats
+    brownout as a normal power-failure event rather than an error.
+    """
+
+
+class EnergyModeError(ReproError):
+    """An energy mode was referenced before being registered, or its
+    bank mapping is inconsistent with the reservoir."""
+
+
+class TaskGraphError(ReproError):
+    """An intermittent task graph is malformed (unknown transition,
+    duplicate task name, missing entry task, ...)."""
+
+
+class NonVolatileAccessError(ReproError):
+    """Volatile state was accessed across a power failure boundary."""
+
+
+class ProvisioningError(ReproError):
+    """Task energy provisioning failed (task cannot complete even at the
+    maximum allowed capacity, or the capacitor inventory is infeasible)."""
+
+
+class WearLimitExceeded(PowerSystemError):
+    """A component with limited write/cycle endurance exceeded its budget.
+
+    Applies to the EEPROM digital potentiometer of the Vtop-threshold
+    design alternative and to EDLC supercapacitor cycle budgets.
+    """

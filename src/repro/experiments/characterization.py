@@ -1,0 +1,121 @@
+"""Section 6.5 characterization + the Section 5.2 mechanism comparison.
+
+Board-area accounting for the Capybara prototype (solar 700 mm^2, power
+system 640 mm^2, one reconfiguration switch 80 mm^2), the latch
+capacitor's ~3 minute retention, and the quantitative comparison
+against the Vtop-threshold design alternative (2x area, 1.5x leakage,
+bounded EEPROM write endurance).
+
+Run: ``python -m repro.experiments.characterization``
+"""
+
+from __future__ import annotations
+
+from repro.apps.capysat import SPLITTER_AREA_FRACTION
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import TANTALUM_POLYMER
+from repro.energy.switch import BankSwitch, retention_from_latch
+from repro.energy.threshold import ThresholdReconfigurator
+from repro.experiments.runner import ExperimentResult, print_result
+
+#: Prototype board facts from Section 6.5 (mm^2).
+SOLAR_AREA_MM2 = 700.0
+POWER_SYSTEM_AREA_MM2 = 640.0
+BOARD_AREA_MM2 = 60.0 * 60.0
+
+
+def run() -> ExperimentResult:
+    switch = BankSwitch(name="reference")
+    threshold = ThresholdReconfigurator(
+        bank_spec=BankSpec.single("threshold-bank", TANTALUM_POLYMER, 8)
+    )
+    retention = retention_from_latch(
+        latch_capacitance=switch.latch_capacitance,
+        leak_current=switch.leakage_current,
+        v_latch=switch.v_latch,
+    )
+
+    result = ExperimentResult(
+        experiment="sec6.5-characterization",
+        columns=["Quantity", "Value", "Paper"],
+    )
+
+    rows = [
+        (
+            "solar panel area",
+            f"{SOLAR_AREA_MM2:.0f} mm^2",
+            "700 mm^2",
+            "solar_area_mm2",
+            SOLAR_AREA_MM2,
+        ),
+        (
+            "power system area",
+            f"{POWER_SYSTEM_AREA_MM2:.0f} mm^2",
+            "640 mm^2",
+            "power_area_mm2",
+            POWER_SYSTEM_AREA_MM2,
+        ),
+        (
+            "one switch area",
+            f"{switch.area * 1e6:.0f} mm^2",
+            "80 mm^2",
+            "switch_area_mm2",
+            switch.area * 1e6,
+        ),
+        (
+            "latch capacitor",
+            f"{switch.latch_capacitance * 1e6:.1f} uF",
+            "4.7 uF",
+            "latch_uF",
+            switch.latch_capacitance * 1e6,
+        ),
+        (
+            "switch retention",
+            f"{retention / 60.0:.1f} min",
+            "~3 min",
+            "retention_min",
+            retention / 60.0,
+        ),
+        (
+            "threshold/switch area ratio",
+            f"{threshold.area_ratio_to(switch):.1f}x",
+            "2x",
+            "threshold_area_ratio",
+            threshold.area_ratio_to(switch),
+        ),
+        (
+            "threshold/switch leakage ratio",
+            f"{threshold.leakage_ratio_to(switch):.1f}x",
+            "1.5x",
+            "threshold_leakage_ratio",
+            threshold.leakage_ratio_to(switch),
+        ),
+        (
+            "threshold EEPROM endurance",
+            f"{threshold.write_endurance} writes",
+            "limited",
+            "threshold_endurance",
+            float(threshold.write_endurance),
+        ),
+        (
+            "CapySat splitter / switch area",
+            f"{SPLITTER_AREA_FRACTION:.0%}",
+            "20%",
+            "splitter_fraction",
+            SPLITTER_AREA_FRACTION,
+        ),
+    ]
+    for label, value, paper, key, number in rows:
+        result.rows.append([label, value, paper])
+        result.values[key] = number
+    return result
+
+
+def main() -> ExperimentResult:
+    result = run()
+    print_result(result)
+    return result
+
+
+if __name__ == "__main__":
+    main()

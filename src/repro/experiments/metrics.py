@@ -1,0 +1,217 @@
+"""Metric extraction from application traces.
+
+The paper's Section 6.2-6.4 metrics, computed from the ground-truth
+schedule and the device trace:
+
+* **event detection accuracy** — per-event outcomes (GRC's
+  correct / misclassified / proximity-only / missed taxonomy, TA's
+  reference-relative accuracy, CSR's reported fraction);
+* **report latency** — event-to-packet delay (TA measures against the
+  continuously-powered reference board);
+* **reactivity** — inter-sample interval distributions and their
+  missed-event attribution (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.base import AppInstance
+from repro.apps.rigs import ThermalRig
+from repro.sim.trace import Trace
+
+#: Inter-sample gaps below this are "back-to-back" (grey in Figure 11).
+BACK_TO_BACK_THRESHOLD = 1.0
+
+
+# ---------------------------------------------------------------------------
+# GRC outcome taxonomy
+# ---------------------------------------------------------------------------
+
+GRC_CORRECT = "correct"
+GRC_MISCLASSIFIED = "misclassified"
+GRC_PROXIMITY_ONLY = "proximity_only"
+GRC_MISSED = "missed"
+
+
+@dataclass
+class OutcomeCounts:
+    """Per-category event counts plus the fraction helper."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    total: int = 0
+
+    def fraction(self, category: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(category, 0) / self.total
+
+
+def grc_outcomes(instance: AppInstance) -> OutcomeCounts:
+    """Classify every scheduled gesture event (Section 6.2 taxonomy)."""
+    trace = instance.trace
+    packet_outcome: Dict[int, str] = {}
+    for packet in trace.packets:
+        if packet.event_id is None:
+            continue
+        if packet.event_id in packet_outcome:
+            continue  # first report wins
+        if packet.payload == "gesture:ok":
+            packet_outcome[packet.event_id] = GRC_CORRECT
+        elif packet.payload == "gesture:bad":
+            packet_outcome[packet.event_id] = GRC_MISCLASSIFIED
+    gesture_sampled = {
+        sample.event_id
+        for sample in trace.samples
+        if sample.sensor == "apds9960-gesture" and sample.event_id is not None
+    }
+    result = OutcomeCounts(total=len(instance.schedule))
+    for event in instance.schedule.events:
+        if event.event_id in packet_outcome:
+            outcome = packet_outcome[event.event_id]
+        elif event.event_id in gesture_sampled:
+            outcome = GRC_PROXIMITY_ONLY
+        else:
+            outcome = GRC_MISSED
+        result.counts[outcome] = result.counts.get(outcome, 0) + 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# TA accuracy (reference-relative) and CSR accuracy
+# ---------------------------------------------------------------------------
+
+def reported_ids(trace: Trace, payload_prefix: str = "") -> List[int]:
+    """Event ids reported by at least one packet, in first-report order."""
+    seen: List[int] = []
+    for packet in trace.packets:
+        if packet.event_id is None:
+            continue
+        if payload_prefix and not packet.payload.startswith(payload_prefix):
+            continue
+        if packet.event_id not in seen:
+            seen.append(packet.event_id)
+    return seen
+
+
+def ta_accuracy(dut: AppInstance, reference: AppInstance) -> float:
+    """Fraction of reference-reported alarms the DUT also reported.
+
+    Section 6.2: "we only consider events which were successfully
+    reported by the continuously-powered board".
+    """
+    ref_ids = set(reported_ids(reference.trace, "alarm"))
+    if not ref_ids:
+        return 0.0
+    dut_ids = set(reported_ids(dut.trace, "alarm"))
+    return len(ref_ids & dut_ids) / len(ref_ids)
+
+
+def csr_accuracy(instance: AppInstance) -> float:
+    """Fraction of magnet events reported by a packet."""
+    if not instance.schedule.events:
+        return 0.0
+    ids = set(reported_ids(instance.trace, "csr-report"))
+    return len(ids) / len(instance.schedule)
+
+
+def grc_accuracy(instance: AppInstance) -> float:
+    """Fraction of gesture events correctly decoded and reported."""
+    outcomes = grc_outcomes(instance)
+    return outcomes.fraction(GRC_CORRECT)
+
+
+# ---------------------------------------------------------------------------
+# Latency
+# ---------------------------------------------------------------------------
+
+def event_latencies(instance: AppInstance) -> List[float]:
+    """Event-onset-to-first-packet latency for every reported event."""
+    latencies: List[float] = []
+    starts = {event.event_id: event.start for event in instance.schedule.events}
+    for event_id in reported_ids(instance.trace):
+        first = instance.trace.first_report_time(event_id)
+        if first is not None and event_id in starts:
+            latencies.append(first - starts[event_id])
+    return latencies
+
+
+def relative_latencies(
+    dut: AppInstance, reference: AppInstance
+) -> List[float]:
+    """Per-event delay of the DUT's report after the reference board's
+    (the TA latency metric of Section 6.3)."""
+    delays: List[float] = []
+    for event_id in reported_ids(reference.trace):
+        ref_time = reference.trace.first_report_time(event_id)
+        dut_time = dut.trace.first_report_time(event_id)
+        if ref_time is not None and dut_time is not None:
+            delays.append(max(0.0, dut_time - ref_time))
+    return delays
+
+
+def mean(values: List[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty list."""
+    return sum(values) / len(values) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Reactivity (Figure 11)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IntervalBreakdown:
+    """Inter-sample interval classification (Figure 11's three colours).
+
+    Attributes:
+        back_to_back: gaps under :data:`BACK_TO_BACK_THRESHOLD`.
+        quiet: longer gaps during which no event was missed.
+        missed_events: longer gaps containing >= 1 missed event.
+    """
+
+    back_to_back: List[float] = field(default_factory=list)
+    quiet: List[float] = field(default_factory=list)
+    missed_events: List[float] = field(default_factory=list)
+
+    @property
+    def spaced_count(self) -> int:
+        return len(self.quiet) + len(self.missed_events)
+
+
+def ta_interval_breakdown(
+    instance: AppInstance,
+    sensor: str = "tmp36",
+) -> IntervalBreakdown:
+    """Classify the TA inter-sample intervals as Figure 11 does."""
+    rig = instance.extras.get("rig")
+    if not isinstance(rig, ThermalRig):
+        raise ValueError("instance has no ThermalRig in extras['rig']")
+    times = instance.trace.sample_times(sensor)
+    sampled_event_ids = {
+        sample.event_id
+        for sample in instance.trace.samples
+        if sample.event_id is not None
+    }
+    # Missed events: the excursion happened, no sample observed it.
+    missed_windows: List[Tuple[float, float]] = []
+    for event in instance.schedule.events:
+        excursion = rig.excursion_for(event.event_id)
+        if excursion is None:
+            continue
+        if event.event_id not in sampled_event_ids:
+            missed_windows.append(excursion)
+    breakdown = IntervalBreakdown()
+    for begin, end in zip(times, times[1:]):
+        gap = end - begin
+        if gap < BACK_TO_BACK_THRESHOLD:
+            breakdown.back_to_back.append(gap)
+            continue
+        contains_missed = any(
+            begin <= window_start <= end for window_start, _ in missed_windows
+        )
+        if contains_missed:
+            breakdown.missed_events.append(gap)
+        else:
+            breakdown.quiet.append(gap)
+    return breakdown

@@ -1,0 +1,125 @@
+"""Plain-text renderings of the paper's figures.
+
+The repository stays plotting-library-free; these helpers render the
+figures' raw material — histograms (Figure 11), bar groups (Figure 8),
+and voltage timelines (Figure 2) — as aligned ASCII, for experiment
+``main()`` output and for eyeballing results in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+    bin_range: Tuple[float, float] = None,
+) -> str:
+    """Render a histogram of *values* as ASCII bars.
+
+    Args:
+        values: the sample.
+        bins: number of equal-width bins.
+        width: maximum bar width in characters.
+        label: optional title line.
+        bin_range: explicit (low, high); defaults to the data range.
+    """
+    if bins < 1:
+        raise ConfigurationError("bins must be >= 1")
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    if not values:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    low, high = bin_range if bin_range else (min(values), max(values))
+    if high <= low:
+        high = low + 1.0
+    counts = [0] * bins
+    span = high - low
+    for value in values:
+        index = int((value - low) / span * bins)
+        counts[min(max(index, 0), bins - 1)] += 1
+    peak = max(counts) or 1
+    for index, count in enumerate(counts):
+        left = low + span * index / bins
+        right = low + span * (index + 1) / bins
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"  {left:8.1f}-{right:8.1f}s |{bar:<{width}}| {count}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    series: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    label: str = "",
+) -> str:
+    """Render named scalar values as horizontal bars (Figure 8 style)."""
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    if not series:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    peak = max(abs(value) for value in series.values()) or 1.0
+    name_width = max(len(name) for name in series)
+    for name, value in series.items():
+        bar = "#" * round(abs(value) / peak * width)
+        lines.append(f"  {name:<{name_width}} |{bar:<{width}}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    points: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a (time, value) series as a character plot (Figure 2's
+    voltage sawtooth)."""
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    if len(points) < 2:
+        lines.append("  (not enough data)")
+        return "\n".join(lines)
+    times = [point[0] for point in points]
+    values = [point[1] for point in points]
+    t_low, t_high = min(times), max(times)
+    v_low, v_high = min(values), max(values)
+    if v_high <= v_low:
+        v_high = v_low + 1.0
+    if t_high <= t_low:
+        t_high = t_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in points:
+        column = min(width - 1, int((t - t_low) / (t_high - t_low) * (width - 1)))
+        row = min(
+            height - 1,
+            int((v_high - v) / (v_high - v_low) * (height - 1)),
+        )
+        grid[row][column] = "*"
+    for row_index, row in enumerate(grid):
+        v_axis = v_high - (v_high - v_low) * row_index / (height - 1)
+        lines.append(f"  {v_axis:5.2f}V |{''.join(row)}")
+    lines.append(f"         {t_low:8.1f}s{' ' * (width - 18)}{t_high:8.1f}s")
+    return "\n".join(lines)
+
+
+def spark(values: Sequence[float]) -> str:
+    """A one-line sparkline for quick series summaries."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((value - low) / span * (len(blocks) - 1)))]
+        for value in values
+    )

@@ -1,0 +1,92 @@
+"""Run the complete evaluation suite at paper scale.
+
+Regenerates every figure of the paper's Section 6 plus the Section 5
+ablations, printing each table as it completes.  At full scale this
+takes tens of minutes; pass ``--scale 0.25`` for a quick pass.
+
+Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablation,
+    capysat_study,
+    characterization,
+    checkpoint_study,
+    debs_comparison,
+    interrupt_study,
+    power_sweep,
+    versatility,
+    fig02_fixed_capacity,
+    fig03_design_space,
+    fig04_volume,
+    fig08_accuracy,
+    fig09_latency,
+    fig10_sensitivity,
+    fig11_intersample,
+)
+from repro.experiments.runner import print_result
+
+
+def main(seed: int = 0, scale: float = 1.0) -> None:
+    started = time.time()
+
+    def stamp(label: str) -> None:
+        print(f"\n[{label}: {time.time() - started:.0f}s elapsed]\n")
+
+    print("#" * 70)
+    print(f"# Capybara evaluation suite (seed={seed}, scale={scale})")
+    print("#" * 70)
+
+    print("\n## Figure 2: fixed-capacity execution")
+    fig02_fixed_capacity.main(horizon=600.0)
+    print("\n## Figure 3: atomicity vs capacitance")
+    fig03_design_space.main()
+    print("\n## Figure 4: atomicity by volume and technology")
+    fig04_volume.main()
+    stamp("design space done")
+
+    print("## Figures 8 and 9: accuracy and latency campaigns")
+    accuracy = fig08_accuracy.run(seed=seed, scale=scale)
+    print_result(accuracy.result)
+    print()
+    latency = fig09_latency.run(seed=seed, scale=scale, accuracy=accuracy)
+    print_result(latency.result)
+    stamp("campaigns done")
+
+    print("## Figure 10: sensitivity to event inter-arrival")
+    fig10_sensitivity.main(seed=seed)
+    stamp("sensitivity done")
+
+    print("## Figure 11: inter-sample distributions")
+    fig11_intersample.main(seed=seed)
+
+    print("\n## Section 6.5: characterization")
+    characterization.main()
+    print("\n## Section 6.6: CapySat case study")
+    capysat_study.main(seed=seed)
+    print("\n## Section 5 ablations")
+    ablation.main()
+    print("\n## Related-work studies (beyond the paper's figures)")
+    debs_comparison.main(seed=seed)
+    print()
+    checkpoint_study.main()
+    print()
+    power_sweep.main(seed=seed)
+    print()
+    versatility.main(seed=seed)
+    print()
+    interrupt_study.main(seed=seed)
+    stamp("total")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    arguments = parser.parse_args()
+    main(seed=arguments.seed, scale=arguments.scale)

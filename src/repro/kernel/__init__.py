@@ -1,0 +1,62 @@
+"""Intermittent-computing runtime.
+
+This package is the software half of Capybara: a Chain-style task-based
+intermittent programming model (:mod:`repro.kernel.tasks`), crash-
+consistent non-volatile memory (:mod:`repro.kernel.memory`), the energy
+mode annotations of Section 4 (:mod:`repro.kernel.annotations`), the
+Capybara runtime state machine (:mod:`repro.kernel.capybara`), and the
+intermittent executor that drives a board through charge / boot / run /
+power-failure cycles (:mod:`repro.kernel.executor`), plus the paper's
+baselines (:mod:`repro.kernel.baselines`).
+"""
+
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    NoAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.capybara import CapybaraRuntime, RuntimeVariant
+from repro.kernel.checkpoint import (
+    CheckpointCost,
+    CheckpointingExecutor,
+    CheckpointPolicy,
+)
+from repro.kernel.executor import DeviceState, IntermittentExecutor
+from repro.kernel.baselines import ContinuousExecutor
+from repro.kernel.memory import NonVolatileStore, VolatileStore
+from repro.kernel.tasks import (
+    Compute,
+    Sample,
+    Sleep,
+    Task,
+    TaskContext,
+    TaskGraph,
+    Transmit,
+    WaitForInterrupt,
+)
+
+__all__ = [
+    "NonVolatileStore",
+    "VolatileStore",
+    "Task",
+    "TaskGraph",
+    "TaskContext",
+    "Compute",
+    "Sample",
+    "Transmit",
+    "Sleep",
+    "WaitForInterrupt",
+    "NoAnnotation",
+    "ConfigAnnotation",
+    "BurstAnnotation",
+    "PreburstAnnotation",
+    "CapybaraRuntime",
+    "RuntimeVariant",
+    "IntermittentExecutor",
+    "ContinuousExecutor",
+    "DeviceState",
+    "CheckpointingExecutor",
+    "CheckpointPolicy",
+    "CheckpointCost",
+]

@@ -1,0 +1,73 @@
+"""Energy-mode task annotations (Section 4).
+
+The programmer declares a task's power-system demand with one of:
+
+* :class:`ConfigAnnotation` — ``config (mode)``: run this task with the
+  reservoir configured for *mode* (capacity or temporal constraint);
+* :class:`BurstAnnotation` — ``burst (mode)``: the task needs *mode*'s
+  energy **immediately**, from banks pre-charged ahead of time;
+* :class:`PreburstAnnotation` — ``preburst (bmode, emode)``: before this
+  task runs (in *emode*), charge *bmode*'s banks and park them, paying
+  the burst task's recharge latency in advance;
+* :class:`NoAnnotation` — an ordinary intermittent task, indifferent to
+  the configuration it runs under.
+
+Annotations are pure declarations; the Capybara runtime
+(:mod:`repro.kernel.capybara`) interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EnergyModeError
+
+
+@dataclass(frozen=True)
+class NoAnnotation:
+    """An intermittent task with no declared energy requirement."""
+
+
+@dataclass(frozen=True)
+class ConfigAnnotation:
+    """``config (mode)``: execute under the named reservoir configuration."""
+
+    mode: str
+
+    def __post_init__(self) -> None:
+        if not self.mode:
+            raise EnergyModeError("config annotation requires a mode name")
+
+
+@dataclass(frozen=True)
+class BurstAnnotation:
+    """``burst (mode)``: spend pre-charged *mode* banks immediately."""
+
+    mode: str
+
+    def __post_init__(self) -> None:
+        if not self.mode:
+            raise EnergyModeError("burst annotation requires a mode name")
+
+
+@dataclass(frozen=True)
+class PreburstAnnotation:
+    """``preburst (bmode, emode)``: pre-charge *bmode* for a future burst,
+    then execute this task under *emode*."""
+
+    burst_mode: str
+    exec_mode: str
+
+    def __post_init__(self) -> None:
+        if not self.burst_mode or not self.exec_mode:
+            raise EnergyModeError(
+                "preburst annotation requires burst and exec mode names"
+            )
+        if self.burst_mode == self.exec_mode:
+            raise EnergyModeError(
+                "preburst burst_mode and exec_mode must differ (a shared "
+                "mode would drain the pre-charge while executing)"
+            )
+
+
+Annotation = object  # union of the four classes above; kept loose for typing

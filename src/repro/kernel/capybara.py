@@ -1,0 +1,269 @@
+"""The Capybara runtime (Sections 4.2-4.3).
+
+The runtime interprets task annotations and turns them into *power
+plans*: ordered sequences of reconfiguration and charge steps the
+intermittent executor performs before running a task.
+
+Three variants reproduce the paper's evaluation systems:
+
+* **Capy-P** — the complete system: ``config``, ``burst`` and
+  ``preburst`` all honoured; burst banks are pre-charged ahead of time
+  (to ~0.3 V below the normal target, the switch-circuit limitation of
+  Section 6.4) and spent with zero recharge latency.
+* **Capy-R** — reconfiguration only: ``burst`` degrades to ``config``
+  (recharge on the critical path) and ``preburst`` degrades to a plain
+  ``config`` of its exec mode.
+* **Fixed** — the statically-provisioned baseline: annotations are
+  ignored entirely; the reservoir is whatever single bank the designer
+  soldered down.
+
+The runtime is crash-robust by construction: plans are recomputed from
+scratch on every boot, and each step is idempotent (re-closing a closed
+switch is free; charging a charged bank returns immediately).  A
+non-volatile marker records a completed pre-charge so the expensive
+phase is skipped when the banks still hold their charge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Union
+
+from repro.errors import EnergyModeError
+from repro.core.modes import ModeRegistry
+from repro.energy.reservoir import ReconfigurableReservoir, ReservoirConfig
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    NoAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import Task
+
+
+class RuntimeVariant(enum.Enum):
+    """Which of the paper's evaluated systems the runtime behaves as."""
+
+    CAPY_P = "CB-P"
+    CAPY_R = "CB-R"
+    FIXED = "Fixed"
+
+
+@dataclass(frozen=True)
+class Reconfigure:
+    """Plan step: switch the reservoir to *config*."""
+
+    config: ReservoirConfig
+
+
+@dataclass(frozen=True)
+class Charge:
+    """Plan step: power down and charge the active set to the charge
+    target minus *voltage_offset* (the pre-charge penalty when the banks
+    are destined for deactivation)."""
+
+    voltage_offset: float = 0.0
+    #: Label for tracing ("mode charge", "pre-charge", ...).
+    reason: str = "charge"
+    #: When set, the executor records a completed pre-charge of this
+    #: mode in non-volatile memory once the charge finishes.
+    mark_precharged_mode: Optional[str] = None
+
+
+PlanStep = Union[Reconfigure, Charge]
+
+#: NV key prefix recording a completed pre-charge of a burst mode.
+_PRECHARGE_KEY = "capybara/precharged:"
+#: NV key holding the runtime's believed active configuration.
+_BELIEF_KEY = "capybara/believed-config"
+#: NV flag set by a power failure: the configuration may have silently
+#: reverted and must be re-commanded before trusting it.
+_SUSPECT_KEY = "capybara/config-suspect"
+
+
+class CapybaraRuntime:
+    """Interprets annotations against a reservoir and mode registry."""
+
+    def __init__(
+        self,
+        reservoir: ReconfigurableReservoir,
+        modes: ModeRegistry,
+        nv: NonVolatileStore,
+        variant: RuntimeVariant = RuntimeVariant.CAPY_P,
+        precharge_ttl: float = float("inf"),
+        suspect_on_failure: bool = True,
+    ) -> None:
+        if precharge_ttl <= 0.0:
+            raise EnergyModeError("precharge_ttl must be positive")
+        self.reservoir = reservoir
+        self.modes = modes
+        self.nv = nv
+        self.variant = variant
+        #: Seconds after which a pre-charge marker is assumed leaked
+        #: away and redone.  A parked bank has no sense line, but the
+        #: runtime *can* keep a coarse non-volatile timestamp and budget
+        #: for leakage; ``inf`` trusts the marker until the burst fails.
+        self.precharge_ttl = precharge_ttl
+        #: Whether a power failure marks the configuration suspect
+        #: (forcing a re-issue of the reconfiguration on the next plan).
+        #: Disabling this models a naive runtime that always trusts its
+        #: belief — the runtime that falls into Section 5.2's indefinite
+        #: retry cycle on normally-open switches.
+        self.suspect_on_failure = suspect_on_failure
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan_for_task(self, task: Task, time: float) -> List[PlanStep]:
+        """Power steps to perform before running *task* at *time*.
+
+        All decisions are made against the runtime's *believed*
+        configuration (tracked in non-volatile memory), never the actual
+        switch state: Section 5.2 rules out switch introspection, so a
+        latch reversion during a long blackout is invisible here and
+        surfaces only as a failed execution attempt.
+        """
+        annotation = task.annotation
+        if self.variant is RuntimeVariant.FIXED:
+            return []
+        if isinstance(annotation, NoAnnotation):
+            return []
+        if isinstance(annotation, ConfigAnnotation):
+            return self._plan_config(annotation.mode, time)
+        if isinstance(annotation, BurstAnnotation):
+            return self._plan_burst(annotation.mode, time)
+        if isinstance(annotation, PreburstAnnotation):
+            return self._plan_preburst(annotation, time)
+        raise EnergyModeError(
+            f"task {task.name!r} has unknown annotation {annotation!r}"
+        )
+
+    def note_task_complete(self, task: Task) -> None:
+        """Post-task bookkeeping.
+
+        A completed burst consumed its pre-charge; any completion also
+        proves the configuration sufficient, clearing the suspect flag a
+        power failure may have set.
+        """
+        annotation = task.annotation
+        if isinstance(annotation, BurstAnnotation):
+            self.nv.delete(_PRECHARGE_KEY + annotation.mode)
+        self.nv.delete(_SUSPECT_KEY)
+
+    def note_reconfigured(self, config: ReservoirConfig) -> None:
+        """Record (durably) the configuration the runtime just commanded."""
+        self.nv.put(_BELIEF_KEY, sorted(config.bank_names))
+
+    def note_power_failure(self) -> None:
+        """A power failure interrupted execution.
+
+        The runtime cannot tell whether the buffered energy was merely
+        insufficient or a latch reversion silently shrank the reservoir,
+        so it marks the configuration suspect; the next plan re-issues
+        the reconfiguration (idempotent on intact switches, corrective
+        after a reversion).  A naive runtime (``suspect_on_failure
+        False``) skips this and keeps trusting its belief.
+        """
+        if self.suspect_on_failure:
+            self.nv.put(_SUSPECT_KEY, True)
+
+    def believed_banks(self) -> Optional[FrozenSet[str]]:
+        """The bank set the runtime believes is active, or ``None``."""
+        stored = self.nv.get(_BELIEF_KEY)
+        if stored is None:
+            return None
+        return frozenset(stored)
+
+    # ------------------------------------------------------------------
+    # Per-annotation plans
+    # ------------------------------------------------------------------
+
+    def _config_matches(self, banks: FrozenSet[str]) -> bool:
+        """Whether the believed configuration is exactly *banks* and is
+        not suspect."""
+        if self.nv.get(_SUSPECT_KEY, False):
+            return False
+        return self.believed_banks() == banks
+
+    def _plan_config(self, mode_name: str, time: float) -> List[PlanStep]:
+        mode = self.modes.get(mode_name)
+        if self._config_matches(mode.banks):
+            # Already configured; run on whatever energy remains — this
+            # is what lets a small-mode sense loop take back-to-back
+            # samples without recharging (Figure 11).
+            return []
+        return [Reconfigure(mode.to_config()), Charge(reason=f"config:{mode_name}")]
+
+    def _plan_burst(self, mode_name: str, time: float) -> List[PlanStep]:
+        mode = self.modes.get(mode_name)
+        if self.variant is RuntimeVariant.CAPY_R:
+            # Capy-R excludes burst support: recharge on the critical path.
+            return [
+                Reconfigure(mode.to_config()),
+                Charge(reason=f"burst-as-config:{mode_name}"),
+            ]
+        # Capy-P: activate the pre-charged banks and run immediately.  If
+        # the pre-charge was lost (leakage, never performed), the task
+        # simply runs on what is there and, on brownout, the executor
+        # recharges in this configuration and retries — the paper's
+        # "some events require charging despite pre-charge".
+        return [Reconfigure(mode.to_config())]
+
+    def _plan_preburst(
+        self, annotation: PreburstAnnotation, time: float
+    ) -> List[PlanStep]:
+        burst_mode = self.modes.get(annotation.burst_mode)
+        exec_mode = self.modes.get(annotation.exec_mode)
+        if self.variant is RuntimeVariant.CAPY_R:
+            return self._plan_config(annotation.exec_mode, time)
+
+        steps: List[PlanStep] = []
+        if not self._precharge_intact(burst_mode.name, time):
+            penalty = self.reservoir.precharge_voltage_penalty
+            steps.append(Reconfigure(burst_mode.to_config()))
+            steps.append(
+                Charge(
+                    voltage_offset=penalty,
+                    reason=f"pre-charge:{burst_mode.name}",
+                    mark_precharged_mode=burst_mode.name,
+                )
+            )
+        # Switch to the exec mode (parking the burst banks) and top up.
+        if steps or not self._config_matches(exec_mode.banks):
+            steps.append(Reconfigure(exec_mode.to_config()))
+            steps.append(Charge(reason=f"config:{exec_mode.name}"))
+        return steps
+
+    # ------------------------------------------------------------------
+    # Pre-charge tracking
+    # ------------------------------------------------------------------
+
+    def mark_precharged(
+        self, mode_name: str, voltage: float, time: float = 0.0
+    ) -> None:
+        """Record (durably) that *mode_name*'s banks were pre-charged."""
+        self.nv.put(_PRECHARGE_KEY + mode_name, (voltage, time))
+
+    def _precharge_intact(self, mode_name: str, time: float) -> bool:
+        """Whether a previous pre-charge of *mode_name* still holds.
+
+        Only the non-volatile marker (and its age against
+        ``precharge_ttl``) is consulted: parked banks have no sense
+        lines (they would leak the charge away, Section 5.2), so a
+        pre-charge lost to leakage or a latch reversion is discovered
+        only when the burst browns out and retries after a recharge —
+        the paper's "some events require charging, despite pre-charge".
+        """
+        record = self.nv.get(_PRECHARGE_KEY + mode_name)
+        if record is None:
+            return False
+        _voltage, marked_at = record
+        return (time - marked_at) <= self.precharge_ttl
+
+    def precharge_target_recorded(self, mode_name: str) -> Optional[float]:
+        """The voltage recorded at the last pre-charge, if any."""
+        record = self.nv.get(_PRECHARGE_KEY + mode_name)
+        return None if record is None else record[0]

@@ -1,0 +1,161 @@
+"""Volatile and non-volatile memory with power-failure semantics.
+
+Intermittent devices lose volatile state at every power failure and
+retain non-volatile (FRAM) state.  Chain-style runtimes keep forward
+progress consistent by making task side effects transactional: writes
+go to a shadow buffer and commit atomically when the task completes, so
+a task that restarts after a power failure re-reads the pre-task values
+(Section 2's memory-consistency background, and the paper's note that
+the Capybara runtime "ensures that all operations are robust to power
+failures by careful use of non-volatile memory").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.errors import NonVolatileAccessError
+
+
+class VolatileStore:
+    """SRAM-like storage: cleared by :meth:`power_fail`."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self._data:
+            raise NonVolatileAccessError(
+                f"volatile read of {key!r}: state was lost at the last "
+                "power failure (or never written)"
+            )
+        return self._data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def power_fail(self) -> None:
+        """Lose everything, as SRAM does when the rail collapses."""
+        self._data.clear()
+
+
+class NonVolatileStore:
+    """FRAM-like storage with transactional (shadow-buffered) writes.
+
+    Two write disciplines coexist:
+
+    * :meth:`put` — immediate durable write, used by the runtime's own
+      state machine, which is carefully ordered to be idempotent;
+    * :meth:`stage` / :meth:`commit` / :meth:`abort` — transactional
+      writes used for task channel data, giving Chain's task-atomic
+      update semantics.
+
+    A power failure (:meth:`power_fail`) discards staged writes and
+    keeps committed ones.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self._staged: Dict[str, Any] = {}
+        self._commits = 0
+        self._aborts = 0
+
+    # ------------------------------------------------------------------
+    # Durable writes (runtime state machine)
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Immediately durable write."""
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read the *committed* value (staged writes are invisible)."""
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Transactional writes (task channels)
+    # ------------------------------------------------------------------
+
+    def stage(self, key: str, value: Any) -> None:
+        """Buffer a write; visible only after :meth:`commit`."""
+        self._staged[key] = value
+
+    def staged_get(self, key: str, default: Any = None) -> Any:
+        """Read-your-writes within the current transaction."""
+        if key in self._staged:
+            return self._staged[key]
+        return self._data.get(key, default)
+
+    @property
+    def has_staged(self) -> bool:
+        return bool(self._staged)
+
+    def staged_items(self) -> Dict[str, Any]:
+        """Copy of the pending (uncommitted) writes.
+
+        Checkpointing runtimes persist these inside their snapshots so a
+        restored execution resumes with its in-flight channel state.
+        """
+        return dict(self._staged)
+
+    def commit(self) -> int:
+        """Atomically apply all staged writes.
+
+        Returns the number of keys committed.
+        """
+        count = len(self._staged)
+        self._data.update(self._staged)
+        self._staged.clear()
+        if count:
+            self._commits += 1
+        return count
+
+    def abort(self) -> int:
+        """Discard all staged writes (task restart path).
+
+        Returns the number of keys discarded.
+        """
+        count = len(self._staged)
+        self._staged.clear()
+        if count:
+            self._aborts += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Power failures & introspection
+    # ------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Model a power failure: committed data survives, staged
+        writes (which lived in volatile buffers) are lost."""
+        self._staged.clear()
+
+    @property
+    def commit_count(self) -> int:
+        return self._commits
+
+    @property
+    def abort_count(self) -> int:
+        return self._aborts
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self._data.items())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the committed state (test/debug helper)."""
+        return dict(self._data)

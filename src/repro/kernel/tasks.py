@@ -1,0 +1,229 @@
+"""Chain-style task-based intermittent programming model.
+
+Applications are decomposed into *tasks* — function-like units that are
+the grain of atomicity: a power failure mid-task restarts the task from
+its beginning with its channel writes discarded (Chain's task-atomic
+update semantics).  Control flows between tasks at completion via a
+``next task`` value, mirroring the paper's ``nexttask`` statement.
+
+A task body is a Python generator taking a :class:`TaskContext`.  It
+*yields* hardware operations and receives their results::
+
+    def sense(ctx):
+        value = yield Sample("tmp36")
+        ctx.write("latest", value)
+        return "proc"                      # nexttask proc
+
+    Task("sense", sense, ConfigAnnotation("mode-small"))
+
+Yielding an operation models the task's energy and time; the executor
+charges the board's reservoir and, on brownout, abandons the generator
+(volatile state vanishes with it — exactly the semantics of SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.errors import TaskGraphError
+from repro.kernel.annotations import Annotation, NoAnnotation
+from repro.kernel.memory import NonVolatileStore
+
+
+# ---------------------------------------------------------------------------
+# Operations a task can yield
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute *ops* ALU operations."""
+
+    ops: float
+
+    def __post_init__(self) -> None:
+        if self.ops < 0.0:
+            raise TaskGraphError("ops must be non-negative")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Acquire *samples* readings from a named sensor.
+
+    The executor resolves the reading through the application's sensor
+    binding and sends it back into the task generator.
+    """
+
+    sensor: str
+    samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise TaskGraphError("samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class Transmit:
+    """Transmit a packet.
+
+    Attributes:
+        payload: logical payload label recorded by the sniffer.
+        size_bytes: payload size (sets airtime and energy).
+        event_id: ground-truth event this packet reports, for accuracy
+            accounting.
+    """
+
+    payload: str
+    size_bytes: int
+    event_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise TaskGraphError("size_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Hold the MCU in memory-retaining sleep for *duration* seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise TaskGraphError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class WaitForInterrupt:
+    """Sleep until a sensor's wake-up interrupt fires.
+
+    Models threshold-interrupt pins (APDS proximity interrupts,
+    magnetometer threshold engines): the MCU sleeps at its retention
+    draw while the armed sensor watches the world, and wakes the moment
+    the line asserts — the asynchronous external events of the paper's
+    Section 2.1.1, without burning energy polling.
+
+    The executor resolves the wake time through the application's
+    interrupt source; the operation's result is the
+    :class:`~repro.kernel.executor.SensorReading` at the wake instant.
+
+    Attributes:
+        line: interrupt line name (usually the sensor's).
+        timeout: optional bound, seconds; on expiry the result is the
+            reading at timeout (value may indicate "nothing").
+        sentinel_power: standing draw of the armed sensor's wake
+            comparator, watts (tiny, but not free).
+    """
+
+    line: str
+    timeout: Optional[float] = None
+    sentinel_power: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if not self.line:
+            raise TaskGraphError("interrupt line name must be non-empty")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise TaskGraphError("timeout must be positive when given")
+        if self.sentinel_power < 0.0:
+            raise TaskGraphError("sentinel_power must be non-negative")
+
+
+Operation = Union[Compute, Sample, Transmit, Sleep, WaitForInterrupt]
+TaskBody = Callable[["TaskContext"], Generator[Operation, Any, Optional[str]]]
+
+
+# ---------------------------------------------------------------------------
+# Tasks and the task graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Task:
+    """A named task with an energy-mode annotation.
+
+    Attributes:
+        name: unique task name.
+        body: generator function implementing the task.
+        annotation: energy requirement (config / burst / preburst / none).
+    """
+
+    name: str
+    body: TaskBody
+    annotation: Annotation = field(default_factory=NoAnnotation)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task name must be non-empty")
+
+
+class TaskGraph:
+    """An application: a set of tasks and an entry point.
+
+    Transition targets are dynamic (a task returns the next task's
+    name), so full validation happens at run time; the graph checks
+    names it *can* check at construction.
+    """
+
+    def __init__(self, tasks: List[Task], entry: str) -> None:
+        self._tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self._tasks:
+                raise TaskGraphError(f"duplicate task name {task.name!r}")
+            self._tasks[task.name] = task
+        if entry not in self._tasks:
+            raise TaskGraphError(f"entry task {entry!r} is not in the graph")
+        self.entry = entry
+
+    def task(self, name: str) -> Task:
+        if name not in self._tasks:
+            raise TaskGraphError(f"unknown task {name!r}")
+        return self._tasks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    @property
+    def task_names(self) -> List[str]:
+        return list(self._tasks)
+
+    def annotations(self) -> Dict[str, Annotation]:
+        """Task name -> annotation (provisioning input)."""
+        return {name: task.annotation for name, task in self._tasks.items()}
+
+
+class TaskContext:
+    """The view a task body has of the system: channels and the clock.
+
+    Channel reads return *committed* values — a restarted task re-reads
+    its inputs exactly as Chain prescribes; channel writes are staged
+    and commit atomically when the task completes.
+    """
+
+    def __init__(self, nv: NonVolatileStore, now: Callable[[], float]) -> None:
+        self._nv = nv
+        self._now = now
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self._now()
+
+    def read(self, channel: str, default: Any = None) -> Any:
+        """Read a channel's committed value."""
+        return self._nv.get(channel, default)
+
+    def write(self, channel: str, value: Any) -> None:
+        """Stage a channel write (commits at task completion)."""
+        self._nv.stage(channel, value)
+
+    def read_staged(self, channel: str, default: Any = None) -> Any:
+        """Read-your-writes variant (non-Chain convenience, used by
+        code that intentionally wants within-task visibility)."""
+        return self._nv.staged_get(channel, default)

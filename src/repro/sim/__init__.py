@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The Capybara paper evaluates its power system on real hardware over wall
+clock time.  This package provides the time base for the simulated
+reproduction: a deterministic discrete-event engine
+(:mod:`repro.sim.engine`), typed trace recording
+(:mod:`repro.sim.trace`), and reproducible random streams
+(:mod:`repro.sim.rand`).
+"""
+
+from repro.sim.cosim import CoSimResult, run_concurrently
+from repro.sim.engine import Event, Simulator
+from repro.sim.rand import RandomStreams, poisson_arrival_times
+from repro.sim.trace import (
+    PacketRecord,
+    SampleRecord,
+    StateRecord,
+    Trace,
+    VoltageRecord,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "run_concurrently",
+    "CoSimResult",
+    "RandomStreams",
+    "poisson_arrival_times",
+    "Trace",
+    "VoltageRecord",
+    "StateRecord",
+    "PacketRecord",
+    "SampleRecord",
+]

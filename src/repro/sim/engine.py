@@ -1,0 +1,217 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar queue: events are ``(time, priority,
+sequence)`` ordered callbacks popped from a binary heap.  Determinism
+matters because every experiment in the paper is re-run across four
+power-system variants on *the same* event sequence; ties are broken by
+priority, then by insertion order, never by hash order.
+
+The engine knows nothing about energy or devices.  Components (the
+intermittent executor, environment rigs, the thermal plant) schedule
+callbacks on a shared :class:`Simulator` and re-schedule themselves as
+their internal state machines advance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ScheduleError, SimulationError
+
+Callback = Callable[[], None]
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping events that must observe the state *after*
+#: all normal events at the same timestamp (e.g. trace sampling).
+PRIORITY_LATE = 10
+#: Priority for events that must run before normal events at the same
+#: timestamp (e.g. power arrival before a task tries to start).
+PRIORITY_EARLY = -10
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so that the heap pops them
+    in deterministic order.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed since construction."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callback, priority: int = PRIORITY_NORMAL
+    ) -> Event:
+        """Schedule *callback* to run *delay* seconds from now.
+
+        Returns the :class:`Event`, which the caller may later
+        :meth:`Event.cancel`.
+
+        Raises:
+            ScheduleError: if *delay* is negative or not finite.
+        """
+        if not (delay == delay) or delay in (float("inf"), float("-inf")):
+            raise ScheduleError(f"delay must be finite, got {delay!r}")
+        if delay < 0.0:
+            raise ScheduleError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self, time: float, callback: Callback, priority: int = PRIORITY_NORMAL
+    ) -> Event:
+        """Schedule *callback* at absolute simulation *time*.
+
+        Raises:
+            ScheduleError: if *time* precedes the current time or is not
+                finite.
+        """
+        if not (time == time) or time in (float("inf"), float("-inf")):
+            raise ScheduleError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot schedule at t={time!r} before current t={self._now!r}"
+            )
+        event = Event(time=time, priority=priority, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next live event.
+
+        Returns:
+            ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.time < self._now:
+            raise SimulationError(
+                f"event queue corrupted: popped t={event.time} < now={self._now}"
+            )
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run_until(self, horizon: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= horizon`` and advance the clock to it.
+
+        Args:
+            horizon: absolute simulation time to run to (inclusive).
+            max_events: optional safety valve; raise if more events than
+                this execute before the horizon is reached (guards against
+                zero-delay self-rescheduling loops in component code).
+
+        Returns:
+            The number of events executed by this call.
+
+        Raises:
+            ScheduleError: if *horizon* is before the current time.
+            SimulationError: if *max_events* is exhausted.
+        """
+        if horizon < self._now:
+            raise ScheduleError(
+                f"horizon t={horizon!r} precedes current t={self._now!r}"
+            )
+        executed = 0
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap or self._heap[0].time > horizon:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before t={horizon}; "
+                    "suspect a zero-delay event loop"
+                )
+        self._now = horizon
+        return executed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; suspect an event loop"
+                )
+        return executed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

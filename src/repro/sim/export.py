@@ -1,0 +1,85 @@
+"""Trace export for external plotting and analysis.
+
+Experiments leave their evidence in :class:`~repro.sim.trace.Trace`
+objects; this module serialises them to plain dictionaries, JSON files,
+and CSV text so the figures can be plotted with any external tool
+(the repository itself stays plotting-library-free).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.sim.trace import Trace
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """A plain-data rendering of every record in *trace*."""
+    return {
+        "voltages": [
+            {"time": record.time, "voltage": record.voltage, "source": record.source}
+            for record in trace.voltages
+        ],
+        "states": [
+            {"time": record.time, "state": record.state, "detail": record.detail}
+            for record in trace.states
+        ],
+        "packets": [
+            {
+                "time": record.time,
+                "payload": record.payload,
+                "size_bytes": record.size_bytes,
+                "event_id": record.event_id,
+            }
+            for record in trace.packets
+        ],
+        "samples": [
+            {
+                "time": record.time,
+                "sensor": record.sensor,
+                "value": record.value,
+                "event_id": record.event_id,
+            }
+            for record in trace.samples
+        ],
+        "events": [
+            {"time": record.time, "kind": record.kind, "event_id": record.event_id}
+            for record in trace.events
+        ],
+        "counters": dict(trace.counters),
+        "durations": {name: list(series) for name, series in trace.durations.items()},
+    }
+
+
+def save_trace_json(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write *trace* to *path* as JSON; returns the path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(trace_to_dict(trace), handle, indent=1)
+    return path
+
+
+def voltage_csv(trace: Trace) -> str:
+    """The voltage record as CSV text (``time,voltage,source``).
+
+    This is the raw material of the paper's Figure 2 sawtooth plot.
+    """
+    lines: List[str] = ["time,voltage,source"]
+    for record in trace.voltages:
+        lines.append(f"{record.time:.6f},{record.voltage:.6f},{record.source}")
+    return "\n".join(lines) + "\n"
+
+
+def samples_csv(trace: Trace, sensor: str = "") -> str:
+    """Sample records as CSV text, optionally filtered by sensor."""
+    lines: List[str] = ["time,sensor,value,event_id"]
+    for record in trace.samples:
+        if sensor and record.sensor != sensor:
+            continue
+        event = "" if record.event_id is None else str(record.event_id)
+        lines.append(
+            f"{record.time:.6f},{record.sensor},{record.value:.6f},{event}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,218 @@
+"""SI unit helpers.
+
+All quantities inside :mod:`repro` are stored in base SI units: seconds,
+volts, amperes, ohms, farads, joules, watts, and cubic metres.  Hardware
+datasheets and the Capybara paper, however, quote values in engineering
+units (uF, mF, mA, mm^3, ...).  This module provides small, explicit
+conversion helpers so that configuration code reads like the datasheet it
+came from::
+
+    bank = BankSpec(capacitance=milli_farads(7.5), esr=ohms(4.5))
+
+Each helper is a trivial multiplication; they exist to make unit intent
+visible at the call site and to remove magic scale factors from the rest
+of the codebase.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Return *value* seconds, in seconds (identity, for symmetry)."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * 3600.0
+
+
+# ---------------------------------------------------------------------------
+# Capacitance
+# ---------------------------------------------------------------------------
+
+def farads(value: float) -> float:
+    """Return *value* farads, in farads (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_farads(value: float) -> float:
+    """Convert millifarads to farads."""
+    return float(value) * 1e-3
+
+
+def micro_farads(value: float) -> float:
+    """Convert microfarads to farads."""
+    return float(value) * 1e-6
+
+
+def as_micro_farads(capacitance_f: float) -> float:
+    """Express a capacitance given in farads as microfarads."""
+    return capacitance_f * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Voltage / current / resistance
+# ---------------------------------------------------------------------------
+
+def volts(value: float) -> float:
+    """Return *value* volts, in volts (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_volts(value: float) -> float:
+    """Convert millivolts to volts."""
+    return float(value) * 1e-3
+
+
+def amps(value: float) -> float:
+    """Return *value* amperes, in amperes (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_amps(value: float) -> float:
+    """Convert milliamperes to amperes."""
+    return float(value) * 1e-3
+
+
+def micro_amps(value: float) -> float:
+    """Convert microamperes to amperes."""
+    return float(value) * 1e-6
+
+
+def nano_amps(value: float) -> float:
+    """Convert nanoamperes to amperes."""
+    return float(value) * 1e-9
+
+
+def ohms(value: float) -> float:
+    """Return *value* ohms, in ohms (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_ohms(value: float) -> float:
+    """Convert milliohms to ohms."""
+    return float(value) * 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+
+def joules(value: float) -> float:
+    """Return *value* joules, in joules (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_joules(value: float) -> float:
+    """Convert millijoules to joules."""
+    return float(value) * 1e-3
+
+
+def micro_joules(value: float) -> float:
+    """Convert microjoules to joules."""
+    return float(value) * 1e-6
+
+
+def nano_joules(value: float) -> float:
+    """Convert nanojoules to joules."""
+    return float(value) * 1e-9
+
+
+def watts(value: float) -> float:
+    """Return *value* watts, in watts (identity, for symmetry)."""
+    return float(value)
+
+
+def milli_watts(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return float(value) * 1e-3
+
+
+def micro_watts(value: float) -> float:
+    """Convert microwatts to watts."""
+    return float(value) * 1e-6
+
+
+def as_milli_joules(energy_j: float) -> float:
+    """Express an energy given in joules as millijoules."""
+    return energy_j * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Volume / area
+# ---------------------------------------------------------------------------
+
+def cubic_millimetres(value: float) -> float:
+    """Convert mm^3 to m^3."""
+    return float(value) * 1e-9
+
+
+def as_cubic_millimetres(volume_m3: float) -> float:
+    """Express a volume given in m^3 as mm^3."""
+    return volume_m3 * 1e9
+
+
+def square_millimetres(value: float) -> float:
+    """Convert mm^2 to m^2."""
+    return float(value) * 1e-6
+
+
+def as_square_millimetres(area_m2: float) -> float:
+    """Express an area given in m^2 as mm^2."""
+    return area_m2 * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Derived electrical relations
+# ---------------------------------------------------------------------------
+
+def capacitor_energy(capacitance: float, v_top: float, v_bottom: float = 0.0) -> float:
+    """Energy stored in a capacitor between two voltage levels.
+
+    Implements the paper's Section 5.2 relation
+    ``E = 1/2 * C * (V_top^2 - V_bottom^2)``.
+
+    Args:
+        capacitance: capacitance in farads.
+        v_top: upper voltage bound, volts.
+        v_bottom: lower voltage bound, volts (defaults to fully drained).
+
+    Returns:
+        Stored energy in joules.  Negative if ``v_top < v_bottom``, which
+        callers may use to express energy *removed* from the capacitor.
+    """
+    return 0.5 * capacitance * (v_top * v_top - v_bottom * v_bottom)
+
+
+def voltage_for_energy(capacitance: float, energy: float) -> float:
+    """Voltage at which a capacitor of *capacitance* stores *energy* joules.
+
+    Inverse of :func:`capacitor_energy` with ``v_bottom = 0``.
+
+    Raises:
+        ValueError: if *energy* is negative or *capacitance* is not positive.
+    """
+    if capacitance <= 0.0:
+        raise ValueError(f"capacitance must be positive, got {capacitance!r}")
+    if energy < 0.0:
+        raise ValueError(f"energy must be non-negative, got {energy!r}")
+    return (2.0 * energy / capacitance) ** 0.5

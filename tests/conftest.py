@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import PlatformSpec
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+)
+from repro.energy.harvester import RegulatedSupply
+
+
+@pytest.fixture
+def small_bank_spec() -> BankSpec:
+    """A few hundred uF of mixed ceramic + tantalum."""
+    return BankSpec.of_parts("small", [(CERAMIC_X5R, 3), (TANTALUM_POLYMER, 1)])
+
+
+@pytest.fixture
+def big_bank_spec() -> BankSpec:
+    """A dense bank with an EDLC part."""
+    return BankSpec.of_parts("big", [(TANTALUM_POLYMER, 3), (EDLC_CPH3225A, 1)])
+
+
+@pytest.fixture
+def charged_bank(small_bank_spec: BankSpec) -> CapacitorBank:
+    return CapacitorBank(small_bank_spec, initial_voltage=2.4)
+
+
+@pytest.fixture
+def output_booster() -> OutputBooster:
+    return OutputBooster()
+
+
+@pytest.fixture
+def input_booster() -> InputBooster:
+    return InputBooster()
+
+
+@pytest.fixture
+def platform_spec(small_bank_spec: BankSpec, big_bank_spec: BankSpec) -> PlatformSpec:
+    """A two-bank platform with sense and radio modes."""
+    fixed = BankSpec.of_parts(
+        "fixed",
+        [(CERAMIC_X5R, 3), (TANTALUM_POLYMER, 4), (EDLC_CPH3225A, 1)],
+    )
+    return PlatformSpec(
+        banks=[small_bank_spec, big_bank_spec],
+        modes={"m-small": ["small"], "m-big": ["small", "big"]},
+        fixed_bank=fixed,
+        harvester=RegulatedSupply(voltage=3.0, max_power=2e-3),
+    )

@@ -1,0 +1,108 @@
+"""Shared mini-application builders for kernel and integration tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.builder import (
+    PlatformSpec,
+    PowerAssembly,
+    SystemKind,
+    build_capybara_system,
+    build_fixed_system,
+)
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+from repro.energy.harvester import RegulatedSupply
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.executor import IntermittentExecutor, SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+
+MODE_SMALL = "m-small"
+MODE_BIG = "m-big"
+
+
+def make_platform(max_power: float = 2e-3) -> PlatformSpec:
+    """A two-bank platform with sense and radio modes."""
+    small = BankSpec.of_parts("small", [(CERAMIC_X5R, 3), (TANTALUM_POLYMER, 1)])
+    big = BankSpec.of_parts("big", [(TANTALUM_POLYMER, 3), (EDLC_CPH3225A, 1)])
+    fixed = BankSpec.of_parts(
+        "fixed",
+        [(CERAMIC_X5R, 3), (TANTALUM_POLYMER, 4), (EDLC_CPH3225A, 1)],
+    )
+    return PlatformSpec(
+        banks=[small, big],
+        modes={MODE_SMALL: ["small"], MODE_BIG: ["small", "big"]},
+        fixed_bank=fixed,
+        harvester=RegulatedSupply(voltage=3.0, max_power=max_power),
+    )
+
+
+def sense_alarm_graph(threshold: float = 30.0) -> TaskGraph:
+    """sense(config small) -> proc(preburst big, small) -> alarm(burst big)."""
+
+    def sense(ctx):
+        reading = yield Sample("tmp36")
+        ctx.write("latest", reading.value)
+        ctx.write("latest_event", reading.event_id)
+        return "proc"
+
+    def proc(ctx):
+        yield Compute(2000)
+        if ctx.read("latest", 0.0) > threshold:
+            return "alarm"
+        return "sense"
+
+    def alarm(ctx):
+        yield Transmit("alarm", 25, event_id=ctx.read("latest_event"))
+        return "sense"
+
+    return TaskGraph(
+        [
+            Task("sense", sense, ConfigAnnotation(MODE_SMALL)),
+            Task("proc", proc, PreburstAnnotation(MODE_BIG, MODE_SMALL)),
+            Task("alarm", alarm, BurstAnnotation(MODE_BIG)),
+        ],
+        entry="sense",
+    )
+
+
+def constant_binding(value: float) -> Callable[[str, float], SensorReading]:
+    def binding(sensor: str, time: float) -> SensorReading:
+        return SensorReading(value=value)
+
+    return binding
+
+
+def build_executor(
+    kind: SystemKind = SystemKind.CAPY_P,
+    graph: Optional[TaskGraph] = None,
+    binding: Optional[Callable[[str, float], SensorReading]] = None,
+    max_power: float = 2e-3,
+) -> IntermittentExecutor:
+    """A complete mini TA-like device ready to run."""
+    spec = make_platform(max_power=max_power)
+    if kind is SystemKind.FIXED:
+        assembly: PowerAssembly = build_fixed_system(spec)
+    else:
+        assembly = build_capybara_system(spec, kind)
+    board = Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+    return IntermittentExecutor(
+        board,
+        graph if graph is not None else sense_alarm_graph(),
+        assembly.runtime,
+        sensor_binding=binding if binding is not None else constant_binding(20.0),
+    )

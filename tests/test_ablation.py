@@ -1,0 +1,61 @@
+"""Section 5 design-choice ablations."""
+
+import pytest
+
+from repro.experiments import ablation
+
+
+class TestBypassAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.bypass_ablation()
+
+    def test_bypass_at_least_order_of_magnitude(self, result):
+        """The paper: the bypass reduces charge time by >= 10x."""
+        assert result.value("speedup") >= 10.0
+
+    def test_both_times_positive(self, result):
+        assert 0.0 < result.value("with_bypass") < result.value("without_bypass")
+
+
+class TestMechanismAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.mechanism_ablation()
+
+    def test_switched_cold_start_is_faster(self, result):
+        assert result.value("switched_cold_start") < result.value(
+            "threshold_cold_start"
+        )
+
+    def test_paper_area_and_leakage_ratios(self, result):
+        assert result.value("area_ratio") == pytest.approx(2.0)
+        assert result.value("leakage_ratio") == pytest.approx(1.5)
+
+
+class TestPolarityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.polarity_ablation(horizon=1500.0)
+
+    def test_naive_no_runtime_livelocks(self, result):
+        """The Section 5.2 hazard: adversarial input power starves a
+        naive runtime on normally-open switches."""
+        assert result.value("NO-naive/completions") < result.value(
+            "NC-naive/completions"
+        )
+
+    def test_naive_no_burns_power_failures(self, result):
+        assert result.value("NO-naive/power_failures") > 3 * result.value(
+            "NC-naive/power_failures"
+        )
+
+    def test_suspect_flag_rescues_no_polarity(self, result):
+        assert result.value("NO-robust/completions") > result.value(
+            "NO-naive/completions"
+        )
+
+    def test_nc_needs_no_mitigation(self, result):
+        assert result.value("NC-naive/completions") >= result.value(
+            "NO-robust/completions"
+        ) * 0.5

@@ -1,0 +1,233 @@
+"""Task-level unit tests of the evaluation applications.
+
+These drive the task generators directly (no executor): feed synthetic
+operation results in, assert the control flow and channel writes out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.grc import GRCVariant, make_graph as grc_graph
+from repro.apps.csr import FIELD_THRESHOLD, make_graph as csr_graph
+from repro.apps.temp_alarm import ALARM_HIGH, make_graph as ta_graph
+from repro.apps.rigs import EventSchedule, PendulumRig, ScheduledEvent
+from repro.kernel.executor import SensorReading
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import Compute, Sample, TaskContext, Transmit
+
+
+def drive(task, nv, results):
+    """Run a task body feeding *results* to its yields.
+
+    Returns (operations, next_task_name).
+    """
+    context = TaskContext(nv, now=lambda: 0.0)
+    generator = task.body(context)
+    operations = []
+    to_send = None
+    iterator = iter(results)
+    while True:
+        try:
+            operation = generator.send(to_send)
+        except StopIteration as stop:
+            return operations, stop.value
+        operations.append(operation)
+        to_send = next(iterator, None)
+
+
+def make_rig():
+    schedule = EventSchedule(
+        [ScheduledEvent(0, 10.0, 2.5, "gesture", direction=1)]
+    )
+    return PendulumRig(schedule, noise_rng=np.random.default_rng(0))
+
+
+class TestTempAlarmTasks:
+    def test_sense_stores_reading_and_history(self):
+        nv = NonVolatileStore()
+        graph = ta_graph()
+        ops, nxt = drive(
+            graph.task("sense"), nv, [SensorReading(value=37.0, event_id=None)]
+        )
+        assert nxt == "proc"
+        assert isinstance(ops[0], Sample)
+        nv.commit()
+        assert nv.get("latest_value") == 37.0
+        assert nv.get("history") == [37.0]
+
+    def test_history_ring_buffer_capped_at_8(self):
+        nv = NonVolatileStore()
+        graph = ta_graph()
+        for index in range(12):
+            drive(
+                graph.task("sense"),
+                nv,
+                [SensorReading(value=float(index), event_id=None)],
+            )
+            nv.commit()
+        history = nv.get("history")
+        assert len(history) == 8
+        assert history[-1] == 11.0
+
+    def test_proc_routes_to_alarm_on_excursion(self):
+        nv = NonVolatileStore()
+        nv.put("latest_value", ALARM_HIGH + 5.0)
+        nv.put("latest_event", 3)
+        graph = ta_graph()
+        _, nxt = drive(graph.task("proc"), nv, [None])
+        assert nxt == "alarm"
+
+    def test_proc_stays_in_range(self):
+        nv = NonVolatileStore()
+        nv.put("latest_value", 37.0)
+        nv.put("latest_event", None)
+        graph = ta_graph()
+        _, nxt = drive(graph.task("proc"), nv, [None])
+        assert nxt == "sense"
+
+    def test_proc_deduplicates_reported_event(self):
+        nv = NonVolatileStore()
+        nv.put("latest_value", ALARM_HIGH + 5.0)
+        nv.put("latest_event", 3)
+        nv.put("last_reported", 3)
+        graph = ta_graph()
+        _, nxt = drive(graph.task("proc"), nv, [None])
+        assert nxt == "sense"
+
+    def test_alarm_transmits_25_bytes_and_marks_reported(self):
+        nv = NonVolatileStore()
+        nv.put("latest_event", 7)
+        graph = ta_graph()
+        ops, nxt = drive(graph.task("alarm"), nv, [True])
+        assert nxt == "sense"
+        tx = ops[0]
+        assert isinstance(tx, Transmit)
+        assert tx.size_bytes == 25
+        assert tx.event_id == 7
+        nv.commit()
+        assert nv.get("last_reported") == 7
+
+    def test_alarm_does_not_mark_on_radio_loss(self):
+        nv = NonVolatileStore()
+        nv.put("latest_event", 7)
+        graph = ta_graph()
+        drive(graph.task("alarm"), nv, [False])  # packet lost
+        nv.commit()
+        assert nv.get("last_reported") is None
+
+
+class TestGRCTasks:
+    def test_photo_idles_without_object(self):
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.FAST, make_rig())
+        _, nxt = drive(
+            graph.task("photo"), nv, [None, SensorReading(value=0.0)]
+        )
+        assert nxt == "photo"
+
+    def test_photo_triggers_gesture_on_object(self):
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.FAST, make_rig())
+        _, nxt = drive(
+            graph.task("photo"), nv, [None, SensorReading(value=1.0, event_id=0)]
+        )
+        assert nxt == "gesture"
+
+    def test_fast_gesture_transmits_ok_payload(self):
+        rig = make_rig()
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.FAST, rig)
+        ops, nxt = drive(
+            graph.task("gesture"),
+            nv,
+            [SensorReading(value=rig.GESTURE_CORRECT, event_id=0), None, True],
+        )
+        assert nxt == "photo"
+        tx = [op for op in ops if isinstance(op, Transmit)][0]
+        assert tx.payload == "gesture:ok"
+        assert tx.event_id == 0
+
+    def test_fast_gesture_none_counts_proximity_only(self):
+        rig = make_rig()
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.FAST, rig)
+        ops, nxt = drive(
+            graph.task("gesture"),
+            nv,
+            [SensorReading(value=rig.GESTURE_NONE, event_id=0)],
+        )
+        assert nxt == "photo"
+        assert not any(isinstance(op, Transmit) for op in ops)
+        nv.commit()
+        assert nv.get("proximity_only") == 1
+
+    def test_compact_splits_decode_and_transmit(self):
+        rig = make_rig()
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.COMPACT, rig)
+        ops, nxt = drive(
+            graph.task("gesture"),
+            nv,
+            [SensorReading(value=rig.GESTURE_WRONG, event_id=0), None],
+        )
+        assert nxt == "radio_tx"
+        assert not any(isinstance(op, Transmit) for op in ops)
+        nv.commit()
+        assert nv.get("pending_payload") == "gesture:bad"
+        ops, nxt = drive(graph.task("radio_tx"), nv, [True])
+        assert nxt == "photo"
+        assert any(isinstance(op, Transmit) for op in ops)
+
+    def test_compact_radio_tx_without_pending_is_noop(self):
+        rig = make_rig()
+        nv = NonVolatileStore()
+        graph = grc_graph(GRCVariant.COMPACT, rig)
+        ops, nxt = drive(graph.task("radio_tx"), nv, [])
+        assert nxt == "photo"
+        assert ops == []
+
+
+class TestCSRTasks:
+    def test_mag_below_threshold_loops(self):
+        nv = NonVolatileStore()
+        graph = csr_graph()
+        _, nxt = drive(
+            graph.task("mag"),
+            nv,
+            [None, SensorReading(value=FIELD_THRESHOLD - 1.0)],
+        )
+        assert nxt == "mag"
+
+    def test_mag_trigger_records_event(self):
+        nv = NonVolatileStore()
+        graph = csr_graph()
+        _, nxt = drive(
+            graph.task("mag"),
+            nv,
+            [None, SensorReading(value=FIELD_THRESHOLD + 10.0, event_id=4)],
+        )
+        assert nxt == "collect"
+        nv.commit()
+        assert nv.get("trigger_event") == 4
+
+    def test_collect_reports_with_trigger_id(self):
+        nv = NonVolatileStore()
+        nv.put("trigger_event", 4)
+        graph = csr_graph()
+        ops, nxt = drive(
+            graph.task("collect"),
+            nv,
+            [
+                SensorReading(value=12.0),  # 32 distance samples
+                SensorReading(value=0.0),  # LED
+                None,  # compute
+                True,  # transmit delivered
+            ],
+        )
+        assert nxt == "mag"
+        samples = [op for op in ops if isinstance(op, Sample)]
+        assert samples[0].samples == 32
+        tx = [op for op in ops if isinstance(op, Transmit)][0]
+        assert tx.event_id == 4
+        nv.commit()
+        assert nv.get("last_reported") == 4

@@ -1,0 +1,121 @@
+"""Application assembly and short end-to-end runs."""
+
+import pytest
+
+from repro.apps.csr import build_csr
+from repro.apps.grc import GRCVariant, build_grc
+from repro.apps.temp_alarm import build_temp_alarm
+from repro.apps.capysat import build_capysat
+from repro.core.builder import SystemKind
+from repro.errors import ConfigurationError
+from repro.kernel.baselines import ContinuousExecutor
+from repro.kernel.executor import IntermittentExecutor
+
+
+class TestTempAlarm:
+    def test_builds_all_kinds(self):
+        for kind in SystemKind:
+            instance = build_temp_alarm(kind, seed=1, event_count=3)
+            expected = (
+                ContinuousExecutor
+                if kind is SystemKind.CONTINUOUS
+                else IntermittentExecutor
+            )
+            assert isinstance(instance.executor, expected)
+
+    def test_same_seed_same_schedule_across_kinds(self):
+        fixed = build_temp_alarm(SystemKind.FIXED, seed=3, event_count=3)
+        capy = build_temp_alarm(SystemKind.CAPY_P, seed=3, event_count=3)
+        assert [e.start for e in fixed.schedule.events] == [
+            e.start for e in capy.schedule.events
+        ]
+
+    def test_continuous_reports_alarms(self):
+        instance = build_temp_alarm(SystemKind.CONTINUOUS, seed=1, event_count=3)
+        instance.run(instance.schedule.horizon + 60.0)
+        assert len(instance.trace.packets_with_payload_prefix("alarm")) >= 2
+
+    def test_run_marks_events_in_trace(self):
+        instance = build_temp_alarm(SystemKind.CAPY_P, seed=1, event_count=3)
+        instance.run(100.0)
+        assert len(instance.trace.events) == 3
+
+    def test_capy_p_samples_temperature(self):
+        instance = build_temp_alarm(SystemKind.CAPY_P, seed=1, event_count=3)
+        instance.run(400.0)
+        assert len(instance.trace.sample_times("tmp36")) > 10
+
+
+class TestGRC:
+    def test_variants_have_different_burst_banks(self):
+        from repro.apps.grc import make_banks
+
+        fast = make_banks(GRCVariant.FAST)
+        compact = make_banks(GRCVariant.COMPACT)
+        fast_burst = next(b for b in fast.banks if b.name == "burst")
+        compact_burst = next(b for b in compact.banks if b.name == "burst")
+        assert compact_burst.capacitance > fast_burst.capacitance
+
+    def test_fast_graph_has_two_tasks(self):
+        instance = build_grc(SystemKind.CAPY_P, GRCVariant.FAST, seed=1, event_count=3)
+        assert set(instance.executor.graph.task_names) == {"photo", "gesture"}
+
+    def test_compact_graph_has_three_tasks(self):
+        instance = build_grc(
+            SystemKind.CAPY_P, GRCVariant.COMPACT, seed=1, event_count=3
+        )
+        assert set(instance.executor.graph.task_names) == {
+            "photo",
+            "gesture",
+            "radio_tx",
+        }
+
+    def test_continuous_decodes_gestures(self):
+        instance = build_grc(
+            SystemKind.CONTINUOUS, GRCVariant.FAST, seed=1, event_count=5
+        )
+        instance.run(instance.schedule.horizon + 30.0)
+        assert len(instance.trace.packets_with_payload_prefix("gesture")) >= 3
+
+
+class TestCSR:
+    def test_builds_and_runs(self):
+        instance = build_csr(SystemKind.CAPY_P, seed=1, event_count=3)
+        instance.run(instance.schedule.horizon + 30.0)
+        assert len(instance.trace.sample_times("magnetometer")) > 0
+
+    def test_continuous_reports_events(self):
+        instance = build_csr(SystemKind.CONTINUOUS, seed=1, event_count=4)
+        instance.run(instance.schedule.horizon + 30.0)
+        assert len(instance.trace.packets_with_payload_prefix("csr-report")) >= 3
+
+
+class TestCapySat:
+    def test_rejects_non_capybara_kinds(self):
+        with pytest.raises(ConfigurationError):
+            build_capysat(kind=SystemKind.FIXED)
+
+    def test_two_mcus_run_independently(self):
+        # The default LEO orbit starts in eclipse (~2000 s); run past it.
+        satellite = build_capysat(seed=1)
+        traces = satellite.run(2600.0)
+        assert len(traces["sampling"].samples) > 0
+        assert len(traces["comms"].packets) > 0
+
+    def test_splitter_area_is_fifth_of_switch(self):
+        from repro.energy.switch import BankSwitch
+
+        satellite = build_capysat(seed=1)
+        assert satellite.splitter_area == pytest.approx(
+            BankSwitch(name="x").area * 0.2
+        )
+
+    def test_eclipse_halts_comms(self):
+        from repro.energy.environment import OrbitTrace
+
+        orbit = OrbitTrace(period=600.0, eclipse_fraction=0.5)
+        satellite = build_capysat(seed=1, orbit=orbit)
+        traces = satellite.run(600.0)
+        packets = traces["comms"].packets
+        # Eclipse covers [0, 300): the first beacon needs sunlight.
+        assert packets[0].time > 300.0

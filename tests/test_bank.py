@@ -1,0 +1,166 @@
+"""Parallel capacitor banks."""
+
+import math
+
+import pytest
+
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+)
+from repro.errors import ConfigurationError, PowerSystemError
+
+
+@pytest.fixture
+def mixed_spec() -> BankSpec:
+    return BankSpec.of_parts(
+        "mixed", [(CERAMIC_X5R, 4), (TANTALUM_POLYMER, 1), (EDLC_CPH3225A, 1)]
+    )
+
+
+class TestBankSpec:
+    def test_capacitance_sums_with_derating(self, mixed_spec):
+        expected = (
+            4 * CERAMIC_X5R.effective_capacitance
+            + TANTALUM_POLYMER.effective_capacitance
+            + EDLC_CPH3225A.effective_capacitance
+        )
+        assert mixed_spec.capacitance == pytest.approx(expected)
+
+    def test_esr_parallel_combination(self):
+        spec = BankSpec.single("two", TANTALUM_POLYMER, 2)
+        assert spec.esr == pytest.approx(TANTALUM_POLYMER.esr / 2)
+
+    def test_mixed_esr_below_min_part(self, mixed_spec):
+        assert mixed_spec.esr < CERAMIC_X5R.esr
+
+    def test_rated_voltage_is_minimum(self, mixed_spec):
+        assert mixed_spec.rated_voltage == EDLC_CPH3225A.rated_voltage
+
+    def test_volume_sums(self, mixed_spec):
+        expected = (
+            4 * CERAMIC_X5R.volume + TANTALUM_POLYMER.volume + EDLC_CPH3225A.volume
+        )
+        assert mixed_spec.volume == pytest.approx(expected)
+
+    def test_part_count(self, mixed_spec):
+        assert mixed_spec.part_count == 6
+
+    def test_leak_resistance_parallel(self):
+        spec = BankSpec.single("two", TANTALUM_POLYMER, 2)
+        assert spec.leak_resistance == pytest.approx(
+            TANTALUM_POLYMER.leak_resistance / 2
+        )
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankSpec(name="empty", groups=())
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BankSpec.of_parts("bad", [(CERAMIC_X5R, 0)])
+
+    def test_describe_mentions_parts(self, mixed_spec):
+        text = mixed_spec.describe()
+        assert "mixed" in text and "X5R" in text
+
+    def test_max_energy(self, mixed_spec):
+        assert mixed_spec.max_energy() == pytest.approx(
+            mixed_spec.energy_at(mixed_spec.rated_voltage)
+        )
+
+
+class TestBankState:
+    def test_store_and_voltage(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        bank.store(mixed_spec.energy_at(1.5))
+        assert bank.voltage == pytest.approx(1.5)
+
+    def test_store_saturates(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec, initial_voltage=mixed_spec.rated_voltage)
+        assert bank.store(1.0) == 0.0
+
+    def test_extract_saturates(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec, initial_voltage=1.0)
+        available = bank.energy
+        assert bank.extract(available + 1.0) == pytest.approx(available)
+        assert bank.voltage == 0.0
+
+    def test_energy_conservation_store_extract(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        stored = bank.store(1e-3)
+        extracted = bank.extract(stored)
+        assert extracted == pytest.approx(stored)
+        assert bank.voltage == pytest.approx(0.0, abs=1e-9)
+
+    def test_initial_voltage_above_rated_rejected(self, mixed_spec):
+        with pytest.raises(ConfigurationError):
+            CapacitorBank(mixed_spec, initial_voltage=10.0)
+
+    def test_set_voltage_validated(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        with pytest.raises(PowerSystemError):
+            bank.set_voltage(-0.1)
+
+
+class TestBankTiming:
+    def test_charge_time_formula(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        c = mixed_spec.capacitance
+        expected = 0.5 * c * (2.4**2 - 1.0**2) / 1e-3
+        assert bank.charge_time(1.0, 2.4, 1e-3) == pytest.approx(expected)
+
+    def test_charge_time_zero_power_infinite(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        assert math.isinf(bank.charge_time(0.0, 2.4, 0.0))
+
+    def test_charge_time_rejects_backwards(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        with pytest.raises(PowerSystemError):
+            bank.charge_time(2.0, 1.0, 1e-3)
+
+    def test_discharge_time_formula(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        c = mixed_spec.capacitance
+        expected = 0.5 * c * (2.4**2 - 0.8**2) / 2e-3
+        assert bank.discharge_time(2.4, 0.8, 2e-3) == pytest.approx(expected)
+
+    def test_discharge_time_rejects_backwards(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        with pytest.raises(PowerSystemError):
+            bank.discharge_time(1.0, 2.0, 1e-3)
+
+    def test_bigger_bank_charges_longer(self):
+        small = CapacitorBank(BankSpec.single("s", CERAMIC_X5R, 1))
+        large = CapacitorBank(BankSpec.single("l", CERAMIC_X5R, 10))
+        assert large.charge_time(0.0, 2.4, 1e-3) > small.charge_time(0.0, 2.4, 1e-3)
+
+
+class TestBankLeakageAndWear:
+    def test_leak_decays(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec, initial_voltage=2.0)
+        lost = bank.leak(1000.0)
+        assert lost > 0.0
+        assert bank.voltage < 2.0
+
+    def test_leak_zero_when_empty(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        assert bank.leak(100.0) == 0.0
+
+    def test_edlc_group_wears(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        bank.store(mixed_spec.energy_at(2.0))
+        bank.extract(bank.energy)
+        assert bank.group_cycles(EDLC_CPH3225A.name) > 0.0
+
+    def test_ceramic_group_untracked(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        bank.store(mixed_spec.energy_at(2.0))
+        assert bank.group_cycles(CERAMIC_X5R.name) == 0.0
+
+    def test_unknown_group_rejected(self, mixed_spec):
+        bank = CapacitorBank(mixed_spec)
+        with pytest.raises(ConfigurationError):
+            bank.group_cycles("nonexistent")

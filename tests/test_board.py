@@ -1,0 +1,100 @@
+"""Board assembly and load-point calculators."""
+
+import pytest
+
+from repro.core.builder import SystemKind, build_capybara_system
+from repro.device.board import Board, LoadPoint
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_APDS9960_GESTURE, SENSOR_TMP36
+from repro.energy.booster import OutputBooster
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def board(platform_spec) -> Board:
+    assembly = build_capybara_system(platform_spec, SystemKind.CAPY_P)
+    return Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+
+
+class TestAssembly:
+    def test_sensor_lookup(self, board):
+        assert board.sensor("tmp36") is SENSOR_TMP36
+        with pytest.raises(ConfigurationError):
+            board.sensor("gyro")
+
+    def test_rail_must_cover_sensor_minimum(self, platform_spec):
+        assembly = build_capybara_system(platform_spec, SystemKind.CAPY_P)
+        low_rail = OutputBooster(v_out=2.0)
+        assembly.power_system.output_booster = low_rail
+        with pytest.raises(ConfigurationError):
+            Board(
+                MCU_MSP430FR5969,
+                assembly.power_system,
+                sensors=[SENSOR_APDS9960_GESTURE],  # needs 2.5 V
+            )
+
+    def test_duplicate_sensors_rejected(self, platform_spec):
+        assembly = build_capybara_system(platform_spec, SystemKind.CAPY_P)
+        with pytest.raises(ConfigurationError):
+            Board(
+                MCU_MSP430FR5969,
+                assembly.power_system,
+                sensors=[SENSOR_TMP36, SENSOR_TMP36],
+            )
+
+
+class TestLoadPoints:
+    def test_boot_load(self, board):
+        load = board.boot_load()
+        assert load.duration == MCU_MSP430FR5969.boot_time
+        assert load.power == MCU_MSP430FR5969.active_power
+
+    def test_compute_load(self, board):
+        load = board.compute_load(1_000_000)
+        assert load.duration == pytest.approx(1.0)
+        assert load.energy() == pytest.approx(MCU_MSP430FR5969.active_power)
+
+    def test_sense_load_includes_mcu(self, board):
+        load = board.sense_load("tmp36", samples=2)
+        assert load.power == pytest.approx(
+            SENSOR_TMP36.active_power + MCU_MSP430FR5969.sense_power
+        )
+        assert load.duration == pytest.approx(SENSOR_TMP36.acquisition_time(2))
+
+    def test_transmit_load_energy_matches_radio(self, board):
+        load = board.transmit_load(25)
+        radio_energy = BLE_CC2650.transmit_energy(25)
+        mcu_energy = MCU_MSP430FR5969.sense_power * load.duration
+        assert load.energy() == pytest.approx(radio_energy + mcu_energy)
+
+    def test_transmit_without_radio_rejected(self, platform_spec):
+        assembly = build_capybara_system(platform_spec, SystemKind.CAPY_P)
+        board = Board(MCU_MSP430FR5969, assembly.power_system)
+        with pytest.raises(ConfigurationError):
+            board.transmit_load(8)
+
+    def test_sleep_load(self, board):
+        load = board.sleep_load(10.0)
+        assert load.power == MCU_MSP430FR5969.sleep_power
+
+    def test_sleep_negative_rejected(self, board):
+        with pytest.raises(ConfigurationError):
+            board.sleep_load(-1.0)
+
+
+class TestEnergyAccounting:
+    def test_load_energy_sums(self, board):
+        loads = [LoadPoint(1.0, 2e-3), LoadPoint(0.5, 4e-3)]
+        assert board.load_energy(loads) == pytest.approx(4e-3)
+
+    def test_storage_estimate_exceeds_rail_energy(self, board):
+        loads = [board.transmit_load(25)]
+        rail = board.load_energy(loads)
+        storage = board.storage_energy_estimate(loads)
+        assert storage > rail  # booster losses and quiescent overhead

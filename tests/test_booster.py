@@ -1,0 +1,186 @@
+"""Input and output boost converters, and the input voltage limiter."""
+
+import math
+
+import pytest
+
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A
+from repro.energy.limiter import InputVoltageLimiter
+from repro.errors import ConfigurationError, PowerSystemError
+
+
+class TestLimiter:
+    def test_passes_below_clamp(self):
+        limiter = InputVoltageLimiter(v_clamp=5.5)
+        assert limiter.limit(3.0, 1e-3) == (3.0, 1e-3)
+
+    def test_clamps_above(self):
+        limiter = InputVoltageLimiter(v_clamp=5.0)
+        voltage, power = limiter.limit(10.0, 2e-3)
+        assert voltage == 5.0
+        assert power == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InputVoltageLimiter(v_clamp=0.0)
+        limiter = InputVoltageLimiter()
+        with pytest.raises(ConfigurationError):
+            limiter.limit(-1.0, 1e-3)
+
+
+class TestInputBoosterPaths:
+    def test_normal_boosted_charging(self):
+        booster = InputBooster()
+        # Above v_full_efficiency the ramp is 1 and nominal efficiency
+        # applies.
+        power = booster.charge_power(2.3, 3.0, 1e-3)
+        assert power == pytest.approx(1e-3 * booster.efficiency)
+
+    def test_efficiency_ramp_penalises_low_voltage(self):
+        booster = InputBooster()
+        low = booster.charge_power(1.1, 3.0, 1e-3)
+        high = booster.charge_power(2.3, 3.0, 1e-3)
+        assert low < high
+
+    def test_cold_start_is_slow_without_bypass(self):
+        booster = InputBooster(bypass=False)
+        cold = booster.charge_power(0.2, 3.0, 1e-3)
+        warm = booster.charge_power(2.3, 3.0, 1e-3)
+        assert cold <= warm / 10.0  # the paper's >= 10x observation
+
+    def test_bypass_rescues_cold_start(self):
+        without = InputBooster(bypass=False).charge_power(0.2, 3.0, 1e-3)
+        with_bypass = InputBooster(bypass=True).charge_power(0.2, 3.0, 1e-3)
+        assert with_bypass > 10.0 * without
+
+    def test_bypass_blocked_by_diode_above_harvester_voltage(self):
+        booster = InputBooster(bypass=True)
+        # capacitor above harvester voltage minus diode drop: diode blocks
+        power = booster.charge_power(0.9, 1.0, 1e-3)
+        assert power == pytest.approx(1e-3 * booster.cold_start_efficiency)
+
+    def test_no_charging_above_target(self):
+        booster = InputBooster()
+        assert booster.charge_power(2.4, 3.0, 1e-3) == 0.0
+
+    def test_no_charging_from_dead_harvester(self):
+        booster = InputBooster()
+        assert booster.charge_power(1.0, 3.0, 0.0) == 0.0
+        assert booster.charge_power(1.0, 0.01, 1e-3) == 0.0
+
+    def test_bypass_ceiling(self):
+        booster = InputBooster(v_diode_drop=0.3)
+        assert booster.bypass_ceiling(3.0) == pytest.approx(2.7)
+        assert InputBooster(bypass=False).bypass_ceiling(3.0) == 0.0
+
+    def test_charge_target_respects_rated_voltage(self):
+        booster = InputBooster(v_charge_target=5.0)
+        bank = CapacitorBank(BankSpec.single("edlc", EDLC_CPH3225A, 1))
+        assert booster.charge_target(bank) == EDLC_CPH3225A.rated_voltage
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InputBooster(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            InputBooster(cold_start_efficiency=0.9, efficiency=0.5)
+        with pytest.raises(ConfigurationError):
+            InputBooster(v_charge_target=0.5, v_cold_start=1.0)
+
+
+class TestOutputBoosterRelations:
+    def test_input_power_for_load(self):
+        booster = OutputBooster(efficiency=0.8, quiescent_power=0.0)
+        assert booster.input_power_for_load(8e-3) == pytest.approx(10e-3)
+
+    def test_bank_current_no_esr(self):
+        booster = OutputBooster(efficiency=1.0, quiescent_power=0.0)
+        assert booster.bank_current(2.0, 0.0, 4e-3) == pytest.approx(2e-3)
+
+    def test_bank_current_with_esr_solves_quadratic(self):
+        booster = OutputBooster(efficiency=1.0, quiescent_power=0.0)
+        esr, v, p = 10.0, 2.0, 50e-3
+        current = booster.bank_current(v, esr, p)
+        assert current * (v - current * esr) == pytest.approx(p)
+
+    def test_bank_current_infeasible_raises(self):
+        booster = OutputBooster(efficiency=1.0, quiescent_power=0.0)
+        with pytest.raises(PowerSystemError):
+            booster.bank_current(0.5, 100.0, 50e-3)
+
+    def test_min_bank_voltage_regulation_floor(self):
+        booster = OutputBooster(v_in_min=0.75)
+        # with negligible ESR, floor approaches v_in_min
+        assert booster.min_bank_voltage(1e-6, 1e-3) == pytest.approx(0.75, rel=0.01)
+
+    def test_min_bank_voltage_grows_with_esr(self):
+        booster = OutputBooster()
+        assert booster.min_bank_voltage(100.0, 5e-3) > booster.min_bank_voltage(
+            0.1, 5e-3
+        )
+
+    def test_high_esr_strands_energy(self):
+        """The Figure 4 effect: a high-ESR part delivers less of its
+        stored energy to the same load."""
+        booster = OutputBooster()
+        low_esr = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 50), 2.4)
+        # Same capacitance, high ESR.
+        high_part = EDLC_CPH3225A
+        high_esr = CapacitorBank(BankSpec.single("e", high_part, 1), 2.4)
+        load = 4e-3
+        usable_high = booster.usable_energy(high_esr, load)
+        stored_high = high_esr.energy
+        assert usable_high < 0.8 * stored_high * booster.efficiency
+
+
+class TestOutputBoosterDischarge:
+    def test_discharge_runs_for_duration(self):
+        booster = OutputBooster()
+        bank = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 10), 2.4)
+        time_ran, browned = booster.discharge(bank, 1e-3, 0.1)
+        assert time_ran == pytest.approx(0.1)
+        assert not browned
+        assert bank.voltage < 2.4
+
+    def test_discharge_browns_out(self):
+        booster = OutputBooster()
+        bank = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 1), 2.4)
+        time_ran, browned = booster.discharge(bank, 10e-3, 1e6)
+        assert browned
+        assert time_ran < 1e6
+
+    def test_time_to_brownout_does_not_mutate(self):
+        booster = OutputBooster()
+        bank = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 5), 2.4)
+        booster.time_to_brownout(bank, 2e-3)
+        assert bank.voltage == 2.4
+
+    def test_time_to_brownout_converges_on_droop_floor(self):
+        """Regression: discharge must terminate when the voltage lands
+        exactly on the ESR droop floor (historical FP non-progress)."""
+        booster = OutputBooster()
+        bank = CapacitorBank(BankSpec.single("e", EDLC_CPH3225A, 2), 2.4)
+        seconds = booster.time_to_brownout(bank, 4e-3)
+        assert math.isfinite(seconds)
+        assert seconds > 0.0
+
+    def test_usable_energy_increases_with_voltage(self):
+        booster = OutputBooster()
+        full = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 5), 2.4)
+        half = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 5), 1.5)
+        assert booster.usable_energy(full, 1e-3) > booster.usable_energy(
+            half, 1e-3
+        )
+
+    def test_negative_duration_rejected(self):
+        booster = OutputBooster()
+        bank = CapacitorBank(BankSpec.single("c", CERAMIC_X5R, 5), 2.4)
+        with pytest.raises(PowerSystemError):
+            booster.discharge(bank, 1e-3, -1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OutputBooster(v_out=0.0)
+        with pytest.raises(ConfigurationError):
+            OutputBooster(efficiency=1.2)

@@ -1,0 +1,119 @@
+"""System builders and platform specs."""
+
+import pytest
+
+from repro.core.builder import (
+    PlatformSpec,
+    SystemKind,
+    build_capybara_system,
+    build_fixed_system,
+)
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.harvester import RegulatedSupply
+from repro.energy.switch import SwitchPolarity
+from repro.errors import ConfigurationError
+from repro.kernel.capybara import RuntimeVariant
+
+from tests.helpers import make_platform
+
+
+class TestPlatformSpecValidation:
+    def base_kwargs(self):
+        small = BankSpec.single("small", CERAMIC_X5R, 2)
+        return dict(
+            banks=[small],
+            modes={"m": ["small"]},
+            fixed_bank=small,
+            harvester=RegulatedSupply(),
+        )
+
+    def test_valid_spec(self):
+        PlatformSpec(**self.base_kwargs())
+
+    def test_no_banks_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["banks"] = []
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(**kwargs)
+
+    def test_no_modes_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["modes"] = {}
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(**kwargs)
+
+    def test_duplicate_bank_names_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["banks"] = [
+            BankSpec.single("small", CERAMIC_X5R, 2),
+            BankSpec.single("small", TANTALUM_POLYMER, 1),
+        ]
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(**kwargs)
+
+    def test_mode_with_unknown_bank_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["modes"] = {"m": ["small", "huge"]}
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(**kwargs)
+
+
+class TestCapybaraBuilder:
+    def test_first_bank_is_hardwired(self):
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        assert assembly.power_system.reservoir.hardwired_names == ["small"]
+
+    def test_other_banks_get_switches(self):
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        switch = assembly.power_system.reservoir.switch("big")
+        assert switch.polarity is SwitchPolarity.NORMALLY_OPEN
+
+    def test_polarity_honoured(self):
+        spec = make_platform()
+        spec.switch_polarity = SwitchPolarity.NORMALLY_CLOSED
+        assembly = build_capybara_system(spec, SystemKind.CAPY_P)
+        switch = assembly.power_system.reservoir.switch("big")
+        assert switch.polarity is SwitchPolarity.NORMALLY_CLOSED
+
+    def test_modes_include_hardwired_banks(self):
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        for name in assembly.modes.names:
+            assert "small" in assembly.modes.get(name).banks
+
+    def test_variant_mapping(self):
+        assert (
+            build_capybara_system(make_platform(), SystemKind.CAPY_P).runtime.variant
+            is RuntimeVariant.CAPY_P
+        )
+        assert (
+            build_capybara_system(make_platform(), SystemKind.CAPY_R).runtime.variant
+            is RuntimeVariant.CAPY_R
+        )
+
+    def test_rejects_non_capybara_kinds(self):
+        with pytest.raises(ConfigurationError):
+            build_capybara_system(make_platform(), SystemKind.FIXED)
+
+    def test_runtime_shares_nv_with_assembly(self):
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        assert assembly.runtime.nv is assembly.nv
+
+
+class TestFixedBuilder:
+    def test_single_hardwired_bank(self):
+        assembly = build_fixed_system(make_platform())
+        reservoir = assembly.power_system.reservoir
+        assert reservoir.bank_names == ["fixed"]
+        assert reservoir.hardwired_names == ["fixed"]
+
+    def test_fixed_variant(self):
+        assembly = build_fixed_system(make_platform())
+        assert assembly.runtime.variant is RuntimeVariant.FIXED
+
+    def test_fixed_bank_capacitance_matches_spec(self):
+        spec = make_platform()
+        assembly = build_fixed_system(spec)
+        assert assembly.power_system.reservoir.bank(
+            "fixed"
+        ).capacitance == pytest.approx(spec.fixed_bank.capacitance)

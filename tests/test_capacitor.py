@@ -1,0 +1,217 @@
+"""Capacitor specs, single-capacitor model, and reference parts."""
+
+import math
+
+import pytest
+
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+    Capacitor,
+    CapacitorSpec,
+    parallel_esr,
+)
+from repro.errors import ConfigurationError, PowerSystemError, WearLimitExceeded
+
+
+def make_spec(**overrides) -> CapacitorSpec:
+    base = dict(
+        name="test-cap",
+        technology="ceramic",
+        capacitance=100e-6,
+        esr=0.05,
+        leak_resistance=1e6,
+        rated_voltage=5.0,
+        volume=10e-9,
+    )
+    base.update(overrides)
+    return CapacitorSpec(**base)
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(capacitance=0.0)
+
+    def test_rejects_negative_esr(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(esr=-0.1)
+
+    def test_rejects_bad_leak(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(leak_resistance=0.0)
+
+    def test_rejects_bad_derating(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(derating=0.0)
+        with pytest.raises(ConfigurationError):
+            make_spec(derating=1.5)
+
+    def test_rejects_unknown_technology(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(technology="flux")
+
+
+class TestSpecDerived:
+    def test_effective_capacitance_applies_derating(self):
+        spec = make_spec(derating=0.8)
+        assert spec.effective_capacitance == pytest.approx(80e-6)
+
+    def test_energy_at(self):
+        spec = make_spec()
+        assert spec.energy_at(2.0) == pytest.approx(0.5 * 100e-6 * 4.0)
+
+    def test_max_energy_at_rated(self):
+        spec = make_spec()
+        assert spec.max_energy() == pytest.approx(spec.energy_at(5.0))
+
+    def test_energy_density_positive(self):
+        assert make_spec().energy_density() > 0.0
+
+    def test_scaled_combines_in_parallel(self):
+        spec = make_spec()
+        scaled = spec.scaled(4)
+        assert scaled.capacitance == pytest.approx(4 * spec.capacitance)
+        assert scaled.esr == pytest.approx(spec.esr / 4)
+        assert scaled.volume == pytest.approx(4 * spec.volume)
+        assert scaled.leak_resistance == pytest.approx(spec.leak_resistance / 4)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            make_spec().scaled(0)
+
+
+class TestParallelESR:
+    def test_two_equal(self):
+        assert parallel_esr([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_zero_shorts(self):
+        assert parallel_esr([0.0, 100.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_esr([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_esr([-1.0])
+
+
+class TestCapacitorState:
+    def test_initial_voltage(self):
+        cap = Capacitor(make_spec(), initial_voltage=2.0)
+        assert cap.voltage == 2.0
+
+    def test_initial_voltage_validated(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor(make_spec(), initial_voltage=6.0)
+
+    def test_store_raises_voltage(self):
+        cap = Capacitor(make_spec())
+        cap.store(make_spec().energy_at(2.0))
+        assert cap.voltage == pytest.approx(2.0)
+
+    def test_store_clips_at_rated(self):
+        cap = Capacitor(make_spec(), initial_voltage=4.9)
+        absorbed = cap.store(1.0)  # way more than headroom
+        assert cap.voltage == pytest.approx(5.0)
+        assert absorbed < 1.0
+
+    def test_extract_returns_delivered(self):
+        cap = Capacitor(make_spec(), initial_voltage=2.0)
+        delivered = cap.extract(cap.energy / 2.0)
+        assert delivered == pytest.approx(make_spec().energy_at(2.0) / 2.0)
+
+    def test_extract_clips_at_empty(self):
+        cap = Capacitor(make_spec(), initial_voltage=1.0)
+        delivered = cap.extract(10.0)
+        assert delivered == pytest.approx(make_spec().energy_at(1.0))
+        assert cap.voltage == 0.0
+
+    def test_negative_store_rejected(self):
+        cap = Capacitor(make_spec())
+        with pytest.raises(PowerSystemError):
+            cap.store(-1.0)
+
+    def test_negative_extract_rejected(self):
+        cap = Capacitor(make_spec())
+        with pytest.raises(PowerSystemError):
+            cap.extract(-1.0)
+
+    def test_set_voltage_bounds(self):
+        cap = Capacitor(make_spec())
+        with pytest.raises(PowerSystemError):
+            cap.set_voltage(5.5)
+
+
+class TestLeakage:
+    def test_leak_decays_exponentially(self):
+        spec = make_spec(leak_resistance=1e3)  # tau = 0.1 s
+        cap = Capacitor(spec, initial_voltage=2.0)
+        tau = spec.leak_resistance * spec.effective_capacitance
+        cap.leak(tau)
+        assert cap.voltage == pytest.approx(2.0 * math.exp(-1.0))
+
+    def test_leak_returns_energy_lost(self):
+        spec = make_spec(leak_resistance=1e3)
+        cap = Capacitor(spec, initial_voltage=2.0)
+        before = cap.energy
+        lost = cap.leak(0.05)
+        assert lost == pytest.approx(before - cap.energy)
+        assert lost > 0.0
+
+    def test_zero_duration_no_leak(self):
+        cap = Capacitor(make_spec(), initial_voltage=2.0)
+        assert cap.leak(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        cap = Capacitor(make_spec())
+        with pytest.raises(PowerSystemError):
+            cap.leak(-1.0)
+
+
+class TestWear:
+    def test_ceramic_never_wears(self):
+        cap = Capacitor(make_spec())
+        cap.store(cap.spec.max_energy())
+        cap.extract(cap.spec.max_energy())
+        assert cap.equivalent_cycles == 0.0
+
+    def test_edlc_wear_accumulates(self):
+        spec = make_spec(technology="edlc", cycle_endurance=100.0)
+        cap = Capacitor(spec)
+        full = spec.max_energy()
+        cap.store(full)
+        cap.extract(full)
+        assert cap.equivalent_cycles == pytest.approx(1.0)
+
+    def test_check_wear_raises_past_endurance(self):
+        spec = make_spec(technology="edlc", cycle_endurance=0.4)
+        cap = Capacitor(spec)
+        full = spec.max_energy()
+        cap.store(full)  # store alone contributes half a cycle
+        assert cap.worn_out
+        with pytest.raises(WearLimitExceeded):
+            cap.check_wear()
+
+    def test_check_wear_silent_below_endurance(self):
+        spec = make_spec(technology="edlc", cycle_endurance=10.0)
+        cap = Capacitor(spec)
+        cap.store(spec.max_energy())
+        cap.check_wear()
+        assert not cap.worn_out
+
+
+class TestReferenceParts:
+    def test_supercap_density_beats_ceramic(self):
+        assert EDLC_CPH3225A.energy_density() > 10 * CERAMIC_X5R.energy_density()
+
+    def test_supercap_esr_is_high(self):
+        assert EDLC_CPH3225A.esr > 1000 * TANTALUM_POLYMER.esr
+
+    def test_ceramic_unlimited_cycles(self):
+        assert math.isinf(CERAMIC_X5R.cycle_endurance)
+
+    def test_supercap_limited_cycles(self):
+        assert math.isfinite(EDLC_CPH3225A.cycle_endurance)

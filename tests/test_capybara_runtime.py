@@ -1,0 +1,202 @@
+"""Capybara runtime planning: config / burst / preburst semantics.
+
+The runtime plans against its non-volatile *belief* about the
+configuration, never the physical switch state (Section 5.2 rules out
+introspection), so tests seed the belief explicitly.
+"""
+
+import pytest
+
+from repro.core.builder import SystemKind, build_capybara_system, build_fixed_system
+from repro.kernel.annotations import NoAnnotation
+from repro.kernel.capybara import Charge, Reconfigure, RuntimeVariant
+from repro.kernel.tasks import Compute, Task
+
+from tests.helpers import MODE_BIG, MODE_SMALL, make_platform, sense_alarm_graph
+
+
+def _noop(ctx):
+    yield Compute(1)
+    return None
+
+
+@pytest.fixture
+def capy_p():
+    return build_capybara_system(make_platform(), SystemKind.CAPY_P)
+
+
+@pytest.fixture
+def capy_r():
+    return build_capybara_system(make_platform(), SystemKind.CAPY_R)
+
+
+def _believe(assembly, mode_name):
+    """Seed the runtime's belief that *mode_name* is configured."""
+    runtime = assembly.runtime
+    runtime.note_reconfigured(runtime.modes.get(mode_name).to_config())
+
+
+class TestConfigPlans:
+    def test_unknown_belief_forces_reconfiguration(self, capy_p):
+        """On first boot the runtime has no belief: it must configure."""
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("sense"), 0.0)
+        kinds = [type(step) for step in plan]
+        assert kinds == [Reconfigure, Charge]
+
+    def test_matching_belief_needs_no_steps(self, capy_p):
+        _believe(capy_p, MODE_SMALL)
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("sense"), 0.0)
+        assert plan == []
+
+    def test_mode_change_reconfigures_and_charges(self, capy_p):
+        _believe(capy_p, MODE_BIG)
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("sense"), 0.0)
+        assert isinstance(plan[0], Reconfigure)
+        assert isinstance(plan[1], Charge)
+        assert plan[0].config.bank_names == frozenset({"small"})
+
+    def test_suspect_flag_forces_reconfiguration(self, capy_p):
+        """After a power failure the belief is not trusted (a latch may
+        have silently reverted)."""
+        _believe(capy_p, MODE_SMALL)
+        capy_p.runtime.note_power_failure()
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("sense"), 0.0)
+        assert [type(s) for s in plan] == [Reconfigure, Charge]
+
+    def test_task_completion_clears_suspect(self, capy_p):
+        _believe(capy_p, MODE_SMALL)
+        capy_p.runtime.note_power_failure()
+        graph = sense_alarm_graph()
+        capy_p.runtime.note_task_complete(graph.task("sense"))
+        assert capy_p.runtime.plan_for_task(graph.task("sense"), 0.0) == []
+
+    def test_unannotated_task_runs_as_is(self, capy_p):
+        plan = capy_p.runtime.plan_for_task(Task("t", _noop, NoAnnotation()), 0.0)
+        assert plan == []
+
+
+class TestBurstPlans:
+    def test_capy_p_burst_activates_without_charge(self, capy_p):
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("alarm"), 0.0)
+        assert len(plan) == 1
+        assert isinstance(plan[0], Reconfigure)
+
+    def test_capy_r_burst_degrades_to_config(self, capy_r):
+        graph = sense_alarm_graph()
+        plan = capy_r.runtime.plan_for_task(graph.task("alarm"), 0.0)
+        kinds = [type(step) for step in plan]
+        assert kinds == [Reconfigure, Charge]
+
+
+class TestPreburstPlans:
+    def test_full_precharge_sequence(self, capy_p):
+        graph = sense_alarm_graph()
+        plan = capy_p.runtime.plan_for_task(graph.task("proc"), 0.0)
+        kinds = [type(step) for step in plan]
+        assert kinds == [Reconfigure, Charge, Reconfigure, Charge]
+        # First charge carries the pre-charge penalty and the marker.
+        assert plan[1].voltage_offset > 0.0
+        assert plan[1].mark_precharged_mode == MODE_BIG
+
+    def test_intact_precharge_skipped(self, capy_p):
+        runtime = capy_p.runtime
+        _believe(capy_p, MODE_SMALL)
+        graph = sense_alarm_graph()
+        runtime.mark_precharged(MODE_BIG, 2.1)
+        plan = runtime.plan_for_task(graph.task("proc"), 0.0)
+        # Believed config already matches exec mode and the NV marker
+        # says the burst banks are charged: nothing to do.
+        assert plan == []
+
+    def test_consumed_precharge_redone(self, capy_p):
+        """After a burst clears the marker, the next preburst pass
+        re-charges the burst banks."""
+        runtime = capy_p.runtime
+        _believe(capy_p, MODE_SMALL)
+        graph = sense_alarm_graph()
+        runtime.mark_precharged(MODE_BIG, 2.1)
+        runtime.note_task_complete(graph.task("alarm"))  # burst consumed
+        plan = runtime.plan_for_task(graph.task("proc"), 0.0)
+        assert any(
+            isinstance(step, Charge) and step.mark_precharged_mode == MODE_BIG
+            for step in plan
+        )
+
+    def test_capy_r_preburst_degrades_to_exec_config(self, capy_r):
+        _believe(capy_r, MODE_SMALL)
+        graph = sense_alarm_graph()
+        plan = capy_r.runtime.plan_for_task(graph.task("proc"), 0.0)
+        # Already believed-in the small config: nothing to do — and
+        # crucially no pre-charge of the big mode.
+        assert plan == []
+
+    def test_burst_completion_clears_marker(self, capy_p):
+        runtime = capy_p.runtime
+        graph = sense_alarm_graph()
+        runtime.mark_precharged(MODE_BIG, 2.1)
+        runtime.note_task_complete(graph.task("alarm"))
+        assert runtime.precharge_target_recorded(MODE_BIG) is None
+
+
+class TestPrechargeTTL:
+    def test_expired_marker_forces_reprecharge(self, capy_p):
+        runtime = capy_p.runtime
+        runtime.precharge_ttl = 100.0
+        _believe(capy_p, MODE_SMALL)
+        graph = sense_alarm_graph()
+        runtime.mark_precharged(MODE_BIG, 2.1, time=0.0)
+        assert runtime.plan_for_task(graph.task("proc"), 50.0) == []
+        stale_plan = runtime.plan_for_task(graph.task("proc"), 200.0)
+        assert any(
+            isinstance(step, Charge) and step.mark_precharged_mode == MODE_BIG
+            for step in stale_plan
+        )
+
+    def test_default_ttl_is_infinite(self, capy_p):
+        runtime = capy_p.runtime
+        _believe(capy_p, MODE_SMALL)
+        graph = sense_alarm_graph()
+        runtime.mark_precharged(MODE_BIG, 2.1, time=0.0)
+        assert runtime.plan_for_task(graph.task("proc"), 1e9) == []
+
+    def test_nonpositive_ttl_rejected(self):
+        from repro.errors import EnergyModeError
+        from repro.kernel.capybara import CapybaraRuntime
+        from repro.kernel.memory import NonVolatileStore
+
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        with pytest.raises(EnergyModeError):
+            CapybaraRuntime(
+                assembly.power_system.reservoir,
+                assembly.modes,
+                NonVolatileStore(),
+                precharge_ttl=0.0,
+            )
+
+
+class TestBeliefTracking:
+    def test_belief_round_trip(self, capy_p):
+        runtime = capy_p.runtime
+        assert runtime.believed_banks() is None
+        runtime.note_reconfigured(runtime.modes.get(MODE_BIG).to_config())
+        assert runtime.believed_banks() == frozenset({"small", "big"})
+
+    def test_belief_survives_power_failure(self, capy_p):
+        runtime = capy_p.runtime
+        runtime.note_reconfigured(runtime.modes.get(MODE_SMALL).to_config())
+        runtime.nv.power_fail()
+        assert runtime.believed_banks() == frozenset({"small"})
+
+
+class TestFixedVariant:
+    def test_fixed_ignores_all_annotations(self):
+        assembly = build_fixed_system(make_platform())
+        graph = sense_alarm_graph()
+        for name in ("sense", "proc", "alarm"):
+            assert assembly.runtime.plan_for_task(graph.task(name), 0.0) == []
+        assert assembly.runtime.variant is RuntimeVariant.FIXED

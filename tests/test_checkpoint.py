@@ -1,0 +1,220 @@
+"""Dynamic-checkpointing executor (Hibernus/QuickRecall substrate)."""
+
+import pytest
+
+from repro.core.builder import PlatformSpec, build_fixed_system
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.harvester import RegulatedSupply
+from repro.errors import ConfigurationError
+from repro.kernel.annotations import NoAnnotation
+from repro.kernel.checkpoint import (
+    CHECKPOINT_KEY,
+    CheckpointCost,
+    CheckpointingExecutor,
+    CheckpointPolicy,
+)
+from repro.kernel.executor import SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+
+
+def make_board(max_power: float = 1.5e-3, parts: int = 3) -> Board:
+    small = BankSpec.of_parts(
+        "small", [(CERAMIC_X5R, parts), (TANTALUM_POLYMER, 1)]
+    )
+    spec = PlatformSpec(
+        banks=[small],
+        modes={"only": ["small"]},
+        fixed_bank=small,
+        harvester=RegulatedSupply(voltage=3.0, max_power=max_power),
+    )
+    assembly = build_fixed_system(spec)
+    return Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+
+
+def long_region_graph(chunks: int = 40, ops: int = 50_000) -> TaskGraph:
+    def region(ctx):
+        for _ in range(chunks):
+            yield Compute(ops)
+        ctx.write("completions", ctx.read("completions", 0) + 1)
+        return None
+
+    return TaskGraph([Task("region", region, NoAnnotation())], entry="region")
+
+
+class TestForwardProgress:
+    def test_oversized_region_completes(self):
+        """The headline: a region needing ~5x the buffer completes."""
+        executor = CheckpointingExecutor(make_board(), long_region_graph())
+        executor.run(120.0)
+        assert executor.trace.counters.get("task_done:region", 0) >= 1
+        assert executor.trace.counters.get("checkpoints", 0) > 0
+        assert executor.trace.counters.get("checkpoint_restores", 0) > 0
+
+    def test_periodic_policy_also_completes(self):
+        executor = CheckpointingExecutor(
+            make_board(),
+            long_region_graph(),
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=5,
+        )
+        executor.run(120.0)
+        assert executor.trace.counters.get("task_done:region", 0) >= 1
+
+    def test_voltage_policy_one_checkpoint_per_cycle(self):
+        """Hibernus arms once per discharge cycle."""
+        executor = CheckpointingExecutor(make_board(), long_region_graph())
+        executor.run(60.0)
+        checkpoints = executor.trace.counters.get("checkpoints", 0)
+        cycles = executor.trace.counters.get("charge_cycles", 0)
+        assert 0 < checkpoints <= cycles
+
+
+class TestCheckpointSemantics:
+    def test_completion_clears_snapshot(self):
+        executor = CheckpointingExecutor(
+            make_board(), long_region_graph(chunks=2, ops=5_000)
+        )
+        executor.run(30.0)
+        assert executor.trace.counters.get("task_done:region", 0) > 0
+        # Mid-run there may be a live snapshot for the *next* iteration,
+        # but completions must have committed their channel writes.
+        assert executor.nv.get("completions", 0) > 0
+
+    def test_staged_writes_travel_with_snapshot(self):
+        """Channel writes staged before a checkpoint must survive the
+        power failure via the snapshot, not via commit."""
+        observed = []
+
+        def body(ctx):
+            ctx.write("marker", "staged-early")
+            for _ in range(30):
+                yield Compute(50_000)
+            observed.append(ctx.read_staged("marker"))
+            return None
+
+        graph = TaskGraph([Task("t", body, NoAnnotation())], entry="t")
+        executor = CheckpointingExecutor(
+            make_board(),
+            graph,
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=4,
+        )
+        executor.run(90.0)
+        assert executor.trace.counters.get("task_done:t", 0) >= 1
+        assert observed and observed[0] == "staged-early"
+        assert executor.nv.get("marker") == "staged-early"
+
+    def test_sample_results_replayed_not_resampled(self):
+        """Restored executions replay recorded sensor values; the rig is
+        not re-queried for the pre-checkpoint prefix."""
+        calls = []
+
+        def binding(sensor, time):
+            calls.append(time)
+            return SensorReading(value=float(len(calls)))
+
+        def body(ctx):
+            first = yield Sample("tmp36")
+            for _ in range(30):
+                yield Compute(50_000)
+            ctx.write("first_value", first.value)
+            return None
+
+        graph = TaskGraph([Task("t", body, NoAnnotation())], entry="t")
+        executor = CheckpointingExecutor(
+            make_board(),
+            graph,
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=3,
+            sensor_binding=binding,
+        )
+        executor.run(90.0)
+        done = executor.trace.counters.get("task_done:t", 0)
+        restores = executor.trace.counters.get("checkpoint_restores", 0)
+        assert done >= 1
+        assert restores > done  # many brownouts per completion
+        # One sample per *iteration* (plus at most one in flight); the
+        # restores replayed the recorded reading instead of re-sampling.
+        assert len(calls) <= done + 1
+        # Each committed first_value is that iteration's (single) sample.
+        assert executor.nv.get("first_value") == float(done)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointingExecutor(
+                make_board(), long_region_graph(), checkpoint_threshold=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            CheckpointingExecutor(
+                make_board(), long_region_graph(), checkpoint_period_ops=0
+            )
+
+
+class TestCosts:
+    def test_checkpoint_cost_loads(self):
+        cost = CheckpointCost(write_time=4e-3, write_power=5e-3)
+        assert cost.write_load().energy() == pytest.approx(2e-5)
+        assert cost.restore_load().duration == pytest.approx(2e-3)
+
+    def test_checkpoint_interval_must_fit_buffer(self):
+        """A periodic interval longer than one buffer's worth of work
+        never snapshots before the brownout: no forward progress.
+        (The buffer funds ~8 chunks per cycle here.)"""
+        too_sparse = CheckpointingExecutor(
+            make_board(),
+            long_region_graph(),
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=10,
+        )
+        too_sparse.run(120.0)
+        fitting = CheckpointingExecutor(
+            make_board(),
+            long_region_graph(),
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=4,
+        )
+        fitting.run(120.0)
+        assert too_sparse.trace.counters.get("task_done:region", 0) == 0
+        assert fitting.trace.counters.get("task_done:region", 0) > 0
+
+    def test_expensive_checkpoints_slow_the_workload(self):
+        """Same policy, pricier snapshot writes: fewer completions."""
+        cheap = CheckpointingExecutor(
+            make_board(),
+            long_region_graph(),
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=2,
+        )
+        cheap.run(120.0)
+        pricey = CheckpointingExecutor(
+            make_board(),
+            long_region_graph(),
+            policy=CheckpointPolicy.PERIODIC,
+            checkpoint_period_ops=2,
+            cost=CheckpointCost(write_time=60e-3, write_power=5e-3),
+        )
+        pricey.run(120.0)
+        assert cheap.trace.counters.get(
+            "task_done:region", 0
+        ) >= pricey.trace.counters.get("task_done:region", 0)
+
+
+class TestStudy:
+    def test_study_shapes(self):
+        from repro.experiments import checkpoint_study
+
+        result = checkpoint_study.run(horizon=240.0)
+        assert result.value("task-based/completions") == 0.0
+        assert result.value("task-based/livelocked") == 1.0
+        assert result.value("checkpointing/voltage/completions") > 0.0
+        assert result.value("checkpointing/periodic/completions") > 0.0

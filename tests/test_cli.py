@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import APP_BUILDERS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_app_defaults(self):
+        args = build_parser().parse_args(["run-app", "temp-alarm"])
+        assert args.system == "CB-P"
+        assert args.events == 10
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-app", "nonexistent"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for app in APP_BUILDERS:
+            assert app in out
+        assert "CB-P" in out and "fig08" in out
+
+
+class TestRunApp:
+    def test_run_temp_alarm(self, capsys):
+        code = main(
+            ["run-app", "temp-alarm", "--events", "2", "--horizon", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TempAlarm on CB-P" in out
+        assert "events reported" in out
+
+    def test_run_on_fixed_system(self, capsys):
+        code = main(
+            [
+                "run-app",
+                "grc-fast",
+                "--system",
+                "Fixed",
+                "--events",
+                "2",
+                "--horizon",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "GestureFast on Fixed" in capsys.readouterr().out
+
+    def test_export_writes_json(self, tmp_path, capsys):
+        export = tmp_path / "trace.json"
+        code = main(
+            [
+                "run-app",
+                "csr",
+                "--events",
+                "2",
+                "--horizon",
+                "60",
+                "--export",
+                str(export),
+            ]
+        )
+        assert code == 0
+        data = json.loads(export.read_text())
+        assert "samples" in data and "counters" in data
+
+
+class TestExperimentCommand:
+    def test_characterization(self, capsys):
+        assert main(["experiment", "characterization"]) == 0
+        assert "switch retention" in capsys.readouterr().out
+
+    def test_fig03(self, capsys):
+        assert main(["experiment", "fig03"]) == 0
+        assert "Atomicity (Mops)" in capsys.readouterr().out

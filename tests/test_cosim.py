@@ -1,0 +1,91 @@
+"""Multi-device co-simulation."""
+
+import pytest
+
+from repro.apps.temp_alarm import build_temp_alarm
+from repro.core.builder import SystemKind
+from repro.errors import ConfigurationError
+from repro.sim.cosim import run_concurrently
+
+from tests.helpers import build_executor, constant_binding
+
+
+class TestRunConcurrently:
+    def test_two_executors_share_the_timeline(self):
+        devices = {
+            "hot": build_executor(binding=constant_binding(50.0)),
+            "cold": build_executor(binding=constant_binding(10.0)),
+        }
+        result = run_concurrently(devices, horizon=60.0, quantum=2.0)
+        for device in devices.values():
+            assert device.now == pytest.approx(60.0, abs=0.5)
+        assert result.quanta == 30
+        # The hot device alarms; the cold one never does.
+        assert len(result.traces["hot"].packets) > 0
+        assert len(result.traces["cold"].packets) == 0
+
+    def test_merged_packets_chronological(self):
+        devices = {
+            "a": build_executor(binding=constant_binding(50.0)),
+            "b": build_executor(binding=constant_binding(50.0)),
+        }
+        result = run_concurrently(devices, horizon=90.0, quantum=1.0)
+        times = [packet.time for _, packet in result.merged_packets]
+        assert times == sorted(times)
+        names = {name for name, _ in result.merged_packets}
+        assert names == {"a", "b"}
+
+    def test_close_to_sequential_execution(self):
+        """Slicing pauses restart the in-flight task (task-atomic
+        semantics), so sliced and sequential runs may differ slightly at
+        boundaries — but the workload outcome must stay equivalent."""
+        sliced = build_executor(binding=constant_binding(50.0))
+        run_concurrently({"only": sliced}, horizon=60.0, quantum=2.0)
+        sequential = build_executor(binding=constant_binding(50.0))
+        sequential.run(60.0)
+        for counter in ("task_done:sense", "task_done:proc", "task_done:alarm"):
+            a = sliced.trace.counters.get(counter, 0)
+            b = sequential.trace.counters.get(counter, 0)
+            assert abs(a - b) <= max(3, 0.25 * max(a, b)), counter
+
+    def test_truncated_operations_leave_no_side_effects(self):
+        """A transmit chopped by a slice boundary must not log a packet
+        (regression: horizon truncation used to count as completion)."""
+        devices = {
+            "hot": build_executor(binding=constant_binding(50.0)),
+        }
+        # Pathologically small quantum: every op crosses boundaries.
+        result = run_concurrently(devices, horizon=30.0, quantum=0.05)
+        trace = result.traces["hot"]
+        # Packets only ever appear with a full transmit duration of
+        # runtime behind them; count stays consistent with completions.
+        assert len(trace.packets) <= trace.counters.get("task_done:alarm", 0)
+
+    def test_app_instances_participate(self):
+        dut = build_temp_alarm(SystemKind.CAPY_P, seed=4, event_count=2)
+        reference = build_temp_alarm(SystemKind.CONTINUOUS, seed=4, event_count=2)
+        horizon = dut.schedule.horizon + 60.0
+        result = run_concurrently(
+            {"dut": dut, "ref": reference}, horizon=horizon, quantum=5.0
+        )
+        assert len(result.traces["ref"].packets) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_concurrently({}, horizon=10.0)
+        device = build_executor()
+        with pytest.raises(ConfigurationError):
+            run_concurrently({"d": device}, horizon=10.0, quantum=0.0)
+
+    def test_misaligned_clocks_rejected(self):
+        ahead = build_executor()
+        ahead.run(5.0)
+        behind = build_executor()
+        with pytest.raises(ConfigurationError):
+            run_concurrently({"a": ahead, "b": behind}, horizon=20.0)
+
+    def test_horizon_before_clock_rejected(self):
+        device = build_executor()
+        device.run(30.0)
+        with pytest.raises(ConfigurationError):
+            run_concurrently({"d": device}, horizon=10.0)

@@ -1,0 +1,129 @@
+"""MCU, sensor, and radio electrical models."""
+
+import pytest
+
+from repro.device.mcu import MCU_CC2650, MCU_MSP430FR5969, MCUModel
+from repro.device.radio import BLE_CC2650, CAPYSAT_RADIO, RadioModel
+from repro.device.sensors import (
+    SENSOR_APDS9960_GESTURE,
+    SENSOR_TMP36,
+    SensorModel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMCUModel:
+    def test_op_energy(self):
+        mcu = MCU_MSP430FR5969
+        assert mcu.op_energy == pytest.approx(mcu.active_power / mcu.op_rate)
+
+    def test_compute_time(self):
+        mcu = MCU_MSP430FR5969
+        assert mcu.compute_time(1_000_000) == pytest.approx(1.0)
+
+    def test_compute_time_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MCU_MSP430FR5969.compute_time(-1)
+
+    def test_boot_energy(self):
+        mcu = MCU_MSP430FR5969
+        assert mcu.boot_energy() == pytest.approx(mcu.active_power * mcu.boot_time)
+
+    def test_power_state_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MCUModel(
+                name="bad",
+                active_power=1e-3,
+                sense_power=2e-3,  # above active
+                sleep_power=1e-6,
+                op_rate=1e6,
+                boot_time=1e-3,
+                min_voltage=1.8,
+            )
+
+    def test_reference_parts_sane(self):
+        for mcu in (MCU_MSP430FR5969, MCU_CC2650):
+            assert mcu.sleep_power < mcu.sense_power < mcu.active_power
+            assert mcu.op_rate >= 1e6
+
+    def test_op_energy_is_nanojoule_scale(self):
+        """Calibration: a few nJ/op at the rail lands near the paper's
+        ~6 nJ/op from storage once booster losses apply."""
+        assert 1e-9 < MCU_MSP430FR5969.op_energy < 10e-9
+
+
+class TestSensorModel:
+    def test_acquisition_time_amortises_warmup(self):
+        sensor = SENSOR_TMP36
+        one = sensor.acquisition_time(1)
+        four = sensor.acquisition_time(4)
+        assert four == pytest.approx(one + 3 * sensor.sample_time)
+
+    def test_acquisition_energy(self):
+        sensor = SENSOR_TMP36
+        assert sensor.acquisition_energy(2) == pytest.approx(
+            sensor.active_power * sensor.acquisition_time(2)
+        )
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SENSOR_TMP36.acquisition_time(0)
+
+    def test_gesture_sensor_paper_parameters(self):
+        """The APDS gesture engine runs 250 ms minimum at a 2.5 V rail."""
+        assert SENSOR_APDS9960_GESTURE.sample_time == pytest.approx(0.25)
+        assert SENSOR_APDS9960_GESTURE.min_voltage == pytest.approx(2.5)
+
+    def test_tmp36_paper_sample_time(self):
+        """The paper's example: an 8 ms low-power sample."""
+        assert SENSOR_TMP36.sample_time == pytest.approx(8e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensorModel(name="bad", active_power=0.0, warmup_time=0.0, sample_time=1e-3)
+
+
+class TestRadioModel:
+    def test_airtime_scales_with_bytes(self):
+        radio = BLE_CC2650
+        assert radio.airtime(50) == pytest.approx(2 * radio.airtime(25))
+
+    def test_25_byte_packet_near_paper_35ms(self):
+        """The paper: a 25-byte BLE packet transmits for 35 ms."""
+        assert BLE_CC2650.airtime(25) == pytest.approx(35e-3, rel=0.05)
+
+    def test_transmit_time_includes_startup(self):
+        radio = BLE_CC2650
+        assert radio.transmit_time(8) == pytest.approx(
+            radio.startup_time + radio.airtime(8)
+        )
+
+    def test_transmit_energy(self):
+        radio = BLE_CC2650
+        expected = (
+            radio.startup_power * radio.startup_time
+            + radio.tx_power * radio.airtime(25)
+        )
+        assert radio.transmit_energy(25) == pytest.approx(expected)
+
+    def test_capysat_one_byte_is_250ms(self):
+        """Section 6.6: the 1064x-redundant 1-byte packet keys the radio
+        for 250 ms drawing ~30 mA."""
+        assert CAPYSAT_RADIO.airtime(1) == pytest.approx(0.25)
+        # 30 mA at a ~2.5 V rail is ~75 mW
+        assert CAPYSAT_RADIO.tx_power == pytest.approx(75e-3)
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BLE_CC2650.airtime(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(
+                name="bad",
+                startup_time=0.0,
+                startup_power=0.0,
+                per_byte_time=1e-3,
+                tx_power=1e-3,
+                loss_rate=1.0,
+            )

@@ -1,0 +1,89 @@
+"""Environmental input-power traces."""
+
+import pytest
+
+from repro.energy.environment import (
+    ConstantTrace,
+    DimmedLampTrace,
+    OrbitTrace,
+    PiecewiseTrace,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstantTrace:
+    def test_constant(self):
+        trace = ConstantTrace(500.0)
+        assert trace(0.0) == 500.0
+        assert trace(1e6) == 500.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTrace(-1.0)
+
+
+class TestDimmedLamp:
+    def test_duty_scales(self):
+        trace = DimmedLampTrace(full_irradiance=30.0, duty=0.42)
+        assert trace(10.0) == pytest.approx(12.6)
+
+    def test_duty_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DimmedLampTrace(full_irradiance=30.0, duty=1.5)
+
+    def test_zero_duty_dark(self):
+        assert DimmedLampTrace(full_irradiance=30.0, duty=0.0)(5.0) == 0.0
+
+
+class TestOrbitTrace:
+    def test_eclipse_then_sun(self):
+        orbit = OrbitTrace(period=100.0, eclipse_fraction=0.4, irradiance=1000.0)
+        assert orbit(10.0) == 0.0  # in eclipse
+        assert orbit(50.0) == 1000.0  # in sun
+
+    def test_periodicity(self):
+        orbit = OrbitTrace(period=100.0, eclipse_fraction=0.4)
+        assert orbit(10.0) == orbit(110.0)
+        assert orbit(70.0) == orbit(170.0)
+
+    def test_next_sunrise_during_eclipse(self):
+        orbit = OrbitTrace(period=100.0, eclipse_fraction=0.4)
+        assert orbit.next_sunrise(10.0) == pytest.approx(40.0)
+
+    def test_next_sunrise_in_sun_is_now(self):
+        orbit = OrbitTrace(period=100.0, eclipse_fraction=0.4)
+        assert orbit.next_sunrise(60.0) == 60.0
+
+    def test_default_is_leo(self):
+        orbit = OrbitTrace()
+        assert orbit.period == pytest.approx(93 * 60.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OrbitTrace(period=0.0)
+        with pytest.raises(ConfigurationError):
+            OrbitTrace(eclipse_fraction=1.0)
+
+
+class TestPiecewiseTrace:
+    def test_initial_level(self):
+        trace = PiecewiseTrace([(10.0, 5.0)], initial=1.0)
+        assert trace(0.0) == 1.0
+
+    def test_steps_hold(self):
+        trace = PiecewiseTrace([(10.0, 5.0), (20.0, 0.0)], initial=1.0)
+        assert trace(10.0) == 5.0
+        assert trace(15.0) == 5.0
+        assert trace(25.0) == 0.0
+
+    def test_change_times(self):
+        trace = PiecewiseTrace([(10.0, 5.0), (20.0, 0.0)])
+        assert trace.change_times() == [10.0, 20.0]
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTrace([(10.0, 5.0), (10.0, 1.0)])
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTrace([(10.0, -5.0)])

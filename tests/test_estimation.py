@@ -1,0 +1,145 @@
+"""Automatic task-energy estimation."""
+
+import pytest
+
+from repro.core.allocation import allocate_banks
+from repro.core.builder import SystemKind, build_capybara_system
+from repro.core.estimation import estimate_modes, measure_task
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+from repro.errors import ProvisioningError
+from repro.kernel.annotations import NoAnnotation
+from repro.kernel.executor import SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+
+from tests.helpers import constant_binding, make_platform, sense_alarm_graph
+
+
+@pytest.fixture
+def board() -> Board:
+    assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+    return Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+
+
+class TestMeasureTask:
+    def test_sense_task_energy(self, board):
+        graph = sense_alarm_graph()
+        measurement = measure_task(
+            board, graph.task("sense"), constant_binding(20.0)
+        )
+        # One tmp36 sample plus channel writes: sub-millijoule.
+        assert 0.0 < measurement.storage_energy < 1e-3
+        assert measurement.next_task == "proc"
+        assert len(measurement.loads) == 1
+
+    def test_alarm_task_dwarfs_sense(self, board):
+        graph = sense_alarm_graph()
+        binding = constant_binding(20.0)
+        sense = measure_task(board, graph.task("sense"), binding)
+        alarm = measure_task(board, graph.task("alarm"), binding)
+        assert alarm.storage_energy > 5.0 * sense.storage_energy
+
+    def test_channels_steer_control_flow(self, board):
+        graph = sense_alarm_graph(threshold=30.0)
+        binding = constant_binding(20.0)
+        cold = measure_task(
+            board, graph.task("proc"), binding, channels={"latest": 10.0}
+        )
+        hot = measure_task(
+            board, graph.task("proc"), binding, channels={"latest": 99.0}
+        )
+        assert cold.next_task == "sense"
+        assert hot.next_task == "alarm"
+
+    def test_storage_exceeds_rail_energy(self, board):
+        graph = sense_alarm_graph()
+        measurement = measure_task(
+            board, graph.task("alarm"), constant_binding(20.0)
+        )
+        assert measurement.storage_energy > measurement.rail_energy
+
+    def test_sample_values_come_from_binding(self, board):
+        observed = []
+
+        def task_body(ctx):
+            reading = yield Sample("tmp36")
+            observed.append(reading.value)
+            return None
+
+        task = Task("t", task_body, NoAnnotation())
+        measure_task(board, task, constant_binding(42.5))
+        assert observed == [42.5]
+
+    def test_non_terminating_body_rejected(self, board):
+        def forever(ctx):
+            while True:
+                yield Compute(10)
+
+        task = Task("loop", forever, NoAnnotation())
+        with pytest.raises(ProvisioningError):
+            measure_task(board, task, constant_binding(0.0), max_operations=50)
+
+
+class TestEstimateModes:
+    def test_modes_ordered_by_energy(self, board):
+        requirements = estimate_modes(
+            board,
+            sense_alarm_graph(),
+            constant_binding(20.0),
+        )
+        names = [req.name for req in requirements]
+        assert names == ["m-small", "m-big"]
+        assert requirements[0].storage_energy < requirements[1].storage_energy
+
+    def test_sense_mode_marked_frequent(self, board):
+        requirements = estimate_modes(
+            board, sense_alarm_graph(), constant_binding(20.0)
+        )
+        by_name = {req.name: req for req in requirements}
+        assert by_name["m-small"].frequent
+        assert not by_name["m-big"].frequent
+
+    def test_boot_overhead_included_by_default(self, board):
+        with_boot = estimate_modes(
+            board, sense_alarm_graph(), constant_binding(20.0)
+        )
+        without = estimate_modes(
+            board, sense_alarm_graph(), constant_binding(20.0), boot_overhead=False
+        )
+        for padded, bare in zip(with_boot, without):
+            assert padded.storage_energy > bare.storage_energy
+
+    def test_unannotated_graph_rejected(self, board):
+        def body(ctx):
+            yield Compute(10)
+            return None
+
+        graph = TaskGraph([Task("t", body, NoAnnotation())], entry="t")
+        with pytest.raises(ProvisioningError):
+            estimate_modes(board, graph, constant_binding(0.0))
+
+    def test_end_to_end_code_to_banks(self, board):
+        """The full future-work loop: task graph -> measured modes ->
+        allocated banks that can actually fund each mode."""
+        requirements = estimate_modes(
+            board, sense_alarm_graph(), constant_binding(20.0)
+        )
+        result = allocate_banks(
+            requirements, [CERAMIC_X5R, TANTALUM_POLYMER, EDLC_CPH3225A]
+        )
+        by_name = {bank.name: bank for bank in result.banks}
+        for requirement in requirements:
+            total_c = sum(
+                by_name[name].capacitance
+                for name in result.mode_banks[requirement.name]
+            )
+            stored = 0.5 * total_c * (2.4**2 - 0.8**2)
+            assert stored >= requirement.storage_energy

@@ -1,0 +1,62 @@
+"""Smoke-run every example script (keeps examples/ from rotting).
+
+Each example's ``main()`` is imported and executed in-process; output
+is captured and sanity-checked for its headline lines.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "charge cycles" in out
+        assert "Alarms reported over BLE" in out
+
+    def test_compare_power_systems(self, capsys):
+        out = run_example("compare_power_systems", capsys)
+        for system in ("Pwr", "Fixed", "CB-R", "CB-P"):
+            assert system in out
+
+    def test_provision_and_allocate(self, capsys):
+        out = run_example("provision_and_allocate", capsys)
+        assert "Bank allocation" in out
+        assert "FAILS" not in out
+
+    def test_auto_provision(self, capsys):
+        out = run_example("auto_provision", capsys)
+        assert "Measured mode requirements" in out
+        assert "Auto-provisioned platform" in out
+
+    def test_custom_application(self, capsys):
+        out = run_example("custom_application", capsys)
+        assert "reports transmitted" in out
+
+    def test_capysat_orbit(self, capsys):
+        out = run_example("capysat_orbit", capsys)
+        assert "beacons downlinked" in out
+        assert "eclipse" in out
+
+    def test_checkpoint_vs_tasks(self, capsys):
+        out = run_example("checkpoint_vs_tasks", capsys)
+        assert "task-based restart" in out
+        assert "checkpointing" in out

@@ -1,0 +1,93 @@
+"""Harvester models."""
+
+import pytest
+
+from repro.energy.environment import ConstantTrace, OrbitTrace
+from repro.energy.harvester import (
+    RegulatedSupply,
+    RFHarvester,
+    ScaledHarvester,
+    SolarPanel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegulatedSupply:
+    def test_constant_output(self):
+        supply = RegulatedSupply(voltage=3.0, max_power=10e-3)
+        assert supply.output(0.0) == (3.0, 10e-3)
+        assert supply.output(1e5) == (3.0, 10e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegulatedSupply(voltage=0.0)
+        with pytest.raises(ConfigurationError):
+            RegulatedSupply(max_power=-1.0)
+
+
+class TestSolarPanel:
+    def test_power_scales_with_irradiance(self):
+        dim = SolarPanel(irradiance=ConstantTrace(100.0))
+        bright = SolarPanel(irradiance=ConstantTrace(1000.0))
+        assert bright.output(0.0)[1] == pytest.approx(10 * dim.output(0.0)[1])
+
+    def test_series_string_multiplies_voltage_and_power(self):
+        one = SolarPanel(cells_in_series=1, irradiance=ConstantTrace(1000.0))
+        two = SolarPanel(cells_in_series=2, irradiance=ConstantTrace(1000.0))
+        v1, p1 = one.output(0.0)
+        v2, p2 = two.output(0.0)
+        assert v2 == pytest.approx(2 * v1)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_dark_produces_nothing(self):
+        panel = SolarPanel(irradiance=ConstantTrace(0.0))
+        assert panel.output(0.0) == (0.0, 0.0)
+
+    def test_voltage_sags_in_dim_light(self):
+        dim = SolarPanel(irradiance=ConstantTrace(50.0))
+        bright = SolarPanel(irradiance=ConstantTrace(1000.0))
+        assert dim.output(0.0)[0] < bright.output(0.0)[0]
+
+    def test_orbit_trace_gives_eclipse(self):
+        panel = SolarPanel(
+            irradiance=OrbitTrace(period=100.0, eclipse_fraction=0.5)
+        )
+        assert panel.output(10.0)[1] == 0.0
+        assert panel.output(60.0)[1] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SolarPanel(area=0.0)
+        with pytest.raises(ConfigurationError):
+            SolarPanel(efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            SolarPanel(cells_in_series=0)
+
+
+class TestRFHarvester:
+    def test_inverse_square_law(self):
+        near = RFHarvester(distance=1.0)
+        far = RFHarvester(distance=2.0)
+        assert near.output(0.0)[1] == pytest.approx(4 * far.output(0.0)[1])
+
+    def test_microwatt_scale(self):
+        harvester = RFHarvester()
+        _, power = harvester.output(0.0)
+        assert 1e-6 < power < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RFHarvester(distance=0.0)
+
+
+class TestScaledHarvester:
+    def test_scales_power_only(self):
+        inner = RegulatedSupply(voltage=3.0, max_power=10e-3)
+        scaled = ScaledHarvester(inner, power_scale=0.5)
+        voltage, power = scaled.output(0.0)
+        assert voltage == 3.0
+        assert power == pytest.approx(5e-3)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScaledHarvester(RegulatedSupply(), power_scale=-1.0)

@@ -1,0 +1,182 @@
+"""Cross-module integration scenarios.
+
+These test the behaviours the paper's design hinges on, end to end:
+pre-charged bursts vs critical-path charging, switch reversion under
+darkness (NO/NC hazard), crash-consistent channels across real power
+failures, and the Fixed baseline's retransmission behaviour.
+"""
+
+import pytest
+
+from repro.core.builder import SystemKind
+from repro.energy.environment import PiecewiseTrace
+from repro.energy.harvester import SolarPanel
+from repro.energy.switch import SwitchPolarity
+from repro.kernel.annotations import BurstAnnotation, ConfigAnnotation
+from repro.kernel.executor import IntermittentExecutor, SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph, Transmit
+
+from tests.helpers import (
+    MODE_BIG,
+    MODE_SMALL,
+    build_executor,
+    constant_binding,
+    make_platform,
+    sense_alarm_graph,
+)
+
+
+class TestBurstVsCriticalPathCharging:
+    """Capy-P's pre-charge must beat Capy-R's on-demand charge."""
+
+    def _alarm_times(self, kind: SystemKind, trigger_at: float):
+        def binding(sensor, time):
+            return SensorReading(value=99.0 if time >= trigger_at else 10.0)
+
+        executor = build_executor(kind=kind, binding=binding, max_power=1e-3)
+        executor.run(trigger_at + 120.0)
+        alarms = executor.trace.packets_with_payload_prefix("alarm")
+        return [p.time - trigger_at for p in alarms]
+
+    def test_capy_p_beats_capy_r_latency(self):
+        trigger = 80.0
+        capy_p = self._alarm_times(SystemKind.CAPY_P, trigger)
+        capy_r = self._alarm_times(SystemKind.CAPY_R, trigger)
+        assert capy_p, "Capy-P reported no alarm"
+        assert capy_r, "Capy-R reported no alarm"
+        # Capy-R pays the big-bank charge on the critical path.
+        assert capy_p[0] < capy_r[0]
+
+    def test_capy_r_latency_close_to_big_bank_charge_time(self):
+        trigger = 80.0
+        capy_r = self._alarm_times(SystemKind.CAPY_R, trigger)
+        assert capy_r[0] > 5.0  # well above the small-bank cycle
+
+
+class TestSwitchReversionHazard:
+    """Section 5.2: darkness longer than the latch retention reverts
+    switches — NO back to the small default, NC to full capacity."""
+
+    def _run_with_darkness(self, polarity: SwitchPolarity):
+        spec = make_platform(max_power=2e-3)
+        spec.switch_polarity = polarity
+        # Light, then a 400 s blackout (beyond 180 s retention), then light.
+        spec.harvester = SolarPanel(
+            irradiance=PiecewiseTrace(
+                [(100.0, 0.0), (500.0, 800.0)], initial=800.0
+            )
+        )
+        from repro.core.builder import build_capybara_system
+        from repro.device.board import Board
+        from repro.device.mcu import MCU_MSP430FR5969
+        from repro.device.radio import BLE_CC2650
+        from repro.device.sensors import SENSOR_TMP36
+
+        assembly = build_capybara_system(spec, SystemKind.CAPY_P)
+        board = Board(
+            MCU_MSP430FR5969,
+            assembly.power_system,
+            sensors=[SENSOR_TMP36],
+            radio=BLE_CC2650,
+        )
+        executor = IntermittentExecutor(
+            board,
+            sense_alarm_graph(),
+            assembly.runtime,
+            sensor_binding=constant_binding(20.0),
+        )
+        # Run through light (charges + pre-charges big mode), then let
+        # the blackout revert the switches.
+        executor.run(90.0)
+        reservoir = assembly.power_system.reservoir
+        active_before = set(reservoir.active_names(executor.now))
+        active_after_dark = set(reservoir.active_names(490.0))
+        return active_before, active_after_dark
+
+    def test_normally_open_reverts_to_default_bank(self):
+        _, after = self._run_with_darkness(SwitchPolarity.NORMALLY_OPEN)
+        assert after == {"small"}
+
+    def test_normally_closed_reverts_to_full_capacity(self):
+        _, after = self._run_with_darkness(SwitchPolarity.NORMALLY_CLOSED)
+        assert after == {"small", "big"}
+
+
+class TestCrashConsistency:
+    def test_channel_data_flows_across_power_failures(self):
+        """A counter incremented via channels must never skip or repeat
+        despite power failures (task-atomic Chain updates)."""
+
+        def counter(ctx):
+            value = ctx.read("count", 0)
+            yield Compute(50_000)  # heavy enough to brown out sometimes
+            ctx.write("count", value + 1)
+            ctx.write("trail", ctx.read("trail", []) + [value + 1])
+            return None
+
+        graph = TaskGraph(
+            [Task("counter", counter, ConfigAnnotation(MODE_SMALL))],
+            entry="counter",
+        )
+        executor = build_executor(graph=graph, max_power=1e-3)
+        executor.run(120.0)
+        trail = executor.nv.get("trail", [])
+        completions = executor.trace.counters.get("task_done:counter", 0)
+        assert executor.trace.counters.get("power_failures", 0) > 0
+        assert trail == list(range(1, completions + 1))
+
+    def test_burst_consumption_triggers_reprecharge(self):
+        """After a burst spends the big bank, the next preburst pass
+        must eventually restore it."""
+        clock = {"hot": False}
+
+        def binding(sensor, time):
+            return SensorReading(value=99.0 if clock["hot"] else 10.0)
+
+        executor = build_executor(binding=binding, max_power=2e-3)
+        executor.run(60.0)
+        recorded_before = executor.runtime.precharge_target_recorded(MODE_BIG)
+        assert recorded_before is not None
+        # Fire several alarms to drain the pre-charged bank.
+        clock["hot"] = True
+        executor.run(executor.now + 120.0)
+        clock["hot"] = False
+        executor.run(executor.now + 120.0)
+        big = executor.power_system.reservoir.bank("big")
+        recorded = executor.runtime.precharge_target_recorded(MODE_BIG)
+        assert recorded is not None
+        assert big.voltage >= recorded * 0.8
+
+
+class TestFixedRetransmission:
+    def test_fixed_retries_tx_after_recharge(self):
+        """The Fixed baseline transmits on whatever charge remains; a
+        failed attempt retries after a full recharge (Section 6.3)."""
+
+        def spam(ctx):
+            yield Transmit("ping", 25)
+            return None
+
+        graph = TaskGraph(
+            [Task("spam", spam, BurstAnnotation(MODE_BIG))], entry="spam"
+        )
+        executor = build_executor(
+            kind=SystemKind.FIXED, graph=graph, max_power=1e-3
+        )
+        executor.run(400.0)
+        assert executor.trace.counters.get("tx_failures", 0) > 0
+        assert len(executor.trace.packets) > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            executor = build_executor(binding=constant_binding(40.0))
+            executor.run(90.0)
+            return (
+                [p.time for p in executor.trace.packets],
+                executor.trace.counters,
+                [s.time for s in executor.trace.samples],
+            )
+
+        assert run_once() == run_once()

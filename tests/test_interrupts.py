@@ -1,0 +1,207 @@
+"""WaitForInterrupt semantics across executors."""
+
+import pytest
+
+from repro.core.builder import SystemKind, build_capybara_system
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.errors import TaskGraphError
+from repro.kernel.annotations import ConfigAnnotation, NoAnnotation
+from repro.kernel.baselines import ContinuousExecutor
+from repro.kernel.executor import IntermittentExecutor, SensorReading
+from repro.kernel.tasks import (
+    Sleep,
+    Task,
+    TaskGraph,
+    WaitForInterrupt,
+)
+
+from tests.helpers import MODE_SMALL, make_platform
+
+
+def make_stack(graph, interrupt_source=None, binding=None):
+    assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+    board = Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+    return IntermittentExecutor(
+        board,
+        graph,
+        assembly.runtime,
+        sensor_binding=binding
+        or (lambda sensor, time: SensorReading(value=time)),
+        interrupt_source=interrupt_source,
+    )
+
+
+class TestOperationValidation:
+    def test_line_required(self):
+        with pytest.raises(TaskGraphError):
+            WaitForInterrupt("")
+
+    def test_timeout_positive(self):
+        with pytest.raises(TaskGraphError):
+            WaitForInterrupt("mag", timeout=0.0)
+
+    def test_sentinel_power_non_negative(self):
+        with pytest.raises(TaskGraphError):
+            WaitForInterrupt("mag", sentinel_power=-1.0)
+
+
+class TestIntermittentWait:
+    def make_graph(self, timeout=None, then_idle=False):
+        log = []
+
+        def waiter(ctx):
+            reading = yield WaitForInterrupt("tmp36", timeout=timeout)
+            log.append((ctx.now, reading.value))
+            ctx.write("wakes", ctx.read("wakes", 0) + 1)
+            return "idle" if then_idle else "waiter"
+
+        def idle(ctx):
+            yield Sleep(5.0)
+            return "idle"
+
+        graph = TaskGraph(
+            [
+                Task("waiter", waiter, ConfigAnnotation(MODE_SMALL)),
+                Task("idle", idle, ConfigAnnotation(MODE_SMALL)),
+            ],
+            entry="waiter",
+        )
+        return graph, log
+
+    def test_wakes_at_interrupt_time(self):
+        graph, log = self.make_graph()
+
+        def source(line, time):
+            for fire in (40.0, 70.0):
+                if fire >= time:
+                    return fire
+            return None
+
+        executor = make_stack(graph, interrupt_source=source)
+        executor.run(60.0)
+        assert log and log[0][0] == pytest.approx(40.0, abs=0.5)
+        assert executor.trace.counters.get("interrupt_wakes", 0) >= 1
+
+    def test_sleeping_survives_long_waits(self):
+        """Waiting draws sleep power; with surplus harvest the device
+        must NOT brown out across a long quiet span."""
+        graph, log = self.make_graph(then_idle=True)
+        executor = make_stack(graph, interrupt_source=lambda l, t: 55.0 if t <= 55.0 else None)
+        executor.run(58.0)
+        # One power failure maximum (from the initial cold boot path).
+        assert executor.trace.counters.get("power_failures", 0) <= 1
+        assert executor.nv.get("wakes", 0) == 1
+
+    def test_timeout_bounds_the_wait(self):
+        graph, log = self.make_graph(timeout=10.0)
+        executor = make_stack(graph, interrupt_source=lambda l, t: None)
+        executor.run(45.0)
+        # Watchdog wakes roughly every 10 s once running.
+        assert executor.nv.get("wakes", 0) >= 2
+
+    def test_forever_wait_rejected(self):
+        graph, _ = self.make_graph(timeout=None)
+        executor = make_stack(graph, interrupt_source=None)
+        with pytest.raises(TaskGraphError):
+            executor.run(30.0)
+
+    def test_wake_reading_comes_from_binding(self):
+        graph, log = self.make_graph(then_idle=True)
+        executor = make_stack(
+            graph,
+            interrupt_source=lambda l, t: max(t, 30.0) if t <= 30.0 else None,
+            binding=lambda sensor, time: SensorReading(value=99.0, event_id=5),
+        )
+        executor.run(35.0)
+        assert log and log[0][1] == 99.0
+
+    def test_edges_consumed_exactly_once(self):
+        """A still-asserting level must not storm the MCU: each edge
+        wakes one wait; the next wait sleeps to the next edge."""
+        graph, log = self.make_graph()
+        edges = [20.0, 26.0, 33.0]
+
+        def source(line, time):
+            for edge in edges:
+                if edge >= time:
+                    return edge
+            return None
+
+        executor = make_stack(graph, interrupt_source=source)
+        executor.run(30.0)
+        assert executor.nv.get("wakes", 0) == 2
+        wake_times = [t for t, _ in log]
+        assert wake_times[0] == pytest.approx(20.0, abs=0.5)
+        assert wake_times[1] == pytest.approx(26.0, abs=0.5)
+
+    def test_missed_edge_is_latched(self):
+        """An edge that fires while the device is busy wakes the next
+        wait immediately (flag-register latch)."""
+        graph, log = self.make_graph(then_idle=True)
+        # Edge at t=5: well before the device finishes its first charge
+        # and boots (~8 s at this harvest level is generous: use 1.0).
+        executor = make_stack(graph, interrupt_source=lambda l, t: 1.0 if t <= 1.0 else None)
+        executor.run(30.0)
+        assert executor.nv.get("wakes", 0) == 1
+        # The wake happened as soon as the wait was first armed.
+        assert log[0][0] < 10.0
+
+
+class TestContinuousWait:
+    def test_continuous_executor_waits_too(self):
+        observed = []
+
+        def waiter(ctx):
+            reading = yield WaitForInterrupt("tmp36", timeout=100.0)
+            observed.append((ctx.now, reading.value))
+            return "waiter"
+
+        graph = TaskGraph([Task("waiter", waiter, NoAnnotation())], entry="waiter")
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        board = Board(
+            MCU_MSP430FR5969,
+            assembly.power_system,
+            sensors=[SENSOR_TMP36],
+            radio=BLE_CC2650,
+        )
+        executor = ContinuousExecutor(
+            board,
+            graph,
+            sensor_binding=lambda sensor, time: SensorReading(value=time),
+            interrupt_source=lambda line, time: max(time, 25.0) if time <= 25.0 else None,
+        )
+        executor.run(30.0)
+        assert observed and observed[0][0] == pytest.approx(25.0, abs=0.1)
+
+    def test_continuous_forever_wait_rejected(self):
+        def waiter(ctx):
+            yield WaitForInterrupt("tmp36")
+            return None
+
+        graph = TaskGraph([Task("w", waiter, NoAnnotation())], entry="w")
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        board = Board(
+            MCU_MSP430FR5969, assembly.power_system, sensors=[SENSOR_TMP36]
+        )
+        executor = ContinuousExecutor(board, graph)
+        with pytest.raises(TaskGraphError):
+            executor.run(10.0)
+
+
+class TestStudy:
+    def test_interrupt_study_shapes(self):
+        from repro.experiments import interrupt_study
+
+        result = interrupt_study.run(seed=1, event_count=6)
+        assert result.value("interrupt/reported") >= 5.0
+        assert result.value("interrupt/activations") < result.value(
+            "polling/activations"
+        )

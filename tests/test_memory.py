@@ -1,0 +1,125 @@
+"""Volatile and non-volatile memory crash semantics."""
+
+import pytest
+
+from repro.errors import NonVolatileAccessError
+from repro.kernel.memory import NonVolatileStore, VolatileStore
+
+
+class TestVolatileStore:
+    def test_read_write(self):
+        store = VolatileStore()
+        store["x"] = 42
+        assert store["x"] == 42
+        assert "x" in store
+
+    def test_power_fail_clears(self):
+        store = VolatileStore()
+        store["x"] = 42
+        store.power_fail()
+        assert "x" not in store
+
+    def test_read_after_loss_raises(self):
+        store = VolatileStore()
+        store["x"] = 42
+        store.power_fail()
+        with pytest.raises(NonVolatileAccessError):
+            _ = store["x"]
+
+    def test_get_with_default(self):
+        store = VolatileStore()
+        assert store.get("missing", "fallback") == "fallback"
+
+
+class TestDurableWrites:
+    def test_put_get(self):
+        nv = NonVolatileStore()
+        nv.put("pointer", "task-a")
+        assert nv.get("pointer") == "task-a"
+
+    def test_put_survives_power_failure(self):
+        nv = NonVolatileStore()
+        nv.put("pointer", "task-a")
+        nv.power_fail()
+        assert nv.get("pointer") == "task-a"
+
+    def test_delete(self):
+        nv = NonVolatileStore()
+        nv.put("key", 1)
+        nv.delete("key")
+        assert nv.get("key") is None
+        nv.delete("key")  # idempotent
+
+    def test_contains(self):
+        nv = NonVolatileStore()
+        nv.put("key", 1)
+        assert "key" in nv
+        assert "other" not in nv
+
+
+class TestTransactions:
+    def test_staged_invisible_until_commit(self):
+        nv = NonVolatileStore()
+        nv.put("channel", "old")
+        nv.stage("channel", "new")
+        assert nv.get("channel") == "old"
+        nv.commit()
+        assert nv.get("channel") == "new"
+
+    def test_staged_get_reads_own_writes(self):
+        nv = NonVolatileStore()
+        nv.put("channel", "old")
+        nv.stage("channel", "new")
+        assert nv.staged_get("channel") == "new"
+
+    def test_abort_discards(self):
+        nv = NonVolatileStore()
+        nv.put("channel", "old")
+        nv.stage("channel", "new")
+        nv.abort()
+        assert nv.get("channel") == "old"
+        assert not nv.has_staged
+
+    def test_power_fail_discards_staged(self):
+        """Chain semantics: a task interrupted mid-flight leaves its
+        inputs untouched."""
+        nv = NonVolatileStore()
+        nv.put("channel", "old")
+        nv.stage("channel", "new")
+        nv.power_fail()
+        assert nv.get("channel") == "old"
+
+    def test_commit_returns_count(self):
+        nv = NonVolatileStore()
+        nv.stage("a", 1)
+        nv.stage("b", 2)
+        assert nv.commit() == 2
+        assert nv.commit() == 0
+
+    def test_commit_abort_counters(self):
+        nv = NonVolatileStore()
+        nv.stage("a", 1)
+        nv.commit()
+        nv.stage("b", 2)
+        nv.abort()
+        assert nv.commit_count == 1
+        assert nv.abort_count == 1
+
+    def test_empty_commit_not_counted(self):
+        nv = NonVolatileStore()
+        nv.commit()
+        assert nv.commit_count == 0
+
+    def test_snapshot_is_a_copy(self):
+        nv = NonVolatileStore()
+        nv.put("a", 1)
+        snap = nv.snapshot()
+        snap["a"] = 99
+        assert nv.get("a") == 1
+
+    def test_keys_and_items(self):
+        nv = NonVolatileStore()
+        nv.put("a", 1)
+        nv.put("b", 2)
+        assert sorted(nv.keys()) == ["a", "b"]
+        assert dict(nv.items()) == {"a": 1, "b": 2}

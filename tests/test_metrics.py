@@ -1,0 +1,179 @@
+"""Metric extraction from traces."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppInstance
+from repro.apps.rigs import EventSchedule, ScheduledEvent, ThermalRig
+from repro.core.builder import SystemKind
+from repro.experiments import metrics
+from repro.sim.trace import Trace
+
+
+class _StubExecutor:
+    def run(self, horizon):
+        raise NotImplementedError
+
+
+def make_instance(schedule, trace, extras=None) -> AppInstance:
+    return AppInstance(
+        name="stub",
+        kind=SystemKind.CAPY_P,
+        executor=_StubExecutor(),
+        schedule=schedule,
+        trace=trace,
+        extras=extras or {},
+    )
+
+
+def gesture_schedule(count=4):
+    events = [
+        ScheduledEvent(i, start=10.0 + 10.0 * i, duration=2.0, kind="gesture")
+        for i in range(count)
+    ]
+    return EventSchedule(events)
+
+
+class TestGRCOutcomes:
+    def test_taxonomy(self):
+        schedule = gesture_schedule(4)
+        trace = Trace()
+        trace.record_packet(11.0, "gesture:ok", 8, event_id=0)
+        trace.record_packet(21.0, "gesture:bad", 8, event_id=1)
+        trace.record_sample(31.0, "apds9960-gesture", 0.0, event_id=2)
+        # event 3: nothing at all
+        outcomes = metrics.grc_outcomes(make_instance(schedule, trace))
+        assert outcomes.counts[metrics.GRC_CORRECT] == 1
+        assert outcomes.counts[metrics.GRC_MISCLASSIFIED] == 1
+        assert outcomes.counts[metrics.GRC_PROXIMITY_ONLY] == 1
+        assert outcomes.counts[metrics.GRC_MISSED] == 1
+
+    def test_first_packet_wins(self):
+        schedule = gesture_schedule(1)
+        trace = Trace()
+        trace.record_packet(11.0, "gesture:bad", 8, event_id=0)
+        trace.record_packet(11.5, "gesture:ok", 8, event_id=0)
+        outcomes = metrics.grc_outcomes(make_instance(schedule, trace))
+        assert outcomes.counts[metrics.GRC_MISCLASSIFIED] == 1
+
+    def test_accuracy_fraction(self):
+        schedule = gesture_schedule(2)
+        trace = Trace()
+        trace.record_packet(11.0, "gesture:ok", 8, event_id=0)
+        instance = make_instance(schedule, trace)
+        assert metrics.grc_accuracy(instance) == pytest.approx(0.5)
+
+    def test_empty_total(self):
+        counts = metrics.OutcomeCounts()
+        assert counts.fraction("anything") == 0.0
+
+
+class TestTAAccuracy:
+    def test_reference_relative(self):
+        schedule = gesture_schedule(3)
+        ref_trace = Trace()
+        for event_id in (0, 1):
+            ref_trace.record_packet(
+                11.0 + event_id, "alarm", 25, event_id=event_id
+            )
+        dut_trace = Trace()
+        dut_trace.record_packet(12.0, "alarm", 25, event_id=0)
+        reference = make_instance(schedule, ref_trace)
+        dut = make_instance(schedule, dut_trace)
+        # DUT reported 1 of the 2 reference-reported events.
+        assert metrics.ta_accuracy(dut, reference) == pytest.approx(0.5)
+
+    def test_empty_reference(self):
+        schedule = gesture_schedule(1)
+        dut = make_instance(schedule, Trace())
+        reference = make_instance(schedule, Trace())
+        assert metrics.ta_accuracy(dut, reference) == 0.0
+
+    def test_reported_ids_prefix_filter(self):
+        trace = Trace()
+        trace.record_packet(1.0, "alarm", 25, event_id=0)
+        trace.record_packet(2.0, "heartbeat", 8, event_id=1)
+        assert metrics.reported_ids(trace, "alarm") == [0]
+        assert metrics.reported_ids(trace) == [0, 1]
+
+
+class TestCSRAccuracy:
+    def test_fraction_of_events(self):
+        schedule = gesture_schedule(4)
+        trace = Trace()
+        trace.record_packet(11.0, "csr-report", 8, event_id=0)
+        trace.record_packet(21.0, "csr-report", 8, event_id=1)
+        instance = make_instance(schedule, trace)
+        assert metrics.csr_accuracy(instance) == pytest.approx(0.5)
+
+
+class TestLatency:
+    def test_event_latencies(self):
+        schedule = gesture_schedule(2)
+        trace = Trace()
+        trace.record_packet(11.5, "gesture:ok", 8, event_id=0)
+        trace.record_packet(23.0, "gesture:ok", 8, event_id=1)
+        instance = make_instance(schedule, trace)
+        latencies = metrics.event_latencies(instance)
+        assert latencies == pytest.approx([1.5, 3.0])
+
+    def test_relative_latencies(self):
+        schedule = gesture_schedule(2)
+        ref_trace = Trace()
+        ref_trace.record_packet(10.5, "alarm", 25, event_id=0)
+        dut_trace = Trace()
+        dut_trace.record_packet(14.5, "alarm", 25, event_id=0)
+        delays = metrics.relative_latencies(
+            make_instance(schedule, dut_trace),
+            make_instance(schedule, ref_trace),
+        )
+        assert delays == pytest.approx([4.0])
+
+    def test_mean_empty(self):
+        assert metrics.mean([]) == 0.0
+
+
+class TestIntervalBreakdown:
+    def make_ta_instance(self, sample_times, sampled_event=None):
+        schedule = EventSchedule(
+            [ScheduledEvent(0, 60.0, 20.0, "temperature", direction=1)]
+        )
+        rig = ThermalRig(schedule, horizon=200.0)
+        trace = Trace()
+        for t in sample_times:
+            event_id = None
+            excursion = rig.excursion_for(0)
+            if (
+                sampled_event is not None
+                and excursion is not None
+                and excursion[0] <= t <= excursion[1]
+            ):
+                event_id = 0
+            trace.record_sample(t, "tmp36", 37.0, event_id=event_id)
+        return make_instance(schedule, trace, extras={"rig": rig})
+
+    def test_back_to_back_classified(self):
+        instance = self.make_ta_instance([1.0, 1.2, 1.4, 150.0])
+        breakdown = metrics.ta_interval_breakdown(instance)
+        assert len(breakdown.back_to_back) == 2
+        assert breakdown.spaced_count == 1
+
+    def test_missed_event_interval_flagged(self):
+        # No sample during the excursion: the 1 -> 150 s gap misses it.
+        instance = self.make_ta_instance([1.0, 150.0])
+        breakdown = metrics.ta_interval_breakdown(instance)
+        assert len(breakdown.missed_events) == 1
+        assert len(breakdown.quiet) == 0
+
+    def test_observed_event_interval_quiet(self):
+        # A sample inside the excursion observes the event.
+        instance = self.make_ta_instance([1.0, 70.0, 150.0], sampled_event=0)
+        breakdown = metrics.ta_interval_breakdown(instance)
+        assert len(breakdown.missed_events) == 0
+        assert len(breakdown.quiet) == 2
+
+    def test_requires_rig(self):
+        schedule = EventSchedule([])
+        instance = make_instance(schedule, Trace())
+        with pytest.raises(ValueError):
+            metrics.ta_interval_breakdown(instance)

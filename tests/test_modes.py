@@ -1,0 +1,86 @@
+"""Energy mode registry."""
+
+import pytest
+
+from repro.core.modes import EnergyMode, ModeRegistry
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.energy.switch import BankSwitch
+from repro.errors import EnergyModeError
+
+
+@pytest.fixture
+def reservoir() -> ReconfigurableReservoir:
+    res = ReconfigurableReservoir()
+    res.add_bank(BankSpec.single("small", CERAMIC_X5R, 2))
+    res.add_bank(
+        BankSpec.single("big", TANTALUM_POLYMER, 3), switch=BankSwitch(name="big")
+    )
+    return res
+
+
+class TestEnergyMode:
+    def test_of_builds_frozenset(self):
+        mode = EnergyMode.of("m", ["a", "b"])
+        assert mode.banks == frozenset({"a", "b"})
+
+    def test_to_config(self):
+        mode = EnergyMode.of("m", ["a"])
+        config = mode.to_config()
+        assert config.name == "m"
+        assert config.bank_names == frozenset({"a"})
+
+
+class TestRegistry:
+    def test_define_and_get(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        registry.define("sense", ["small"])
+        assert registry.get("sense").banks == frozenset({"small"})
+        assert "sense" in registry
+
+    def test_duplicate_rejected(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        registry.define("m", ["small"])
+        with pytest.raises(EnergyModeError):
+            registry.define("m", ["small"])
+
+    def test_unknown_mode_raises(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        with pytest.raises(EnergyModeError):
+            registry.get("missing")
+
+    def test_empty_banks_rejected(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        with pytest.raises(EnergyModeError):
+            registry.define("m", [])
+
+    def test_unknown_banks_rejected(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        with pytest.raises(EnergyModeError):
+            registry.define("m", ["small", "huge"])
+
+    def test_must_include_hardwired(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        with pytest.raises(EnergyModeError):
+            registry.define("m", ["big"])  # omits hardwired "small"
+
+    def test_capacitance_of(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        registry.define("both", ["small", "big"])
+        expected = (
+            reservoir.bank("small").capacitance + reservoir.bank("big").capacitance
+        )
+        assert registry.capacitance_of("both") == pytest.approx(expected)
+
+    def test_capacitance_requires_reservoir(self):
+        registry = ModeRegistry()
+        registry.define("m", ["anything"])  # unvalidated without reservoir
+        with pytest.raises(EnergyModeError):
+            registry.capacitance_of("m")
+
+    def test_names(self, reservoir):
+        registry = ModeRegistry(reservoir)
+        registry.define("a", ["small"])
+        registry.define("b", ["small", "big"])
+        assert registry.names == ["a", "b"]

@@ -1,0 +1,86 @@
+"""ASCII figure renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plots import (
+    ascii_bars,
+    ascii_histogram,
+    ascii_timeline,
+    spark,
+)
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self):
+        text = ascii_histogram([1.0, 1.1, 2.0, 9.0], bins=4)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 4
+
+    def test_label_included(self):
+        text = ascii_histogram([1.0], label="gaps")
+        assert text.splitlines()[0] == "gaps"
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_histogram([])
+
+    def test_explicit_range(self):
+        text = ascii_histogram([5.0], bins=2, bin_range=(0.0, 10.0))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].strip().startswith("5.0")
+
+    def test_bins_validated(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([1.0], bins=0)
+
+    def test_degenerate_range(self):
+        # All-equal values must not divide by zero.
+        text = ascii_histogram([3.0, 3.0, 3.0], bins=3)
+        assert "3" in text
+
+
+class TestBars:
+    def test_each_series_rendered(self):
+        text = ascii_bars({"Fixed": 0.46, "CB-P": 0.98}, unit="")
+        assert "Fixed" in text and "CB-P" in text
+
+    def test_peak_gets_full_bar(self):
+        text = ascii_bars({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert "(no data)" in ascii_bars({})
+
+
+class TestTimeline:
+    def test_renders_grid(self):
+        points = [(t, 2.4 - 0.1 * t) for t in range(10)]
+        text = ascii_timeline(points, width=30, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 5 rows + time axis
+        assert "*" in text
+
+    def test_too_few_points(self):
+        assert "not enough data" in ascii_timeline([(0.0, 1.0)])
+
+    def test_extremes_land_on_borders(self):
+        points = [(0.0, 0.0), (10.0, 1.0)]
+        text = ascii_timeline(points, width=20, height=4, label="v")
+        lines = text.splitlines()[1:]
+        assert "*" in lines[0]  # max value on the top row
+        assert "*" in lines[-2]  # min value on the bottom row
+
+
+class TestSpark:
+    def test_length_matches(self):
+        assert len(spark([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        line = spark([0, 1, 2, 3, 4, 5])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_empty(self):
+        assert spark([]) == ""

@@ -1,0 +1,193 @@
+"""The assembled power system: charging and discharging integration."""
+
+import math
+
+import pytest
+
+from repro.core.builder import SystemKind, build_capybara_system
+from repro.core.powersystem import CapybaraPowerSystem
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.capacitor import CERAMIC_X5R
+from repro.energy.environment import PiecewiseTrace
+from repro.energy.harvester import RegulatedSupply, SolarPanel
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.errors import PowerSystemError
+
+from tests.helpers import make_platform
+
+
+def simple_system(max_power=2e-3) -> CapybaraPowerSystem:
+    reservoir = ReconfigurableReservoir()
+    reservoir.add_bank(BankSpec.single("only", CERAMIC_X5R, 4))
+    return CapybaraPowerSystem(
+        harvester=RegulatedSupply(voltage=3.0, max_power=max_power),
+        reservoir=reservoir,
+    )
+
+
+class TestCharging:
+    def test_charge_reaches_target(self):
+        ps = simple_system()
+        result = ps.charge(0.0, max_duration=60.0)
+        assert result.reached_target
+        assert ps.is_charged(result.elapsed)
+
+    def test_charge_time_scales_with_capacity(self):
+        small = simple_system()
+        big_res = ReconfigurableReservoir()
+        big_res.add_bank(BankSpec.single("only", CERAMIC_X5R, 40))
+        big = CapybaraPowerSystem(
+            harvester=RegulatedSupply(voltage=3.0, max_power=2e-3),
+            reservoir=big_res,
+        )
+        t_small = small.charge(0.0, 1e5).elapsed
+        t_big = big.charge(0.0, 1e5).elapsed
+        assert t_big > 5 * t_small
+
+    def test_charge_respects_max_duration(self):
+        ps = simple_system(max_power=1e-5)
+        result = ps.charge(0.0, max_duration=5.0)
+        assert result.elapsed == pytest.approx(5.0, abs=0.5)
+        assert not result.reached_target
+
+    def test_charge_in_darkness_makes_no_progress(self):
+        ps = CapybaraPowerSystem(
+            harvester=RegulatedSupply(voltage=3.0, max_power=0.0),
+            reservoir=simple_system().reservoir,
+        )
+        result = ps.charge(0.0, max_duration=20.0)
+        assert not result.reached_target
+        assert result.energy_stored == 0.0
+
+    def test_step_trace_tracked(self):
+        """Charging follows a step trace: dark first, then power."""
+        reservoir = ReconfigurableReservoir()
+        reservoir.add_bank(BankSpec.single("only", CERAMIC_X5R, 4))
+        panel = SolarPanel(
+            irradiance=PiecewiseTrace([(30.0, 800.0)], initial=0.0)
+        )
+        ps = CapybaraPowerSystem(harvester=panel, reservoir=reservoir)
+        result = ps.charge(0.0, max_duration=300.0)
+        assert result.reached_target
+        assert result.elapsed > 30.0  # nothing happened before sunrise
+
+    def test_time_to_charge_estimate(self):
+        ps = simple_system()
+        estimate = ps.time_to_charge_estimate(0.0)
+        actual = ps.charge(0.0, 1e5).elapsed
+        # The estimate ignores the efficiency ramp's variation but must
+        # be the right order of magnitude.
+        assert estimate == pytest.approx(actual, rel=0.75)
+
+    def test_estimate_infinite_in_darkness(self):
+        ps = CapybaraPowerSystem(
+            harvester=RegulatedSupply(voltage=3.0, max_power=0.0),
+            reservoir=simple_system().reservoir,
+        )
+        assert math.isinf(ps.time_to_charge_estimate(0.0))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PowerSystemError):
+            simple_system().charge(0.0, -1.0)
+
+
+class TestDischarging:
+    def test_discharge_for_duration(self):
+        ps = simple_system()
+        ps.charge(0.0, 1e4)
+        result = ps.discharge(0.0, load_power=1e-3, duration=0.05)
+        assert result.elapsed == pytest.approx(0.05)
+        assert not result.browned_out
+        assert result.energy_delivered == pytest.approx(5e-5)
+
+    def test_discharge_browns_out(self):
+        ps = simple_system()
+        ps.charge(0.0, 1e4)
+        result = ps.discharge(0.0, load_power=20e-3, duration=1e4)
+        assert result.browned_out
+        assert result.elapsed < 1e4
+
+    def test_can_deliver(self):
+        ps = simple_system()
+        assert not ps.can_deliver(0.0, 1e-3)  # empty
+        ps.charge(0.0, 1e4)
+        assert ps.can_deliver(0.0, 1e-3)
+
+    def test_surplus_harvest_recharges_during_light_load(self):
+        ps = simple_system(max_power=5e-3)
+        ps.charge(0.0, 1e4)
+        ps.discharge(0.0, load_power=10e-3, duration=0.2)  # drain a bit
+        v_low = ps.reservoir.active_voltage(0.0)
+        # A very light load lets the harvester win and recharge.
+        ps.discharge(0.0, load_power=1e-6, duration=30.0)
+        assert ps.reservoir.active_voltage(0.0) > v_low
+
+    def test_time_to_brownout_estimate_order(self):
+        ps = simple_system()
+        ps.charge(0.0, 1e4)
+        estimate = ps.time_to_brownout_estimate(0.0, 5e-3)
+        probe = simple_system()
+        probe.charge(0.0, 1e4)
+        actual = probe.discharge(0.0, 5e-3, 1e5).elapsed
+        assert estimate == pytest.approx(actual, rel=0.5)
+
+    def test_discharge_floor_above_booster_minimum(self):
+        ps = simple_system()
+        floor = ps.discharge_floor(0.0, 5e-3)
+        assert floor >= ps.output_booster.v_in_min
+
+
+class TestHarvestPoint:
+    def test_limiter_applies(self):
+        reservoir = ReconfigurableReservoir()
+        reservoir.add_bank(BankSpec.single("only", CERAMIC_X5R, 4))
+        ps = CapybaraPowerSystem(
+            harvester=RegulatedSupply(voltage=9.0, max_power=1e-3),
+            reservoir=reservoir,
+        )
+        voltage, power = ps.harvest_point(0.0)
+        assert voltage == ps.limiter.v_clamp
+        assert power < 1e-3
+
+
+class TestBuilderIntegration:
+    def test_builder_produces_working_system(self):
+        assembly = build_capybara_system(make_platform(), SystemKind.CAPY_P)
+        ps = assembly.power_system
+        result = ps.charge(0.0, 1e5)
+        assert result.reached_target
+        assert set(assembly.modes.names) == {"m-small", "m-big"}
+
+
+class TestOperatingQueries:
+    def test_can_power_tracks_floor(self):
+        ps = simple_system()
+        ps.charge(0.0, 1e4)
+        assert ps.output_booster.can_power(
+            CapacitorBank(BankSpec.single("probe", CERAMIC_X5R, 4), 2.4), 1e-3
+        )
+
+    def test_discharge_floor_grows_with_load(self):
+        ps = simple_system()
+        assert ps.discharge_floor(0.0, 20e-3) >= ps.discharge_floor(0.0, 1e-3)
+
+    def test_charge_power_zero_when_full(self):
+        ps = simple_system()
+        ps.reservoir.bank("only").set_voltage(
+            ps.input_booster.v_charge_target
+        )
+        assert ps.charge_power(0.0) == 0.0
+
+    def test_charge_target_source_override(self):
+        ps = simple_system()
+        ps.charge_target_source = lambda: 1.9
+        assert ps.charge_target_voltage(0.0) == pytest.approx(1.9)
+        result = ps.charge(0.0, 1e4)
+        assert result.reached_target
+        assert ps.reservoir.active_voltage(0.0) == pytest.approx(1.9, abs=1e-3)
+
+    def test_charge_with_explicit_target(self):
+        ps = simple_system()
+        result = ps.charge(0.0, 1e4, target_voltage=1.5)
+        assert result.reached_target
+        assert ps.reservoir.active_voltage(0.0) == pytest.approx(1.5, abs=1e-3)

@@ -1,0 +1,147 @@
+"""Property-based tests on the energy substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.bank import BankSpec, CapacitorBank
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+    Capacitor,
+    CapacitorSpec,
+    parallel_esr,
+)
+from repro.units import capacitor_energy, voltage_for_energy
+
+PARTS = [CERAMIC_X5R, TANTALUM_POLYMER, EDLC_CPH3225A]
+
+voltages = st.floats(min_value=0.0, max_value=3.3, allow_nan=False)
+energies = st.floats(min_value=0.0, max_value=0.05, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+part_choices = st.sampled_from(PARTS)
+counts = st.integers(min_value=1, max_value=6)
+
+
+class TestCapacitorProperties:
+    @given(part=part_choices, v=voltages)
+    def test_energy_voltage_round_trip(self, part, v):
+        v = min(v, part.rated_voltage)
+        energy = part.energy_at(v)
+        assert voltage_for_energy(part.effective_capacitance, energy) == (
+            __import__("pytest").approx(v, abs=1e-9)
+        )
+
+    @given(part=part_choices, v=voltages, e=energies)
+    def test_store_never_exceeds_rated(self, part, v, e):
+        cap = Capacitor(part, initial_voltage=min(v, part.rated_voltage))
+        cap.store(e)
+        assert cap.voltage <= part.rated_voltage + 1e-9
+
+    @given(part=part_choices, v=voltages, e=energies)
+    def test_extract_never_negative(self, part, v, e):
+        cap = Capacitor(part, initial_voltage=min(v, part.rated_voltage))
+        cap.extract(e)
+        assert cap.voltage >= 0.0
+
+    @given(part=part_choices, v=voltages, e=energies)
+    def test_store_extract_is_identity_within_capacity(self, part, v, e):
+        cap = Capacitor(part, initial_voltage=min(v, part.rated_voltage))
+        before = cap.energy
+        absorbed = cap.store(e)
+        delivered = cap.extract(absorbed)
+        assert math.isclose(delivered, absorbed, rel_tol=1e-9, abs_tol=1e-15)
+        assert math.isclose(cap.energy, before, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(part=part_choices, v=voltages, t=durations)
+    def test_leak_is_monotone_decay(self, part, v, t):
+        cap = Capacitor(part, initial_voltage=min(v, part.rated_voltage))
+        before = cap.voltage
+        lost = cap.leak(t)
+        assert cap.voltage <= before
+        assert lost >= 0.0
+
+    @given(
+        esrs=st.lists(
+            st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=8
+        )
+    )
+    def test_parallel_esr_below_minimum(self, esrs):
+        combined = parallel_esr(esrs)
+        assert combined <= min(esrs) + 1e-12
+
+
+class TestBankProperties:
+    @given(part=part_choices, count=counts, e=energies)
+    def test_bank_energy_conservation(self, part, count, e):
+        bank = CapacitorBank(BankSpec.single("b", part, count))
+        absorbed = bank.store(e)
+        assert absorbed <= e + 1e-15
+        delivered = bank.extract(absorbed)
+        assert math.isclose(delivered, absorbed, rel_tol=1e-9, abs_tol=1e-15)
+
+    @given(part=part_choices, count=counts)
+    def test_bank_capacitance_scales_linearly(self, part, count):
+        one = BankSpec.single("one", part, 1).capacitance
+        many = BankSpec.single("many", part, count).capacitance
+        assert math.isclose(many, count * one, rel_tol=1e-9)
+
+    @given(part=part_choices, count=counts, v=voltages)
+    def test_charge_then_discharge_times_positive(self, part, count, v):
+        spec = BankSpec.single("b", part, count)
+        v = min(v, spec.rated_voltage)
+        bank = CapacitorBank(spec, initial_voltage=v)
+        if v < spec.rated_voltage:
+            assert bank.charge_time(v, spec.rated_voltage, 1e-3) >= 0.0
+        assert bank.discharge_time(v, 0.0, 1e-3) >= 0.0
+
+
+class TestBoosterProperties:
+    @given(
+        v=st.floats(min_value=0.8, max_value=3.3),
+        esr=st.floats(min_value=1e-3, max_value=50.0),
+        p=st.floats(min_value=1e-5, max_value=5e-3),
+    )
+    def test_bank_current_satisfies_power_balance(self, v, esr, p):
+        booster = OutputBooster(quiescent_power=0.0)
+        p_in = booster.input_power_for_load(p)
+        if v * v < 4.0 * esr * p_in:
+            return  # infeasible operating point
+        current = booster.bank_current(v, esr, p)
+        assert math.isclose(current * (v - current * esr), p_in, rel_tol=1e-6)
+
+    @given(
+        esr=st.floats(min_value=1e-3, max_value=200.0),
+        p=st.floats(min_value=1e-5, max_value=30e-3),
+    )
+    def test_floor_supports_the_load(self, esr, p):
+        booster = OutputBooster(quiescent_power=0.0)
+        floor = booster.min_bank_voltage(esr, p)
+        # Just above the floor the operating point must be feasible.
+        booster.bank_current(floor * 1.001, esr, p)
+
+    @given(
+        v_cap=st.floats(min_value=0.0, max_value=2.39),
+        hv=st.floats(min_value=0.2, max_value=5.0),
+        hp=st.floats(min_value=0.0, max_value=20e-3),
+    )
+    def test_charge_power_bounded_by_harvest(self, v_cap, hv, hp):
+        booster = InputBooster()
+        power = booster.charge_power(v_cap, hv, hp)
+        assert 0.0 <= power <= hp + 1e-15
+
+    @settings(max_examples=25)
+    @given(part=part_choices, count=counts, p=st.floats(min_value=1e-4, max_value=5e-3))
+    def test_discharge_terminates(self, part, count, p):
+        """Regression property for the droop-floor FP hang."""
+        booster = OutputBooster()
+        spec = BankSpec.single("b", part, count)
+        bank = CapacitorBank(
+            spec, initial_voltage=min(2.4, spec.rated_voltage)
+        )
+        time_ran, browned = booster.discharge(bank, p, 1e6)
+        assert math.isfinite(time_ran)
+        assert browned

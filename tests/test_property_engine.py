@@ -1,0 +1,91 @@
+"""Property-based tests on the event engine and schedules (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.apps.rigs import EventSchedule
+from repro.sim.engine import Simulator
+from repro.sim.rand import poisson_arrival_times
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=50
+)
+
+
+class TestEngineProperties:
+    @given(script=delays)
+    def test_events_fire_in_nondecreasing_time_order(self, script):
+        sim = Simulator()
+        fired = []
+        for delay in script:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(script)
+
+    @given(script=delays)
+    def test_clock_never_goes_backwards(self, script):
+        sim = Simulator()
+        observed = []
+        for delay in script:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        last = -1.0
+        while sim.step():
+            assert sim.now >= last
+            last = sim.now
+
+    @given(script=delays, horizon=st.floats(min_value=0.0, max_value=100.0))
+    def test_run_until_executes_exactly_in_window(self, script, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in script:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(horizon)
+        assert sorted(fired) == sorted(d for d in script if d <= horizon)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        mean=st.floats(min_value=1.0, max_value=100.0),
+        count=st.integers(min_value=1, max_value=60),
+        duration=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_poisson_schedules_never_overlap(self, seed, mean, count, duration):
+        rng = np.random.default_rng(seed)
+        schedule = EventSchedule.poisson(
+            rng, mean_interarrival=mean, count=count, duration=duration, kind="x"
+        )
+        for earlier, later in zip(schedule.events, schedule.events[1:]):
+            assert later.start >= earlier.end
+
+    @settings(max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=1, max_value=40),
+    )
+    def test_event_at_consistent_with_windows(self, seed, count):
+        rng = np.random.default_rng(seed)
+        schedule = EventSchedule.poisson(
+            rng, mean_interarrival=10.0, count=count, duration=2.0, kind="x"
+        )
+        for event in schedule.events:
+            mid = event.start + event.duration / 2.0
+            found = schedule.event_at(mid)
+            assert found is not None and found.event_id == event.event_id
+            before = schedule.event_at(event.start - 0.05)
+            assert before is None or before.event_id != event.event_id
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_same_seed_same_schedule(self, seed):
+        one = EventSchedule.poisson(
+            np.random.default_rng(seed), 10.0, count=10, duration=1.0, kind="x"
+        )
+        two = EventSchedule.poisson(
+            np.random.default_rng(seed), 10.0, count=10, duration=1.0, kind="x"
+        )
+        assert [e.start for e in one.events] == [e.start for e in two.events]

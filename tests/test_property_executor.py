@@ -1,0 +1,143 @@
+"""Property-based tests of the intermittent executor (hypothesis).
+
+Random harvest traces and workload shapes; the executor must uphold its
+structural invariants regardless: monotone time, consistent counters,
+bounded voltages, crash-consistent channels.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import PlatformSpec, SystemKind, build_capybara_system
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.environment import PiecewiseTrace
+from repro.energy.harvester import SolarPanel
+from repro.kernel.annotations import ConfigAnnotation
+from repro.kernel.executor import IntermittentExecutor, SensorReading
+from repro.kernel.tasks import Compute, Sample, Task, TaskGraph
+
+# Random step traces: 3-6 segments of 0-800 W/m^2, 20-80 s each.
+trace_segments = st.lists(
+    st.tuples(
+        st.floats(min_value=20.0, max_value=80.0),
+        st.floats(min_value=0.0, max_value=800.0),
+    ),
+    min_size=3,
+    max_size=6,
+)
+
+work_sizes = st.integers(min_value=1_000, max_value=400_000)
+
+
+def build(trace_spec, ops):
+    breakpoints = []
+    t = 0.0
+    for duration, level in trace_spec:
+        t += duration
+        breakpoints.append((t, level))
+    spec = PlatformSpec(
+        banks=[
+            BankSpec.of_parts("small", [(CERAMIC_X5R, 3)]),
+            BankSpec.of_parts("big", [(TANTALUM_POLYMER, 6)]),
+        ],
+        modes={"m-small": ["small"], "m-big": ["small", "big"]},
+        fixed_bank=BankSpec.of_parts("fixed", [(CERAMIC_X5R, 3)]),
+        harvester=SolarPanel(irradiance=PiecewiseTrace(breakpoints, initial=400.0)),
+    )
+    assembly = build_capybara_system(spec, SystemKind.CAPY_P)
+    board = Board(
+        MCU_MSP430FR5969,
+        assembly.power_system,
+        sensors=[SENSOR_TMP36],
+        radio=BLE_CC2650,
+    )
+
+    def work(ctx):
+        reading = yield Sample("tmp36")
+        yield Compute(ops)
+        ctx.write("count", ctx.read("count", 0) + 1)
+        ctx.write("last", reading.value)
+        return None
+
+    graph = TaskGraph(
+        [Task("work", work, ConfigAnnotation("m-small"))], entry="work"
+    )
+    return IntermittentExecutor(
+        board,
+        graph,
+        assembly.runtime,
+        sensor_binding=lambda sensor, time: SensorReading(value=time),
+        max_power_failures_per_task=1_000_000,
+    )
+
+
+class TestExecutorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(trace_spec=trace_segments, ops=work_sizes)
+    def test_time_monotone_and_bounded(self, trace_spec, ops):
+        executor = build(trace_spec, ops)
+        horizon = 90.0
+        executor.run(horizon)
+        assert abs(executor.now - horizon) < 1.0
+        times = [record.time for record in executor.trace.states]
+        assert times == sorted(times)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace_spec=trace_segments, ops=work_sizes)
+    def test_voltage_always_within_physical_bounds(self, trace_spec, ops):
+        executor = build(trace_spec, ops)
+        executor.run(90.0)
+        rated = max(
+            executor.power_system.reservoir.bank(name).spec.rated_voltage
+            for name in executor.power_system.reservoir.bank_names
+        )
+        for record in executor.trace.voltages:
+            assert -1e-9 <= record.voltage <= rated + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace_spec=trace_segments, ops=work_sizes)
+    def test_channel_counter_matches_completions(self, trace_spec, ops):
+        """Crash consistency: the committed counter equals the number of
+        committed task completions, no matter where failures landed."""
+        executor = build(trace_spec, ops)
+        executor.run(90.0)
+        completions = executor.trace.counters.get("task_done:work", 0)
+        assert executor.nv.get("count", 0) == completions
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace_spec=trace_segments, ops=work_sizes)
+    def test_samples_only_while_running(self, trace_spec, ops):
+        """Every sample timestamp must fall inside a running interval
+        (closed by a later state record) or after the final boot."""
+        executor = build(trace_spec, ops)
+        executor.run(90.0)
+        running = executor.trace.state_intervals("running")
+        last_running_start = None
+        for record in executor.trace.states:
+            if record.state == "running":
+                last_running_start = record.time
+        for sample in executor.trace.samples:
+            inside_closed = any(
+                begin - 1e-9 <= sample.time <= end + 1e-9
+                for begin, end in running
+            )
+            inside_tail = (
+                last_running_start is not None
+                and sample.time >= last_running_start - 1e-9
+            )
+            assert inside_closed or inside_tail
+
+    @settings(max_examples=10, deadline=None)
+    @given(trace_spec=trace_segments, ops=work_sizes)
+    def test_deterministic_given_inputs(self, trace_spec, ops):
+        one = build(trace_spec, ops)
+        one.run(60.0)
+        two = build(trace_spec, ops)
+        two.run(60.0)
+        assert one.trace.counters == two.trace.counters
+        assert one.nv.get("count", 0) == two.nv.get("count", 0)

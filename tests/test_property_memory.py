@@ -1,0 +1,165 @@
+"""Property-based crash-consistency tests on NV memory and the
+reservoir (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.reservoir import ReconfigurableReservoir, ReservoirConfig
+from repro.energy.switch import BankSwitch, SwitchPolarity
+from repro.kernel.memory import NonVolatileStore
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+values = st.integers(min_value=-1000, max_value=1000)
+
+#: An operation script: (op, key, value) tuples.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "stage", "commit", "abort", "power_fail"]),
+        keys,
+        values,
+    ),
+    max_size=40,
+)
+
+
+class TestNVMemoryProperties:
+    @given(script=ops)
+    def test_committed_state_never_contains_partial_transaction(self, script):
+        """Replay a random op script against the store and a pure-Python
+        model; the committed views must agree at every step."""
+        nv = NonVolatileStore()
+        model_committed = {}
+        model_staged = {}
+        for op, key, value in script:
+            if op == "put":
+                nv.put(key, value)
+                model_committed[key] = value
+            elif op == "stage":
+                nv.stage(key, value)
+                model_staged[key] = value
+            elif op == "commit":
+                nv.commit()
+                model_committed.update(model_staged)
+                model_staged.clear()
+            elif op == "abort":
+                nv.abort()
+                model_staged.clear()
+            elif op == "power_fail":
+                nv.power_fail()
+                model_staged.clear()
+            for check_key in ("a", "b", "c", "d"):
+                assert nv.get(check_key) == model_committed.get(check_key)
+
+    @given(script=ops)
+    def test_staged_reads_see_own_writes(self, script):
+        nv = NonVolatileStore()
+        staged = {}
+        committed = {}
+        for op, key, value in script:
+            if op == "put":
+                nv.put(key, value)
+                committed[key] = value
+            elif op == "stage":
+                nv.stage(key, value)
+                staged[key] = value
+            elif op in ("commit",):
+                nv.commit()
+                committed.update(staged)
+                staged.clear()
+            elif op in ("abort", "power_fail"):
+                getattr(nv, op)()
+                staged.clear()
+            expected = staged.get(key, committed.get(key))
+            assert nv.staged_get(key) == expected
+
+
+def build_reservoir():
+    reservoir = ReconfigurableReservoir()
+    reservoir.add_bank(BankSpec.single("small", CERAMIC_X5R, 2))
+    reservoir.add_bank(
+        BankSpec.single("mid", TANTALUM_POLYMER, 2),
+        switch=BankSwitch(name="mid"),
+    )
+    reservoir.add_bank(
+        BankSpec.single("big", TANTALUM_POLYMER, 5),
+        switch=BankSwitch(name="big", polarity=SwitchPolarity.NORMALLY_CLOSED),
+    )
+    return reservoir
+
+
+config_choices = st.sampled_from(
+    [
+        frozenset({"small"}),
+        frozenset({"small", "mid"}),
+        frozenset({"small", "big"}),
+        frozenset({"small", "mid", "big"}),
+    ]
+)
+
+reservoir_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("configure"), config_choices),
+        st.tuples(st.just("store"), st.floats(min_value=0.0, max_value=5e-3)),
+        st.tuples(st.just("extract"), st.floats(min_value=0.0, max_value=5e-3)),
+        st.tuples(st.just("leak"), st.floats(min_value=0.0, max_value=100.0)),
+    ),
+    max_size=30,
+)
+
+
+class TestReservoirProperties:
+    @settings(max_examples=50)
+    @given(script=reservoir_ops)
+    def test_invariants_under_random_scripts(self, script):
+        """Shared active voltage, voltage bounds, and non-negative
+        energies hold whatever sequence of operations runs."""
+        reservoir = build_reservoir()
+        time = 0.0
+        for op, arg in script:
+            time += 1.0
+            reservoir.replenish_switches(time)
+            if op == "configure":
+                reservoir.configure(ReservoirConfig.of("c", arg), time)
+            elif op == "store":
+                reservoir.store(arg, time)
+            elif op == "extract":
+                reservoir.extract(arg, time)
+            elif op == "leak":
+                reservoir.leak_all(arg, time)
+            # Invariants:
+            voltage = reservoir.active_voltage(time)  # raises on divergence
+            assert voltage >= 0.0
+            for name in reservoir.bank_names:
+                bank = reservoir.bank(name)
+                assert -1e-12 <= bank.voltage <= bank.spec.rated_voltage + 1e-9
+                assert bank.energy >= -1e-12
+
+    @settings(max_examples=50)
+    @given(script=reservoir_ops)
+    def test_energy_never_created(self, script):
+        """Total stored energy only increases through store()."""
+        reservoir = build_reservoir()
+        time = 0.0
+
+        def total():
+            return sum(reservoir.bank(n).energy for n in reservoir.bank_names)
+
+        for op, arg in script:
+            time += 1.0
+            before = total()
+            if op == "configure":
+                reservoir.configure(ReservoirConfig.of("c", arg), time)
+                assert total() <= before + 1e-12
+            elif op == "store":
+                absorbed = reservoir.store(arg, time)
+                assert total() <= before + absorbed + 1e-12
+            elif op == "extract":
+                reservoir.extract(arg, time)
+                assert total() <= before + 1e-12
+            elif op == "leak":
+                reservoir.leak_all(arg, time)
+                assert total() <= before + 1e-12

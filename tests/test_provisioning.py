@@ -1,0 +1,171 @@
+"""Provisioning and the bank-allocation optimizer."""
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationResult,
+    ModeRequirement,
+    allocate_banks,
+    allocation_summary,
+)
+from repro.core.provisioning import (
+    analytic_capacitance,
+    loads_energy,
+    min_parts_for_loads,
+    provision_bank,
+    simulate_loads_on_bank,
+)
+from repro.device.board import LoadPoint
+from repro.energy.bank import BankSpec
+from repro.energy.booster import OutputBooster
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+from repro.errors import ProvisioningError
+
+
+class TestAnalyticCapacitance:
+    def test_formula(self):
+        # C = margin * 2E / (vt^2 - vf^2)
+        c = analytic_capacitance(1e-3, 2.4, 0.8, derating_margin=1.0)
+        assert c == pytest.approx(2e-3 / (2.4**2 - 0.8**2))
+
+    def test_margin_scales(self):
+        base = analytic_capacitance(1e-3, 2.4, 0.8, derating_margin=1.0)
+        padded = analytic_capacitance(1e-3, 2.4, 0.8, derating_margin=1.5)
+        assert padded == pytest.approx(1.5 * base)
+
+    def test_validation(self):
+        with pytest.raises(ProvisioningError):
+            analytic_capacitance(-1.0, 2.4, 0.8)
+        with pytest.raises(ProvisioningError):
+            analytic_capacitance(1e-3, 0.8, 2.4)
+        with pytest.raises(ProvisioningError):
+            analytic_capacitance(1e-3, 2.4, 0.8, derating_margin=0.5)
+
+
+class TestSimulatedProvisioning:
+    def test_small_load_fits_one_part(self):
+        loads = [LoadPoint(0.01, 1e-3)]  # 10 uJ
+        count = min_parts_for_loads(TANTALUM_POLYMER, loads)
+        assert count == 1
+
+    def test_big_load_needs_more_parts(self):
+        loads = [LoadPoint(2.0, 2e-3)]  # 4 mJ
+        count = min_parts_for_loads(TANTALUM_POLYMER, loads)
+        assert count > 1
+
+    def test_monotone_in_load(self):
+        small = min_parts_for_loads(TANTALUM_POLYMER, [LoadPoint(0.2, 2e-3)])
+        large = min_parts_for_loads(TANTALUM_POLYMER, [LoadPoint(1.5, 2e-3)])
+        assert large >= small
+
+    def test_infeasible_raises(self):
+        loads = [LoadPoint(100.0, 50e-3)]  # 5 J, hopeless
+        with pytest.raises(ProvisioningError):
+            min_parts_for_loads(CERAMIC_X5R, loads, max_count=8)
+
+    def test_provision_bank_wraps_count(self):
+        loads = [LoadPoint(0.5, 2e-3)]
+        bank = provision_bank("radio", loads, TANTALUM_POLYMER)
+        assert bank.name == "radio"
+        assert simulate_loads_on_bank(bank, loads, OutputBooster(), 2.4)
+
+    def test_provisioned_bank_is_minimal(self):
+        loads = [LoadPoint(0.5, 2e-3)]
+        bank = provision_bank("radio", loads, TANTALUM_POLYMER)
+        count = bank.groups[0][1]
+        if count > 1:
+            smaller = BankSpec.single("probe", TANTALUM_POLYMER, count - 1)
+            assert not simulate_loads_on_bank(smaller, loads, OutputBooster(), 2.4)
+
+    def test_high_esr_part_needs_more_parts_for_power(self):
+        """The ESR effect: a bursty load forces extra EDLC parts even
+        though one part stores plenty of energy."""
+        burst = [LoadPoint(0.05, 25e-3)]  # 1.25 mJ at 25 mW
+        edlc_count = min_parts_for_loads(EDLC_CPH3225A, burst, max_count=32)
+        assert edlc_count > 1  # one 11 mF part stores 60 mJ but cannot deliver
+
+    def test_loads_energy(self):
+        loads = [LoadPoint(1.0, 1e-3), LoadPoint(2.0, 2e-3)]
+        assert loads_energy(loads) == pytest.approx(5e-3)
+
+
+class TestAllocation:
+    MENU = [CERAMIC_X5R, TANTALUM_POLYMER, EDLC_CPH3225A]
+
+    def test_telescoping_structure(self):
+        requirements = [
+            ModeRequirement("sense", 0.3e-3, frequent=True),
+            ModeRequirement("gesture", 3e-3),
+            ModeRequirement("radio", 8e-3),
+        ]
+        result = allocate_banks(requirements, self.MENU)
+        # Modes nest: each activates all banks up to its tier.
+        assert result.mode_banks["sense"] == [result.banks[0].name]
+        assert set(result.mode_banks["sense"]) <= set(result.mode_banks["gesture"])
+        assert set(result.mode_banks["gesture"]) <= set(result.mode_banks["radio"])
+
+    def test_capacity_satisfies_each_mode(self):
+        requirements = [
+            ModeRequirement("small", 0.2e-3, frequent=True),
+            ModeRequirement("large", 5e-3),
+        ]
+        result = allocate_banks(requirements, self.MENU, v_top=2.4, v_floor=0.8)
+        by_name = {bank.name: bank for bank in result.banks}
+        for requirement in requirements:
+            total_c = sum(
+                by_name[name].capacitance
+                for name in result.mode_banks[requirement.name]
+            )
+            stored = 0.5 * total_c * (2.4**2 - 0.8**2)
+            assert stored >= requirement.storage_energy
+
+    def test_default_bank_minimum(self):
+        result = allocate_banks(
+            [ModeRequirement("tiny", 1e-6, frequent=True)],
+            self.MENU,
+            min_default_capacitance=100e-6,
+        )
+        assert result.banks[0].capacitance >= 100e-6 * 0.75
+
+    def test_frequent_modes_avoid_edlc(self):
+        requirements = [ModeRequirement("sense", 0.3e-3, frequent=True)]
+        result = allocate_banks(requirements, self.MENU)
+        technologies = {
+            spec.technology for spec, _ in result.banks[0].groups
+        }
+        assert "edlc" not in technologies
+
+    def test_dense_parts_used_for_rare_large_modes(self):
+        requirements = [
+            ModeRequirement("sense", 0.2e-3, frequent=True),
+            ModeRequirement("radio", 60e-3),
+        ]
+        result = allocate_banks(requirements, self.MENU)
+        big_bank = result.banks[-1]
+        technologies = {spec.technology for spec, _ in big_bank.groups}
+        assert "edlc" in technologies
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ProvisioningError):
+            allocate_banks([], self.MENU)
+        with pytest.raises(ProvisioningError):
+            allocate_banks([ModeRequirement("m", 1e-3)], [])
+
+    def test_summary_mentions_banks_and_modes(self):
+        result = allocate_banks(
+            [ModeRequirement("sense", 0.3e-3)], self.MENU
+        )
+        text = allocation_summary(result)
+        assert "sense" in text and "mm^3" in text
+
+    def test_total_volume_accounts_all_banks(self):
+        result = allocate_banks(
+            [
+                ModeRequirement("a", 0.2e-3),
+                ModeRequirement("b", 2e-3),
+            ],
+            self.MENU,
+        )
+        assert result.total_volume == pytest.approx(
+            sum(bank.volume for bank in result.banks)
+        )

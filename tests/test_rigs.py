@@ -1,0 +1,191 @@
+"""Experimental rigs: schedules, pendulum, thermal plant."""
+
+import numpy as np
+import pytest
+
+from repro.apps.rigs import (
+    EventSchedule,
+    PendulumRig,
+    ScheduledEvent,
+    ThermalRig,
+)
+from repro.errors import ConfigurationError
+
+
+def make_schedule():
+    return EventSchedule(
+        [
+            ScheduledEvent(0, start=10.0, duration=2.0, kind="gesture", direction=1),
+            ScheduledEvent(1, start=20.0, duration=2.0, kind="gesture", direction=-1),
+        ]
+    )
+
+
+class TestEventSchedule:
+    def test_event_at_inside_window(self):
+        schedule = make_schedule()
+        assert schedule.event_at(11.0).event_id == 0
+        assert schedule.event_at(15.0) is None
+
+    def test_event_at_boundaries(self):
+        schedule = make_schedule()
+        assert schedule.event_at(10.0).event_id == 0
+        assert schedule.event_at(12.0) is None  # end-exclusive
+
+    def test_event_covering_interval(self):
+        schedule = make_schedule()
+        assert schedule.event_covering(9.0, 10.5).event_id == 0
+        assert schedule.event_covering(13.0, 19.0) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventSchedule(
+                [
+                    ScheduledEvent(0, 10.0, 5.0, "x"),
+                    ScheduledEvent(1, 12.0, 5.0, "x"),
+                ]
+            )
+
+    def test_poisson_count_and_separation(self):
+        rng = np.random.default_rng(0)
+        schedule = EventSchedule.poisson(
+            rng, mean_interarrival=5.0, count=40, duration=2.0, kind="gesture"
+        )
+        assert len(schedule) == 40
+        for earlier, later in zip(schedule.events, schedule.events[1:]):
+            assert later.start >= earlier.end
+
+    def test_poisson_alternates_direction(self):
+        rng = np.random.default_rng(0)
+        schedule = EventSchedule.poisson(
+            rng, mean_interarrival=50.0, count=4, duration=1.0, kind="gesture"
+        )
+        directions = [event.direction for event in schedule.events]
+        assert directions == [1, -1, 1, -1]
+
+    def test_horizon(self):
+        schedule = make_schedule()
+        assert schedule.horizon == 22.0
+        assert EventSchedule([]).horizon == 0.0
+
+
+class TestPendulumRig:
+    def make_rig(self, **kwargs):
+        return PendulumRig(
+            make_schedule(), noise_rng=np.random.default_rng(1), **kwargs
+        )
+
+    def test_photo_sees_object_during_event(self):
+        rig = self.make_rig()
+        assert rig.photo_reading(11.0).value == 1.0
+        assert rig.photo_reading(11.0).event_id == 0
+
+    def test_photo_dark_between_events(self):
+        rig = self.make_rig()
+        assert rig.photo_reading(15.0).value == 0.0
+
+    def test_gesture_early_start_decodes(self):
+        rig = self.make_rig(sensor_error_rate=0.0, sensor_dropout_rate=0.0)
+        # engine ran 10.1 - 10.35: started at phase 0.05
+        reading = rig.gesture_reading(10.35)
+        assert reading.value == rig.GESTURE_CORRECT
+        assert reading.event_id == 0
+
+    def test_gesture_late_start_misclassifies(self):
+        rig = self.make_rig(sensor_error_rate=0.0, sensor_dropout_rate=0.0)
+        # started at 11.1: phase 0.55 — between correct (0.4) and wrong (0.7)
+        reading = rig.gesture_reading(11.35)
+        assert reading.value == rig.GESTURE_WRONG
+
+    def test_gesture_too_late_sees_nothing(self):
+        rig = self.make_rig(sensor_error_rate=0.0, sensor_dropout_rate=0.0)
+        # started at 11.7: phase 0.85 — beyond the wrong threshold
+        reading = rig.gesture_reading(11.95)
+        assert reading.value == rig.GESTURE_NONE
+        assert reading.event_id == 0  # still attributed: proximity-only
+
+    def test_gesture_no_event_returns_none(self):
+        rig = self.make_rig()
+        reading = rig.gesture_reading(16.0)
+        assert reading.value == rig.GESTURE_NONE
+        assert reading.event_id is None
+
+    def test_sensor_error_injects_misclassification(self):
+        rig = self.make_rig(sensor_error_rate=1.0, sensor_dropout_rate=0.0)
+        reading = rig.gesture_reading(10.35)
+        assert reading.value == rig.GESTURE_WRONG
+
+    def test_magnetometer_field_high_during_event(self):
+        rig = self.make_rig()
+        during = rig.magnetometer_reading(11.0)
+        between = rig.magnetometer_reading(15.0)
+        assert during.value > 15.0
+        assert between.value < 5.0
+        assert during.event_id == 0
+
+    def test_distance_closest_mid_swing(self):
+        rig = self.make_rig()
+        mid = rig.distance_reading(11.0).value
+        edge = rig.distance_reading(10.1).value
+        assert mid < edge
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_rig(correct_phase=0.9, wrong_phase=0.5)
+
+
+class TestThermalRig:
+    def make_rig(self):
+        schedule = EventSchedule(
+            [
+                ScheduledEvent(0, 60.0, 20.0, "temperature", direction=1),
+                ScheduledEvent(1, 200.0, 20.0, "temperature", direction=-1),
+            ]
+        )
+        return ThermalRig(schedule, horizon=400.0)
+
+    def test_baseline_inside_alarm_range(self):
+        rig = self.make_rig()
+        temp = rig.temperature(40.0)
+        assert rig.alarm_low < temp < rig.alarm_high
+
+    def test_over_temperature_excursion(self):
+        rig = self.make_rig()
+        excursion = rig.excursion_for(0)
+        assert excursion is not None
+        begin, end = excursion
+        assert 60.0 <= begin <= 90.0
+        assert rig.temperature((begin + end) / 2.0) > rig.alarm_high
+
+    def test_under_temperature_excursion(self):
+        rig = self.make_rig()
+        excursion = rig.excursion_for(1)
+        assert excursion is not None
+        begin, end = excursion
+        assert rig.temperature((begin + end) / 2.0) < rig.alarm_low
+
+    def test_recovery_between_events(self):
+        rig = self.make_rig()
+        temp = rig.temperature(150.0)
+        assert rig.alarm_low < temp < rig.alarm_high
+
+    def test_reading_attribution(self):
+        rig = self.make_rig()
+        begin, end = rig.excursion_for(0)
+        reading = rig.temp_reading((begin + end) / 2.0)
+        assert reading.event_id == 0
+        quiet = rig.temp_reading(150.0)
+        assert quiet.event_id is None
+
+    def test_out_of_range_helper(self):
+        rig = self.make_rig()
+        assert rig.out_of_range(50.0)
+        assert rig.out_of_range(20.0)
+        assert not rig.out_of_range(37.0)
+
+    def test_validation(self):
+        schedule = EventSchedule([])
+        with pytest.raises(ConfigurationError):
+            ThermalRig(schedule, horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalRig(schedule, horizon=10.0, alarm_low=50.0, alarm_high=40.0)

@@ -1,0 +1,164 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.engine import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_schedule_runs_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_clock_advances_to_horizon(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ScheduleError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_horizon_before_now_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ScheduleError):
+            sim.run_until(5.0)
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("normal"), PRIORITY_NORMAL)
+        sim.schedule(1.0, lambda: order.append("late"), PRIORITY_LATE)
+        sim.schedule(1.0, lambda: order.append("early"), PRIORITY_EARLY)
+        sim.run()
+        assert order == ["early", "normal", "late"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda tag=tag: order.append(tag))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        keep.cancel()
+        assert sim.pending == 0
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_can_reschedule(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(9.0, lambda: fired.append("late"))
+        executed = sim.run_until(5.0)
+        assert executed == 1
+        assert fired == ["early"]
+        assert sim.pending == 1
+
+    def test_run_until_inclusive_of_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,91 @@
+"""Random stream registry and Poisson schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rand import RandomStreams, poisson_arrival_times
+
+
+class TestRandomStreams:
+    def test_same_name_same_sequence(self):
+        a = RandomStreams(seed=7).get("events").random(5)
+        b = RandomStreams(seed=7).get("events").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("events").random(5)
+        b = streams.get("noise").random(5)
+        assert not np.allclose(a, b)
+
+    def test_creation_order_irrelevant(self):
+        one = RandomStreams(seed=3)
+        one.get("zzz")
+        first = one.get("events").random(4)
+        two = RandomStreams(seed=3)
+        second = two.get("events").random(4)
+        assert np.allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("events").random(5)
+        b = RandomStreams(seed=2).get("events").random(5)
+        assert not np.allclose(a, b)
+
+    def test_get_returns_same_generator(self):
+        streams = RandomStreams(seed=0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_fork_is_reproducible(self):
+        a = RandomStreams(seed=5).fork(2).get("s").random(3)
+        b = RandomStreams(seed=5).fork(2).get("s").random(3)
+        assert np.allclose(a, b)
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(seed=5)
+        child = parent.fork(0)
+        assert child.seed != parent.seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStreams(seed=-1)
+
+
+class TestPoissonArrivals:
+    def test_count_mode_returns_exact_count(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrival_times(rng, 10.0, count=25)
+        assert len(times) == 25
+
+    def test_times_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrival_times(rng, 5.0, count=50)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_horizon_mode_bounds_times(self):
+        rng = np.random.default_rng(2)
+        times = poisson_arrival_times(rng, 3.0, horizon=100.0, start=50.0)
+        assert all(50.0 < t < 150.0 for t in times)
+
+    def test_start_offsets_first_arrival(self):
+        rng = np.random.default_rng(3)
+        times = poisson_arrival_times(rng, 5.0, count=5, start=1000.0)
+        assert times[0] > 1000.0
+
+    def test_mean_interarrival_statistics(self):
+        rng = np.random.default_rng(4)
+        times = poisson_arrival_times(rng, 20.0, count=3000)
+        gaps = np.diff(times)
+        assert np.mean(gaps) == pytest.approx(20.0, rel=0.1)
+
+    def test_requires_exactly_one_mode(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(rng, 5.0, count=3, horizon=10.0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(rng, 5.0)
+
+    def test_rejects_bad_mean(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrival_times(rng, 0.0, count=3)

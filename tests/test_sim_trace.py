@@ -1,0 +1,95 @@
+"""Trace recording and querying."""
+
+import pytest
+
+from repro.sim.trace import Trace, merge_counters
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace()
+
+
+class TestRecording:
+    def test_voltage_records(self, trace):
+        trace.record_voltage(1.0, 2.4)
+        trace.record_voltage(2.0, 1.8, source="bank0")
+        assert len(trace.voltages) == 2
+        assert trace.voltages[1].source == "bank0"
+
+    def test_counters(self, trace):
+        trace.bump("power_failures")
+        trace.bump("power_failures", 2)
+        assert trace.counters["power_failures"] == 3
+
+    def test_durations(self, trace):
+        trace.record_duration("charge", 1.0)
+        trace.record_duration("charge", 3.0)
+        assert trace.mean_duration("charge") == pytest.approx(2.0)
+
+    def test_mean_duration_empty(self, trace):
+        assert trace.mean_duration("nothing") == 0.0
+
+
+class TestQueries:
+    def test_packets_with_payload_prefix(self, trace):
+        trace.record_packet(1.0, "alarm", 25)
+        trace.record_packet(2.0, "gesture:ok", 8)
+        trace.record_packet(3.0, "gesture:bad", 8)
+        assert len(trace.packets_with_payload_prefix("gesture")) == 2
+
+    def test_sample_times_sorted_and_filtered(self, trace):
+        trace.record_sample(3.0, "tmp36", 21.0)
+        trace.record_sample(1.0, "tmp36", 20.0)
+        trace.record_sample(2.0, "photo", 0.0)
+        assert trace.sample_times("tmp36") == [1.0, 3.0]
+
+    def test_inter_sample_intervals(self, trace):
+        for t in (0.0, 1.5, 4.0):
+            trace.record_sample(t, "tmp36", 20.0)
+        assert trace.inter_sample_intervals("tmp36") == [1.5, 2.5]
+
+    def test_state_intervals_closed(self, trace):
+        trace.record_state(0.0, "charging")
+        trace.record_state(5.0, "running")
+        trace.record_state(7.0, "charging")
+        trace.record_state(9.0, "running")
+        assert trace.state_intervals("charging") == [(0.0, 5.0), (7.0, 9.0)]
+
+    def test_open_final_interval_excluded(self, trace):
+        trace.record_state(0.0, "charging")
+        assert trace.state_intervals("charging") == []
+
+    def test_time_in_state(self, trace):
+        trace.record_state(0.0, "charging")
+        trace.record_state(4.0, "running")
+        trace.record_state(10.0, "charging")
+        trace.record_state(13.0, "off")
+        assert trace.time_in_state("charging") == pytest.approx(7.0)
+
+    def test_events_of_kind(self, trace):
+        trace.record_event(1.0, "gesture", 0)
+        trace.record_event(2.0, "magnet", 1)
+        assert [e.event_id for e in trace.events_of_kind("gesture")] == [0]
+
+    def test_reported_event_ids_first_report_order(self, trace):
+        trace.record_packet(1.0, "alarm", 25, event_id=4)
+        trace.record_packet(2.0, "alarm", 25, event_id=2)
+        trace.record_packet(3.0, "alarm", 25, event_id=4)
+        assert trace.reported_event_ids() == [4, 2]
+
+    def test_first_report_time(self, trace):
+        trace.record_packet(5.0, "alarm", 25, event_id=1)
+        trace.record_packet(9.0, "alarm", 25, event_id=1)
+        assert trace.first_report_time(1) == 5.0
+        assert trace.first_report_time(99) is None
+
+
+class TestMergeCounters:
+    def test_merge(self):
+        a, b = Trace(), Trace()
+        a.bump("x", 2)
+        b.bump("x", 3)
+        b.bump("y")
+        merged = merge_counters([a, b])
+        assert merged == {"x": 5, "y": 1}

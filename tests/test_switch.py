@@ -1,0 +1,115 @@
+"""Latch-capacitor bank switches (NO/NC semantics, retention)."""
+
+import pytest
+
+from repro.energy.switch import BankSwitch, SwitchPolarity, retention_from_latch
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_no_switch_starts_open(self):
+        switch = BankSwitch(name="s", polarity=SwitchPolarity.NORMALLY_OPEN)
+        assert switch.is_closed(0.0) is False
+
+    def test_nc_switch_starts_closed(self):
+        switch = BankSwitch(name="s", polarity=SwitchPolarity.NORMALLY_CLOSED)
+        assert switch.is_closed(0.0) is True
+
+    def test_default_closed_property(self):
+        assert BankSwitch(name="a").default_closed is False
+        assert (
+            BankSwitch(name="b", polarity=SwitchPolarity.NORMALLY_CLOSED).default_closed
+            is True
+        )
+
+
+class TestCommands:
+    def test_set_closed_takes_effect(self):
+        switch = BankSwitch(name="s")
+        switch.set_closed(True, time=0.0)
+        assert switch.is_closed(1.0) is True
+
+    def test_toggle_consumes_latch_energy(self):
+        switch = BankSwitch(name="s")
+        energy = switch.set_closed(True, time=0.0)
+        assert energy > 0.0
+
+    def test_noop_command_is_free(self):
+        switch = BankSwitch(name="s")
+        assert switch.set_closed(False, time=0.0) == 0.0
+        assert switch.toggle_count == 0
+
+    def test_toggle_count(self):
+        switch = BankSwitch(name="s")
+        switch.set_closed(True, 0.0)
+        switch.set_closed(False, 1.0)
+        switch.set_closed(False, 2.0)
+        assert switch.toggle_count == 2
+
+
+class TestRetention:
+    def test_state_held_within_retention(self):
+        switch = BankSwitch(name="s", retention_time=180.0)
+        switch.set_closed(True, 0.0)
+        assert switch.is_closed(179.0) is True
+
+    def test_no_reverts_to_open_after_darkness(self):
+        switch = BankSwitch(
+            name="s", polarity=SwitchPolarity.NORMALLY_OPEN, retention_time=180.0
+        )
+        switch.set_closed(True, 0.0)
+        assert switch.is_closed(181.0) is False
+
+    def test_nc_reverts_to_closed_after_darkness(self):
+        switch = BankSwitch(
+            name="s", polarity=SwitchPolarity.NORMALLY_CLOSED, retention_time=180.0
+        )
+        switch.set_closed(False, 0.0)
+        assert switch.is_closed(181.0) is True
+
+    def test_replenish_extends_retention(self):
+        switch = BankSwitch(name="s", retention_time=180.0)
+        switch.set_closed(True, 0.0)
+        switch.replenish(100.0)
+        assert switch.is_closed(250.0) is True  # 150 s after replenish
+
+    def test_reversion_is_sticky(self):
+        """Power returning after a reversion must not resurrect the old
+        commanded state (the runtime is unaware per Section 5.2)."""
+        switch = BankSwitch(name="s", retention_time=180.0)
+        switch.set_closed(True, 0.0)
+        assert switch.is_closed(200.0) is False  # reverted
+        switch.replenish(200.0)
+        assert switch.is_closed(201.0) is False
+
+    def test_time_to_reversion(self):
+        switch = BankSwitch(name="s", retention_time=180.0)
+        switch.replenish(0.0)
+        assert switch.time_to_reversion(100.0) == pytest.approx(80.0)
+        assert switch.time_to_reversion(300.0) == 0.0
+
+
+class TestRetentionDerivation:
+    def test_paper_retention_is_minutes(self):
+        """4.7 uF at ~25 nA leak holds for about 3 minutes."""
+        seconds = retention_from_latch(4.7e-6, 25e-9)
+        assert 120.0 < seconds < 300.0
+
+    def test_bigger_latch_holds_longer(self):
+        small = retention_from_latch(1e-6, 25e-9)
+        large = retention_from_latch(10e-6, 25e-9)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            retention_from_latch(0.0, 25e-9)
+        with pytest.raises(ConfigurationError):
+            retention_from_latch(4.7e-6, 0.0)
+        with pytest.raises(ConfigurationError):
+            retention_from_latch(4.7e-6, 25e-9, v_latch=1.0, v_hold_min=2.0)
+
+    def test_switch_validation(self):
+        with pytest.raises(ConfigurationError):
+            BankSwitch(name="s", retention_time=0.0)
+        with pytest.raises(ConfigurationError):
+            BankSwitch(name="s", latch_capacitance=0.0)

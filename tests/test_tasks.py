@@ -1,0 +1,128 @@
+"""Task DSL: operations, graphs, contexts, and annotations."""
+
+import pytest
+
+from repro.errors import EnergyModeError, TaskGraphError
+from repro.kernel.annotations import (
+    BurstAnnotation,
+    ConfigAnnotation,
+    NoAnnotation,
+    PreburstAnnotation,
+)
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import (
+    Compute,
+    Sample,
+    Sleep,
+    Task,
+    TaskContext,
+    TaskGraph,
+    Transmit,
+)
+
+
+class TestOperations:
+    def test_compute_validation(self):
+        Compute(0)
+        with pytest.raises(TaskGraphError):
+            Compute(-1)
+
+    def test_sample_validation(self):
+        Sample("tmp36", samples=1)
+        with pytest.raises(TaskGraphError):
+            Sample("tmp36", samples=0)
+
+    def test_transmit_validation(self):
+        Transmit("x", 1)
+        with pytest.raises(TaskGraphError):
+            Transmit("x", 0)
+
+    def test_sleep_validation(self):
+        Sleep(0.0)
+        with pytest.raises(TaskGraphError):
+            Sleep(-0.1)
+
+    def test_operations_are_frozen(self):
+        op = Compute(10)
+        with pytest.raises(AttributeError):
+            op.ops = 20
+
+
+class TestAnnotations:
+    def test_config_requires_mode(self):
+        with pytest.raises(EnergyModeError):
+            ConfigAnnotation("")
+
+    def test_burst_requires_mode(self):
+        with pytest.raises(EnergyModeError):
+            BurstAnnotation("")
+
+    def test_preburst_modes_must_differ(self):
+        with pytest.raises(EnergyModeError):
+            PreburstAnnotation("same", "same")
+
+    def test_preburst_requires_both(self):
+        with pytest.raises(EnergyModeError):
+            PreburstAnnotation("", "exec")
+
+
+def _noop_body(ctx):
+    yield Compute(1)
+    return None
+
+
+class TestTaskGraph:
+    def test_entry_must_exist(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph([Task("a", _noop_body)], entry="b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph(
+                [Task("a", _noop_body), Task("a", _noop_body)], entry="a"
+            )
+
+    def test_lookup(self):
+        graph = TaskGraph([Task("a", _noop_body)], entry="a")
+        assert graph.task("a").name == "a"
+        assert "a" in graph
+        with pytest.raises(TaskGraphError):
+            graph.task("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Task("", _noop_body)
+
+    def test_annotations_map(self):
+        graph = TaskGraph(
+            [
+                Task("a", _noop_body, ConfigAnnotation("m")),
+                Task("b", _noop_body),
+            ],
+            entry="a",
+        )
+        notes = graph.annotations()
+        assert isinstance(notes["a"], ConfigAnnotation)
+        assert isinstance(notes["b"], NoAnnotation)
+
+
+class TestTaskContext:
+    def test_reads_committed_only(self):
+        """Chain semantics: within a task, reads see pre-task values."""
+        nv = NonVolatileStore()
+        nv.put("chan", 1)
+        ctx = TaskContext(nv, now=lambda: 0.0)
+        ctx.write("chan", 2)
+        assert ctx.read("chan") == 1
+        assert ctx.read_staged("chan") == 2
+
+    def test_default_value(self):
+        ctx = TaskContext(NonVolatileStore(), now=lambda: 0.0)
+        assert ctx.read("missing", "d") == "d"
+
+    def test_now_tracks_clock(self):
+        clock = {"t": 5.0}
+        ctx = TaskContext(NonVolatileStore(), now=lambda: clock["t"])
+        assert ctx.now == 5.0
+        clock["t"] = 9.0
+        assert ctx.now == 9.0

@@ -1,0 +1,78 @@
+"""The Vtop-threshold reconfiguration alternative."""
+
+import pytest
+
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import TANTALUM_POLYMER
+from repro.energy.switch import BankSwitch
+from repro.energy.threshold import ThresholdReconfigurator
+from repro.errors import ConfigurationError, WearLimitExceeded
+
+
+@pytest.fixture
+def threshold() -> ThresholdReconfigurator:
+    return ThresholdReconfigurator(
+        bank_spec=BankSpec.single("bank", TANTALUM_POLYMER, 8),
+        write_endurance=5,
+    )
+
+
+class TestThresholdSetting:
+    def test_starts_at_rated(self, threshold):
+        assert threshold.v_top == threshold.bank_spec.rated_voltage
+
+    def test_set_v_top(self, threshold):
+        threshold.set_v_top(2.0)
+        assert threshold.v_top == 2.0
+        assert threshold.writes == 1
+
+    def test_same_value_free(self, threshold):
+        threshold.set_v_top(2.0)
+        threshold.set_v_top(2.0)
+        assert threshold.writes == 1
+
+    def test_below_minimum_rejected(self, threshold):
+        with pytest.raises(ConfigurationError):
+            threshold.set_v_top(1.0)
+
+    def test_above_rated_rejected(self, threshold):
+        with pytest.raises(ConfigurationError):
+            threshold.set_v_top(10.0)
+
+    def test_wear_out(self, threshold):
+        for index in range(5):
+            threshold.set_v_top(2.0 + index * 0.1)
+        assert threshold.worn_out
+        with pytest.raises(WearLimitExceeded):
+            threshold.set_v_top(3.0)
+
+
+class TestEnergyMapping:
+    def test_v_top_for_energy(self, threshold):
+        c = threshold.bank_spec.capacitance
+        energy = 0.5 * c * 2.0**2
+        assert threshold.v_top_for_energy(energy) == pytest.approx(2.0)
+
+    def test_small_energy_clamps_to_minimum(self, threshold):
+        assert threshold.v_top_for_energy(1e-9) == threshold.v_top_min
+
+    def test_oversized_energy_rejected(self, threshold):
+        with pytest.raises(ConfigurationError):
+            threshold.v_top_for_energy(1e3)
+
+
+class TestPaperComparison:
+    def test_area_is_double_the_switch(self, threshold):
+        switch = BankSwitch(name="ref")
+        assert threshold.area_ratio_to(switch) == pytest.approx(2.0)
+
+    def test_leakage_is_1_5x_the_switch(self, threshold):
+        switch = BankSwitch(name="ref")
+        assert threshold.leakage_ratio_to(switch) == pytest.approx(1.5)
+
+    def test_v_top_min_must_fit_bank(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdReconfigurator(
+                bank_spec=BankSpec.single("b", TANTALUM_POLYMER, 1),
+                v_top_min=100.0,
+            )

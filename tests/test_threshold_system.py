@@ -1,0 +1,145 @@
+"""The end-to-end DEBS-style Vtop-threshold system."""
+
+import pytest
+
+from repro.core.threshold_system import ThresholdRuntime, build_threshold_system
+from repro.device.board import Board
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.device.radio import BLE_CC2650
+from repro.device.sensors import SENSOR_TMP36
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import TANTALUM_POLYMER
+from repro.energy.threshold import ThresholdReconfigurator
+from repro.errors import ConfigurationError, EnergyModeError
+from repro.kernel.capybara import Charge
+from repro.kernel.executor import IntermittentExecutor
+from repro.kernel.memory import NonVolatileStore
+from repro.kernel.tasks import Task
+
+from tests.helpers import (
+    constant_binding,
+    make_platform,
+    sense_alarm_graph,
+)
+
+
+@pytest.fixture
+def assembly():
+    return build_threshold_system(make_platform())
+
+
+class TestAssembly:
+    def test_single_bank_reservoir(self, assembly):
+        assert assembly.power_system.reservoir.bank_names == ["fixed"]
+
+    def test_thresholds_cover_every_mode(self, assembly):
+        assert set(assembly.runtime.mode_thresholds) == {"m-small", "m-big"}
+
+    def test_bigger_mode_higher_threshold(self, assembly):
+        thresholds = assembly.runtime.mode_thresholds
+        assert thresholds["m-big"] > thresholds["m-small"]
+
+    def test_thresholds_below_charger_ceiling(self, assembly):
+        for v_top in assembly.runtime.mode_thresholds.values():
+            assert v_top <= assembly.power_system.input_booster.v_charge_target
+
+    def test_charge_target_follows_potentiometer(self, assembly):
+        ps = assembly.power_system
+        pot = assembly.reconfigurator
+        pot.set_v_top(2.0)
+        assert ps.charge_target_voltage(0.0) == pytest.approx(2.0)
+        pot.set_v_top(1.7)
+        assert ps.charge_target_voltage(0.0) == pytest.approx(1.7)
+
+    def test_explicit_threshold_above_ceiling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_threshold_system(
+                make_platform(), mode_thresholds={"m-small": 5.0, "m-big": 5.5}
+            )
+
+
+class TestRuntimePlanning:
+    def test_matching_threshold_no_steps(self, assembly):
+        graph = sense_alarm_graph()
+        runtime = assembly.runtime
+        runtime.reconfigurator.set_v_top(runtime.mode_thresholds["m-small"])
+        assert runtime.plan_for_task(graph.task("sense"), 0.0) == []
+
+    def test_mode_change_writes_eeprom_and_charges(self, assembly):
+        graph = sense_alarm_graph()
+        runtime = assembly.runtime
+        runtime.reconfigurator.set_v_top(runtime.mode_thresholds["m-small"])
+        writes_before = runtime.eeprom_writes
+        plan = runtime.plan_for_task(graph.task("alarm"), 0.0)
+        assert [type(step) for step in plan] == [Charge]
+        assert runtime.eeprom_writes == writes_before + 1
+        assert runtime.reconfigurator.v_top == pytest.approx(
+            runtime.mode_thresholds["m-big"]
+        )
+
+    def test_preburst_degrades_to_exec_mode(self, assembly):
+        graph = sense_alarm_graph()
+        runtime = assembly.runtime
+        runtime.reconfigurator.set_v_top(runtime.mode_thresholds["m-big"])
+        runtime.plan_for_task(graph.task("proc"), 0.0)
+        # proc's exec mode is m-small: the pot must now sit there.
+        assert runtime.reconfigurator.v_top == pytest.approx(
+            runtime.mode_thresholds["m-small"]
+        )
+
+    def test_unknown_mode_rejected(self):
+        array = BankSpec.single("array", TANTALUM_POLYMER, 10)
+        runtime = ThresholdRuntime(
+            ThresholdReconfigurator(bank_spec=array),
+            {"known": 2.0},
+            NonVolatileStore(),
+        )
+
+        def body(ctx):
+            yield  # pragma: no cover
+
+        from repro.kernel.annotations import ConfigAnnotation
+
+        task = Task("t", body, ConfigAnnotation("unknown"))
+        with pytest.raises(EnergyModeError):
+            runtime.plan_for_task(task, 0.0)
+
+    def test_empty_thresholds_rejected(self):
+        array = BankSpec.single("array", TANTALUM_POLYMER, 10)
+        with pytest.raises(ConfigurationError):
+            ThresholdRuntime(
+                ThresholdReconfigurator(bank_spec=array), {}, NonVolatileStore()
+            )
+
+
+class TestEndToEnd:
+    def test_alarm_flow_completes(self, assembly):
+        board = Board(
+            MCU_MSP430FR5969,
+            assembly.power_system,
+            sensors=[SENSOR_TMP36],
+            radio=BLE_CC2650,
+        )
+        executor = IntermittentExecutor(
+            board,
+            sense_alarm_graph(),
+            assembly.runtime,
+            sensor_binding=constant_binding(50.0),  # permanently hot
+        )
+        executor.run(240.0)
+        assert len(executor.trace.packets_with_payload_prefix("alarm")) > 0
+        # Threshold flip-flops per alarm cycle consume EEPROM writes.
+        assert assembly.runtime.eeprom_writes >= 2
+
+    def test_study_shapes(self):
+        from repro.experiments import debs_comparison
+
+        result = debs_comparison.run(seed=1, event_count=6)
+        assert result.value("capybara/reported") >= result.value(
+            "threshold/reported"
+        )
+        assert result.value("threshold/mean_latency") > result.value(
+            "capybara/mean_latency"
+        )
+        assert result.value("threshold/eeprom_writes") > 0.0
+        assert result.value("threshold/lifetime_hours") < float("inf")

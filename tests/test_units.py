@@ -1,0 +1,110 @@
+"""Unit-conversion helpers and electrical relations."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_seconds_identity(self):
+        assert units.seconds(3.5) == 3.5
+
+    def test_milliseconds(self):
+        assert units.milliseconds(250) == pytest.approx(0.25)
+
+    def test_microseconds(self):
+        assert units.microseconds(8) == pytest.approx(8e-6)
+
+    def test_minutes(self):
+        assert units.minutes(3) == 180.0
+
+    def test_hours(self):
+        assert units.hours(2) == 7200.0
+
+
+class TestCapacitanceConversions:
+    def test_micro_farads(self):
+        assert units.micro_farads(400) == pytest.approx(400e-6)
+
+    def test_milli_farads(self):
+        assert units.milli_farads(67.5) == pytest.approx(0.0675)
+
+    def test_round_trip(self):
+        assert units.as_micro_farads(units.micro_farads(330)) == pytest.approx(330)
+
+
+class TestElectricalConversions:
+    def test_milli_volts(self):
+        assert units.milli_volts(300) == pytest.approx(0.3)
+
+    def test_milli_amps(self):
+        assert units.milli_amps(30) == pytest.approx(0.03)
+
+    def test_micro_amps(self):
+        assert units.micro_amps(25) == pytest.approx(25e-6)
+
+    def test_nano_amps(self):
+        assert units.nano_amps(25) == pytest.approx(25e-9)
+
+    def test_milli_ohms(self):
+        assert units.milli_ohms(15) == pytest.approx(0.015)
+
+
+class TestEnergyPower:
+    def test_milli_joules(self):
+        assert units.milli_joules(24.5) == pytest.approx(0.0245)
+
+    def test_nano_joules(self):
+        assert units.nano_joules(6) == pytest.approx(6e-9)
+
+    def test_milli_watts(self):
+        assert units.milli_watts(10) == pytest.approx(0.01)
+
+    def test_micro_watts(self):
+        assert units.micro_watts(500) == pytest.approx(5e-4)
+
+    def test_as_milli_joules(self):
+        assert units.as_milli_joules(0.001) == pytest.approx(1.0)
+
+
+class TestGeometry:
+    def test_cubic_millimetres_round_trip(self):
+        assert units.as_cubic_millimetres(units.cubic_millimetres(7.2)) == pytest.approx(7.2)
+
+    def test_square_millimetres_round_trip(self):
+        assert units.as_square_millimetres(units.square_millimetres(80)) == pytest.approx(80)
+
+
+class TestCapacitorEnergy:
+    def test_full_discharge(self):
+        # E = 1/2 C V^2
+        assert units.capacitor_energy(1e-3, 2.0) == pytest.approx(0.002)
+
+    def test_partial_discharge(self):
+        expected = 0.5 * 1e-3 * (2.4**2 - 0.8**2)
+        assert units.capacitor_energy(1e-3, 2.4, 0.8) == pytest.approx(expected)
+
+    def test_negative_when_bounds_swapped(self):
+        assert units.capacitor_energy(1e-3, 0.8, 2.4) < 0.0
+
+    def test_voltage_for_energy_inverse(self):
+        energy = units.capacitor_energy(470e-6, 1.8)
+        assert units.voltage_for_energy(470e-6, energy) == pytest.approx(1.8)
+
+    def test_voltage_for_zero_energy(self):
+        assert units.voltage_for_energy(1e-3, 0.0) == 0.0
+
+    def test_voltage_for_energy_rejects_bad_capacitance(self):
+        with pytest.raises(ValueError):
+            units.voltage_for_energy(0.0, 1.0)
+
+    def test_voltage_for_energy_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            units.voltage_for_energy(1e-3, -1.0)
+
+    def test_energy_scales_quadratically(self):
+        one = units.capacitor_energy(1e-3, 1.0)
+        two = units.capacitor_energy(1e-3, 2.0)
+        assert two == pytest.approx(4.0 * one)

@@ -1,0 +1,158 @@
+"""Wear accounting/policy and trace export."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.wear import (
+    check_dedication_policy,
+    fragile_banks,
+    most_worn,
+    projected_lifetime,
+    wear_report,
+)
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, TANTALUM_POLYMER
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.energy.switch import BankSwitch
+from repro.errors import ConfigurationError
+from repro.sim.export import (
+    samples_csv,
+    save_trace_json,
+    trace_to_dict,
+    voltage_csv,
+)
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def reservoir() -> ReconfigurableReservoir:
+    res = ReconfigurableReservoir()
+    res.add_bank(BankSpec.single("small", CERAMIC_X5R, 3))
+    res.add_bank(
+        BankSpec.of_parts("big", [(TANTALUM_POLYMER, 2), (EDLC_CPH3225A, 1)]),
+        switch=BankSwitch(name="big"),
+    )
+    return res
+
+
+class TestWearReport:
+    def test_all_groups_reported(self, reservoir):
+        report = wear_report(reservoir)
+        assert {(entry.bank, entry.part) for entry in report} == {
+            ("small", CERAMIC_X5R.name),
+            ("big", TANTALUM_POLYMER.name),
+            ("big", EDLC_CPH3225A.name),
+        }
+
+    def test_fresh_parts_have_full_life(self, reservoir):
+        for entry in wear_report(reservoir):
+            assert entry.remaining_fraction == 1.0
+
+    def test_cycling_reduces_remaining_life(self, reservoir):
+        bank = reservoir.bank("big")
+        for _ in range(50):
+            bank.store(bank.spec.energy_at(2.0))
+            bank.extract(bank.energy)
+        edlc = next(
+            entry
+            for entry in wear_report(reservoir)
+            if entry.part == EDLC_CPH3225A.name
+        )
+        assert 0.0 < edlc.remaining_fraction < 1.0
+        assert edlc.cycles > 0.0
+
+    def test_most_worn_picks_edlc(self, reservoir):
+        bank = reservoir.bank("big")
+        bank.store(bank.spec.energy_at(2.0))
+        worst = most_worn(reservoir)
+        assert worst is not None
+        assert worst.part == EDLC_CPH3225A.name
+
+    def test_most_worn_none_without_fragile_parts(self):
+        res = ReconfigurableReservoir()
+        res.add_bank(BankSpec.single("only", CERAMIC_X5R, 2))
+        assert most_worn(res) is None
+
+
+class TestLifetimeProjection:
+    def test_infinite_without_wear(self, reservoir):
+        assert math.isinf(projected_lifetime(reservoir, 100.0))
+
+    def test_projection_scales_with_rate(self, reservoir):
+        bank = reservoir.bank("big")
+        bank.store(bank.spec.energy_at(2.0))
+        bank.extract(bank.energy)
+        fast = projected_lifetime(reservoir, 10.0)
+        slow = projected_lifetime(reservoir, 1000.0)
+        assert math.isfinite(fast)
+        assert slow == pytest.approx(100.0 * fast)
+
+    def test_duration_validated(self, reservoir):
+        with pytest.raises(ConfigurationError):
+            projected_lifetime(reservoir, 0.0)
+
+
+class TestDedicationPolicy:
+    def test_fragile_banks_identified(self, reservoir):
+        assert fragile_banks(reservoir) == ["big"]
+
+    def test_policy_holds_when_fragile_cycles_less(self, reservoir):
+        warnings = check_dedication_policy(
+            reservoir, {"small": 1000, "big": 10}
+        )
+        assert warnings == []
+
+    def test_policy_warns_on_overused_fragile_bank(self, reservoir):
+        warnings = check_dedication_policy(
+            reservoir, {"small": 10, "big": 1000}
+        )
+        assert len(warnings) == 1
+        assert "big" in warnings[0]
+
+    def test_no_warning_without_robust_banks(self):
+        res = ReconfigurableReservoir()
+        res.add_bank(BankSpec.single("edlc", EDLC_CPH3225A, 1))
+        assert check_dedication_policy(res, {"edlc": 1000}) == []
+
+
+class TestTraceExport:
+    def make_trace(self) -> Trace:
+        trace = Trace()
+        trace.record_voltage(0.0, 2.4)
+        trace.record_voltage(1.0, 1.8, source="bank0")
+        trace.record_state(0.0, "charging", "initial")
+        trace.record_packet(2.0, "alarm", 25, event_id=1)
+        trace.record_sample(0.5, "tmp36", 37.2, event_id=None)
+        trace.record_event(0.4, "temperature", 1)
+        trace.bump("power_failures", 3)
+        trace.record_duration("charge", 1.5)
+        return trace
+
+    def test_dict_round_trip_is_json_safe(self):
+        data = trace_to_dict(self.make_trace())
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["counters"]["power_failures"] == 3
+        assert decoded["packets"][0]["payload"] == "alarm"
+        assert decoded["durations"]["charge"] == [1.5]
+
+    def test_save_trace_json(self, tmp_path):
+        path = save_trace_json(self.make_trace(), tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["voltages"][0]["voltage"] == 2.4
+
+    def test_voltage_csv_format(self):
+        csv = voltage_csv(self.make_trace())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time,voltage,source"
+        assert lines[1].startswith("0.000000,2.400000,")
+        assert len(lines) == 3
+
+    def test_samples_csv_filters_by_sensor(self):
+        trace = self.make_trace()
+        trace.record_sample(0.7, "photo", 1.0)
+        csv = samples_csv(trace, sensor="tmp36")
+        assert "photo" not in csv
+        assert "tmp36" in csv
