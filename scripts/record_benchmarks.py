@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Record a benchmark baseline snapshot.
+
+Runs the pytest-benchmark suite with JSON output and keeps two files in
+the repository root:
+
+* ``BENCH_latest.json`` — always the most recent run;
+* ``BENCH_<YYYY-MM-DD>.json`` — a dated snapshot for comparisons.
+
+``--smoke`` restricts the run to the micro-kernel benches
+(``benchmarks/test_bench_micro.py``) — the quick pass to execute before
+and after touching the integrators, the reservoir, or the event engine.
+The full suite regenerates every figure once per round and takes
+considerably longer.
+
+Usage::
+
+    python scripts/record_benchmarks.py            # full suite
+    python scripts/record_benchmarks.py --smoke    # micro kernels only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LATEST = "BENCH_latest.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the micro-kernel benches (fast)",
+    )
+    parser.add_argument(
+        "--pytest-args",
+        default="",
+        help="extra arguments forwarded to pytest (one string)",
+    )
+    args = parser.parse_args(argv)
+
+    target = "benchmarks/test_bench_micro.py" if args.smoke else "benchmarks"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        target,
+        "-q",
+        f"--benchmark-json={LATEST}",
+    ]
+    if args.pytest_args:
+        command.extend(args.pytest_args.split())
+
+    print("+", " ".join(command))
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        print("benchmark run failed; no snapshot written", file=sys.stderr)
+        return completed.returncode
+
+    latest = REPO_ROOT / LATEST
+    snapshot = REPO_ROOT / f"BENCH_{datetime.date.today():%Y-%m-%d}.json"
+    shutil.copyfile(latest, snapshot)
+    print(f"wrote {latest.name} and {snapshot.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

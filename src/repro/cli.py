@@ -163,7 +163,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "all":
         from repro.experiments import run_all as module
 
-        module.main(seed=args.seed, scale=args.scale)
+        module.main(
+            seed=args.seed,
+            scale=args.scale,
+            jobs=1 if args.serial else args.jobs,
+            use_cache=not args.no_cache,
+            clear_cache=args.clear_cache,
+        )
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {name!r}")
     return 0
@@ -200,6 +206,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("name", choices=EXPERIMENT_MODULES)
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.add_argument("--scale", type=float, default=0.25)
+    exp_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for `all` (default: REPRO_JOBS or CPU count)",
+    )
+    exp_parser.add_argument(
+        "--serial", action="store_true",
+        help="force single-process execution for `all`",
+    )
+    exp_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache for `all`",
+    )
+    exp_parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop cached `all` results before running",
+    )
     exp_parser.set_defaults(func=_cmd_experiment)
 
     return parser

@@ -280,9 +280,10 @@ class CapybaraPowerSystem:
         # device is powered so latches hold), and the harvester operating
         # point is re-read per segment only through the efficiency ramp.
         reservoir.active_voltage(time)  # asserts the equal-voltage invariant
-        banks = reservoir.active_banks(time)
-        esr = reservoir.active_esr(time)
-        c_active = reservoir.active_capacitance(time)
+        view = reservoir.active_view(time)
+        banks = view.banks
+        esr = view.esr
+        c_active = view.capacitance
         floor = booster.min_bank_voltage(esr, total_power)
         target = self.charge_target_voltage(time)
         hv, hp = self.harvest_point(time)
@@ -306,7 +307,7 @@ class CapybaraPowerSystem:
                 # the active set toward the charge target.
                 step = min(duration - elapsed, self.CHARGE_REEVALUATION_INTERVAL)
                 if voltage < target:
-                    reservoir.store(-net_drain * step, now)
+                    view.store(-net_drain * step)
                 delivered += load_power * step
                 elapsed += step
                 continue
@@ -317,7 +318,7 @@ class CapybaraPowerSystem:
             if elapsed + seg_time >= duration:
                 seg_time = duration - elapsed
                 seg_energy = net_drain * seg_time
-            reservoir.extract(seg_energy, now)
+            view.extract(seg_energy)
             delivered += load_power * seg_time
             elapsed += seg_time
         self._finish_discharge(elapsed, time + elapsed)

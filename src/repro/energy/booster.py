@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from repro.errors import ConfigurationError, PowerSystemError
-from repro.energy.bank import CapacitorBank
+from repro.energy.bank import BankSpec, CapacitorBank
 
 
 @dataclass(frozen=True)
@@ -218,11 +219,12 @@ class OutputBooster:
         This is the discharge floor of the paper's Section 5.1 — higher
         for high-ESR supercapacitors under heavy loads, which is what
         strands energy in Figure 4.
+
+        The discharge integrators ask for the same (ESR, load) floor at
+        every segment of every task execution, so the solution is
+        memoised on the operating point.
         """
-        p_in = self.input_power_for_load(load_power)
-        droop_floor = 2.0 * math.sqrt(esr * p_in)
-        regulation_floor = self.v_in_min + esr * p_in / self.v_in_min
-        return max(droop_floor, regulation_floor)
+        return _min_bank_voltage(self, esr, load_power)
 
     def can_power(self, bank: CapacitorBank, load_power: float) -> bool:
         """Whether *bank* at its current voltage can deliver *load_power*."""
@@ -291,14 +293,16 @@ class OutputBooster:
         voltage_step_fraction: float = 0.01,
     ) -> float:
         """Seconds the bank can sustain *load_power* from its current
-        voltage, without mutating the bank."""
-        probe = CapacitorBank(bank.spec, initial_voltage=bank.voltage)
-        time_ran, browned_out = self.discharge(
-            probe, load_power, math.inf, voltage_step_fraction
+        voltage, without mutating the bank.
+
+        The design-space sweeps (Figures 3 and 4) and the provisioning
+        estimators re-solve this full-drain integral for identical
+        (bank spec, start voltage, load) operating points; the segment
+        solution is memoised on exactly that key.
+        """
+        return _time_to_brownout(
+            self, bank.spec, bank.voltage, load_power, voltage_step_fraction
         )
-        if not browned_out:  # pragma: no cover - inf duration always browns out
-            raise PowerSystemError("discharge with infinite duration did not end")
-        return time_ran
 
     def usable_energy(
         self,
@@ -313,3 +317,47 @@ class OutputBooster:
         if load_power <= 0.0:
             raise PowerSystemError("load_power must be positive")
         return self.time_to_brownout(bank, load_power) * load_power
+
+
+# ---------------------------------------------------------------------------
+# Memoised segment solutions
+# ---------------------------------------------------------------------------
+#
+# Both helpers are pure functions of hashable, immutable inputs
+# (``OutputBooster`` and ``BankSpec`` are frozen dataclasses, the rest
+# are floats), so memoisation cannot change any result — it only skips
+# re-integration for operating points the experiment sweeps revisit
+# thousands of times.
+
+
+@lru_cache(maxsize=16384)
+def _min_bank_voltage(
+    booster: OutputBooster, esr: float, load_power: float
+) -> float:
+    p_in = booster.input_power_for_load(load_power)
+    droop_floor = 2.0 * math.sqrt(esr * p_in)
+    regulation_floor = booster.v_in_min + esr * p_in / booster.v_in_min
+    return max(droop_floor, regulation_floor)
+
+
+@lru_cache(maxsize=4096)
+def _time_to_brownout(
+    booster: OutputBooster,
+    spec: BankSpec,
+    voltage: float,
+    load_power: float,
+    voltage_step_fraction: float,
+) -> float:
+    probe = CapacitorBank(spec, initial_voltage=voltage)
+    time_ran, browned_out = booster.discharge(
+        probe, load_power, math.inf, voltage_step_fraction
+    )
+    if not browned_out:  # pragma: no cover - inf duration always browns out
+        raise PowerSystemError("discharge with infinite duration did not end")
+    return time_ran
+
+
+def clear_segment_caches() -> None:
+    """Drop the memoised discharge solutions (test isolation helper)."""
+    _min_bank_voltage.cache_clear()
+    _time_to_brownout.cache_clear()

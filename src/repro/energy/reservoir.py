@@ -58,6 +58,11 @@ class ReconfigurableReservoir:
             )
         self._banks: Dict[str, CapacitorBank] = {}
         self._switches: Dict[str, BankSwitch] = {}
+        # Flat tuple mirror of ``_switches.values()``: the active-set
+        # cache validity check sums switch versions on every query, and
+        # iterating a tuple is measurably cheaper than a dict view in
+        # that hot path.
+        self._switch_seq: Tuple[BankSwitch, ...] = ()
         self._order: List[str] = []
         #: The paper's Section 6.4 limitation: a deactivated bank can be
         #: pre-charged only to ~0.3 V below the normal charge target.
@@ -88,7 +93,9 @@ class ReconfigurableReservoir:
         self._banks[spec.name] = bank
         if switch is not None:
             self._switches[spec.name] = switch
+            self._switch_seq = tuple(self._switches.values())
         self._order.append(spec.name)
+        self._active_cache = None
         return bank
 
     # ------------------------------------------------------------------
@@ -128,7 +135,7 @@ class ReconfigurableReservoir:
         state; switch ``version`` counters catch direct state changes.
         """
         versions = 0
-        for switch in self._switches.values():
+        for switch in self._switch_seq:
             versions += switch.version
         cache = self._active_cache
         if cache is not None and cache[2] == versions and cache[0] <= time < cache[1]:
@@ -142,7 +149,7 @@ class ReconfigurableReservoir:
         # versions); recompute the sum after resolution.
         versions = 0
         boundary = math.inf
-        for switch in self._switches.values():
+        for switch in self._switch_seq:
             versions += switch.version
             if switch._commanded_closed != switch.default_closed:
                 boundary = min(
@@ -337,9 +344,82 @@ class ReconfigurableReservoir:
         lost += self.equalize_active(time)
         return lost
 
+    def active_view(self, time: float) -> "ActiveSetView":
+        """A hoisted handle on the active set for hot integration loops.
+
+        The view captures the active banks, capacitance, and ESR once
+        and then moves energy without re-validating the switch state on
+        every call.  It is only sound while the active set cannot change
+        — e.g. within one :meth:`CapybaraPowerSystem.discharge` segment
+        loop, where the device is powered (latches are held) and
+        reconfiguration happens only between tasks.  The arithmetic is
+        identical to :meth:`store`/:meth:`extract`, so results are
+        bit-for-bit the same.
+        """
+        entry = self._active_entry(time)
+        if not entry[4]:
+            raise PowerSystemError("no banks are active")
+        return ActiveSetView(entry[4], entry[5], entry[6])
+
     def snapshot(self) -> Dict[str, Tuple[float, bool]]:
         """Voltage and switch presence per bank (debug/trace helper)."""
         return {
             name: (self._banks[name].voltage, name in self._switches)
             for name in self._order
         }
+
+
+class ActiveSetView:
+    """Frozen view of a reservoir's active set (see :meth:`active_view`).
+
+    Exposes the aggregate-capacitor operations the power-system
+    integrators sit in their innermost loops: terminal voltage, store,
+    extract.  All mutations go through the underlying
+    :class:`CapacitorBank` objects, so the reservoir observes every
+    joule moved through a view.
+    """
+
+    __slots__ = ("banks", "capacitance", "esr", "_single")
+
+    def __init__(
+        self, banks: List[CapacitorBank], capacitance: float, esr: float
+    ) -> None:
+        self.banks = banks
+        self.capacitance = capacitance
+        self.esr = esr
+        self._single = banks[0] if len(banks) == 1 else None
+
+    @property
+    def voltage(self) -> float:
+        """Shared terminal voltage of the captured active set, volts."""
+        return self.banks[0].voltage
+
+    def store(self, energy: float) -> float:
+        """Add *energy* joules; same semantics as ``Reservoir.store``."""
+        single = self._single
+        if single is not None:
+            return single.store(energy)
+        banks, total_c = self.banks, self.capacitance
+        voltage = banks[0].voltage
+        rated = min(bank.spec.rated_voltage for bank in banks)
+        headroom = 0.5 * total_c * (rated * rated - voltage * voltage)
+        absorbed = min(energy, max(0.0, headroom))
+        new_energy = 0.5 * total_c * voltage * voltage + absorbed
+        v_new = math.sqrt(2.0 * new_energy / total_c)
+        for bank in banks:
+            bank.store(max(0.0, bank.spec.energy_at(v_new) - bank.energy))
+        return absorbed
+
+    def extract(self, energy: float) -> float:
+        """Remove *energy* joules; same semantics as ``Reservoir.extract``."""
+        single = self._single
+        if single is not None:
+            return single.extract(energy)
+        banks, total_c = self.banks, self.capacitance
+        voltage = banks[0].voltage
+        available = 0.5 * total_c * voltage * voltage
+        delivered = min(energy, available)
+        v_new = math.sqrt(2.0 * max(0.0, available - delivered) / total_c)
+        for bank in banks:
+            bank.extract(max(0.0, bank.energy - bank.spec.energy_at(v_new)))
+        return delivered

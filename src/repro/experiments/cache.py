@@ -1,0 +1,167 @@
+"""Content-keyed on-disk cache for experiment results.
+
+Every evaluation artifact in this reproduction is a deterministic
+function of (experiment id, parameters, the simulator's source code).
+The cache exploits that: :func:`result_key` hashes exactly those three
+inputs, and :class:`ResultCache` maps the key to a pickled payload on
+disk.  A second ``run_all`` invocation with unchanged inputs replays
+every table from the cache in milliseconds; editing *any* file under
+``src/repro`` changes the code fingerprint and invalidates everything
+it could have influenced.
+
+Keying rules:
+
+* **experiment id** — the registry name ("fig08", "power-sweep", ...);
+* **parameters** — a flat JSON-serialisable dict (seed, scale, ...),
+  hashed order-independently;
+* **code fingerprint** — SHA-256 over the contents of every ``*.py``
+  file in the installed ``repro`` package (cached per process).
+
+The cache directory defaults to ``.repro-cache`` under the current
+working directory and can be pointed elsewhere with the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+#: Bump to invalidate every existing cache entry on format changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The configured cache directory (not created until first write)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(DEFAULT_CACHE_DIR)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 fingerprint of the installed ``repro`` package sources.
+
+    Hashes (relative path, content) for every ``*.py`` file, sorted by
+    path, so the fingerprint is stable across filesystems and invariant
+    to mtime churn but changes whenever any simulator code changes.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def result_key(
+    experiment_id: str,
+    params: Dict[str, Any],
+    fingerprint: Optional[str] = None,
+) -> str:
+    """Stable hash of (experiment id, parameters, code fingerprint).
+
+    *fingerprint* defaults to :func:`code_fingerprint`; tests inject
+    synthetic values to exercise invalidation without editing sources.
+    """
+    payload = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": experiment_id,
+            "params": params,
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class ResultCache:
+    """Pickle-on-disk key/value store for experiment payloads.
+
+    Payloads must be picklable; the experiment layer stores
+    (captured stdout, headline values) tuples.  Writes are atomic
+    (temp file + rename) so a crashed run never leaves a truncated
+    entry behind.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored payload, or ``None`` on miss/corruption."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store *payload* under *key* (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletes
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

@@ -17,7 +17,7 @@ Run: ``python -m repro.experiments.fig03_design_space``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.device.mcu import MCU_MSP430FR5969, MCUModel
 from repro.energy.bank import BankSpec, CapacitorBank
 from repro.energy.booster import InputBooster, OutputBooster
 from repro.energy.capacitor import CapacitorSpec, TANTALUM_POLYMER
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import ExperimentResult, print_result
 
 
@@ -103,29 +104,43 @@ def _scaled_bank(part: CapacitorSpec, capacitance: float) -> BankSpec:
     return BankSpec.single(f"sweep-{capacitance * 1e6:.0f}uF", scaled)
 
 
+def _design_point(capacitance: float, harvest_power: float) -> DesignPoint:
+    """One grid point of the capacitance sweep; pool worker entry."""
+    bank = _scaled_bank(TANTALUM_POLYMER, capacitance)
+    return DesignPoint(
+        capacitance=capacitance,
+        atomicity_ops=atomicity_for_bank(bank),
+        charge_time=charge_time_for_bank(bank, harvest_power=harvest_power),
+    )
+
+
 def run(
     points: int = 13,
     c_min: float = 100e-6,
     c_max: float = 10e-3,
     harvest_power: float = 1.0e-3,
+    jobs: Optional[int] = None,
 ) -> Tuple[ExperimentResult, List[DesignPoint]]:
-    """Sweep capacitance logarithmically and measure both axes."""
-    capacitances = np.logspace(np.log10(c_min), np.log10(c_max), points)
+    """Sweep capacitance logarithmically and measure both axes.
+
+    Grid points are independent, so they fan out over the parallel
+    runner; results come back in sweep order either way.
+    """
+    capacitances = [
+        float(c) for c in np.logspace(np.log10(c_min), np.log10(c_max), points)
+    ]
     result = ExperimentResult(
         experiment="fig03-design-space",
         columns=["Capacitance (uF)", "Atomicity (Mops)", "Charge time (s)"],
     )
-    curve: List[DesignPoint] = []
-    for capacitance in capacitances:
-        bank = _scaled_bank(TANTALUM_POLYMER, float(capacitance))
-        ops = atomicity_for_bank(bank)
-        charge = charge_time_for_bank(bank, harvest_power=harvest_power)
-        point = DesignPoint(
-            capacitance=float(capacitance),
-            atomicity_ops=ops,
-            charge_time=charge,
-        )
-        curve.append(point)
+    curve = parallel_map(
+        _design_point,
+        [(capacitance, harvest_power) for capacitance in capacitances],
+        jobs=jobs,
+        labels=[f"{capacitance * 1e6:.0f}uF" for capacitance in capacitances],
+    )
+    for capacitance, point in zip(capacitances, curve):
+        charge = point.charge_time
         key = f"{capacitance * 1e6:.0f}uF"
         result.values[f"{key}/mops"] = point.atomicity_mops
         result.values[f"{key}/charge_time"] = charge

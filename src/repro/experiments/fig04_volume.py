@@ -19,13 +19,14 @@ Run: ``python -m repro.experiments.fig04_volume``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.device.mcu import MCU_MSP430FR5969, MCUModel
 from repro.energy.bank import BankSpec, CapacitorBank
 from repro.energy.booster import OutputBooster
 from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, CapacitorSpec
 from repro.errors import PowerSystemError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import ExperimentResult, print_result
 
 
@@ -64,25 +65,47 @@ def atomicity_by_parts(
     return seconds * mcu.op_rate / 1e6
 
 
-def run(max_parts: int = 8) -> ExperimentResult:
-    """Sweep part count for both technologies."""
+def _volume_point(label: str, part: CapacitorSpec, count: int) -> VolumePoint:
+    """One (technology, part count) grid point; pool worker entry."""
+    return VolumePoint(
+        label, count, part.volume * count * 1e9, atomicity_by_parts(part, count)
+    )
+
+
+def run(max_parts: int = 8, jobs: Optional[int] = None) -> ExperimentResult:
+    """Sweep part count for both technologies.
+
+    Every (technology, count) point is independent, so the grid fans
+    out over the parallel runner in sweep order.
+    """
     result = ExperimentResult(
         experiment="fig04-volume",
         columns=["Technology", "Parts", "Volume (mm^3)", "Atomicity (Mops)"],
     )
+    grid = [
+        (label, part, count)
+        for label, part in (("ceramic", CERAMIC_X5R), ("supercap", EDLC_CPH3225A))
+        for count in range(1, max_parts + 1)
+    ]
+    points = parallel_map(
+        _volume_point,
+        grid,
+        jobs=jobs,
+        labels=[f"{label}-x{count}" for label, _, count in grid],
+    )
     curves: Dict[str, List[VolumePoint]] = {"ceramic": [], "supercap": []}
-    for label, part in (("ceramic", CERAMIC_X5R), ("supercap", EDLC_CPH3225A)):
-        for count in range(1, max_parts + 1):
-            mops = atomicity_by_parts(part, count)
-            volume_mm3 = part.volume * count * 1e9
-            curves[label].append(
-                VolumePoint(label, count, volume_mm3, mops)
-            )
-            result.values[f"{label}/{count}/mops"] = mops
-            result.values[f"{label}/{count}/volume_mm3"] = volume_mm3
-            result.rows.append(
-                [label, str(count), f"{volume_mm3:.1f}", f"{mops:.4f}"]
-            )
+    for point in points:
+        curves[point.technology].append(point)
+        result.values[f"{point.technology}/{point.parts}/mops"] = point.atomicity_mops
+        result.values[f"{point.technology}/{point.parts}/volume_mm3"] = point.volume_mm3
+        result.rows.append(
+            [
+                point.technology,
+                str(point.parts),
+                f"{point.volume_mm3:.1f}",
+                f"{point.atomicity_mops:.4f}",
+            ]
+        )
     # Marginal gain of each added supercap (the diminishing-increase
     # observation) recorded as a series.
     supercap = curves["supercap"]

@@ -17,6 +17,7 @@ Run: ``python -m repro.experiments.fig08_accuracy``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict
 
 from repro.apps.csr import build_csr
@@ -24,7 +25,8 @@ from repro.apps.grc import GRCVariant, build_grc
 from repro.apps.temp_alarm import build_temp_alarm
 from repro.core.builder import SystemKind
 from repro.experiments import metrics
-from repro.experiments.campaign import DEFAULT_KINDS, Campaign, run_campaign
+from repro.experiments.campaign import DEFAULT_KINDS, Campaign
+from repro.experiments.parallel import run_campaign_parallel
 from repro.experiments.runner import ExperimentResult, percent, print_result
 
 #: Scaled-down defaults keep a full figure regeneration to a couple of
@@ -57,19 +59,18 @@ def run(seed: int = 0, scale: float = DEFAULT_SCALE) -> AccuracyData:
     ta_events = max(5, int(50 * scale))
     grc_events = max(5, int(80 * scale))
 
+    # functools.partial over the module-level builders (rather than
+    # lambdas) keeps the builders picklable, so run_campaign_parallel
+    # can fan the four system variants out over worker processes.
     builders = {
-        "TempAlarm": lambda kind: build_temp_alarm(
-            kind, seed=seed, event_count=ta_events
+        "TempAlarm": partial(build_temp_alarm, seed=seed, event_count=ta_events),
+        "GestureFast": partial(
+            build_grc, variant=GRCVariant.FAST, seed=seed, event_count=grc_events
         ),
-        "GestureFast": lambda kind: build_grc(
-            kind, GRCVariant.FAST, seed=seed, event_count=grc_events
+        "GestureCompact": partial(
+            build_grc, variant=GRCVariant.COMPACT, seed=seed, event_count=grc_events
         ),
-        "GestureCompact": lambda kind: build_grc(
-            kind, GRCVariant.COMPACT, seed=seed, event_count=grc_events
-        ),
-        "CorrSense": lambda kind: build_csr(
-            kind, seed=seed, event_count=grc_events
-        ),
+        "CorrSense": partial(build_csr, seed=seed, event_count=grc_events),
     }
 
     result = ExperimentResult(
@@ -83,7 +84,7 @@ def run(seed: int = 0, scale: float = DEFAULT_SCALE) -> AccuracyData:
 
     for app_name, builder in builders.items():
         horizon = _horizon_for(builder, scale)
-        campaign = run_campaign(builder, horizon)
+        campaign = run_campaign_parallel(builder, horizon)
         campaigns[app_name] = campaign
         for kind in DEFAULT_KINDS:
             instance = campaign.instance(kind)

@@ -16,13 +16,14 @@ Run: ``python -m repro.experiments.fig10_sensitivity``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Sequence
 
 from repro.apps.grc import GRCVariant, build_grc
 from repro.apps.temp_alarm import build_temp_alarm
 from repro.core.builder import SystemKind
 from repro.experiments import metrics
-from repro.experiments.campaign import run_campaign
+from repro.experiments.parallel import run_campaign_parallel
 from repro.experiments.runner import ExperimentResult, percent, print_result
 
 TA_KINDS = [
@@ -62,11 +63,15 @@ def run(
     grc_series: Dict[str, List[float]] = {kind.value: [] for kind in GRC_KINDS}
 
     for mean in ta_means:
-        builder = lambda kind, mean=mean: build_temp_alarm(
-            kind, seed=seed, event_count=ta_events, mean_interarrival=mean
+        # partial() keeps the builder picklable for the parallel runner.
+        builder = partial(
+            build_temp_alarm,
+            seed=seed,
+            event_count=ta_events,
+            mean_interarrival=mean,
         )
         probe = builder(SystemKind.CONTINUOUS)
-        campaign = run_campaign(
+        campaign = run_campaign_parallel(
             builder, probe.schedule.horizon + 120.0, kinds=list(TA_KINDS)
         )
         for kind in TA_KINDS:
@@ -80,15 +85,15 @@ def run(
             )
 
     for mean in grc_means:
-        builder = lambda kind, mean=mean: build_grc(
-            kind,
-            GRCVariant.FAST,
+        builder = partial(
+            build_grc,
+            variant=GRCVariant.FAST,
             seed=seed,
             event_count=grc_events,
             mean_interarrival=mean,
         )
         probe = builder(SystemKind.CONTINUOUS)
-        campaign = run_campaign(
+        campaign = run_campaign_parallel(
             builder, probe.schedule.horizon + 60.0, kinds=list(GRC_KINDS)
         )
         for kind in GRC_KINDS:

@@ -1,0 +1,199 @@
+"""Parallel experiment execution.
+
+Every evaluation artifact re-runs the *same* deterministic simulation
+under different power systems or parameter points, so the experiment
+layer is embarrassingly parallel: the four :class:`SystemKind` runs of
+a campaign, each point of a sweep grid, and each top-level experiment
+of ``run_all`` are independent.  This module fans that work out over a
+``ProcessPoolExecutor`` while preserving the methodology the paper
+depends on:
+
+* **deterministic ordering** — results always come back in submission
+  order, regardless of which worker finished first;
+* **seed isolation** — workers never share RNG state: each task
+  rebuilds its app from the builder (which embeds the seed), so a
+  parallel run is bit-identical to a serial one;
+* **graceful fallback** — ``REPRO_JOBS=1``, a single-core machine, or
+  a non-picklable task quietly degrades to the serial path with the
+  same results;
+* **timing capture** — each task reports its wall-clock cost so
+  ``run_all`` can show where the time went.
+
+Workers return only the :class:`~repro.sim.trace.Trace` (plain data);
+the parent process rebuilds the cheap ``AppInstance`` shell locally and
+grafts the worker's trace onto it, so nothing hard-to-pickle (closures,
+generators, heaps of callbacks) ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.apps.base import AppInstance
+from repro.core.builder import SystemKind
+from repro.experiments.campaign import DEFAULT_KINDS, AppBuilder, Campaign
+from repro.sim.trace import Trace
+
+T = TypeVar("T")
+
+#: Environment variable forcing the worker count (1 disables the pool).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    override = os.environ.get(JOBS_ENV)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _picklable(*objects: Any) -> bool:
+    """Whether every object survives pickling (pool transport check)."""
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+@dataclass
+class TaskTiming:
+    """Wall-clock cost of one parallel task, for reporting."""
+
+    label: str
+    seconds: float
+
+
+@dataclass
+class ParallelReport:
+    """Per-task timings plus how the batch actually executed."""
+
+    mode: str = "serial"  # "serial" or "process-pool"
+    jobs: int = 1
+    timings: List[TaskTiming] = field(default_factory=list)
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+
+def _timed_call(fn: Callable[..., T], args: Tuple[Any, ...]) -> Tuple[T, float]:
+    started = _time.perf_counter()
+    result = fn(*args)
+    return result, _time.perf_counter() - started
+
+
+def parallel_map(
+    fn: Callable[..., T],
+    tasks: Sequence[Tuple[Any, ...]],
+    jobs: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+    report: Optional[ParallelReport] = None,
+) -> List[T]:
+    """Apply *fn* to each argument tuple, fanning out over processes.
+
+    Results are returned in task order.  Falls back to an in-process
+    serial loop when *jobs* (default :func:`default_jobs`) is 1, there
+    is a single task, or *fn*/*tasks* cannot be pickled.
+
+    Args:
+        fn: a module-level (picklable) callable.
+        tasks: one argument tuple per invocation.
+        jobs: worker processes; ``None`` uses :func:`default_jobs`.
+        labels: optional display labels for the timing report.
+        report: optional :class:`ParallelReport` to fill with timings.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    labels = list(labels) if labels is not None else [str(i) for i in range(len(tasks))]
+    use_pool = jobs > 1 and len(tasks) > 1 and _picklable(fn, list(tasks))
+
+    if report is not None:
+        report.mode = "process-pool" if use_pool else "serial"
+        report.jobs = jobs if use_pool else 1
+
+    outputs: List[T] = []
+    if not use_pool:
+        for label, args in zip(labels, tasks):
+            result, seconds = _timed_call(fn, args)
+            outputs.append(result)
+            if report is not None:
+                report.timings.append(TaskTiming(label, seconds))
+        return outputs
+
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_timed_call, fn, args) for args in tasks]
+        for label, future in zip(labels, futures):
+            result, seconds = future.result()
+            outputs.append(result)
+            if report is not None:
+                report.timings.append(TaskTiming(label, seconds))
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# Campaign fan-out
+# ---------------------------------------------------------------------------
+
+def _run_builder_kind(builder: AppBuilder, kind: SystemKind, horizon: float) -> Trace:
+    """Worker body: build one system variant, run it, return the trace."""
+    instance = builder(kind)
+    instance.run(horizon)
+    return instance.trace
+
+
+def run_campaign_parallel(
+    builder: AppBuilder,
+    horizon: float,
+    kinds: Optional[List[SystemKind]] = None,
+    jobs: Optional[int] = None,
+    report: Optional[ParallelReport] = None,
+) -> Campaign:
+    """:func:`~repro.experiments.campaign.run_campaign`, fanned out.
+
+    Each :class:`SystemKind` runs in its own worker process; the parent
+    rebuilds the (cheap, un-run) instances locally and attaches the
+    workers' traces, so the returned :class:`Campaign` is drop-in
+    compatible with every metric helper.  *builder* must embed the
+    seed/schedule, exactly as the serial contract requires — that is
+    also what makes worker runs bit-identical to serial ones.
+
+    Builders that cannot be pickled (closures over rigs, lambdas) run
+    serially in-process with identical results.
+    """
+    kinds = kinds if kinds is not None else list(DEFAULT_KINDS)
+    traces = parallel_map(
+        _run_builder_kind,
+        [(builder, kind, horizon) for kind in kinds],
+        jobs=jobs,
+        labels=[kind.value for kind in kinds],
+        report=report,
+    )
+    instances: Dict[SystemKind, AppInstance] = {}
+    app_name = ""
+    for kind, trace in zip(kinds, traces):
+        instance = builder(kind)
+        _graft_trace(instance, trace)
+        instances[kind] = instance
+        app_name = instance.name
+    return Campaign(app_name=app_name, instances=instances, horizon=horizon)
+
+
+def _graft_trace(instance: AppInstance, trace: Trace) -> None:
+    """Attach a worker-produced trace to a locally-built instance."""
+    if trace is instance.trace:
+        return  # serial fallback may already share the object
+    instance.trace = trace
+    executor = instance.executor
+    if hasattr(executor, "trace"):
+        executor.trace = trace

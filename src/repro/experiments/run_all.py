@@ -1,16 +1,25 @@
 """Run the complete evaluation suite at paper scale.
 
 Regenerates every figure of the paper's Section 6 plus the Section 5
-ablations, printing each table as it completes.  At full scale this
-takes tens of minutes; pass ``--scale 0.25`` for a quick pass.
+ablations.  Independent experiments fan out over a process pool
+(:mod:`repro.experiments.parallel`) and completed experiments are
+replayed from the on-disk result cache (:mod:`repro.experiments.cache`)
+when neither their parameters nor the simulator source has changed —
+a warm-cache rerun prints every table in seconds.
 
-Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]``
+Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]
+[--jobs J | --serial] [--no-cache] [--clear-cache]``
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablation,
@@ -29,64 +38,279 @@ from repro.experiments import (
     fig10_sensitivity,
     fig11_intersample,
 )
-from repro.experiments.runner import print_result
+from repro.experiments.cache import ResultCache, result_key
+from repro.experiments.parallel import ParallelReport, default_jobs, parallel_map
+from repro.experiments.runner import format_table, print_result
 
 
-def main(seed: int = 0, scale: float = 1.0) -> None:
+def _capture(fn: Callable[..., object], *args, **kwargs) -> str:
+    """Run *fn*, returning everything it printed."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        fn(*args, **kwargs)
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Experiment jobs — module-level so the process pool can pickle them.
+# Each returns the experiment's full printed output as a string.
+# ---------------------------------------------------------------------------
+
+def _job_fig02(seed: int, scale: float) -> str:
+    return _capture(fig02_fixed_capacity.main, horizon=600.0)
+
+
+def _job_fig03(seed: int, scale: float) -> str:
+    return _capture(fig03_design_space.main)
+
+
+def _job_fig04(seed: int, scale: float) -> str:
+    return _capture(fig04_volume.main)
+
+
+def _job_campaigns(seed: int, scale: float) -> str:
+    """Figures 8 and 9 share their campaigns, so they form one job."""
+
+    def both() -> None:
+        accuracy = fig08_accuracy.run(seed=seed, scale=scale)
+        print_result(accuracy.result)
+        print()
+        latency = fig09_latency.run(seed=seed, scale=scale, accuracy=accuracy)
+        print_result(latency.result)
+
+    return _capture(both)
+
+
+def _job_fig10(seed: int, scale: float) -> str:
+    return _capture(fig10_sensitivity.main, seed=seed)
+
+
+def _job_fig11(seed: int, scale: float) -> str:
+    return _capture(fig11_intersample.main, seed=seed)
+
+
+def _job_characterization(seed: int, scale: float) -> str:
+    return _capture(characterization.main)
+
+
+def _job_capysat(seed: int, scale: float) -> str:
+    return _capture(capysat_study.main, seed=seed)
+
+
+def _job_ablation(seed: int, scale: float) -> str:
+    return _capture(ablation.main)
+
+
+def _job_debs(seed: int, scale: float) -> str:
+    return _capture(debs_comparison.main, seed=seed)
+
+
+def _job_checkpoint(seed: int, scale: float) -> str:
+    return _capture(checkpoint_study.main)
+
+
+def _job_power_sweep(seed: int, scale: float) -> str:
+    return _capture(power_sweep.main, seed=seed)
+
+
+def _job_versatility(seed: int, scale: float) -> str:
+    return _capture(versatility.main, seed=seed)
+
+
+def _job_interrupt(seed: int, scale: float) -> str:
+    return _capture(interrupt_study.main, seed=seed)
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One independently runnable, independently cacheable experiment."""
+
+    job_id: str
+    title: str
+    runner: Callable[[int, float], str]
+    uses_seed: bool = False
+    uses_scale: bool = False
+
+    def params(self, seed: int, scale: float) -> Dict[str, object]:
+        """The cache-key parameters this job actually depends on."""
+        params: Dict[str, object] = {}
+        if self.uses_seed:
+            params["seed"] = seed
+        if self.uses_scale:
+            params["scale"] = scale
+        return params
+
+
+#: Display/submission order matches the paper's figure numbering.
+EXPERIMENT_JOBS: List[ExperimentJob] = [
+    ExperimentJob("fig02", "Figure 2: fixed-capacity execution", _job_fig02),
+    ExperimentJob("fig03", "Figure 3: atomicity vs capacitance", _job_fig03),
+    ExperimentJob("fig04", "Figure 4: atomicity by volume and technology", _job_fig04),
+    ExperimentJob(
+        "campaigns",
+        "Figures 8 and 9: accuracy and latency campaigns",
+        _job_campaigns,
+        uses_seed=True,
+        uses_scale=True,
+    ),
+    ExperimentJob(
+        "fig10",
+        "Figure 10: sensitivity to event inter-arrival",
+        _job_fig10,
+        uses_seed=True,
+    ),
+    ExperimentJob(
+        "fig11", "Figure 11: inter-sample distributions", _job_fig11, uses_seed=True
+    ),
+    ExperimentJob(
+        "characterization", "Section 6.5: characterization", _job_characterization
+    ),
+    ExperimentJob(
+        "capysat", "Section 6.6: CapySat case study", _job_capysat, uses_seed=True
+    ),
+    ExperimentJob("ablation", "Section 5 ablations", _job_ablation),
+    ExperimentJob(
+        "debs", "Related work: DEBS comparison", _job_debs, uses_seed=True
+    ),
+    ExperimentJob("checkpoint", "Related work: checkpoint study", _job_checkpoint),
+    ExperimentJob(
+        "power-sweep", "Related work: input-power sweep", _job_power_sweep,
+        uses_seed=True,
+    ),
+    ExperimentJob(
+        "versatility", "Related work: versatility study", _job_versatility,
+        uses_seed=True,
+    ),
+    ExperimentJob(
+        "interrupt", "Related work: interrupt study", _job_interrupt, uses_seed=True
+    ),
+]
+
+_JOBS_BY_ID: Dict[str, ExperimentJob] = {job.job_id: job for job in EXPERIMENT_JOBS}
+
+
+def _run_job(job_id: str, seed: int, scale: float) -> str:
+    """Pool worker entry point (only plain strings/ints cross processes)."""
+    return _JOBS_BY_ID[job_id].runner(seed, scale)
+
+
+def main(
+    seed: int = 0,
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    clear_cache: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> None:
+    """Run (or replay) the full suite.
+
+    Args:
+        seed: root seed for schedules and noise.
+        scale: fraction of the paper's event counts.
+        jobs: worker processes (``1`` forces serial; ``None`` uses
+            ``REPRO_JOBS`` / the CPU count).
+        use_cache: replay unchanged experiments from the result cache.
+        clear_cache: drop every cached entry before running.
+        cache_dir: cache location override (default ``.repro-cache`` or
+            ``REPRO_CACHE_DIR``).
+    """
     started = time.time()
+    jobs = default_jobs() if jobs is None else max(1, jobs)
 
-    def stamp(label: str) -> None:
-        print(f"\n[{label}: {time.time() - started:.0f}s elapsed]\n")
+    cache = ResultCache(**({"root": cache_dir} if cache_dir is not None else {}))
+    cache.enabled = use_cache
+    if clear_cache:
+        removed = cache.clear()
+        print(f"[cache] cleared {removed} entries from {cache.root}")
 
     print("#" * 70)
-    print(f"# Capybara evaluation suite (seed={seed}, scale={scale})")
+    print(
+        f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
+        f"jobs={jobs}, cache={'on' if use_cache else 'off'})"
+    )
     print("#" * 70)
 
-    print("\n## Figure 2: fixed-capacity execution")
-    fig02_fixed_capacity.main(horizon=600.0)
-    print("\n## Figure 3: atomicity vs capacitance")
-    fig03_design_space.main()
-    print("\n## Figure 4: atomicity by volume and technology")
-    fig04_volume.main()
-    stamp("design space done")
+    # Partition into cached replays and experiments that must run.
+    outputs: Dict[str, str] = {}
+    sources: Dict[str, str] = {}
+    pending: List[ExperimentJob] = []
+    for job in EXPERIMENT_JOBS:
+        key = result_key(job.job_id, job.params(seed, scale))
+        payload = cache.get(key)
+        if payload is not None:
+            outputs[job.job_id] = payload
+            sources[job.job_id] = "cache"
+        else:
+            pending.append(job)
 
-    print("## Figures 8 and 9: accuracy and latency campaigns")
-    accuracy = fig08_accuracy.run(seed=seed, scale=scale)
-    print_result(accuracy.result)
-    print()
-    latency = fig09_latency.run(seed=seed, scale=scale, accuracy=accuracy)
-    print_result(latency.result)
-    stamp("campaigns done")
+    report = ParallelReport()
+    if pending:
+        fresh = parallel_map(
+            _run_job,
+            [(job.job_id, seed, scale) for job in pending],
+            jobs=jobs,
+            labels=[job.job_id for job in pending],
+            report=report,
+        )
+        for job, text in zip(pending, fresh):
+            outputs[job.job_id] = text
+            sources[job.job_id] = "ran"
+            cache.put(result_key(job.job_id, job.params(seed, scale)), text)
 
-    print("## Figure 10: sensitivity to event inter-arrival")
-    fig10_sensitivity.main(seed=seed)
-    stamp("sensitivity done")
+    # Deterministic presentation order, independent of completion order.
+    for job in EXPERIMENT_JOBS:
+        marker = " [cache hit]" if sources[job.job_id] == "cache" else ""
+        print(f"\n## {job.title}{marker}")
+        print(outputs[job.job_id], end="" if outputs[job.job_id].endswith("\n") else "\n")
 
-    print("## Figure 11: inter-sample distributions")
-    fig11_intersample.main(seed=seed)
-
-    print("\n## Section 6.5: characterization")
-    characterization.main()
-    print("\n## Section 6.6: CapySat case study")
-    capysat_study.main(seed=seed)
-    print("\n## Section 5 ablations")
-    ablation.main()
-    print("\n## Related-work studies (beyond the paper's figures)")
-    debs_comparison.main(seed=seed)
+    # Timing / provenance summary.
+    seconds_by_id = {timing.label: timing.seconds for timing in report.timings}
+    rows = [
+        [
+            job.job_id,
+            sources[job.job_id],
+            f"{seconds_by_id[job.job_id]:.1f}s" if job.job_id in seconds_by_id else "-",
+        ]
+        for job in EXPERIMENT_JOBS
+    ]
     print()
-    checkpoint_study.main()
-    print()
-    power_sweep.main(seed=seed)
-    print()
-    versatility.main(seed=seed)
-    print()
-    interrupt_study.main(seed=seed)
-    stamp("total")
+    print(
+        format_table(
+            ["Experiment", "Source", "Task time"],
+            rows,
+            title=f"Execution summary ({report.mode}, jobs={report.jobs})",
+        )
+    )
+    hits = sum(1 for source in sources.values() if source == "cache")
+    print(
+        f"\n[total: {time.time() - started:.0f}s elapsed; "
+        f"{hits}/{len(EXPERIMENT_JOBS)} experiments from cache; "
+        f"task time {report.total_task_seconds:.0f}s]"
+    )
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="force single-process execution"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true", help="drop cached results first"
+    )
     arguments = parser.parse_args()
-    main(seed=arguments.seed, scale=arguments.scale)
+    main(
+        seed=arguments.seed,
+        scale=arguments.scale,
+        jobs=1 if arguments.serial else arguments.jobs,
+        use_cache=not arguments.no_cache,
+        clear_cache=arguments.clear_cache,
+    )

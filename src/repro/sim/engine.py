@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import math
 from typing import Callable, List, Optional
 
 from repro.errors import ScheduleError, SimulationError
@@ -32,25 +32,66 @@ PRIORITY_LATE = 10
 #: timestamp (e.g. power arrival before a task tries to start).
 PRIORITY_EARLY = -10
 
+#: Lazily-cancelled events are compacted out of the heap once they
+#: outnumber both this floor and the live events (see
+#: :meth:`Simulator._compact`).
+COMPACTION_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, priority, seq)`` so that the heap pops them
     in deterministic order.  ``cancelled`` events stay in the heap but are
-    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    skipped when popped (lazy deletion), which keeps cancellation O(1);
+    the owning :class:`Simulator` compacts them away once they dominate
+    the heap.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callback,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._sim = sim
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.priority, self.seq) == (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled(self)
 
 
 class Simulator:
@@ -69,6 +110,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # Cancelled events still sitting in the heap.  ``pending`` is
+        # O(1) from this, and compaction triggers off it.
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -86,8 +130,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -111,7 +155,11 @@ class Simulator:
         Raises:
             ScheduleError: if *delay* is negative or not finite.
         """
-        if not (delay == delay) or delay in (float("inf"), float("-inf")):
+        try:
+            finite = math.isfinite(delay)
+        except TypeError:
+            finite = False
+        if not finite:
             raise ScheduleError(f"delay must be finite, got {delay!r}")
         if delay < 0.0:
             raise ScheduleError(f"cannot schedule into the past (delay={delay!r})")
@@ -126,13 +174,23 @@ class Simulator:
             ScheduleError: if *time* precedes the current time or is not
                 finite.
         """
-        if not (time == time) or time in (float("inf"), float("-inf")):
+        try:
+            finite = math.isfinite(time)
+        except TypeError:
+            finite = False
+        if not finite:
             raise ScheduleError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise ScheduleError(
                 f"cannot schedule at t={time!r} before current t={self._now!r}"
             )
-        event = Event(time=time, priority=priority, seq=next(self._seq), callback=callback)
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            sim=self,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -150,6 +208,9 @@ class Simulator:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        # Detach so a late ``cancel()`` on an already-executed event
+        # cannot skew the live-event accounting.
+        event._sim = None
         if event.time < self._now:
             raise SimulationError(
                 f"event queue corrupted: popped t={event.time} < now={self._now}"
@@ -165,8 +226,10 @@ class Simulator:
         Args:
             horizon: absolute simulation time to run to (inclusive).
             max_events: optional safety valve; raise if more events than
-                this execute before the horizon is reached (guards against
-                zero-delay self-rescheduling loops in component code).
+                this would execute before the horizon is reached (guards
+                against zero-delay self-rescheduling loops in component
+                code).  The check fires *before* the offending event
+                runs: at most ``max_events`` callbacks execute.
 
         Returns:
             The number of events executed by this call.
@@ -184,34 +247,64 @@ class Simulator:
             self._drop_cancelled_head()
             if not self._heap or self._heap[0].time > horizon:
                 break
-            self.step()
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} before t={horizon}; "
                     "suspect a zero-delay event loop"
                 )
+            self.step()
+            executed += 1
         self._now = horizon
         return executed
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains.
 
+        Like :meth:`run_until`, raises *before* executing an event that
+        would exceed *max_events*.
+
         Returns the number of events executed.
         """
         executed = 0
-        while self.step():
-            executed += 1
-            if max_events is not None and executed > max_events:
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap:
+                return executed
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; suspect an event loop"
                 )
-        return executed
+            self.step()
+            executed += 1
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel`; keeps the live count O(1) and
+        compacts the heap when cancelled entries dominate it."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= COMPACTION_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events.
+
+        Lazy deletion alone lets cancelled events accumulate unboundedly
+        in long runs (every re-schedule of a watchdog leaves a corpse);
+        an occasional O(n) rebuild keeps the heap proportional to the
+        number of *live* events.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1

@@ -1,0 +1,224 @@
+"""Parallel runner determinism and result-cache unit tests.
+
+The methodology requirement: fanning runs out over worker processes
+must be *invisible* in the results — byte-identical metrics and trace
+counters versus the serial path — and the result cache must hit only
+when (experiment id, params, code fingerprint) all match.
+"""
+
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.apps.csr import build_csr
+from repro.apps.grc import GRCVariant, build_grc
+from repro.apps.temp_alarm import build_temp_alarm
+from repro.core.builder import SystemKind
+from repro.experiments import metrics
+from repro.experiments.cache import (
+    ResultCache,
+    code_fingerprint,
+    result_key,
+)
+from repro.experiments.campaign import run_campaign
+from repro.experiments.parallel import (
+    JOBS_ENV,
+    ParallelReport,
+    default_jobs,
+    parallel_map,
+    run_campaign_parallel,
+)
+
+KINDS = [SystemKind.CONTINUOUS, SystemKind.FIXED, SystemKind.CAPY_P]
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestParallelMap:
+    def test_results_in_submission_order(self):
+        results = parallel_map(_square, [(i,) for i in range(8)], jobs=2)
+        assert results == [i * i for i in range(8)]
+
+    def test_serial_and_pool_agree(self):
+        tasks = [(i,) for i in range(6)]
+        assert parallel_map(_square, tasks, jobs=1) == parallel_map(
+            _square, tasks, jobs=2
+        )
+
+    def test_single_task_stays_serial(self):
+        report = ParallelReport()
+        parallel_map(_square, [(3,)], jobs=4, report=report)
+        assert report.mode == "serial"
+
+    def test_non_picklable_fn_falls_back_to_serial(self):
+        report = ParallelReport()
+        results = parallel_map(
+            lambda x: x + 1, [(1,), (2,)], jobs=4, report=report
+        )
+        assert results == [2, 3]
+        assert report.mode == "serial"
+        assert report.jobs == 1
+
+    def test_report_timings_carry_labels(self):
+        report = ParallelReport()
+        parallel_map(
+            _square, [(1,), (2,)], jobs=1, labels=["a", "b"], report=report
+        )
+        assert [timing.label for timing in report.timings] == ["a", "b"]
+        assert all(timing.seconds >= 0.0 for timing in report.timings)
+        assert report.total_task_seconds >= 0.0
+
+    def test_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv(JOBS_ENV, "not-a-number")
+        assert default_jobs() >= 1
+
+
+def _metric_dict(campaign, app):
+    """App-appropriate metrics, keyed per system."""
+    out = {}
+    for kind in KINDS:
+        instance = campaign.instance(kind)
+        if app == "ta":
+            out[kind.value] = metrics.ta_accuracy(instance, campaign.reference)
+        elif app == "grc":
+            outcomes = metrics.grc_outcomes(instance)
+            out[kind.value] = {
+                label: outcomes.fraction(label)
+                for label in (
+                    metrics.GRC_CORRECT,
+                    metrics.GRC_MISCLASSIFIED,
+                    metrics.GRC_PROXIMITY_ONLY,
+                    metrics.GRC_MISSED,
+                )
+            }
+        else:
+            out[kind.value] = metrics.csr_accuracy(instance)
+    return out
+
+
+class TestCampaignDeterminism:
+    """Parallel campaigns must be bit-identical to serial ones."""
+
+    @pytest.mark.parametrize(
+        "app,builder",
+        [
+            ("ta", partial(build_temp_alarm, seed=5, event_count=4)),
+            (
+                "grc",
+                partial(
+                    build_grc, variant=GRCVariant.FAST, seed=5, event_count=6
+                ),
+            ),
+            ("csr", partial(build_csr, seed=5, event_count=6)),
+        ],
+        ids=["temp-alarm", "grc-fast", "csr"],
+    )
+    def test_parallel_matches_serial(self, app, builder):
+        horizon = builder(SystemKind.CONTINUOUS).schedule.horizon + 60.0
+        serial = run_campaign(builder, horizon, kinds=list(KINDS))
+        fanned = run_campaign_parallel(
+            builder, horizon, kinds=list(KINDS), jobs=2
+        )
+
+        assert _metric_dict(fanned, app) == _metric_dict(serial, app)
+        for kind in KINDS:
+            serial_trace = serial.instance(kind).trace
+            fanned_trace = fanned.instance(kind).trace
+            assert fanned_trace.counters == serial_trace.counters
+            # Byte-identical traces: same events, samples, packets, times.
+            assert pickle.dumps(fanned_trace) == pickle.dumps(serial_trace)
+
+    def test_campaign_metadata_preserved(self):
+        builder = partial(build_temp_alarm, seed=5, event_count=4)
+        horizon = builder(SystemKind.CONTINUOUS).schedule.horizon + 60.0
+        campaign = run_campaign_parallel(
+            builder, horizon, kinds=list(KINDS), jobs=2
+        )
+        assert campaign.horizon == horizon
+        assert campaign.app_name
+        assert campaign.reference is campaign.instance(SystemKind.CONTINUOUS)
+
+
+class TestResultKey:
+    def test_stable_across_param_order(self):
+        assert result_key("fig08", {"seed": 1, "scale": 0.5}) == result_key(
+            "fig08", {"scale": 0.5, "seed": 1}
+        )
+
+    def test_changes_with_params(self):
+        assert result_key("fig08", {"seed": 1}) != result_key(
+            "fig08", {"seed": 2}
+        )
+
+    def test_changes_with_experiment_id(self):
+        assert result_key("fig08", {"seed": 1}) != result_key(
+            "fig10", {"seed": 1}
+        )
+
+    def test_changes_with_code_fingerprint(self):
+        """Editing any simulator source must invalidate cached results."""
+        assert result_key("fig08", {}, fingerprint="aaa") != result_key(
+            "fig08", {}, fingerprint="bbb"
+        )
+
+    def test_default_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert result_key("fig08", {"seed": 1}) == result_key(
+            "fig08", {"seed": 1}
+        )
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = result_key("exp", {"seed": 1}, fingerprint="f1")
+        assert cache.get(key) is None
+        cache.put(key, {"table": "rows", "value": 1.25})
+        assert cache.get(key) == {"table": "rows", "value": 1.25}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_param_change_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        cache.put(result_key("exp", {"seed": 1}, fingerprint="f1"), "one")
+        assert cache.get(result_key("exp", {"seed": 2}, fingerprint="f1")) is None
+
+    def test_code_change_invalidates(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        cache.put(result_key("exp", {"seed": 1}, fingerprint="f1"), "one")
+        assert cache.get(result_key("exp", {"seed": 1}, fingerprint="f2")) is None
+        assert cache.get(result_key("exp", {"seed": 1}, fingerprint="f1")) == "one"
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = result_key("exp", {}, fingerprint="f1")
+        cache.put(key, "payload")
+        cache.enabled = False
+        assert cache.get(key) is None
+        cache.put(key, "other")  # no-op while disabled
+        cache.enabled = True
+        assert cache.get(key) == "payload"
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        for seed in range(3):
+            cache.put(result_key("exp", {"seed": seed}, fingerprint="f"), seed)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.get(result_key("exp", {"seed": 0}, fingerprint="f")) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = result_key("exp", {}, fingerprint="f1")
+        cache.put(key, "payload")
+        cache._path(key).write_bytes(b"\x00not a pickle")
+        assert cache.get(key) is None

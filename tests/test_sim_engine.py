@@ -162,3 +162,99 @@ class TestExecution:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestScheduleTypeValidation:
+    """schedule()/schedule_at() must reject non-float garbage cleanly."""
+
+    @pytest.mark.parametrize("bad", [None, "soon", [1.0], object()])
+    def test_schedule_rejects_non_numbers(self, bad):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [None, "later", {"t": 1.0}])
+    def test_schedule_at_rejects_non_numbers(self, bad):
+        sim = Simulator()
+        with pytest.raises(ScheduleError):
+            sim.schedule_at(bad, lambda: None)
+
+    def test_schedule_at_rejects_nan_and_inf(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ScheduleError):
+                sim.schedule_at(bad, lambda: None)
+
+
+class TestMaxEventsContract:
+    """At most max_events callbacks execute before the guard trips."""
+
+    def test_guard_fires_before_excess_callback(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0, max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_exact_budget_completes(self):
+        sim = Simulator()
+        fired = []
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        executed = sim.run_until(10.0, max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_honours_budget_too(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+
+class TestHeapCompaction:
+    """Lazily-cancelled events are periodically swept from the heap."""
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending == 5
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # The sweep ran: cancelled entries no longer dominate the heap.
+        assert len(sim._heap) < 200
+        assert sim.pending == 50
+        assert sim.run() == 50
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+        assert sim.run() == 1
+
+    def test_cancel_after_execution_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(1.5)
+        event.cancel()  # already executed; must not skew accounting
+        assert sim.pending == 1
+        assert sim.run() == 1
+        assert fired == [1, 2]
