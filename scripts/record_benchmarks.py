@@ -13,16 +13,23 @@ and after touching the integrators, the reservoir, or the event engine.
 The full suite regenerates every figure once per round and takes
 considerably longer.
 
+``--compare BENCH_<date>.json`` diffs the fresh run against a recorded
+baseline and reports the per-benchmark mean delta — the check used to
+bound the observability layer's instrumentation-disabled overhead
+(budget: ≤3% on the micro kernels, see ``docs/observability.md``).
+
 Usage::
 
     python scripts/record_benchmarks.py            # full suite
     python scripts/record_benchmarks.py --smoke    # micro kernels only
+    python scripts/record_benchmarks.py --smoke --compare BENCH_2026-08-06.json
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import json
 import shutil
 import subprocess
 import sys
@@ -30,6 +37,40 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LATEST = "BENCH_latest.json"
+
+#: Overhead budget for --compare: fail past this mean-time regression.
+OVERHEAD_BUDGET = 0.03
+
+
+def _bench_means(path: Path) -> dict:
+    """benchmark name -> mean seconds, from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in data["benchmarks"]
+    }
+
+
+def compare(latest: Path, baseline: Path, budget: float = OVERHEAD_BUDGET) -> int:
+    """Print mean deltas vs *baseline*; non-zero if any exceeds *budget*."""
+    current = _bench_means(latest)
+    recorded = _bench_means(baseline)
+    shared = sorted(set(current) & set(recorded))
+    if not shared:
+        print("no overlapping benchmarks to compare", file=sys.stderr)
+        return 1
+
+    print(f"\noverhead vs {baseline.name} (budget {budget:+.0%}):")
+    worst = float("-inf")
+    for name in shared:
+        delta = current[name] / recorded[name] - 1.0
+        worst = max(worst, delta)
+        flag = "  OVER BUDGET" if delta > budget else ""
+        print(
+            f"  {name:45s} {recorded[name]*1e3:9.3f}ms -> "
+            f"{current[name]*1e3:9.3f}ms  {delta:+7.1%}{flag}"
+        )
+    print(f"worst delta: {worst:+.1%}")
+    return 1 if worst > budget else 0
 
 
 def main(argv=None) -> int:
@@ -44,7 +85,17 @@ def main(argv=None) -> int:
         default="",
         help="extra arguments forwarded to pytest (one string)",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="after recording, diff mean times against this baseline "
+        f"and fail beyond the {OVERHEAD_BUDGET:.0%} overhead budget",
+    )
     args = parser.parse_args(argv)
+    if args.compare is not None and not args.compare.is_file():
+        parser.error(f"baseline {args.compare} does not exist")
 
     target = "benchmarks/test_bench_micro.py" if args.smoke else "benchmarks"
     command = [
@@ -68,6 +119,8 @@ def main(argv=None) -> int:
     snapshot = REPO_ROOT / f"BENCH_{datetime.date.today():%Y-%m-%d}.json"
     shutil.copyfile(latest, snapshot)
     print(f"wrote {latest.name} and {snapshot.name}")
+    if args.compare is not None:
+        return compare(latest, args.compare)
     return 0
 
 

@@ -2,7 +2,18 @@
 energy-harvesting devices — full-system simulation reproduction of
 Colin, Ruppel & Lucia (ASPLOS 2018).
 
-The public API is organised in layers:
+The curated public API lives at this top level:
+
+* :class:`PowerSystem` / :class:`SystemBuilder` / :class:`SystemKind` —
+  assemble the paper's power systems.
+* :func:`run_experiment` / :func:`list_experiments` — the registered
+  paper figures and studies.
+* :class:`Telemetry` / :func:`telemetry_scope` — opt-in structured
+  metrics and tracing (:mod:`repro.observability`).
+* :mod:`repro.units` — unit helpers (``micro_farads``, ``milli_watts``,
+  ...), re-exported here for convenience.
+
+Deeper layers remain importable directly and are stable:
 
 * :mod:`repro.energy` — circuit-level substrate: capacitors, banks,
   harvesters, boosters, switches, and the reconfigurable reservoir.
@@ -12,37 +23,112 @@ The public API is organised in layers:
 * :mod:`repro.core` — the assembled contribution: energy modes, the
   power system, provisioning, allocation, and system builders.
 * :mod:`repro.apps` — the paper's evaluation applications and rigs.
-* :mod:`repro.experiments` — one module per evaluation figure.
+* :mod:`repro.experiments` — the experiment registry and harnesses.
 
 Quickstart::
 
     from repro.apps import build_temp_alarm
-    from repro.core import SystemKind
+    from repro import SystemKind, Telemetry, telemetry_scope
 
-    app = build_temp_alarm(SystemKind.CAPY_P, seed=1)
-    trace = app.run(horizon=600.0)
+    with telemetry_scope() as tel:
+        app = build_temp_alarm(SystemKind.CAPY_P, seed=1)
+        trace = app.run(horizon=600.0)
     print(len(trace.packets), "alarm packets")
+    print(tel.metrics.counter("kernel.reboots").value, "reboots")
 """
 
-from repro.core import (
-    CapybaraPowerSystem,
-    EnergyMode,
-    ModeRegistry,
-    SystemKind,
-    build_capybara_system,
-    build_fixed_system,
-)
-from repro.errors import ReproError
+import warnings as _warnings
 
-__version__ = "1.0.0"
+from repro.core import EnergyMode, ModeRegistry, SystemKind
+from repro.core.builder import SystemBuilder
+from repro.core.powersystem import PowerSystem
+from repro.errors import ReproError
+from repro.observability import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current_telemetry,
+    telemetry_scope,
+)
+from repro.units import (
+    capacitor_energy,
+    farads,
+    joules,
+    micro_amps,
+    micro_farads,
+    micro_watts,
+    milli_amps,
+    milli_farads,
+    milli_joules,
+    milli_volts,
+    milli_watts,
+    seconds,
+    volts,
+    voltage_for_energy,
+    watts,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
-    "ReproError",
+    "__version__",
+    # systems
+    "PowerSystem",
+    "SystemBuilder",
+    "SystemKind",
     "EnergyMode",
     "ModeRegistry",
-    "CapybaraPowerSystem",
-    "SystemKind",
-    "build_capybara_system",
-    "build_fixed_system",
-    "__version__",
+    # experiments (lazily resolved)
+    "run_experiment",
+    "list_experiments",
+    # observability
+    "Telemetry",
+    "telemetry_scope",
+    "current_telemetry",
+    "NULL_TELEMETRY",
+    # errors
+    "ReproError",
+    # unit helpers
+    "seconds",
+    "farads",
+    "milli_farads",
+    "micro_farads",
+    "volts",
+    "milli_volts",
+    "milli_amps",
+    "micro_amps",
+    "joules",
+    "milli_joules",
+    "watts",
+    "milli_watts",
+    "micro_watts",
+    "capacitor_energy",
+    "voltage_for_energy",
 ]
+
+#: Deprecated top-level names -> (replacement hint, loader).  Served via
+#: module ``__getattr__`` so old imports keep working with a warning;
+#: the deep module paths (``repro.core.builder`` etc.) are unaffected.
+_DEPRECATED = {
+    "CapybaraPowerSystem": "repro.PowerSystem",
+    "build_capybara_system": "repro.SystemBuilder or repro.core.build_capybara_system",
+    "build_fixed_system": "repro.SystemBuilder or repro.core.build_fixed_system",
+}
+
+
+def __getattr__(name: str):
+    # Experiment entry points import lazily: the experiments package
+    # pulls in the whole harness stack, which `import repro` should not.
+    if name in ("run_experiment", "list_experiments"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    if name in _DEPRECATED:
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {_DEPRECATED[name]}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro import core as _core
+
+        return getattr(_core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,17 +5,27 @@ Three subcommands drive the library without writing Python::
     python -m repro.cli list
     python -m repro.cli run-app temp-alarm --system CB-P --events 5
     python -m repro.cli experiment fig08 --scale 0.2
-    python -m repro.cli experiment all --scale 0.5
+    python -m repro.cli experiment all --scale 0.5 --metrics-out m.jsonl
 
 ``run-app`` executes one evaluation application on one power system and
 prints a trace summary (optionally exporting the full trace as JSON);
 ``experiment`` regenerates a paper figure; ``list`` enumerates both.
+The experiment names come straight from the experiment registry
+(:mod:`repro.experiments.registry`) — registering a new experiment in
+:mod:`repro.experiments.suite` makes it listable and runnable here with
+no CLI changes.
+
+``--metrics-out``/``--trace-out`` opt the run into the observability
+layer (:mod:`repro.observability`) and dump canonical JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import warnings
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.apps import GRCVariant, build_csr, build_grc, build_temp_alarm
@@ -39,30 +49,78 @@ APP_BUILDERS: Dict[str, Callable[..., AppInstance]] = {
     ),
 }
 
-#: Experiment name -> module (resolved lazily to keep startup fast).
-EXPERIMENT_MODULES = [
-    "fig02",
-    "fig03",
-    "fig04",
-    "fig08",
-    "fig09",
-    "fig10",
-    "fig11",
-    "characterization",
-    "capysat",
-    "ablation",
-    "checkpoint",
-    "debs",
-    "power-sweep",
-    "versatility",
-    "interrupt",
-    "all",
-]
-
 _SYSTEM_BY_NAME = {kind.value: kind for kind in SystemKind}
 
 
+def _experiment_names() -> List[str]:
+    """Registered experiment ids plus the ``all`` suite pseudo-name."""
+    from repro.experiments.registry import REGISTRY
+
+    return REGISTRY.ids() + ["all"]
+
+
+def __getattr__(name: str):
+    if name == "EXPERIMENT_MODULES":
+        warnings.warn(
+            "repro.cli.EXPERIMENT_MODULES is replaced by the experiment "
+            "registry (repro.experiments.registry.REGISTRY.ids())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _experiment_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Argument validation (fail fast with a clear message, before any work)
+# ---------------------------------------------------------------------------
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _writable_path(text: str) -> Path:
+    path = Path(text)
+    if not path.parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"directory {path.parent} does not exist"
+        )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Telemetry output shared by run-app and single experiments
+# ---------------------------------------------------------------------------
+
+def _dump_telemetry(telemetry, scope: str, args: argparse.Namespace) -> None:
+    """Write requested JSONL outputs and a one-line summary."""
+    from repro.observability.tracing import write_jsonl
+
+    if args.metrics_out is not None:
+        path = write_jsonl(telemetry.metric_records(scope=scope), args.metrics_out)
+        print(f"[telemetry] metrics written to {path}")
+    if args.trace_out is not None:
+        path = write_jsonl(telemetry.trace_records(), args.trace_out)
+        print(
+            f"[telemetry] {len(telemetry.tracer.records)} trace records "
+            f"written to {path}"
+        )
+
+
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return args.metrics_out is not None or args.trace_out is not None
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
 def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.experiments.registry import REGISTRY
+
     print("applications (run-app):")
     for name in APP_BUILDERS:
         print(f"  {name}")
@@ -70,19 +128,31 @@ def _cmd_list(_: argparse.Namespace) -> int:
     for kind in SystemKind:
         print(f"  {kind.value}")
     print("experiments (experiment):")
-    for name in EXPERIMENT_MODULES:
-        print(f"  {name}")
+    for exp in REGISTRY.all():
+        print(f"  {exp.job_id:18s} {exp.title}")
+    print(f"  {'all':18s} the full evaluation suite (run_all)")
     return 0
 
 
 def _cmd_run_app(args: argparse.Namespace) -> int:
+    from repro.observability.telemetry import Telemetry, telemetry_scope
+
     builder = APP_BUILDERS[args.app]
     kind = _SYSTEM_BY_NAME[args.system]
-    instance = builder(kind, args.seed, args.events)
-    horizon = (
-        args.horizon if args.horizon is not None else instance.schedule.horizon + 60.0
+    telemetry = Telemetry() if _wants_telemetry(args) else None
+    scope = (
+        telemetry_scope(telemetry)
+        if telemetry is not None
+        else contextlib.nullcontext()
     )
-    trace = instance.run(horizon)
+    with scope:
+        instance = builder(kind, args.seed, args.events)
+        horizon = (
+            args.horizon
+            if args.horizon is not None
+            else instance.schedule.horizon + 60.0
+        )
+        trace = instance.run(horizon)
 
     print(f"{instance.name} on {kind.value}: {horizon:.0f} s simulated")
     for counter in sorted(trace.counters):
@@ -94,84 +164,35 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
     if args.export:
         path = save_trace_json(trace, args.export)
         print(f"trace exported to {path}")
+    if telemetry is not None:
+        _dump_telemetry(telemetry, scope=args.app, args=args)
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    # Imports are local so `repro.cli list` stays instant.
     name = args.name
-    if name == "fig02":
-        from repro.experiments import fig02_fixed_capacity as module
+    if name == "all":
+        from repro.experiments import run_all
 
-        module.main()
-    elif name == "fig03":
-        from repro.experiments import fig03_design_space as module
-
-        module.main()
-    elif name == "fig04":
-        from repro.experiments import fig04_volume as module
-
-        module.main()
-    elif name == "fig08":
-        from repro.experiments import fig08_accuracy as module
-
-        module.main(seed=args.seed, scale=args.scale)
-    elif name == "fig09":
-        from repro.experiments import fig09_latency as module
-
-        module.main(seed=args.seed, scale=args.scale)
-    elif name == "fig10":
-        from repro.experiments import fig10_sensitivity as module
-
-        module.main(seed=args.seed)
-    elif name == "fig11":
-        from repro.experiments import fig11_intersample as module
-
-        module.main(seed=args.seed)
-    elif name == "characterization":
-        from repro.experiments import characterization as module
-
-        module.main()
-    elif name == "capysat":
-        from repro.experiments import capysat_study as module
-
-        module.main(seed=args.seed)
-    elif name == "ablation":
-        from repro.experiments import ablation as module
-
-        module.main()
-    elif name == "checkpoint":
-        from repro.experiments import checkpoint_study as module
-
-        module.main()
-    elif name == "debs":
-        from repro.experiments import debs_comparison as module
-
-        module.main(seed=args.seed)
-    elif name == "power-sweep":
-        from repro.experiments import power_sweep as module
-
-        module.main(seed=args.seed)
-    elif name == "versatility":
-        from repro.experiments import versatility as module
-
-        module.main(seed=args.seed)
-    elif name == "interrupt":
-        from repro.experiments import interrupt_study as module
-
-        module.main(seed=args.seed)
-    elif name == "all":
-        from repro.experiments import run_all as module
-
-        module.main(
+        run_all.main(
             seed=args.seed,
             scale=args.scale,
             jobs=1 if args.serial else args.jobs,
             use_cache=not args.no_cache,
             clear_cache=args.clear_cache,
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
         )
-    else:  # pragma: no cover - argparse choices prevent this
-        raise SystemExit(f"unknown experiment {name!r}")
+        return 0
+
+    from repro.experiments.registry import run_experiment
+    from repro.observability.telemetry import Telemetry
+
+    telemetry = Telemetry() if _wants_telemetry(args) else None
+    text = run_experiment(name, seed=args.seed, scale=args.scale, telemetry=telemetry)
+    print(text, end="" if text.endswith("\n") else "\n")
+    if telemetry is not None:
+        _dump_telemetry(telemetry, scope=name, args=args)
     return 0
 
 
@@ -200,15 +221,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--export", type=str, default=None, help="write the trace to this JSON file"
     )
+    run_parser.add_argument(
+        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
+        help="write run metrics as JSONL to FILE",
+    )
+    run_parser.add_argument(
+        "--trace-out", type=_writable_path, default=None, metavar="FILE",
+        help="write structured trace records as JSONL to FILE",
+    )
     run_parser.set_defaults(func=_cmd_run_app)
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper figure")
-    exp_parser.add_argument("name", choices=EXPERIMENT_MODULES)
+    exp_parser.add_argument("name", choices=_experiment_names())
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.add_argument("--scale", type=float, default=0.25)
     exp_parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes for `all` (default: REPRO_JOBS or CPU count)",
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes for `all`, >= 1 (default: REPRO_JOBS or CPU count)",
     )
     exp_parser.add_argument(
         "--serial", action="store_true",
@@ -221,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument(
         "--clear-cache", action="store_true",
         help="drop cached `all` results before running",
+    )
+    exp_parser.add_argument(
+        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
+        help="write metrics as JSONL to FILE",
+    )
+    exp_parser.add_argument(
+        "--trace-out", type=_writable_path, default=None, metavar="FILE",
+        help="write structured trace records as JSONL to FILE",
     )
     exp_parser.set_defaults(func=_cmd_experiment)
 

@@ -11,10 +11,11 @@ ready-made Fixed / Capy-R / Capy-P system builders.
 """
 
 from repro.core.modes import EnergyMode, ModeRegistry
-from repro.core.powersystem import CapybaraPowerSystem
+from repro.core.powersystem import CapybaraPowerSystem, PowerSystem
 from repro.core.builder import (
     build_capybara_system,
     build_fixed_system,
+    SystemBuilder,
     SystemKind,
 )
 from repro.core.allocation import ModeRequirement, allocate_banks
@@ -26,8 +27,10 @@ __all__ = [
     "EnergyMode",
     "ModeRegistry",
     "CapybaraPowerSystem",
+    "PowerSystem",
     "build_capybara_system",
     "build_fixed_system",
+    "SystemBuilder",
     "SystemKind",
     "ModeRequirement",
     "allocate_banks",

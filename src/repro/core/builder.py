@@ -26,6 +26,7 @@ from repro.energy.reservoir import ReconfigurableReservoir
 from repro.energy.switch import BankSwitch, SwitchPolarity
 from repro.kernel.capybara import CapybaraRuntime, RuntimeVariant
 from repro.kernel.memory import NonVolatileStore
+from repro.observability.telemetry import Telemetry
 
 
 class SystemKind(enum.Enum):
@@ -98,6 +99,7 @@ class PowerAssembly:
 def build_capybara_system(
     spec: PlatformSpec,
     kind: SystemKind = SystemKind.CAPY_P,
+    telemetry: Optional[Telemetry] = None,
 ) -> PowerAssembly:
     """Assemble a Capybara power system (Capy-P or Capy-R variant).
 
@@ -108,7 +110,7 @@ def build_capybara_system(
         raise ConfigurationError(
             f"build_capybara_system builds Capybara variants, not {kind}"
         )
-    reservoir = ReconfigurableReservoir()
+    reservoir = ReconfigurableReservoir(telemetry=telemetry)
     for index, bank in enumerate(spec.banks):
         if index == 0:
             reservoir.add_bank(bank)
@@ -130,24 +132,30 @@ def build_capybara_system(
         input_booster=spec.input_booster,
         output_booster=spec.output_booster,
         quiescent_power=spec.quiescent_power,
+        telemetry=telemetry,
     )
     nv = NonVolatileStore()
     variant = (
         RuntimeVariant.CAPY_P if kind is SystemKind.CAPY_P else RuntimeVariant.CAPY_R
     )
-    runtime = CapybaraRuntime(reservoir, registry, nv, variant=variant)
+    runtime = CapybaraRuntime(
+        reservoir, registry, nv, variant=variant, telemetry=telemetry
+    )
     return PowerAssembly(
         kind=kind, power_system=power_system, runtime=runtime, modes=registry, nv=nv
     )
 
 
-def build_fixed_system(spec: PlatformSpec) -> PowerAssembly:
+def build_fixed_system(
+    spec: PlatformSpec,
+    telemetry: Optional[Telemetry] = None,
+) -> PowerAssembly:
     """Assemble the statically-provisioned Fixed baseline.
 
     One hardwired bank (the spec's ``fixed_bank``), no switches; the
     runtime ignores all annotations.
     """
-    reservoir = ReconfigurableReservoir()
+    reservoir = ReconfigurableReservoir(telemetry=telemetry)
     reservoir.add_bank(spec.fixed_bank)
     registry = ModeRegistry(reservoir)
     # A single degenerate mode keeps the registry valid for queries.
@@ -159,10 +167,11 @@ def build_fixed_system(spec: PlatformSpec) -> PowerAssembly:
         input_booster=spec.input_booster,
         output_booster=spec.output_booster,
         quiescent_power=spec.quiescent_power,
+        telemetry=telemetry,
     )
     nv = NonVolatileStore()
     runtime = CapybaraRuntime(
-        reservoir, registry, nv, variant=RuntimeVariant.FIXED
+        reservoir, registry, nv, variant=RuntimeVariant.FIXED, telemetry=telemetry
     )
     return PowerAssembly(
         kind=SystemKind.FIXED,
@@ -171,3 +180,117 @@ def build_fixed_system(spec: PlatformSpec) -> PowerAssembly:
         modes=registry,
         nv=nv,
     )
+
+
+class SystemBuilder:
+    """Fluent assembly of a :class:`PowerAssembly`.
+
+    The declarative :class:`PlatformSpec` + ``build_*`` functions remain
+    the bulk API for experiment sweeps; ``SystemBuilder`` is the curated
+    front door for composing one system step by step::
+
+        assembly = (
+            SystemBuilder(SystemKind.CAPY_P)
+            .bank(small)                      # first bank is hardwired
+            .bank(burst)                      # later banks get switches
+            .mode("sense", "small")
+            .mode("burst", "small", "burst")
+            .harvester(rf_harvester)
+            .telemetry(tel)                   # optional instrumentation
+            .build()
+        )
+
+    Every setter returns the builder, and :meth:`build` validates the
+    accumulated platform exactly as :class:`PlatformSpec` does.
+    """
+
+    def __init__(self, kind: SystemKind = SystemKind.CAPY_P) -> None:
+        if kind is SystemKind.CONTINUOUS:
+            raise ConfigurationError(
+                "the continuous-power baseline has no power system to "
+                "build; use ContinuousExecutor directly"
+            )
+        self._kind = kind
+        self._banks: List[BankSpec] = []
+        self._modes: Dict[str, List[str]] = {}
+        self._fixed_bank: Optional[BankSpec] = None
+        self._harvester: Optional[Harvester] = None
+        self._switch_polarity = SwitchPolarity.NORMALLY_OPEN
+        self._output_booster: Optional[OutputBooster] = None
+        self._input_booster: Optional[InputBooster] = None
+        self._limiter: Optional[InputVoltageLimiter] = None
+        self._quiescent_power = 2e-6
+        self._telemetry: Optional[Telemetry] = None
+
+    # -- reservoir -----------------------------------------------------
+
+    def bank(self, spec: BankSpec) -> "SystemBuilder":
+        """Add a capacitor bank (the first one added is hardwired)."""
+        self._banks.append(spec)
+        return self
+
+    def mode(self, name: str, *bank_names: str) -> "SystemBuilder":
+        """Define energy mode *name* over the named banks."""
+        self._modes[name] = list(bank_names)
+        return self
+
+    def fixed_bank(self, spec: BankSpec) -> "SystemBuilder":
+        """The single bank the Fixed baseline solders down."""
+        self._fixed_bank = spec
+        return self
+
+    def switch_polarity(self, polarity: SwitchPolarity) -> "SystemBuilder":
+        self._switch_polarity = polarity
+        return self
+
+    # -- front-end circuitry -------------------------------------------
+
+    def harvester(self, harvester: Harvester) -> "SystemBuilder":
+        self._harvester = harvester
+        return self
+
+    def output_booster(self, booster: OutputBooster) -> "SystemBuilder":
+        self._output_booster = booster
+        return self
+
+    def input_booster(self, booster: InputBooster) -> "SystemBuilder":
+        self._input_booster = booster
+        return self
+
+    def limiter(self, limiter: InputVoltageLimiter) -> "SystemBuilder":
+        self._limiter = limiter
+        return self
+
+    def quiescent_power(self, power: float) -> "SystemBuilder":
+        self._quiescent_power = power
+        return self
+
+    # -- observability -------------------------------------------------
+
+    def telemetry(self, telemetry: Telemetry) -> "SystemBuilder":
+        """Report into *telemetry* (otherwise the ambient scope's)."""
+        self._telemetry = telemetry
+        return self
+
+    # -- assembly ------------------------------------------------------
+
+    def build(self) -> PowerAssembly:
+        """Validate and assemble the configured system."""
+        if self._harvester is None:
+            raise ConfigurationError("SystemBuilder needs a harvester")
+        if not self._banks:
+            raise ConfigurationError("SystemBuilder needs at least one bank")
+        spec = PlatformSpec(
+            banks=self._banks,
+            modes=self._modes or {"default": [self._banks[0].name]},
+            fixed_bank=self._fixed_bank or self._banks[0],
+            harvester=self._harvester,
+            switch_polarity=self._switch_polarity,
+            output_booster=self._output_booster,
+            input_booster=self._input_booster,
+            limiter=self._limiter,
+            quiescent_power=self._quiescent_power,
+        )
+        if self._kind is SystemKind.FIXED:
+            return build_fixed_system(spec, telemetry=self._telemetry)
+        return build_capybara_system(spec, self._kind, telemetry=self._telemetry)

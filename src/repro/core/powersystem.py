@@ -27,6 +27,7 @@ from repro.energy.booster import InputBooster, OutputBooster
 from repro.energy.harvester import Harvester
 from repro.energy.limiter import InputVoltageLimiter
 from repro.energy.reservoir import ReconfigurableReservoir
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 
 
 @dataclass
@@ -77,9 +78,11 @@ class CapybaraPowerSystem:
         input_booster: Optional[InputBooster] = None,
         output_booster: Optional[OutputBooster] = None,
         quiescent_power: float = 2e-6,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if quiescent_power < 0.0:
             raise ConfigurationError("quiescent_power must be non-negative")
+        self.telemetry = resolve_telemetry(telemetry)
         self.harvester = harvester
         self.reservoir = reservoir
         self.limiter = limiter or InputVoltageLimiter()
@@ -172,6 +175,29 @@ class CapybaraPowerSystem:
             :class:`ChargeResult` with the time spent and whether the
             target was reached.
         """
+        result = self._charge(time, max_duration, target_voltage)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.inc("power.charge_calls")
+            telemetry.inc("power.energy_stored_j", result.energy_stored)
+            if result.elapsed > 0.0:
+                telemetry.observe("power.charge_seconds", result.elapsed)
+                telemetry.span(
+                    time,
+                    time + result.elapsed,
+                    "power",
+                    "charge",
+                    stored_j=result.energy_stored,
+                    reached=result.reached_target,
+                )
+        return result
+
+    def _charge(
+        self,
+        time: float,
+        max_duration: float,
+        target_voltage: Optional[float],
+    ) -> ChargeResult:
         if max_duration < 0.0:
             raise PowerSystemError("max_duration must be non-negative")
         target = (
@@ -268,6 +294,29 @@ class CapybaraPowerSystem:
             :class:`DischargeResult`; ``browned_out`` means the active
             set hit the discharge floor before *duration* elapsed.
         """
+        result = self._discharge(time, load_power, duration, voltage_step_fraction)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.inc("power.discharge_calls")
+            telemetry.inc("power.energy_delivered_j", result.energy_delivered)
+            if result.browned_out:
+                telemetry.inc("power.brownouts")
+                telemetry.event(
+                    time + result.elapsed,
+                    "power",
+                    "brownout",
+                    load_w=load_power,
+                    voltage=self.reservoir.active_voltage(time + result.elapsed),
+                )
+        return result
+
+    def _discharge(
+        self,
+        time: float,
+        load_power: float,
+        duration: float,
+        voltage_step_fraction: float,
+    ) -> DischargeResult:
         if duration < 0.0:
             raise PowerSystemError("duration must be non-negative")
         if load_power < 0.0:
@@ -349,3 +398,9 @@ class CapybaraPowerSystem:
         drain = self.output_booster.drain_power(v_mid, esr, total_power)
         energy = 0.5 * c_active * (voltage * voltage - floor * floor)
         return energy / drain
+
+
+#: Preferred public name for the power system (``from repro import
+#: PowerSystem``); ``CapybaraPowerSystem`` remains as the historical
+#: alias.
+PowerSystem = CapybaraPowerSystem

@@ -24,6 +24,7 @@ from repro.errors import BankConfigurationError, PowerSystemError
 from repro.energy.bank import BankSpec, CapacitorBank
 from repro.energy.capacitor import parallel_esr
 from repro.energy.switch import BankSwitch
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,11 @@ class ReconfigurableReservoir:
       active set as a single capacitor.
     """
 
-    def __init__(self, precharge_voltage_penalty: float = 0.3) -> None:
+    def __init__(
+        self,
+        precharge_voltage_penalty: float = 0.3,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if precharge_voltage_penalty < 0.0:
             raise BankConfigurationError(
                 "precharge_voltage_penalty must be non-negative"
@@ -72,6 +77,10 @@ class ReconfigurableReservoir:
         # names, banks, capacitance, esr).  Hot paths query the active
         # set hundreds of thousands of times between reconfigurations.
         self._active_cache: Optional[tuple] = None
+        # Resolved once; per-joule aggregate paths (store/extract) stay
+        # uninstrumented — telemetry records only reconfiguration-rate
+        # happenings and losses.
+        self.telemetry = resolve_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     # Construction
@@ -255,8 +264,35 @@ class ReconfigurableReservoir:
                 changed = True
         if changed:
             self._reconfigurations += 1
-        self.equalize_active(time)
+        redistribution_loss = self.equalize_active(time)
+        telemetry = self.telemetry
+        if telemetry.enabled and changed:
+            telemetry.inc("reservoir.reconfigurations")
+            telemetry.inc("reservoir.switch_toggle_j", toggle_energy)
+            telemetry.inc("reservoir.redistribution_loss_j", redistribution_loss)
+            telemetry.event(
+                time,
+                "reservoir",
+                "reconfigure",
+                config=config.name,
+                banks=",".join(sorted(config.bank_names)),
+                capacitance=self.active_capacitance(time),
+            )
+            self._record_wear_gauges(telemetry)
         return toggle_energy
+
+    def _record_wear_gauges(self, telemetry: Telemetry) -> None:
+        """Refresh per-bank wear gauges (equivalent full cycles).
+
+        Called at reconfiguration rate, never in per-joule paths, so the
+        cost stays off the integration hot loops.
+        """
+        for name in self._order:
+            bank = self._banks[name]
+            cycles = sum(
+                bank.group_cycles(spec.name) for spec, _count in bank.spec.groups
+            )
+            telemetry.set_gauge(f"reservoir.wear_cycles.{name}", cycles)
 
     def equalize_active(self, time: float) -> float:
         """Redistribute charge across the active set at constant charge.
@@ -342,6 +378,8 @@ class ReconfigurableReservoir:
         # resistances); re-equalize to preserve the shared-voltage
         # invariant.  The redistribution loss here is second-order.
         lost += self.equalize_active(time)
+        if self.telemetry.enabled:
+            self.telemetry.inc("reservoir.leak_j", lost)
         return lost
 
     def active_view(self, time: float) -> "ActiveSetView":

@@ -8,6 +8,24 @@ same entry points.
 """
 
 from repro.experiments import metrics
+from repro.experiments.registry import (
+    REGISTRY,
+    Experiment,
+    experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 from repro.experiments.runner import ExperimentResult, format_table
 
-__all__ = ["metrics", "ExperimentResult", "format_table"]
+__all__ = [
+    "metrics",
+    "ExperimentResult",
+    "format_table",
+    "REGISTRY",
+    "Experiment",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -38,7 +38,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 #: Bump to invalidate every existing cache entry on format changes.
-CACHE_FORMAT_VERSION = 1
+#: v2: payloads became (stdout, telemetry snapshot | None) tuples.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:

@@ -1,197 +1,84 @@
 """Run the complete evaluation suite at paper scale.
 
 Regenerates every figure of the paper's Section 6 plus the Section 5
-ablations.  Independent experiments fan out over a process pool
+ablations.  The suite is whatever the experiment registry
+(:mod:`repro.experiments.registry`) says it is — experiments
+self-register in :mod:`repro.experiments.suite`; this module only
+schedules them.  Independent experiments fan out over a process pool
 (:mod:`repro.experiments.parallel`) and completed experiments are
 replayed from the on-disk result cache (:mod:`repro.experiments.cache`)
 when neither their parameters nor the simulator source has changed —
 a warm-cache rerun prints every table in seconds.
 
+With ``--metrics-out``/``--trace-out`` each worker job runs inside a
+:func:`~repro.observability.telemetry_scope`; the parent merges the
+per-experiment snapshots (prefixed ``exp.<job_id>.``) with its own
+suite-level metrics (per-experiment timing, cache hit/miss) and dumps
+canonical JSONL plus a summary table.
+
 Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]
-[--jobs J | --serial] [--no-cache] [--clear-cache]``
+[--jobs J | --serial] [--no-cache] [--clear-cache]
+[--metrics-out metrics.jsonl] [--trace-out trace.jsonl]``
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
-import io
 import time
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments import (
-    ablation,
-    capysat_study,
-    characterization,
-    checkpoint_study,
-    debs_comparison,
-    interrupt_study,
-    power_sweep,
-    versatility,
-    fig02_fixed_capacity,
-    fig03_design_space,
-    fig04_volume,
-    fig08_accuracy,
-    fig09_latency,
-    fig10_sensitivity,
-    fig11_intersample,
-)
+from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache, result_key
 from repro.experiments.parallel import ParallelReport, default_jobs, parallel_map
-from repro.experiments.runner import format_table, print_result
+from repro.experiments.registry import Experiment, get_experiment
+from repro.experiments.registry import REGISTRY as _REGISTRY
+from repro.experiments.runner import format_table
+from repro.observability.telemetry import Telemetry, telemetry_scope
+from repro.observability.tracing import write_jsonl
+
+#: Payload stored per experiment: (captured stdout, telemetry snapshot
+#: or None when the run was uninstrumented).
+JobPayload = Tuple[str, Optional[Dict[str, object]]]
 
 
-def _capture(fn: Callable[..., object], *args, **kwargs) -> str:
-    """Run *fn*, returning everything it printed."""
-    buffer = io.StringIO()
-    with contextlib.redirect_stdout(buffer):
-        fn(*args, **kwargs)
-    return buffer.getvalue()
+def _run_job(job_id: str, seed: int, scale: float, collect: bool) -> JobPayload:
+    """Pool worker entry point (only plain data crosses processes).
+
+    When *collect* is set the job runs inside a fresh telemetry scope so
+    every instrumented component (engine, reservoir, executors) reports
+    into a snapshot the parent can merge.
+    """
+    exp = get_experiment(job_id)
+    if not collect:
+        return exp.runner(seed, scale), None
+    telemetry = Telemetry()
+    with telemetry_scope(telemetry):
+        text = exp.runner(seed, scale)
+    return text, telemetry.snapshot()
 
 
-# ---------------------------------------------------------------------------
-# Experiment jobs — module-level so the process pool can pickle them.
-# Each returns the experiment's full printed output as a string.
-# ---------------------------------------------------------------------------
-
-def _job_fig02(seed: int, scale: float) -> str:
-    return _capture(fig02_fixed_capacity.main, horizon=600.0)
-
-
-def _job_fig03(seed: int, scale: float) -> str:
-    return _capture(fig03_design_space.main)
-
-
-def _job_fig04(seed: int, scale: float) -> str:
-    return _capture(fig04_volume.main)
-
-
-def _job_campaigns(seed: int, scale: float) -> str:
-    """Figures 8 and 9 share their campaigns, so they form one job."""
-
-    def both() -> None:
-        accuracy = fig08_accuracy.run(seed=seed, scale=scale)
-        print_result(accuracy.result)
-        print()
-        latency = fig09_latency.run(seed=seed, scale=scale, accuracy=accuracy)
-        print_result(latency.result)
-
-    return _capture(both)
-
-
-def _job_fig10(seed: int, scale: float) -> str:
-    return _capture(fig10_sensitivity.main, seed=seed)
-
-
-def _job_fig11(seed: int, scale: float) -> str:
-    return _capture(fig11_intersample.main, seed=seed)
-
-
-def _job_characterization(seed: int, scale: float) -> str:
-    return _capture(characterization.main)
-
-
-def _job_capysat(seed: int, scale: float) -> str:
-    return _capture(capysat_study.main, seed=seed)
-
-
-def _job_ablation(seed: int, scale: float) -> str:
-    return _capture(ablation.main)
-
-
-def _job_debs(seed: int, scale: float) -> str:
-    return _capture(debs_comparison.main, seed=seed)
-
-
-def _job_checkpoint(seed: int, scale: float) -> str:
-    return _capture(checkpoint_study.main)
-
-
-def _job_power_sweep(seed: int, scale: float) -> str:
-    return _capture(power_sweep.main, seed=seed)
-
-
-def _job_versatility(seed: int, scale: float) -> str:
-    return _capture(versatility.main, seed=seed)
-
-
-def _job_interrupt(seed: int, scale: float) -> str:
-    return _capture(interrupt_study.main, seed=seed)
-
-
-@dataclass(frozen=True)
-class ExperimentJob:
-    """One independently runnable, independently cacheable experiment."""
-
-    job_id: str
-    title: str
-    runner: Callable[[int, float], str]
-    uses_seed: bool = False
-    uses_scale: bool = False
-
-    def params(self, seed: int, scale: float) -> Dict[str, object]:
-        """The cache-key parameters this job actually depends on."""
-        params: Dict[str, object] = {}
-        if self.uses_seed:
-            params["seed"] = seed
-        if self.uses_scale:
-            params["scale"] = scale
-        return params
-
-
-#: Display/submission order matches the paper's figure numbering.
-EXPERIMENT_JOBS: List[ExperimentJob] = [
-    ExperimentJob("fig02", "Figure 2: fixed-capacity execution", _job_fig02),
-    ExperimentJob("fig03", "Figure 3: atomicity vs capacitance", _job_fig03),
-    ExperimentJob("fig04", "Figure 4: atomicity by volume and technology", _job_fig04),
-    ExperimentJob(
-        "campaigns",
-        "Figures 8 and 9: accuracy and latency campaigns",
-        _job_campaigns,
-        uses_seed=True,
-        uses_scale=True,
-    ),
-    ExperimentJob(
-        "fig10",
-        "Figure 10: sensitivity to event inter-arrival",
-        _job_fig10,
-        uses_seed=True,
-    ),
-    ExperimentJob(
-        "fig11", "Figure 11: inter-sample distributions", _job_fig11, uses_seed=True
-    ),
-    ExperimentJob(
-        "characterization", "Section 6.5: characterization", _job_characterization
-    ),
-    ExperimentJob(
-        "capysat", "Section 6.6: CapySat case study", _job_capysat, uses_seed=True
-    ),
-    ExperimentJob("ablation", "Section 5 ablations", _job_ablation),
-    ExperimentJob(
-        "debs", "Related work: DEBS comparison", _job_debs, uses_seed=True
-    ),
-    ExperimentJob("checkpoint", "Related work: checkpoint study", _job_checkpoint),
-    ExperimentJob(
-        "power-sweep", "Related work: input-power sweep", _job_power_sweep,
-        uses_seed=True,
-    ),
-    ExperimentJob(
-        "versatility", "Related work: versatility study", _job_versatility,
-        uses_seed=True,
-    ),
-    ExperimentJob(
-        "interrupt", "Related work: interrupt study", _job_interrupt, uses_seed=True
-    ),
-]
-
-_JOBS_BY_ID: Dict[str, ExperimentJob] = {job.job_id: job for job in EXPERIMENT_JOBS}
-
-
-def _run_job(job_id: str, seed: int, scale: float) -> str:
-    """Pool worker entry point (only plain strings/ints cross processes)."""
-    return _JOBS_BY_ID[job_id].runner(seed, scale)
+def _metric_summary_rows(
+    suite: Telemetry, job_ids: List[str]
+) -> List[List[str]]:
+    """Per-experiment headline counters for the metrics summary table."""
+    counters = (
+        ("reboots", "kernel.reboots"),
+        ("power fails", "kernel.power_failures"),
+        ("checkpoints", "kernel.checkpoints"),
+        ("tasks done", "kernel.tasks_completed"),
+        ("brownouts", "power.brownouts"),
+    )
+    snapshot = suite.metrics.snapshot()
+    rows: List[List[str]] = []
+    for job_id in job_ids:
+        row = [job_id]
+        for _label, metric in counters:
+            entry = snapshot.get(f"exp.{job_id}.{metric}")
+            row.append(str(int(entry["value"])) if entry else "-")
+        rows.append(row)
+    return rows
 
 
 def main(
@@ -201,6 +88,8 @@ def main(
     use_cache: bool = True,
     clear_cache: bool = False,
     cache_dir: Optional[Path] = None,
+    metrics_out: Optional[Path] = None,
+    trace_out: Optional[Path] = None,
 ) -> None:
     """Run (or replay) the full suite.
 
@@ -208,14 +97,26 @@ def main(
         seed: root seed for schedules and noise.
         scale: fraction of the paper's event counts.
         jobs: worker processes (``1`` forces serial; ``None`` uses
-            ``REPRO_JOBS`` / the CPU count).
+            ``REPRO_JOBS`` / the CPU count).  Zero or negative counts
+            are rejected.
         use_cache: replay unchanged experiments from the result cache.
         clear_cache: drop every cached entry before running.
         cache_dir: cache location override (default ``.repro-cache`` or
             ``REPRO_CACHE_DIR``).
+        metrics_out: write suite + per-experiment metrics as JSONL here.
+        trace_out: write per-experiment trace records as JSONL here.
     """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    for flag, path in (("--metrics-out", metrics_out), ("--trace-out", trace_out)):
+        if path is not None and not Path(path).parent.is_dir():
+            raise ConfigurationError(
+                f"{flag}: directory {Path(path).parent} does not exist"
+            )
     started = time.time()
-    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = default_jobs() if jobs is None else jobs
+    collect = metrics_out is not None or trace_out is not None
+    suite_jobs: List[Experiment] = _REGISTRY.suite()
 
     cache = ResultCache(**({"root": cache_dir} if cache_dir is not None else {}))
     cache.enabled = use_cache
@@ -226,19 +127,29 @@ def main(
     print("#" * 70)
     print(
         f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
-        f"jobs={jobs}, cache={'on' if use_cache else 'off'})"
+        f"jobs={jobs}, cache={'on' if use_cache else 'off'}, "
+        f"telemetry={'on' if collect else 'off'})"
     )
     print("#" * 70)
 
-    # Partition into cached replays and experiments that must run.
+    # Partition into cached replays and experiments that must run.  A
+    # cached entry recorded without telemetry cannot serve an
+    # instrumented run, so it counts as a miss when collecting.
     outputs: Dict[str, str] = {}
+    snapshots: Dict[str, Optional[Dict[str, object]]] = {}
     sources: Dict[str, str] = {}
-    pending: List[ExperimentJob] = []
-    for job in EXPERIMENT_JOBS:
+    pending: List[Experiment] = []
+    for job in suite_jobs:
         key = result_key(job.job_id, job.params(seed, scale))
         payload = cache.get(key)
-        if payload is not None:
-            outputs[job.job_id] = payload
+        usable = (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and isinstance(payload[0], str)
+            and (not collect or payload[1] is not None)
+        )
+        if usable:
+            outputs[job.job_id], snapshots[job.job_id] = payload
             sources[job.job_id] = "cache"
         else:
             pending.append(job)
@@ -247,18 +158,21 @@ def main(
     if pending:
         fresh = parallel_map(
             _run_job,
-            [(job.job_id, seed, scale) for job in pending],
+            [(job.job_id, seed, scale, collect) for job in pending],
             jobs=jobs,
             labels=[job.job_id for job in pending],
             report=report,
         )
-        for job, text in zip(pending, fresh):
+        for job, (text, snapshot) in zip(pending, fresh):
             outputs[job.job_id] = text
+            snapshots[job.job_id] = snapshot
             sources[job.job_id] = "ran"
-            cache.put(result_key(job.job_id, job.params(seed, scale)), text)
+            cache.put(
+                result_key(job.job_id, job.params(seed, scale)), (text, snapshot)
+            )
 
     # Deterministic presentation order, independent of completion order.
-    for job in EXPERIMENT_JOBS:
+    for job in suite_jobs:
         marker = " [cache hit]" if sources[job.job_id] == "cache" else ""
         print(f"\n## {job.title}{marker}")
         print(outputs[job.job_id], end="" if outputs[job.job_id].endswith("\n") else "\n")
@@ -271,7 +185,7 @@ def main(
             sources[job.job_id],
             f"{seconds_by_id[job.job_id]:.1f}s" if job.job_id in seconds_by_id else "-",
         ]
-        for job in EXPERIMENT_JOBS
+        for job in suite_jobs
     ]
     print()
     print(
@@ -284,9 +198,115 @@ def main(
     hits = sum(1 for source in sources.values() if source == "cache")
     print(
         f"\n[total: {time.time() - started:.0f}s elapsed; "
-        f"{hits}/{len(EXPERIMENT_JOBS)} experiments from cache; "
+        f"{hits}/{len(suite_jobs)} experiments from cache; "
         f"task time {report.total_task_seconds:.0f}s]"
     )
+
+    if collect:
+        _emit_telemetry(
+            suite_jobs, snapshots, sources, seconds_by_id, cache,
+            jobs, time.time() - started, metrics_out, trace_out,
+        )
+
+
+def _emit_telemetry(
+    suite_jobs: List[Experiment],
+    snapshots: Dict[str, Optional[Dict[str, object]]],
+    sources: Dict[str, str],
+    seconds_by_id: Dict[str, float],
+    cache: ResultCache,
+    jobs: int,
+    elapsed: float,
+    metrics_out: Optional[Path],
+    trace_out: Optional[Path],
+) -> None:
+    """Merge per-experiment snapshots, write JSONL, print the summary."""
+    suite = Telemetry()
+    suite.set_gauge("suite.jobs", jobs)
+    suite.set_gauge("suite.wall_seconds", elapsed)
+    suite.inc("suite.cache.hits", cache.stats.hits)
+    suite.inc("suite.cache.misses", cache.stats.misses)
+    suite.inc("suite.cache.stores", cache.stats.stores)
+    suite.inc(
+        "suite.experiments_from_cache",
+        sum(1 for source in sources.values() if source == "cache"),
+    )
+    for job in suite_jobs:
+        if job.job_id in seconds_by_id:
+            suite.observe("suite.experiment_seconds", seconds_by_id[job.job_id])
+            suite.set_gauge(
+                f"suite.experiment_seconds.{job.job_id}", seconds_by_id[job.job_id]
+            )
+        snapshot = snapshots.get(job.job_id)
+        if snapshot is not None:
+            suite.metrics.merge_snapshot(
+                snapshot.get("metrics") or {}, prefix=f"exp.{job.job_id}."
+            )
+
+    if metrics_out is not None:
+        path = write_jsonl(suite.metric_records(scope="suite"), metrics_out)
+        print(f"[telemetry] metrics written to {path}")
+    if trace_out is not None:
+        records: List[Dict[str, object]] = []
+        for job in suite_jobs:
+            snapshot = snapshots.get(job.job_id)
+            for record in (snapshot or {}).get("events") or []:
+                tagged = dict(record)
+                tagged["experiment"] = job.job_id
+                records.append(tagged)
+        path = write_jsonl(records, trace_out)
+        print(f"[telemetry] {len(records)} trace records written to {path}")
+
+    rows = _metric_summary_rows(suite, [job.job_id for job in suite_jobs])
+    print()
+    print(
+        format_table(
+            ["Experiment", "Reboots", "Power fails", "Checkpoints",
+             "Tasks done", "Brownouts"],
+            rows,
+            title="Telemetry summary (per experiment)",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated aliases (pre-registry API)
+# ---------------------------------------------------------------------------
+
+def __getattr__(name: str):
+    if name == "ExperimentJob":
+        warnings.warn(
+            "repro.experiments.run_all.ExperimentJob moved to "
+            "repro.experiments.registry.Experiment",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Experiment
+    if name == "EXPERIMENT_JOBS":
+        warnings.warn(
+            "repro.experiments.run_all.EXPERIMENT_JOBS is replaced by the "
+            "experiment registry (repro.experiments.registry.REGISTRY.suite())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _REGISTRY.suite()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _writable_path(text: str) -> Path:
+    path = Path(text)
+    if not path.parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"directory {path.parent} does not exist"
+        )
+    return path
 
 
 if __name__ == "__main__":
@@ -294,8 +314,8 @@ if __name__ == "__main__":
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: REPRO_JOBS or CPU count)",
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes, >= 1 (default: REPRO_JOBS or CPU count)",
     )
     parser.add_argument(
         "--serial", action="store_true", help="force single-process execution"
@@ -306,6 +326,14 @@ if __name__ == "__main__":
     parser.add_argument(
         "--clear-cache", action="store_true", help="drop cached results first"
     )
+    parser.add_argument(
+        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
+        help="write suite + per-experiment metrics as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--trace-out", type=_writable_path, default=None, metavar="FILE",
+        help="write per-experiment trace records as JSONL to FILE",
+    )
     arguments = parser.parse_args()
     main(
         seed=arguments.seed,
@@ -313,4 +341,6 @@ if __name__ == "__main__":
         jobs=1 if arguments.serial else arguments.jobs,
         use_cache=not arguments.no_cache,
         clear_cache=arguments.clear_cache,
+        metrics_out=arguments.metrics_out,
+        trace_out=arguments.trace_out,
     )

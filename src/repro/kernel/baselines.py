@@ -32,6 +32,7 @@ from repro.kernel.tasks import (
     Transmit,
     WaitForInterrupt,
 )
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 from repro.sim.trace import Trace
 
 _TIME_EPSILON = 1e-9
@@ -53,9 +54,11 @@ class ContinuousExecutor:
         sensor_binding: SensorBinding = _default_binding,
         interrupt_source=None,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.board = board
         self.graph = graph
+        self.telemetry = resolve_telemetry(telemetry)
         self.trace = trace if trace is not None else Trace()
         self.sensor_binding = sensor_binding
         self.interrupt_source = interrupt_source
@@ -94,6 +97,9 @@ class ContinuousExecutor:
                         )
                     self.nv.commit()
                     self.trace.bump(f"task_done:{task.name}")
+                    if self.telemetry.enabled:
+                        self.telemetry.inc("kernel.tasks_completed")
+                        self.telemetry.inc(f"kernel.tasks_completed.{task.name}")
                     task_name = next_name
                     break
                 to_send = self._perform(operation, horizon)

@@ -41,6 +41,7 @@ from repro.kernel.annotations import (
 )
 from repro.kernel.memory import NonVolatileStore
 from repro.kernel.tasks import Task
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 
 
 class RuntimeVariant(enum.Enum):
@@ -94,9 +95,11 @@ class CapybaraRuntime:
         variant: RuntimeVariant = RuntimeVariant.CAPY_P,
         precharge_ttl: float = float("inf"),
         suspect_on_failure: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if precharge_ttl <= 0.0:
             raise EnergyModeError("precharge_ttl must be positive")
+        self.telemetry = resolve_telemetry(telemetry)
         self.reservoir = reservoir
         self.modes = modes
         self.nv = nv
@@ -246,6 +249,11 @@ class CapybaraRuntime:
     ) -> None:
         """Record (durably) that *mode_name*'s banks were pre-charged."""
         self.nv.put(_PRECHARGE_KEY + mode_name, (voltage, time))
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.precharges")
+            self.telemetry.event(
+                time, "kernel", "precharge", mode=mode_name, voltage=voltage
+            )
 
     def _precharge_intact(self, mode_name: str, time: float) -> bool:
         """Whether a previous pre-charge of *mode_name* still holds.

@@ -47,6 +47,7 @@ from repro.kernel.tasks import (
     TaskGraph,
     Transmit,
 )
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 from repro.sim.trace import Trace
 
 _TIME_EPSILON = 1e-9
@@ -134,7 +135,9 @@ class CheckpointingExecutor:
         sensor_binding: SensorBinding = _default_binding,
         rng: Optional[np.random.Generator] = None,
         max_cycles_without_progress: int = 10_000,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self.telemetry = resolve_telemetry(telemetry)
         if checkpoint_threshold <= 0.0:
             raise ConfigurationError("checkpoint_threshold must be positive")
         if checkpoint_period_ops < 1:
@@ -211,6 +214,11 @@ class CheckpointingExecutor:
                 self._power_failure()
                 return False
             self.trace.bump("checkpoint_restores")
+            if self.telemetry.enabled:
+                self.telemetry.inc("kernel.checkpoint_restores")
+                self.telemetry.event(
+                    self.now, "kernel", "checkpoint_restore", task=task.name
+                )
             try:
                 replayed = self._replay(generator, record)
             except StopIteration:
@@ -304,6 +312,15 @@ class CheckpointingExecutor:
         )
         self.nv.put(CHECKPOINT_KEY, record)
         self.trace.bump("checkpoints")
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.checkpoints")
+            self.telemetry.event(
+                self.now,
+                "kernel",
+                "checkpoint",
+                task=task.name,
+                ops_completed=ops_completed,
+            )
         self._checkpoint_armed = False
 
     # ------------------------------------------------------------------
@@ -369,6 +386,9 @@ class CheckpointingExecutor:
 
     def _power_failure(self) -> None:
         self.trace.bump("power_failures")
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.power_failures")
+            self.telemetry.event(self.now, "kernel", "power_failure")
         self.volatile.power_fail()
         self.nv.power_fail()
         self.trace.record_state(self.now, "off", "power failure")

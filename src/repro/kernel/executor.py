@@ -35,6 +35,7 @@ from repro.kernel.tasks import (
     Transmit,
     WaitForInterrupt,
 )
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 from repro.sim.trace import Trace
 
 #: Non-volatile key holding the current task pointer.
@@ -109,10 +110,12 @@ class IntermittentExecutor:
         interrupt_source: Optional[InterruptSource] = None,
         rng: Optional[np.random.Generator] = None,
         max_power_failures_per_task: int = 10_000,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.board = board
         self.graph = graph
         self.runtime = runtime
+        self.telemetry = resolve_telemetry(telemetry)
         self.trace = trace if trace is not None else Trace()
         self.sensor_binding = sensor_binding
         self.interrupt_source = interrupt_source
@@ -175,8 +178,13 @@ class IntermittentExecutor:
             return False
         if outcome is _POWER_FAILED:
             self.trace.bump("boot_failures")
+            if self.telemetry.enabled:
+                self.telemetry.inc("kernel.boot_failures")
             self._on_power_failure()
             return False
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.reboots")
+            self.telemetry.event(self.now, "kernel", "reboot")
         return True
 
     def _run_tasks(self, horizon: float) -> None:
@@ -264,6 +272,11 @@ class IntermittentExecutor:
                 return False
             if to_send is _POWER_FAILED:
                 self.nv.abort()
+                if self.telemetry.enabled:
+                    self.telemetry.inc("kernel.task_restarts")
+                    self.telemetry.event(
+                        self.now, "kernel", "task_restart", task=task.name
+                    )
                 self._on_power_failure()
                 self._check_livelock(task)
                 return False
@@ -273,6 +286,9 @@ class IntermittentExecutor:
         self.nv.commit()
         self.runtime.note_task_complete(task)
         self.trace.bump(f"task_done:{task.name}")
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.tasks_completed")
+            self.telemetry.inc(f"kernel.tasks_completed.{task.name}")
         self._consecutive_failures = 0
         target = next_name if next_name is not None else task.name
         if target not in self.graph:
@@ -430,10 +446,19 @@ class IntermittentExecutor:
         self.trace.bump("charge_cycles")
         self.trace.record_duration(f"charge:{reason}", self.now - start)
         self.trace.record_duration("charge", self.now - start)
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.charge_cycles")
+            self.telemetry.observe("kernel.charge_seconds", self.now - start)
+            self.telemetry.span(
+                start, self.now, "kernel", "charge", reason=reason
+            )
         return True
 
     def _on_power_failure(self) -> None:
         self.trace.bump("power_failures")
+        if self.telemetry.enabled:
+            self.telemetry.inc("kernel.power_failures")
+            self.telemetry.event(self.now, "kernel", "power_failure")
         self.volatile.power_fail()
         self.nv.power_fail()
         self.runtime.note_power_failure()

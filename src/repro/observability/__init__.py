@@ -1,0 +1,61 @@
+"""Observability: structured tracing + a zero-dependency metrics plane.
+
+The simulation-side equivalent of the paper's bench instrumentation
+(scope captures, UART reboot logs, sniffer timelines):
+
+* :mod:`repro.observability.metrics` — counters, gauges, histograms
+  with explicit buckets, in a :class:`MetricsRegistry`;
+* :mod:`repro.observability.tracing` — typed span/event records with
+  canonical JSONL export;
+* :mod:`repro.observability.telemetry` — the :class:`Telemetry` handle
+  threaded through component construction, context-scoped via
+  :func:`telemetry_scope`, defaulting to the no-op
+  :data:`NULL_TELEMETRY`.
+
+See ``docs/observability.md`` for the metric name schema, the trace
+record schema, and how to add instrumentation points.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import (
+    SpanRecord,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.observability.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    telemetry_scope,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "TraceEvent",
+    "SpanRecord",
+    "Tracer",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current_telemetry",
+    "resolve_telemetry",
+    "telemetry_scope",
+]

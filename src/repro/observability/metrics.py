@@ -1,0 +1,304 @@
+"""Zero-dependency metrics primitives.
+
+The paper's evaluation is a measurement exercise: charge/discharge
+timelines on scopes, reboot counts from UART logs, event latencies from
+sniffer captures.  This module is the simulation-side equivalent — a
+small, explicit metrics plane with three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing total (reboots, events
+  dispatched, joules delivered);
+* :class:`Gauge` — a point-in-time value (queue depth, bank voltage);
+* :class:`Histogram` — a distribution over **explicit** buckets (charge
+  times, per-experiment wall clock).  Buckets are cumulative, Prometheus
+  style: ``counts[i]`` tallies observations ``<= buckets[i]``, with an
+  implicit ``+Inf`` bucket at the end.
+
+Instruments live in a :class:`MetricsRegistry`, are identified by dotted
+names (``kernel.reboots``, ``sim.events_dispatched``), and serialise to
+plain dicts so snapshots can cross process boundaries (the experiment
+pool) and be written as JSONL.
+
+Everything here is deliberately dependency-free and allocation-light;
+the disabled path never reaches these objects at all (see
+:mod:`repro.observability.telemetry`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+#: Default histogram buckets, in seconds — spans sensor ops (ms) to
+#: charge cycles (minutes).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+)
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("name", "help", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (must be non-negative) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        self._value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self._value}
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("name", "help", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: Number) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self._value -= amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self._value}
+
+
+class Histogram:
+    """A distribution over explicit, cumulative buckets.
+
+    ``buckets`` are the upper bounds, strictly increasing; an implicit
+    ``+Inf`` bucket catches everything above the last bound.  ``sum`` and
+    ``count`` make means recoverable without retaining observations.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +Inf at the end
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative view (last entry == count)."""
+        total = 0
+        out: List[int] = []
+        for tally in self.counts:
+            total += tally
+            out.append(total)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "sum": self._sum,
+            "count": self._count,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``registry.counter("kernel.reboots").inc()`` is the whole API; asking
+    for an existing name returns the same instrument, asking for it with
+    a different kind is an error (names are a schema, not a suggestion).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def _lookup(self, name: str, kind: type) -> Optional[Instrument]:
+        existing = self._instruments.get(name)
+        if existing is None:
+            return None
+        if not isinstance(existing, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {existing.kind}, "
+                f"requested {kind.__name__.lower()}"
+            )
+        return existing
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        instrument = self._lookup(name, Counter)
+        if instrument is None:
+            instrument = Counter(name, help)
+            self._instruments[name] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        instrument = self._lookup(name, Gauge)
+        if instrument is None:
+            instrument = Gauge(name, help)
+            self._instruments[name] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        instrument = self._lookup(name, Histogram)
+        if instrument is None:
+            instrument = Histogram(name, buckets, help)
+            self._instruments[name] = instrument
+        return instrument  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Serialisation / merging
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serialisable state of every instrument, keyed by name."""
+        return {
+            name: instrument.as_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Mapping[str, object]], prefix: str = ""
+    ) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins).  *prefix* namespaces the incoming metrics
+        (``exp.fig08.``), which is how per-experiment worker snapshots
+        land in the suite-level registry without colliding.
+        """
+        for name, data in snapshot.items():
+            full = prefix + name
+            kind = data.get("kind")
+            if kind == "counter":
+                self.counter(full).inc(float(data["value"]))  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(full).set(float(data["value"]))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                incoming_buckets = tuple(data["buckets"])  # type: ignore[arg-type]
+                hist = self.histogram(full, buckets=incoming_buckets)
+                if hist.buckets != incoming_buckets:
+                    raise ConfigurationError(
+                        f"histogram {full!r} bucket mismatch on merge"
+                    )
+                hist._sum += float(data["sum"])  # type: ignore[arg-type]
+                hist._count += int(data["count"])  # type: ignore[arg-type]
+                for index, tally in enumerate(data["counts"]):  # type: ignore[arg-type]
+                    hist.counts[index] += int(tally)
+            else:
+                raise ConfigurationError(
+                    f"snapshot entry {name!r} has unknown kind {kind!r}"
+                )
+
+    def rows(self) -> List[List[str]]:
+        """Display rows (name, kind, value) for a summary table."""
+        out: List[List[str]] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                value = (
+                    f"count={instrument.count} sum={instrument.sum:.4g} "
+                    f"mean={instrument.mean:.4g}"
+                )
+            else:
+                raw = instrument.value
+                value = f"{raw:.6g}" if isinstance(raw, float) else str(raw)
+            out.append([name, instrument.kind, value])
+        return out
+
+
+def iter_metric_records(
+    snapshot: Mapping[str, Mapping[str, object]], scope: str
+) -> Iterable[Dict[str, object]]:
+    """Yield JSONL-ready records for a registry snapshot."""
+    for name in sorted(snapshot):
+        record = dict(snapshot[name])
+        record["record"] = "metric"
+        record["scope"] = scope
+        yield record

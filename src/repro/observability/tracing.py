@@ -1,0 +1,183 @@
+"""Structured trace plane: typed span/event records with JSONL export.
+
+Where the metrics registry answers "how many / how much", the trace
+plane answers "what happened, when, in what order" — the simulation-side
+analogue of the paper's scope captures.  Records are deliberately tiny
+and deterministic: every field derives from *simulation* state (sim
+time, counts, names), never from wall clock, so two runs with the same
+seed produce byte-identical JSONL regardless of host load or process
+count.
+
+Two record shapes:
+
+* :class:`TraceEvent` — an instantaneous occurrence (``brownout``,
+  ``reconfigure``, ``reboot``) at one simulation time;
+* :class:`SpanRecord` — an interval (``charge``, ``experiment``) with a
+  start, an end, and a duration.
+
+Both carry a small ``fields`` mapping for record-specific payload
+(config name, energy stored, ...).  The :class:`Tracer` appends records
+in emission order; :func:`to_jsonl` serialises with sorted keys and
+fixed separators so the output is canonical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+FieldValue = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """An instantaneous occurrence at one simulation time."""
+
+    time: float
+    kind: str
+    name: str
+    fields: Dict[str, FieldValue] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "record": "event",
+            "time": self.time,
+            "kind": self.kind,
+            "name": self.name,
+            "fields": dict(self.fields),
+        }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A closed interval of simulation time."""
+
+    start: float
+    end: float
+    kind: str
+    name: str
+    fields: Dict[str, FieldValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "record": "span",
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "kind": self.kind,
+            "name": self.name,
+            "fields": dict(self.fields),
+        }
+
+
+TraceRecord = Union[TraceEvent, SpanRecord]
+
+
+class Tracer:
+    """Append-only sink of trace records.
+
+    ``max_records`` bounds memory on pathological runs; when the cap is
+    hit further records are counted (``dropped``) rather than stored, so
+    the JSONL stays honest about truncation.
+    """
+
+    def __init__(self, max_records: int = 1_000_000) -> None:
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def event(
+        self, time: float, kind: str, name: str, **fields: FieldValue
+    ) -> None:
+        """Record an instantaneous event."""
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceEvent(time, kind, name, fields))
+
+    def span(
+        self, start: float, end: float, kind: str, name: str, **fields: FieldValue
+    ) -> None:
+        """Record a closed interval."""
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(SpanRecord(start, end, kind, name, fields))
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        return [
+            r for r in self.records if isinstance(r, TraceEvent) and r.kind == kind
+        ]
+
+    def spans_of_kind(self, kind: str) -> List[SpanRecord]:
+        return [
+            r for r in self.records if isinstance(r, SpanRecord) and r.kind == kind
+        ]
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [record.as_dict() for record in self.records]
+
+
+def record_to_json(record: Dict[str, object]) -> str:
+    """Canonical one-line JSON for a trace/metric record dict."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(records: Iterable[Dict[str, object]]) -> str:
+    """Serialise record dicts as canonical JSONL (one object per line)."""
+    lines = [record_to_json(record) for record in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(
+    records: Iterable[Dict[str, object]], path: Union[str, Path]
+) -> Path:
+    """Write records as JSONL to *path*; returns the resolved path."""
+    target = Path(path)
+    target.write_text(to_jsonl(records), encoding="utf-8")
+    return target
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL file back into record dicts (test/analysis helper)."""
+    out: List[Dict[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def events_from_dicts(records: Iterable[Dict[str, object]]) -> List[TraceRecord]:
+    """Rehydrate record dicts (e.g. from a worker snapshot) into records."""
+    out: List[TraceRecord] = []
+    for data in records:
+        if data.get("record") == "span":
+            out.append(
+                SpanRecord(
+                    start=float(data["start"]),  # type: ignore[arg-type]
+                    end=float(data["end"]),  # type: ignore[arg-type]
+                    kind=str(data["kind"]),
+                    name=str(data["name"]),
+                    fields=dict(data.get("fields") or {}),  # type: ignore[arg-type]
+                )
+            )
+        else:
+            out.append(
+                TraceEvent(
+                    time=float(data["time"]),  # type: ignore[arg-type]
+                    kind=str(data["kind"]),
+                    name=str(data["name"]),
+                    fields=dict(data.get("fields") or {}),  # type: ignore[arg-type]
+                )
+            )
+    return out

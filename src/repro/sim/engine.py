@@ -17,9 +17,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _wall
 from typing import Callable, List, Optional
 
 from repro.errors import ScheduleError, SimulationError
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 
 Callback = Callable[[], None]
 
@@ -104,7 +106,7 @@ class Simulator:
         sim.run_until(10.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self._now = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
@@ -113,6 +115,9 @@ class Simulator:
         # Cancelled events still sitting in the heap.  ``pending`` is
         # O(1) from this, and compaction triggers off it.
         self._cancelled_in_heap = 0
+        # Resolved once here; the run loops only pay an aggregate
+        # bookkeeping call after draining, never per event.
+        self.telemetry = resolve_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -242,6 +247,8 @@ class Simulator:
             raise ScheduleError(
                 f"horizon t={horizon!r} precedes current t={self._now!r}"
             )
+        telemetry = self.telemetry
+        started = _wall.perf_counter() if telemetry.enabled else 0.0
         executed = 0
         while True:
             self._drop_cancelled_head()
@@ -255,6 +262,8 @@ class Simulator:
             self.step()
             executed += 1
         self._now = horizon
+        if telemetry.enabled:
+            self._note_run(telemetry, executed, started)
         return executed
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -265,10 +274,14 @@ class Simulator:
 
         Returns the number of events executed.
         """
+        telemetry = self.telemetry
+        started = _wall.perf_counter() if telemetry.enabled else 0.0
         executed = 0
         while True:
             self._drop_cancelled_head()
             if not self._heap:
+                if telemetry.enabled:
+                    self._note_run(telemetry, executed, started)
                 return executed
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
@@ -280,6 +293,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _note_run(
+        self, telemetry: Telemetry, executed: int, started: float
+    ) -> None:
+        """Aggregate run bookkeeping (only reached when enabled)."""
+        telemetry.inc("sim.events_dispatched", executed)
+        telemetry.inc("sim.runs")
+        telemetry.set_gauge("sim.queue_depth", self.pending)
+        telemetry.observe(
+            "sim.run_wall_seconds", _wall.perf_counter() - started
+        )
 
     def _note_cancelled(self, event: Event) -> None:
         """Called by :meth:`Event.cancel`; keeps the live count O(1) and

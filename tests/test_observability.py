@@ -1,0 +1,273 @@
+"""Observability layer: metrics registry, tracing, telemetry plumbing."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    iter_metric_records,
+)
+from repro.observability.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    telemetry_scope,
+)
+from repro.observability.tracing import (
+    SpanRecord,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    record_to_json,
+    to_jsonl,
+    write_jsonl,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("kernel.reboots")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("x")
+        counter.inc(4)
+        assert counter.as_dict() == {"kind": "counter", "name": "x", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("sim.queue_depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        hist = Histogram("t", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # counts: <=1.0, <=10.0, +Inf
+        assert hist.counts == [2, 1, 1]
+        assert hist.cumulative_counts() == [2, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("t", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("t", buckets=())
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("t").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("a")
+
+    def test_snapshot_roundtrip_merge(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        source.gauge("g").set(7)
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+
+        target = MetricsRegistry()
+        target.counter("exp.one.c").inc(1)
+        target.merge_snapshot(source.snapshot(), prefix="exp.one.")
+        target.merge_snapshot(source.snapshot(), prefix="exp.one.")
+
+        assert target.counter("exp.one.c").value == 7.0  # 1 + 3 + 3
+        assert target.gauge("exp.one.g").value == 7.0  # last write wins
+        hist = target.histogram("exp.one.h", buckets=(1.0,))
+        assert hist.count == 2
+
+    def test_merge_bucket_mismatch_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(2.0,))
+        with pytest.raises(ConfigurationError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(0.2)
+        json.dumps(registry.snapshot())
+
+    def test_iter_metric_records_tags_scope(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        records = list(iter_metric_records(registry.snapshot(), scope="suite"))
+        assert records[0]["record"] == "metric"
+        assert records[0]["scope"] == "suite"
+
+
+class TestTracer:
+    def test_event_and_span_records(self):
+        tracer = Tracer()
+        tracer.event(1.0, "kernel", "reboot")
+        tracer.span(1.0, 2.5, "power", "charge", reached=True)
+        dicts = tracer.as_dicts()
+        assert dicts[0]["record"] == "event"
+        assert dicts[1]["record"] == "span"
+        assert dicts[1]["duration"] == pytest.approx(1.5)
+
+    def test_cap_counts_drops(self):
+        tracer = Tracer(max_records=2)
+        for i in range(5):
+            tracer.event(float(i), "k", "e")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_jsonl_is_canonical_and_roundtrips(self, tmp_path):
+        tracer = Tracer()
+        tracer.event(1.0, "kernel", "reboot", task="sense")
+        text = to_jsonl(tracer.as_dicts())
+        # canonical: sorted keys, no spaces
+        assert text == record_to_json(tracer.as_dicts()[0]) + "\n"
+        assert ", " not in text
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer.as_dicts(), path)
+        assert read_jsonl(path) == tracer.as_dicts()
+
+
+class TestTelemetry:
+    def test_shortcuts_and_snapshot(self):
+        tel = Telemetry()
+        tel.inc("c", 2)
+        tel.set_gauge("g", 9)
+        tel.observe("h", 0.5)
+        tel.event(1.0, "k", "e")
+        snap = tel.snapshot()
+        assert snap["metrics"]["c"]["value"] == 2.0
+        assert len(snap["events"]) == 1
+        json.dumps(snap)  # picklable/JSON-able contract
+
+    def test_merge_snapshot_prefixes_metrics_and_appends_events(self):
+        worker = Telemetry()
+        worker.inc("kernel.reboots", 4)
+        worker.event(2.0, "kernel", "reboot")
+        suite = Telemetry()
+        suite.merge_snapshot(worker.snapshot(), prefix="exp.fig08.")
+        assert suite.metrics.counter("exp.fig08.kernel.reboots").value == 4.0
+        assert len(suite.tracer.records) == 1
+
+    def test_null_sink_is_disabled_and_stateless(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        NULL_TELEMETRY.inc("c")
+        NULL_TELEMETRY.set_gauge("g", 1)
+        NULL_TELEMETRY.observe("h", 0.1)
+        NULL_TELEMETRY.event(0.0, "k", "e")
+        NULL_TELEMETRY.span(0.0, 1.0, "k", "s")
+        assert NULL_TELEMETRY.snapshot() == {
+            "metrics": {},
+            "events": [],
+            "dropped": 0,
+        }
+        with pytest.raises(TypeError):
+            NULL_TELEMETRY.merge_snapshot({})
+
+    def test_resolution_order(self):
+        explicit = Telemetry()
+        # No scope: ambient is the null sink.
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        assert resolve_telemetry(explicit) is explicit
+        with telemetry_scope() as ambient:
+            assert current_telemetry() is ambient
+            assert resolve_telemetry(None) is ambient
+            assert resolve_telemetry(explicit) is explicit
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_scope():
+                raise RuntimeError("boom")
+        assert current_telemetry() is NULL_TELEMETRY
+
+
+class TestRecordShapes:
+    def test_event_as_dict(self):
+        event = TraceEvent(1.5, "kernel", "reboot", {"task": "sense"})
+        data = event.as_dict()
+        assert data == {
+            "record": "event",
+            "time": 1.5,
+            "kind": "kernel",
+            "name": "reboot",
+            "fields": {"task": "sense"},
+        }
+
+    def test_span_as_dict_includes_duration(self):
+        span = SpanRecord(1.0, 3.0, "power", "charge", {})
+        data = span.as_dict()
+        assert data["duration"] == pytest.approx(2.0)
+
+
+class TestInstrumentedComponents:
+    """End-to-end: a real run reports through the ambient scope."""
+
+    def test_temp_alarm_reports_kernel_metrics(self):
+        from repro.apps import build_temp_alarm
+        from repro.core.builder import SystemKind
+
+        with telemetry_scope() as tel:
+            app = build_temp_alarm(SystemKind.CAPY_P, seed=1, event_count=3)
+            app.run(120.0)
+        snap = tel.metrics.snapshot()
+        assert snap["kernel.reboots"]["value"] > 0
+        assert snap["power.discharge_calls"]["value"] > 0
+        assert any(record["record"] == "event" for record in tel.trace_records())
+
+    def test_sim_engine_reports_dispatch_metrics(self):
+        from repro.sim.engine import Simulator
+
+        with telemetry_scope() as tel:
+            sim = Simulator()
+            for delay in (1.0, 2.0, 3.0):
+                sim.schedule(delay, lambda: None)
+            sim.run()
+        snap = tel.metrics.snapshot()
+        assert snap["sim.events_dispatched"]["value"] == 3
+        assert snap["sim.runs"]["value"] == 1
+        assert snap["sim.run_wall_seconds"]["count"] == 1
+
+    def test_disabled_run_records_nothing(self):
+        from repro.apps import build_temp_alarm
+        from repro.core.builder import SystemKind
+
+        app = build_temp_alarm(SystemKind.CAPY_P, seed=1, event_count=3)
+        assert app.executor.telemetry.enabled is False
+        app.run(60.0)
+        assert current_telemetry() is NULL_TELEMETRY
