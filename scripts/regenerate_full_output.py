@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the archived full-suite transcript.
+
+Runs the complete evaluation suite (``repro.experiments.run_all``) at
+paper scale and archives its console output to
+``docs/experiments_full_output.txt`` — the transcript that
+``EXPERIMENTS.md`` references.  The file is regenerable, so it is not
+tracked at the repo root any more; re-run this script after changing
+any experiment and commit the refreshed archive if the output shifted.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regenerate_full_output.py
+    PYTHONPATH=src python scripts/regenerate_full_output.py --scale 0.1 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = REPO_ROOT / "docs" / "experiments_full_output.txt"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="fraction of the paper's event counts (1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output path (default: {DEFAULT_OUT.relative_to(REPO_ROOT)})",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import run_all
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        # No cache: the archive must reflect a from-scratch run.
+        run_all.main(
+            seed=args.seed, scale=args.scale, jobs=args.jobs, use_cache=False
+        )
+    text = buffer.getvalue()
+    # Timing lines vary run to run; keep the archive reproducible by
+    # dropping the execution summary block (everything is above it).
+    lines = text.splitlines(keepends=True)
+    for index, line in enumerate(lines):
+        if line.startswith("Execution summary ("):
+            text = "".join(lines[:index]).rstrip("\n") + "\n"
+            break
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(text)
+    sys.stderr.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

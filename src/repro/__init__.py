@@ -8,6 +8,11 @@ The curated public API lives at this top level:
   assemble the paper's power systems.
 * :func:`run_experiment` / :func:`list_experiments` — the registered
   paper figures and studies.
+* :class:`ScenarioSpec` / :func:`load_scenario` / :func:`dump_scenario`
+  / :func:`build_scenario_app` / :func:`build_system` — declarative,
+  versioned system descriptions (:mod:`repro.spec`): one JSON document
+  describes a platform + workload and drives the builder, the result
+  cache, parallel workers, and the CLI.
 * :class:`Telemetry` / :func:`telemetry_scope` — opt-in structured
   metrics and tracing (:mod:`repro.observability`).
 * :mod:`repro.units` — unit helpers (``micro_farads``, ``milli_watts``,
@@ -67,7 +72,7 @@ from repro.units import (
     watts,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -80,6 +85,14 @@ __all__ = [
     # experiments (lazily resolved)
     "run_experiment",
     "list_experiments",
+    # declarative specs (lazily resolved)
+    "ScenarioSpec",
+    "PlatformSpecV1",
+    "load_scenario",
+    "dump_scenario",
+    "spec_hash",
+    "build_scenario_app",
+    "build_system",
     # observability
     "Telemetry",
     "telemetry_scope",
@@ -122,6 +135,23 @@ def __getattr__(name: str):
         from repro.experiments import registry
 
         return getattr(registry, name)
+    # Spec layer imports lazily too: `import repro` stays cheap, and the
+    # energy/core modules it would pull in are only loaded on demand.
+    if name in (
+        "ScenarioSpec",
+        "PlatformSpecV1",
+        "load_scenario",
+        "dump_scenario",
+        "spec_hash",
+        "build_scenario_app",
+    ):
+        from repro import spec as _spec
+
+        return getattr(_spec, name)
+    if name == "build_system":
+        from repro.core.builder import build_system
+
+        return build_system
     if name in _DEPRECATED:
         _warnings.warn(
             f"repro.{name} is deprecated; use {_DEPRECATED[name]}",

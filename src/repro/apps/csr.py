@@ -113,8 +113,13 @@ def build_csr(
     event_count: int = DEFAULT_EVENT_COUNT,
     mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
     schedule: Optional[EventSchedule] = None,
+    platform: Optional[PlatformSpec] = None,
 ) -> AppInstance:
-    """Assemble CSR on one of the four systems."""
+    """Assemble CSR on one of the four systems.
+
+    *platform* overrides the stock :func:`make_banks` recipe (used by
+    the declarative spec path).
+    """
     streams = RandomStreams(seed)
     if schedule is None:
         schedule = EventSchedule.poisson(
@@ -136,7 +141,7 @@ def build_csr(
     return assemble_app(
         name=APP_NAME,
         kind=kind,
-        spec=make_banks(),
+        spec=platform if platform is not None else make_banks(),
         mcu=MCU_CC2650,
         graph=make_graph(),
         binding=binding,
@@ -149,4 +154,27 @@ def build_csr(
         radio=BLE_CC2650,
         rng=streams.get(f"radio-{kind.value}"),
         extras={"rig": rig},
+    )
+
+
+def scenario(
+    seed: int = 0,
+    event_count: int = DEFAULT_EVENT_COUNT,
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
+    system: str = "CB-P",
+):
+    """Declarative :class:`~repro.spec.ScenarioSpec` for this experiment
+    shape — the spec-layer twin of :func:`build_csr`."""
+    from repro.spec import PlatformSpecV1, ScenarioSpec
+
+    return ScenarioSpec(
+        name=f"csr-seed{seed}",
+        system=system,
+        platform=PlatformSpecV1.from_dict(make_banks().spec_dict()),
+        workload={
+            "app": "csr",
+            "seed": seed,
+            "event_count": event_count,
+            "mean_interarrival": mean_interarrival,
+        },
     )

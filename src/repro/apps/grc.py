@@ -170,8 +170,13 @@ def build_grc(
     event_count: int = DEFAULT_EVENT_COUNT,
     mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
     schedule: Optional[EventSchedule] = None,
+    platform: Optional[PlatformSpec] = None,
 ) -> AppInstance:
-    """Assemble a GRC variant on one of the four systems."""
+    """Assemble a GRC variant on one of the four systems.
+
+    *platform* overrides the stock :func:`make_banks` recipe (used by
+    the declarative spec path).
+    """
     streams = RandomStreams(seed)
     if schedule is None:
         schedule = EventSchedule.poisson(
@@ -194,7 +199,7 @@ def build_grc(
     return assemble_app(
         name=variant.value,
         kind=kind,
-        spec=make_banks(variant),
+        spec=platform if platform is not None else make_banks(variant),
         mcu=MCU_CC2650,
         graph=make_graph(variant, rig),
         binding=binding,
@@ -203,4 +208,29 @@ def build_grc(
         radio=BLE_CC2650,
         rng=streams.get(f"radio-{kind.value}-{variant.value}"),
         extras={"rig": rig, "variant": variant},
+    )
+
+
+def scenario(
+    variant: GRCVariant = GRCVariant.FAST,
+    seed: int = 0,
+    event_count: int = DEFAULT_EVENT_COUNT,
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
+    system: str = "CB-P",
+):
+    """Declarative :class:`~repro.spec.ScenarioSpec` for this experiment
+    shape — the spec-layer twin of :func:`build_grc`."""
+    from repro.spec import PlatformSpecV1, ScenarioSpec
+
+    app = "grc-fast" if variant is GRCVariant.FAST else "grc-compact"
+    return ScenarioSpec(
+        name=f"{app}-seed{seed}",
+        system=system,
+        platform=PlatformSpecV1.from_dict(make_banks(variant).spec_dict()),
+        workload={
+            "app": app,
+            "seed": seed,
+            "event_count": event_count,
+            "mean_interarrival": mean_interarrival,
+        },
     )

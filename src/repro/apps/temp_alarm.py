@@ -134,12 +134,14 @@ def build_temp_alarm(
     mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
     horizon: float = DEFAULT_HORIZON,
     schedule: Optional[EventSchedule] = None,
+    platform: Optional[PlatformSpec] = None,
 ) -> AppInstance:
     """Assemble TA on one of the four systems.
 
     The event schedule derives from ``(seed, "events")`` so all variants
     replay identical ground truth; sensor/radio noise streams are
-    per-variant.
+    per-variant.  *platform* overrides the stock :func:`make_banks`
+    recipe (used by the declarative spec path).
     """
     streams = RandomStreams(seed)
     if schedule is None:
@@ -161,7 +163,7 @@ def build_temp_alarm(
     instance = assemble_app(
         name=APP_NAME,
         kind=kind,
-        spec=make_banks(),
+        spec=platform if platform is not None else make_banks(),
         mcu=MCU_MSP430FR5969,
         graph=make_graph(),
         binding=binding,
@@ -172,3 +174,28 @@ def build_temp_alarm(
         extras={"rig": rig},
     )
     return instance
+
+
+def scenario(
+    seed: int = 0,
+    event_count: int = DEFAULT_EVENT_COUNT,
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
+    horizon: float = DEFAULT_HORIZON,
+    system: str = "CB-P",
+):
+    """Declarative :class:`~repro.spec.ScenarioSpec` for this experiment
+    shape — the spec-layer twin of :func:`build_temp_alarm`."""
+    from repro.spec import PlatformSpecV1, ScenarioSpec
+
+    return ScenarioSpec(
+        name=f"temp-alarm-seed{seed}",
+        system=system,
+        platform=PlatformSpecV1.from_dict(make_banks().spec_dict()),
+        workload={
+            "app": "temp-alarm",
+            "seed": seed,
+            "event_count": event_count,
+            "mean_interarrival": mean_interarrival,
+            "horizon": horizon,
+        },
+    )

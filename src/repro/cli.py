@@ -1,19 +1,25 @@
 """Command-line interface.
 
-Three subcommands drive the library without writing Python::
+Five subcommands drive the library without writing Python::
 
     python -m repro.cli list
     python -m repro.cli run-app temp-alarm --system CB-P --events 5
+    python -m repro.cli run --spec scenario.json --system Fixed
+    python -m repro.cli spec dump temp-alarm > scenario.json
+    python -m repro.cli spec check tests/golden/specs/*.json
     python -m repro.cli experiment fig08 --scale 0.2
     python -m repro.cli experiment all --scale 0.5 --metrics-out m.jsonl
 
 ``run-app`` executes one evaluation application on one power system and
 prints a trace summary (optionally exporting the full trace as JSON);
-``experiment`` regenerates a paper figure; ``list`` enumerates both.
-The experiment names come straight from the experiment registry
-(:mod:`repro.experiments.registry`) — registering a new experiment in
-:mod:`repro.experiments.suite` makes it listable and runnable here with
-no CLI changes.
+``run`` does the same from a declarative scenario JSON file
+(:mod:`repro.spec`); ``spec dump`` prints the scenario an app or a
+registered experiment declares, and ``spec check`` validates scenario
+files; ``experiment`` regenerates a paper figure; ``list`` enumerates
+everything.  The experiment names come straight from the experiment
+registry (:mod:`repro.experiments.registry`) — registering a new
+experiment in :mod:`repro.experiments.suite` makes it listable and
+runnable here with no CLI changes.
 
 ``--metrics-out``/``--trace-out`` opt the run into the observability
 layer (:mod:`repro.observability`) and dump canonical JSONL.
@@ -134,6 +140,26 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _report_run(
+    instance: AppInstance,
+    kind: SystemKind,
+    horizon: float,
+    trace,
+    args: argparse.Namespace,
+) -> None:
+    """Trace summary shared by ``run-app`` and ``run --spec``."""
+    print(f"{instance.name} on {kind.value}: {horizon:.0f} s simulated")
+    for counter in sorted(trace.counters):
+        print(f"  {counter:24s} {trace.counters[counter]}")
+    print(f"  {'samples':24s} {len(trace.samples)}")
+    print(f"  {'packets':24s} {len(trace.packets)}")
+    reported = trace.reported_event_ids()
+    print(f"  {'events reported':24s} {len(reported)} / {len(instance.schedule)}")
+    if args.export:
+        path = save_trace_json(trace, args.export)
+        print(f"trace exported to {path}")
+
+
 def _cmd_run_app(args: argparse.Namespace) -> int:
     from repro.observability.telemetry import Telemetry, telemetry_scope
 
@@ -154,18 +180,130 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
         )
         trace = instance.run(horizon)
 
-    print(f"{instance.name} on {kind.value}: {horizon:.0f} s simulated")
-    for counter in sorted(trace.counters):
-        print(f"  {counter:24s} {trace.counters[counter]}")
-    print(f"  {'samples':24s} {len(trace.samples)}")
-    print(f"  {'packets':24s} {len(trace.packets)}")
-    reported = trace.reported_event_ids()
-    print(f"  {'events reported':24s} {len(reported)} / {len(instance.schedule)}")
-    if args.export:
-        path = save_trace_json(trace, args.export)
-        print(f"trace exported to {path}")
+    _report_run(instance, kind, horizon, trace, args)
     if telemetry is not None:
         _dump_telemetry(telemetry, scope=args.app, args=args)
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.observability.telemetry import Telemetry, telemetry_scope
+    from repro.spec import build_scenario_app, load_scenario
+
+    try:
+        scenario = load_scenario(Path(args.spec))
+    except (SpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kind = SystemKind.from_name(args.system or scenario.system)
+    telemetry = Telemetry() if _wants_telemetry(args) else None
+    scope = (
+        telemetry_scope(telemetry)
+        if telemetry is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        instance = build_scenario_app(scenario, kind=kind)
+        horizon = (
+            args.horizon
+            if args.horizon is not None
+            else instance.schedule.horizon + 60.0
+        )
+        trace = instance.run(horizon)
+
+    _report_run(instance, kind, horizon, trace, args)
+    if telemetry is not None:
+        _dump_telemetry(telemetry, scope=scenario.name, args=args)
+    return 0
+
+
+def _scenario_for_name(name: str, seed: int, scale: float) -> List:
+    """Scenarios declared by an app name or a registered experiment."""
+    from repro.errors import SpecError
+
+    if name in APP_BUILDERS:
+        from repro.apps import csr, grc, temp_alarm
+        from repro.apps.grc import GRCVariant
+
+        factories = {
+            "temp-alarm": lambda: temp_alarm.scenario(seed=seed),
+            "grc-fast": lambda: grc.scenario(variant=GRCVariant.FAST, seed=seed),
+            "grc-compact": lambda: grc.scenario(
+                variant=GRCVariant.COMPACT, seed=seed
+            ),
+            "csr": lambda: csr.scenario(seed=seed),
+        }
+        return [factories[name]()]
+
+    from repro.experiments.registry import REGISTRY
+
+    if name in REGISTRY:
+        exp = REGISTRY.get(name)
+        if exp.scenarios is None:
+            raise SpecError(
+                f"experiment {name!r} declares no scenarios (analytic or "
+                f"sweep-style experiments have no single system description)"
+            )
+        return list(exp.scenarios(seed, scale))
+    raise SpecError(
+        f"unknown app or experiment {name!r}; apps: "
+        f"{sorted(APP_BUILDERS)}; see `repro list` for experiments"
+    )
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SpecError
+    from repro.spec import dump_scenario, load_scenario, spec_hash
+
+    if args.spec_command == "dump":
+        try:
+            scenarios = _scenario_for_name(args.name, args.seed, args.scale)
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.index is not None:
+            if not 0 <= args.index < len(scenarios):
+                print(
+                    f"error: --index {args.index} out of range "
+                    f"(0..{len(scenarios) - 1})",
+                    file=sys.stderr,
+                )
+                return 2
+            scenarios = [scenarios[args.index]]
+        if len(scenarios) == 1:
+            text = dump_scenario(scenarios[0])
+        else:
+            text = (
+                json.dumps(
+                    [scenario.to_dict() for scenario in scenarios],
+                    sort_keys=True,
+                    indent=2,
+                )
+                + "\n"
+            )
+        if args.out is not None:
+            Path(args.out).write_text(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    # spec check
+    failures = 0
+    for name in args.files:
+        try:
+            scenario = load_scenario(Path(name))
+        except (SpecError, OSError, ValueError) as error:
+            print(f"FAIL {name}: {error}")
+            failures += 1
+            continue
+        print(f"ok   {name}  {scenario.name}  sha256:{spec_hash(scenario)[:12]}")
+    if failures:
+        print(f"{failures}/{len(args.files)} scenario files failed validation")
+        return 1
     return 0
 
 
@@ -230,6 +368,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write structured trace records as JSONL to FILE",
     )
     run_parser.set_defaults(func=_cmd_run_app)
+
+    spec_run = sub.add_parser(
+        "run", help="run a declarative scenario spec (JSON file)"
+    )
+    spec_run.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="scenario JSON produced by `spec dump` or written by hand",
+    )
+    spec_run.add_argument(
+        "--system", default=None, metavar="KIND",
+        help="override the spec's system (Pwr, Fixed, CB-R, CB-P)",
+    )
+    spec_run.add_argument(
+        "--horizon", type=float, default=None, help="seconds (default: schedule + 60)"
+    )
+    spec_run.add_argument(
+        "--export", type=str, default=None, help="write the trace to this JSON file"
+    )
+    spec_run.add_argument(
+        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
+        help="write run metrics as JSONL to FILE",
+    )
+    spec_run.add_argument(
+        "--trace-out", type=_writable_path, default=None, metavar="FILE",
+        help="write structured trace records as JSONL to FILE",
+    )
+    spec_run.set_defaults(func=_cmd_run_spec)
+
+    spec_parser = sub.add_parser(
+        "spec", help="inspect and validate scenario specs"
+    )
+    spec_sub = spec_parser.add_subparsers(dest="spec_command", required=True)
+    dump_parser = spec_sub.add_parser(
+        "dump", help="print the scenario an app or experiment declares"
+    )
+    dump_parser.add_argument(
+        "name", help="app name (see `repro list`) or experiment id"
+    )
+    dump_parser.add_argument("--seed", type=int, default=0)
+    dump_parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="event-count scale for experiment scenarios",
+    )
+    dump_parser.add_argument(
+        "--index", type=int, default=None,
+        help="pick one scenario when the experiment declares several",
+    )
+    dump_parser.add_argument(
+        "--out", type=_writable_path, default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    dump_parser.set_defaults(func=_cmd_spec)
+    check_parser = spec_sub.add_parser(
+        "check", help="validate scenario JSON files"
+    )
+    check_parser.add_argument("files", nargs="+", metavar="FILE")
+    check_parser.set_defaults(func=_cmd_spec)
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper figure")
     exp_parser.add_argument("name", choices=_experiment_names())

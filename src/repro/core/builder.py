@@ -37,6 +37,26 @@ class SystemKind(enum.Enum):
     CAPY_R = "CB-R"
     CAPY_P = "CB-P"
 
+    @classmethod
+    def from_name(cls, name: "str | SystemKind") -> "SystemKind":
+        """Resolve a kind from its value (``"CB-P"``), its enum name
+        (``"CAPY_P"``), or a case-insensitive spelling of either."""
+        if isinstance(name, cls):
+            return name
+        for kind in cls:
+            if name in (kind.value, kind.name):
+                return kind
+        folded = str(name).replace("-", "_").casefold()
+        for kind in cls:
+            if folded in (
+                kind.value.replace("-", "_").casefold(),
+                kind.name.casefold(),
+            ):
+                return kind
+        raise ConfigurationError(
+            f"unknown system kind {name!r}; known: {[kind.value for kind in cls]}"
+        )
+
 
 @dataclass
 class PlatformSpec:
@@ -83,6 +103,36 @@ class PlatformSpec:
                 raise ConfigurationError(
                     f"mode {mode!r} references unknown banks {sorted(unknown)}"
                 )
+
+    def spec_dict(self) -> Dict:
+        """This platform as a plain JSON-safe dict (:mod:`repro.spec`
+        platform schema).  Raises if a component (e.g. a custom harvester)
+        does not support spec extraction."""
+        harvester_dict = getattr(self.harvester, "spec_dict", None)
+        if harvester_dict is None:
+            raise ConfigurationError(
+                f"harvester {type(self.harvester).__name__} does not support "
+                "spec extraction"
+            )
+        return {
+            "banks": [bank.spec_dict() for bank in self.banks],
+            "modes": {mode: list(banks) for mode, banks in self.modes.items()},
+            "fixed_bank": self.fixed_bank.spec_dict(),
+            "harvester": harvester_dict(),
+            "switch_polarity": self.switch_polarity.value,
+            "input_booster": (
+                None if self.input_booster is None else self.input_booster.spec_dict()
+            ),
+            "output_booster": (
+                None
+                if self.output_booster is None
+                else self.output_booster.spec_dict()
+            ),
+            "limiter_v_clamp": (
+                None if self.limiter is None else self.limiter.v_clamp
+            ),
+            "quiescent_power": self.quiescent_power,
+        }
 
 
 @dataclass
@@ -135,9 +185,7 @@ def build_capybara_system(
         telemetry=telemetry,
     )
     nv = NonVolatileStore()
-    variant = (
-        RuntimeVariant.CAPY_P if kind is SystemKind.CAPY_P else RuntimeVariant.CAPY_R
-    )
+    variant = RuntimeVariant.from_name(kind.value)
     runtime = CapybaraRuntime(
         reservoir, registry, nv, variant=variant, telemetry=telemetry
     )
@@ -180,6 +228,41 @@ def build_fixed_system(
         modes=registry,
         nv=nv,
     )
+
+
+def build_system(
+    spec,
+    kind: "str | SystemKind | None" = None,
+    telemetry: Optional[Telemetry] = None,
+) -> PowerAssembly:
+    """Build any of the paper's buffered systems from a platform description.
+
+    *spec* may be a runtime :class:`PlatformSpec` or a declarative
+    description from :mod:`repro.spec` (:class:`~repro.spec.PlatformSpecV1`
+    or a whole :class:`~repro.spec.ScenarioSpec`).  *kind* accepts the
+    enum or any name :meth:`SystemKind.from_name` resolves; when omitted,
+    a scenario's declared system applies, else Capy-P.
+    """
+    platform = spec
+    if not isinstance(spec, PlatformSpec):
+        # Lazy import: repro.spec depends on this module for rebuilds.
+        from repro.spec import build as spec_build
+
+        declared = getattr(spec, "system", None)
+        if kind is None and declared is not None:
+            kind = declared
+        platform = spec_build.platform_from_spec(
+            getattr(spec, "platform", spec)
+        )
+    kind = SystemKind.CAPY_P if kind is None else SystemKind.from_name(kind)
+    if kind is SystemKind.CONTINUOUS:
+        raise ConfigurationError(
+            "the continuous-power baseline has no power system to build; "
+            "use ContinuousExecutor directly"
+        )
+    if kind is SystemKind.FIXED:
+        return build_fixed_system(platform, telemetry=telemetry)
+    return build_capybara_system(platform, kind, telemetry=telemetry)
 
 
 class SystemBuilder:

@@ -60,6 +60,17 @@ class BankSpec:
         """Build a spec holding *count* copies of one part."""
         return BankSpec(name=name, groups=((part, count),))
 
+    def spec_dict(self) -> dict:
+        """This bank as a plain JSON-safe dict (:mod:`repro.spec` bank
+        schema): the name plus one ``{part, count}`` object per group."""
+        return {
+            "name": self.name,
+            "groups": [
+                {"part": spec.spec_dict(), "count": count}
+                for spec, count in self.groups
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Aggregate electrical parameters
     # ------------------------------------------------------------------

@@ -96,6 +96,21 @@ class InputBooster:
                 "v_full_efficiency must exceed v_cold_start"
             )
 
+    def spec_dict(self) -> dict:
+        """This converter as a plain dict (:mod:`repro.spec` booster schema)."""
+        return {
+            "kind": "input",
+            "efficiency": self.efficiency,
+            "v_cold_start": self.v_cold_start,
+            "cold_start_efficiency": self.cold_start_efficiency,
+            "bypass": self.bypass,
+            "v_diode_drop": self.v_diode_drop,
+            "v_charge_target": self.v_charge_target,
+            "min_input_voltage": self.min_input_voltage,
+            "low_voltage_efficiency": self.low_voltage_efficiency,
+            "v_full_efficiency": self.v_full_efficiency,
+        }
+
     def charge_target(self, bank: CapacitorBank) -> float:
         """Voltage the charger will take *bank* to, volts."""
         return min(self.v_charge_target, bank.spec.rated_voltage)
@@ -176,6 +191,16 @@ class OutputBooster:
             raise ConfigurationError("efficiency must be in (0, 1]")
         if self.quiescent_power < 0.0:
             raise ConfigurationError("quiescent_power must be non-negative")
+
+    def spec_dict(self) -> dict:
+        """This converter as a plain dict (:mod:`repro.spec` booster schema)."""
+        return {
+            "kind": "output",
+            "v_out": self.v_out,
+            "v_in_min": self.v_in_min,
+            "efficiency": self.efficiency,
+            "quiescent_power": self.quiescent_power,
+        }
 
     # ------------------------------------------------------------------
     # Operating-point electrical relations

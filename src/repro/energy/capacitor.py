@@ -93,6 +93,24 @@ class CapacitorSpec:
         """Maximum stored energy per unit volume, J/m^3 (Figure 4 axis)."""
         return self.max_energy() / self.volume
 
+    def spec_dict(self) -> dict:
+        """This part as a plain JSON-safe dict (:mod:`repro.spec` part
+        schema).  Unlimited cycle endurance (``math.inf``) serialises as
+        ``None``, which JSON can carry."""
+        return {
+            "name": self.name,
+            "technology": self.technology,
+            "capacitance": self.capacitance,
+            "esr": self.esr,
+            "leak_resistance": self.leak_resistance,
+            "rated_voltage": self.rated_voltage,
+            "volume": self.volume,
+            "cycle_endurance": (
+                None if math.isinf(self.cycle_endurance) else self.cycle_endurance
+            ),
+            "derating": self.derating,
+        }
+
     def scaled(self, count: int) -> "CapacitorSpec":
         """Spec of *count* identical parts wired in parallel.
 

@@ -34,6 +34,10 @@ class ConstantTrace:
     def __call__(self, time: float) -> float:
         return self.level
 
+    def spec_dict(self) -> dict:
+        """This trace as a plain dict (:mod:`repro.spec` trace schema)."""
+        return {"kind": "constant", "level": self.level}
+
 
 @dataclass(frozen=True)
 class DimmedLampTrace:
@@ -55,6 +59,14 @@ class DimmedLampTrace:
 
     def __call__(self, time: float) -> float:
         return self.full_irradiance * self.duty
+
+    def spec_dict(self) -> dict:
+        """This trace as a plain dict (:mod:`repro.spec` trace schema)."""
+        return {
+            "kind": "dimmed_lamp",
+            "full_irradiance": self.full_irradiance,
+            "duty": self.duty,
+        }
 
 
 @dataclass(frozen=True)
@@ -91,6 +103,15 @@ class OrbitTrace:
         if phase >= self.eclipse_fraction:
             return time
         return time + (self.eclipse_fraction - phase) * self.period
+
+    def spec_dict(self) -> dict:
+        """This trace as a plain dict (:mod:`repro.spec` trace schema)."""
+        return {
+            "kind": "orbit",
+            "period": self.period,
+            "eclipse_fraction": self.eclipse_fraction,
+            "irradiance": self.irradiance,
+        }
 
 
 class PiecewiseTrace:
@@ -132,6 +153,14 @@ class PiecewiseTrace:
     def change_times(self) -> List[float]:
         """Times at which the level changes (for event scheduling)."""
         return [time for time, _ in self._breakpoints]
+
+    def spec_dict(self) -> dict:
+        """This trace as a plain dict (:mod:`repro.spec` trace schema)."""
+        return {
+            "kind": "piecewise",
+            "breakpoints": [[time, level] for time, level in self._breakpoints],
+            "initial": self._initial,
+        }
 
 
 Trace = Callable[[float], float]

@@ -39,6 +39,13 @@ class Harvester:
         """
         raise NotImplementedError
 
+    def spec_dict(self) -> dict:
+        """This harvester as a plain JSON-safe dict (:mod:`repro.spec`
+        harvester schema); concrete sources override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support spec extraction"
+        )
+
 
 @dataclass
 class RegulatedSupply(Harvester):
@@ -58,6 +65,13 @@ class RegulatedSupply(Harvester):
 
     def output(self, time: float) -> Tuple[float, float]:
         return self.voltage, self.max_power
+
+    def spec_dict(self) -> dict:
+        return {
+            "kind": "regulated",
+            "voltage": self.voltage,
+            "max_power": self.max_power,
+        }
 
 
 @dataclass
@@ -104,6 +118,22 @@ class SolarPanel(Harvester):
         )
         return voltage, power
 
+    def spec_dict(self) -> dict:
+        trace_dict = getattr(self.irradiance, "spec_dict", None)
+        if trace_dict is None:
+            raise ConfigurationError(
+                f"irradiance trace {type(self.irradiance).__name__} does not "
+                "support spec extraction"
+            )
+        return {
+            "kind": "solar",
+            "area": self.area,
+            "efficiency": self.efficiency,
+            "cells_in_series": self.cells_in_series,
+            "voltage_per_panel": self.voltage_per_panel,
+            "irradiance": trace_dict(),
+        }
+
 
 @dataclass
 class RFHarvester(Harvester):
@@ -132,6 +162,15 @@ class RFHarvester(Harvester):
         power = self.transmit_power * self.path_gain / (self.distance ** 2)
         return self.voltage, power
 
+    def spec_dict(self) -> dict:
+        return {
+            "kind": "rf",
+            "transmit_power": self.transmit_power,
+            "distance": self.distance,
+            "path_gain": self.path_gain,
+            "voltage": self.voltage,
+        }
+
 
 @dataclass
 class ScaledHarvester(Harvester):
@@ -147,3 +186,10 @@ class ScaledHarvester(Harvester):
     def output(self, time: float) -> Tuple[float, float]:
         voltage, power = self.inner.output(time)
         return voltage, power * self.power_scale
+
+    def spec_dict(self) -> dict:
+        return {
+            "kind": "scaled",
+            "inner": self.inner.spec_dict(),
+            "power_scale": self.power_scale,
+        }

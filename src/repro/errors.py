@@ -17,6 +17,12 @@ class ConfigurationError(ReproError):
     """A component was constructed or wired with invalid parameters."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative scenario spec (:mod:`repro.spec`) failed validation:
+    unknown fields, a bad schema version, an unserialisable component, or
+    a reference to an unknown part, app, or system kind."""
+
+
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 

@@ -74,22 +74,27 @@ def result_key(
     experiment_id: str,
     params: Dict[str, Any],
     fingerprint: Optional[str] = None,
+    spec_hash: Optional[str] = None,
 ) -> str:
-    """Stable hash of (experiment id, parameters, code fingerprint).
+    """Stable hash of (experiment id, parameters, spec hash, code fingerprint).
 
     *fingerprint* defaults to :func:`code_fingerprint`; tests inject
     synthetic values to exercise invalidation without editing sources.
+    *spec_hash* is the canonical hash of the experiment's declared
+    scenario specs (:func:`repro.spec.spec_hash`): editing one
+    experiment's scenario parameters changes only that experiment's
+    keys.  It is omitted from the payload when ``None`` so experiments
+    without declared scenarios keep their existing keys.
     """
-    payload = json.dumps(
-        {
-            "version": CACHE_FORMAT_VERSION,
-            "experiment": experiment_id,
-            "params": params,
-            "code": fingerprint if fingerprint is not None else code_fingerprint(),
-        },
-        sort_keys=True,
-        default=str,
-    )
+    body: Dict[str, Any] = {
+        "version": CACHE_FORMAT_VERSION,
+        "experiment": experiment_id,
+        "params": params,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    if spec_hash is not None:
+        body["spec"] = spec_hash
+    payload = json.dumps(body, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -100,9 +105,17 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries whose on-disk payload failed to unpickle (each also
+    #: counts as a miss).
+    corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
 
 
 @dataclass
@@ -118,24 +131,53 @@ class ResultCache:
     root: Path = field(default_factory=default_cache_dir)
     enabled: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional telemetry sink; corrupt payloads bump the
+    #: ``cache.corrupt_entries`` counter on it.
+    telemetry: Optional[Any] = None
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
-        """The stored payload, or ``None`` on miss/corruption."""
+        """The stored payload, or ``None`` on miss/corruption.
+
+        A present-but-unreadable entry (truncated write, a stale pickle
+        referencing renamed classes, plain disk corruption) is treated
+        as a miss: the entry is counted, reported via the
+        ``cache.corrupt_entries`` telemetry counter, and removed so the
+        re-computed result can replace it.
+        """
         if not self.enabled:
             self.stats.misses += 1
             return None
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            handle = open(path, "rb")
+        except OSError:
             self.stats.misses += 1
+            return None
+        try:
+            with handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Opened but undecodable: corrupt, not merely absent.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._report_corrupt()
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         self.stats.hits += 1
         return payload
+
+    def _report_corrupt(self) -> None:
+        from repro.observability.telemetry import resolve_telemetry
+
+        telemetry = resolve_telemetry(self.telemetry)
+        if telemetry.enabled:
+            telemetry.inc("cache.corrupt_entries")
 
     def put(self, key: str, payload: Any) -> None:
         """Store *payload* under *key* (no-op when disabled)."""

@@ -17,17 +17,16 @@ Run: ``python -m repro.experiments.fig08_accuracy``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Dict
+from typing import Dict, List
 
-from repro.apps.csr import build_csr
-from repro.apps.grc import GRCVariant, build_grc
-from repro.apps.temp_alarm import build_temp_alarm
+from repro.apps import csr, grc, temp_alarm
+from repro.apps.grc import GRCVariant
 from repro.core.builder import SystemKind
 from repro.experiments import metrics
 from repro.experiments.campaign import DEFAULT_KINDS, Campaign
 from repro.experiments.parallel import run_campaign_parallel
 from repro.experiments.runner import ExperimentResult, percent, print_result
+from repro.spec import ScenarioBuilder, ScenarioSpec
 
 #: Scaled-down defaults keep a full figure regeneration to a couple of
 #: minutes; pass scale=1.0 for the paper-sized event counts.
@@ -48,6 +47,20 @@ def _horizon_for(builder, scale: float) -> float:
     return probe.schedule.horizon + 120.0
 
 
+def declared_scenarios(seed: int, scale: float) -> List[ScenarioSpec]:
+    """The declarative scenarios this experiment simulates, in display
+    order — registered with the experiment registry so their canonical
+    hash joins the result-cache key."""
+    ta_events = max(5, int(50 * scale))
+    grc_events = max(5, int(80 * scale))
+    return [
+        temp_alarm.scenario(seed=seed, event_count=ta_events),
+        grc.scenario(variant=GRCVariant.FAST, seed=seed, event_count=grc_events),
+        grc.scenario(variant=GRCVariant.COMPACT, seed=seed, event_count=grc_events),
+        csr.scenario(seed=seed, event_count=grc_events),
+    ]
+
+
 def run(seed: int = 0, scale: float = DEFAULT_SCALE) -> AccuracyData:
     """Run the Figure 8 experiment.
 
@@ -59,18 +72,15 @@ def run(seed: int = 0, scale: float = DEFAULT_SCALE) -> AccuracyData:
     ta_events = max(5, int(50 * scale))
     grc_events = max(5, int(80 * scale))
 
-    # functools.partial over the module-level builders (rather than
-    # lambdas) keeps the builders picklable, so run_campaign_parallel
-    # can fan the four system variants out over worker processes.
+    # ScenarioBuilder closes over canonical scenario JSON — the only
+    # state crossing the process boundary when run_campaign_parallel
+    # fans the four system variants out over worker processes.
+    scenarios = declared_scenarios(seed, scale)
     builders = {
-        "TempAlarm": partial(build_temp_alarm, seed=seed, event_count=ta_events),
-        "GestureFast": partial(
-            build_grc, variant=GRCVariant.FAST, seed=seed, event_count=grc_events
-        ),
-        "GestureCompact": partial(
-            build_grc, variant=GRCVariant.COMPACT, seed=seed, event_count=grc_events
-        ),
-        "CorrSense": partial(build_csr, seed=seed, event_count=grc_events),
+        "TempAlarm": ScenarioBuilder(scenarios[0]),
+        "GestureFast": ScenarioBuilder(scenarios[1]),
+        "GestureCompact": ScenarioBuilder(scenarios[2]),
+        "CorrSense": ScenarioBuilder(scenarios[3]),
     }
 
     result = ExperimentResult(

@@ -152,6 +152,16 @@ def _run_builder_kind(builder: AppBuilder, kind: SystemKind, horizon: float) -> 
     return instance.trace
 
 
+def _run_spec_kind(scenario_json: str, kind_value: str, horizon: float) -> Trace:
+    """Worker body for the spec path: only plain strings cross the
+    process boundary; the scenario rebuilds app + system worker-side."""
+    from repro.spec import build_scenario_app
+
+    instance = build_scenario_app(scenario_json, kind=kind_value)
+    instance.run(horizon)
+    return instance.trace
+
+
 def run_campaign_parallel(
     builder: AppBuilder,
     horizon: float,
@@ -169,16 +179,30 @@ def run_campaign_parallel(
     also what makes worker runs bit-identical to serial ones.
 
     Builders that cannot be pickled (closures over rigs, lambdas) run
-    serially in-process with identical results.
+    serially in-process with identical results.  Spec-backed builders
+    (anything exposing ``scenario_json``, e.g.
+    :class:`repro.spec.ScenarioBuilder`) take a stronger path: workers
+    receive only the canonical scenario JSON string — always picklable —
+    and rebuild the app themselves.
     """
     kinds = kinds if kinds is not None else list(DEFAULT_KINDS)
-    traces = parallel_map(
-        _run_builder_kind,
-        [(builder, kind, horizon) for kind in kinds],
-        jobs=jobs,
-        labels=[kind.value for kind in kinds],
-        report=report,
-    )
+    scenario_json = getattr(builder, "scenario_json", None)
+    if scenario_json is not None:
+        traces = parallel_map(
+            _run_spec_kind,
+            [(scenario_json, kind.value, horizon) for kind in kinds],
+            jobs=jobs,
+            labels=[kind.value for kind in kinds],
+            report=report,
+        )
+    else:
+        traces = parallel_map(
+            _run_builder_kind,
+            [(builder, kind, horizon) for kind in kinds],
+            jobs=jobs,
+            labels=[kind.value for kind in kinds],
+            report=report,
+        )
     instances: Dict[SystemKind, AppInstance] = {}
     app_name = ""
     for kind, trace in zip(kinds, traces):

@@ -34,6 +34,10 @@ from repro.observability.telemetry import Telemetry, telemetry_scope
 #: Runner signature: (seed, scale) -> captured printed output.
 ExperimentRunner = Callable[[int, float], str]
 
+#: Scenario declaration: (seed, scale) -> the declarative
+#: :class:`~repro.spec.ScenarioSpec` objects the experiment simulates.
+ScenarioFactory = Callable[[int, float], List["object"]]
+
 
 @dataclass(frozen=True)
 class Experiment:
@@ -48,6 +52,11 @@ class Experiment:
     #: like the standalone fig08/fig09 halves of the campaign job set
     #: this False).
     in_suite: bool = True
+    #: Optional declarative scenario declaration.  When set, the
+    #: canonical hash of the declared specs joins the cache key, so
+    #: editing one experiment's scenario parameters invalidates only
+    #: that experiment's cached results.
+    scenarios: Optional[ScenarioFactory] = None
 
     def params(self, seed: int, scale: float) -> Dict[str, object]:
         """The cache-key parameters this experiment actually depends on."""
@@ -57,6 +66,14 @@ class Experiment:
         if self.uses_scale:
             params["scale"] = scale
         return params
+
+    def spec_hash(self, seed: int, scale: float) -> Optional[str]:
+        """Canonical hash over the declared scenarios, or ``None``."""
+        if self.scenarios is None:
+            return None
+        from repro.spec import combined_spec_hash
+
+        return combined_spec_hash(list(self.scenarios(seed, scale)))
 
 
 class ExperimentRegistry:
@@ -86,6 +103,7 @@ class ExperimentRegistry:
         uses_seed: bool = False,
         uses_scale: bool = False,
         in_suite: bool = True,
+        scenarios: Optional[ScenarioFactory] = None,
     ) -> Callable[[ExperimentRunner], ExperimentRunner]:
         """Decorator: register the function as experiment *job_id*."""
 
@@ -98,6 +116,7 @@ class ExperimentRegistry:
                     uses_seed=uses_seed,
                     uses_scale=uses_scale,
                     in_suite=in_suite,
+                    scenarios=scenarios,
                 )
             )
             return runner

@@ -139,9 +139,19 @@ def main(
     snapshots: Dict[str, Optional[Dict[str, object]]] = {}
     sources: Dict[str, str] = {}
     pending: List[Experiment] = []
+    # Keys are computed once per job: (experiment id, params, declared
+    # scenario spec hash, code fingerprint).  Experiments that declare
+    # scenarios get per-scenario invalidation; others key on code+params.
+    keys: Dict[str, str] = {
+        job.job_id: result_key(
+            job.job_id,
+            job.params(seed, scale),
+            spec_hash=job.spec_hash(seed, scale),
+        )
+        for job in suite_jobs
+    }
     for job in suite_jobs:
-        key = result_key(job.job_id, job.params(seed, scale))
-        payload = cache.get(key)
+        payload = cache.get(keys[job.job_id])
         usable = (
             isinstance(payload, tuple)
             and len(payload) == 2
@@ -167,9 +177,7 @@ def main(
             outputs[job.job_id] = text
             snapshots[job.job_id] = snapshot
             sources[job.job_id] = "ran"
-            cache.put(
-                result_key(job.job_id, job.params(seed, scale)), (text, snapshot)
-            )
+            cache.put(keys[job.job_id], (text, snapshot))
 
     # Deterministic presentation order, independent of completion order.
     for job in suite_jobs:
@@ -227,6 +235,8 @@ def _emit_telemetry(
     suite.inc("suite.cache.hits", cache.stats.hits)
     suite.inc("suite.cache.misses", cache.stats.misses)
     suite.inc("suite.cache.stores", cache.stats.stores)
+    if cache.stats.corrupt:
+        suite.inc("suite.cache.corrupt", cache.stats.corrupt)
     suite.inc(
         "suite.experiments_from_cache",
         sum(1 for source in sources.values() if source == "cache"),

@@ -28,6 +28,15 @@ def _capture(fn: Callable[..., object], *args, **kwargs) -> str:
     return buffer.getvalue()
 
 
+def _campaign_scenarios(seed: int, scale: float):
+    """Declarative scenarios behind the fig08/fig09 campaigns; their
+    canonical hash joins those experiments' cache keys, so editing a
+    campaign scenario invalidates exactly the campaign jobs."""
+    from repro.experiments.fig08_accuracy import declared_scenarios
+
+    return declared_scenarios(seed, scale)
+
+
 @experiment("fig02", "Figure 2: fixed-capacity execution")
 def fig02(seed: int, scale: float) -> str:
     from repro.experiments import fig02_fixed_capacity
@@ -55,6 +64,7 @@ def fig04(seed: int, scale: float) -> str:
     uses_seed=True,
     uses_scale=True,
     in_suite=False,  # the suite runs it via the shared "campaigns" job
+    scenarios=_campaign_scenarios,
 )
 def fig08(seed: int, scale: float) -> str:
     from repro.experiments import fig08_accuracy
@@ -68,6 +78,7 @@ def fig08(seed: int, scale: float) -> str:
     uses_seed=True,
     uses_scale=True,
     in_suite=False,  # the suite runs it via the shared "campaigns" job
+    scenarios=_campaign_scenarios,
 )
 def fig09(seed: int, scale: float) -> str:
     from repro.experiments import fig09_latency
@@ -80,6 +91,7 @@ def fig09(seed: int, scale: float) -> str:
     "Figures 8 and 9: accuracy and latency campaigns",
     uses_seed=True,
     uses_scale=True,
+    scenarios=_campaign_scenarios,
 )
 def campaigns(seed: int, scale: float) -> str:
     """Figures 8 and 9 share their campaigns, so they form one job."""

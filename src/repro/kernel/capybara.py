@@ -51,6 +51,27 @@ class RuntimeVariant(enum.Enum):
     CAPY_R = "CB-R"
     FIXED = "Fixed"
 
+    @classmethod
+    def from_name(cls, name: "str | RuntimeVariant") -> "RuntimeVariant":
+        """Resolve a variant from its value (``"CB-P"``), its enum name
+        (``"CAPY_P"``), or a case-insensitive spelling of either."""
+        if isinstance(name, cls):
+            return name
+        for variant in cls:
+            if name in (variant.value, variant.name):
+                return variant
+        folded = str(name).replace("-", "_").casefold()
+        for variant in cls:
+            if folded in (
+                variant.value.replace("-", "_").casefold(),
+                variant.name.casefold(),
+            ):
+                return variant
+        raise ValueError(
+            f"unknown runtime variant {name!r}; "
+            f"known: {[variant.value for variant in cls]}"
+        )
+
 
 @dataclass(frozen=True)
 class Reconfigure:

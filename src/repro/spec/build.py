@@ -1,0 +1,298 @@
+"""Bridge between declarative specs and runtime objects.
+
+:func:`platform_from_spec` rebuilds the electrical stack — capacitor
+parts, banks, harvester, boosters, limiter — from a
+:class:`~repro.spec.model.PlatformSpecV1`; :func:`platform_to_spec`
+extracts one back.  Round-trips are exact: JSON serialises Python floats
+losslessly, so a platform rebuilt from its spec is value-identical to
+the original and simulations driven by either are bit-identical.
+
+:func:`build_scenario_app` turns a whole :class:`ScenarioSpec` into a
+ready-to-run :class:`~repro.apps.base.AppInstance`, dispatching on the
+workload's ``app`` name.  :class:`ScenarioBuilder` wraps that as a
+picklable ``builder(kind)`` callable whose only state is the canonical
+scenario JSON — which is what the process pool ships to workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.builder import PlatformSpec, PowerAssembly, SystemKind, build_system
+from repro.energy.bank import BankSpec
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.capacitor import CapacitorSpec
+from repro.energy.environment import (
+    ConstantTrace,
+    DimmedLampTrace,
+    OrbitTrace,
+    PiecewiseTrace,
+    Trace,
+)
+from repro.energy.harvester import (
+    Harvester,
+    RegulatedSupply,
+    RFHarvester,
+    ScaledHarvester,
+    SolarPanel,
+)
+from repro.energy.limiter import InputVoltageLimiter
+from repro.energy.switch import SwitchPolarity
+from repro.errors import SpecError
+from repro.spec.model import (
+    BankSpecV1,
+    BoosterSpec,
+    HarvesterSpec,
+    PartSpecV1,
+    PlatformSpecV1,
+    ScenarioSpec,
+    canonical_json,
+    load_scenario,
+)
+
+import math
+
+# ---------------------------------------------------------------------------
+# Electrical components
+# ---------------------------------------------------------------------------
+
+
+def part_from_spec(spec: PartSpecV1) -> CapacitorSpec:
+    """Rebuild a :class:`CapacitorSpec` (``None`` endurance -> unlimited)."""
+    return CapacitorSpec(
+        name=spec.name,
+        technology=spec.technology,
+        capacitance=spec.capacitance,
+        esr=spec.esr,
+        leak_resistance=spec.leak_resistance,
+        rated_voltage=spec.rated_voltage,
+        volume=spec.volume,
+        cycle_endurance=(
+            math.inf if spec.cycle_endurance is None else spec.cycle_endurance
+        ),
+        derating=spec.derating,
+    )
+
+
+def bank_from_spec(spec: BankSpecV1) -> BankSpec:
+    """Rebuild a runtime :class:`BankSpec` from its declarative form."""
+    return BankSpec(
+        name=spec.name,
+        groups=tuple(
+            (part_from_spec(group.part), group.count) for group in spec.groups
+        ),
+    )
+
+
+def trace_from_dict(data: Mapping[str, Any]) -> Trace:
+    """Rebuild an environment trace from its spec dict."""
+    kind = data.get("kind")
+    body = {key: value for key, value in data.items() if key != "kind"}
+    if kind == "constant":
+        return ConstantTrace(**body)
+    if kind == "dimmed_lamp":
+        return DimmedLampTrace(**body)
+    if kind == "orbit":
+        return OrbitTrace(**body)
+    if kind == "piecewise":
+        return PiecewiseTrace(
+            breakpoints=[
+                (float(time), float(level)) for time, level in body["breakpoints"]
+            ],
+            initial=body.get("initial", 0.0),
+        )
+    raise SpecError(f"unknown trace kind {kind!r}")
+
+
+def harvester_from_spec(spec: HarvesterSpec) -> Harvester:
+    """Rebuild a harvester (recursively, for the scaled wrapper)."""
+    params = dict(spec.params)
+    if spec.kind == "regulated":
+        return RegulatedSupply(**params)
+    if spec.kind == "solar":
+        if "irradiance" in params:
+            params["irradiance"] = trace_from_dict(params["irradiance"])
+        return SolarPanel(**params)
+    if spec.kind == "rf":
+        return RFHarvester(**params)
+    if spec.kind == "scaled":
+        inner = params.pop("inner")
+        return ScaledHarvester(inner=harvester_from_spec(inner), **params)
+    raise SpecError(f"unknown harvester kind {spec.kind!r}")
+
+
+def booster_from_spec(spec: BoosterSpec):
+    """Rebuild an :class:`InputBooster` or :class:`OutputBooster`."""
+    if spec.kind == "input":
+        return InputBooster(**spec.params)
+    if spec.kind == "output":
+        return OutputBooster(**spec.params)
+    raise SpecError(f"unknown booster kind {spec.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Platforms
+# ---------------------------------------------------------------------------
+
+
+def platform_from_spec(spec: PlatformSpecV1) -> PlatformSpec:
+    """Rebuild the runtime :class:`PlatformSpec` a declarative spec names."""
+    if not isinstance(spec, PlatformSpecV1):
+        raise SpecError(
+            f"platform_from_spec needs a PlatformSpecV1, got {type(spec).__name__}"
+        )
+    return PlatformSpec(
+        banks=[bank_from_spec(bank) for bank in spec.banks],
+        modes={mode: list(banks) for mode, banks in spec.modes},
+        fixed_bank=bank_from_spec(spec.fixed_bank),
+        harvester=harvester_from_spec(spec.harvester),
+        switch_polarity=SwitchPolarity(spec.switch_polarity),
+        input_booster=(
+            None if spec.input_booster is None else booster_from_spec(spec.input_booster)
+        ),
+        output_booster=(
+            None
+            if spec.output_booster is None
+            else booster_from_spec(spec.output_booster)
+        ),
+        limiter=(
+            None
+            if spec.limiter_v_clamp is None
+            else InputVoltageLimiter(v_clamp=spec.limiter_v_clamp)
+        ),
+        quiescent_power=spec.quiescent_power,
+    )
+
+
+def platform_to_spec(platform: PlatformSpec) -> PlatformSpecV1:
+    """Extract the declarative spec of a runtime :class:`PlatformSpec`.
+
+    Raises :class:`SpecError` if a component (e.g. a hand-written
+    harvester class) does not support extraction.
+    """
+    try:
+        return PlatformSpecV1.from_dict(platform.spec_dict())
+    except NotImplementedError as error:
+        raise SpecError(str(error)) from error
+
+
+def assemble_from_spec(
+    spec: PlatformSpecV1,
+    kind: "str | SystemKind" = SystemKind.CAPY_P,
+    telemetry=None,
+) -> PowerAssembly:
+    """Build a :class:`PowerAssembly` straight from a declarative platform."""
+    return build_system(platform_from_spec(spec), kind=kind, telemetry=telemetry)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios -> applications
+# ---------------------------------------------------------------------------
+
+#: Workload fields each application accepts beyond ``app``.
+APP_WORKLOAD_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "temp-alarm": ("seed", "event_count", "mean_interarrival", "horizon"),
+    "grc-fast": ("seed", "event_count", "mean_interarrival"),
+    "grc-compact": ("seed", "event_count", "mean_interarrival"),
+    "csr": ("seed", "event_count", "mean_interarrival"),
+}
+
+
+def _workload_kwargs(scenario: ScenarioSpec) -> Dict[str, Any]:
+    app = scenario.app
+    allowed = APP_WORKLOAD_FIELDS[app]
+    workload = {k: v for k, v in scenario.workload.items() if k != "app"}
+    unknown = sorted(set(workload) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"scenario {scenario.name!r}: workload fields {unknown} not "
+            f"accepted by app {app!r}; allowed: {sorted(allowed)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for key, value in workload.items():
+        if key in ("seed", "event_count"):
+            kwargs[key] = int(value)
+        else:
+            kwargs[key] = float(value)
+    return kwargs
+
+
+def build_scenario_app(
+    scenario: "ScenarioSpec | str",
+    kind: "str | SystemKind | None" = None,
+):
+    """Assemble the :class:`~repro.apps.base.AppInstance` a scenario names.
+
+    *scenario* may be a :class:`ScenarioSpec`, a JSON document string, or
+    a path to one.  *kind* overrides the scenario's declared system (the
+    campaign harness runs one scenario across all four).
+    """
+    if not isinstance(scenario, ScenarioSpec):
+        scenario = load_scenario(scenario)
+    app = scenario.app
+    if app is None:
+        raise SpecError(
+            f"scenario {scenario.name!r} names no application (workload "
+            f"'app' field); use platform_from_spec/build_system for "
+            f"bare platforms"
+        )
+    if app not in APP_WORKLOAD_FIELDS:
+        raise SpecError(
+            f"scenario {scenario.name!r}: unknown app {app!r}; "
+            f"known: {sorted(APP_WORKLOAD_FIELDS)}"
+        )
+    system = SystemKind.from_name(kind if kind is not None else scenario.system)
+    platform = platform_from_spec(scenario.platform)
+    kwargs = _workload_kwargs(scenario)
+
+    # Imported here: the app modules import repro.core.builder, which in
+    # turn reaches back into repro.spec for build_system's spec path.
+    if app == "temp-alarm":
+        from repro.apps.temp_alarm import build_temp_alarm
+
+        return build_temp_alarm(system, platform=platform, **kwargs)
+    if app in ("grc-fast", "grc-compact"):
+        from repro.apps.grc import GRCVariant, build_grc
+
+        variant = GRCVariant.FAST if app == "grc-fast" else GRCVariant.COMPACT
+        return build_grc(system, variant=variant, platform=platform, **kwargs)
+    from repro.apps.csr import build_csr
+
+    return build_csr(system, platform=platform, **kwargs)
+
+
+class ScenarioBuilder:
+    """A picklable ``builder(kind) -> AppInstance`` closed over a scenario.
+
+    The only state is the canonical scenario JSON string, so instances
+    always pickle cleanly — the process pool ships the JSON to workers
+    instead of a closure over live simulator objects.
+    """
+
+    __slots__ = ("scenario_json",)
+
+    def __init__(self, scenario: "ScenarioSpec | str") -> None:
+        if isinstance(scenario, ScenarioSpec):
+            self.scenario_json = canonical_json(scenario)
+        else:
+            self.scenario_json = canonical_json(load_scenario(scenario))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """The scenario this builder assembles (parsed on demand)."""
+        return load_scenario(self.scenario_json)
+
+    def __call__(self, kind: "str | SystemKind | None" = None):
+        return build_scenario_app(self.scenario, kind=kind)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ScenarioBuilder)
+            and self.scenario_json == other.scenario_json
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.scenario_json)
+
+    def __repr__(self) -> str:
+        return f"ScenarioBuilder({self.scenario.name!r})"

@@ -1,0 +1,642 @@
+"""Frozen, versioned scenario spec dataclasses.
+
+A *spec* is a declarative, JSON-serialisable description of a system the
+paper evaluates: capacitor parts and banks (:class:`PartSpecV1`,
+:class:`BankSpecV1`), the front-end circuitry (:class:`HarvesterSpec`,
+:class:`BoosterSpec`), the whole platform (:class:`PlatformSpecV1`), and
+finally a runnable scenario — platform + system kind + workload —
+(:class:`ScenarioSpec`).  Specs are the single source of truth the
+builder, the result cache, the worker pool, and the CLI all consume.
+
+Serialisation contract (shared by every class here):
+
+* ``to_dict`` emits a plain JSON-safe dict with **every** field present,
+  in base SI units, so the canonical form of a spec is independent of
+  which defaults the author spelled out;
+* ``from_dict`` **rejects unknown fields** (schema drift fails loudly,
+  not silently) and accepts unit-suffixed sugar (``capacitance_uf``,
+  ``quiescent_power_uw``, ...) normalised through :mod:`repro.units`;
+* :func:`canonical_json` renders sorted-key, compact JSON, so equal
+  specs always produce identical bytes regardless of dict ordering;
+* :func:`spec_hash` is the SHA-256 of those canonical bytes — the value
+  the result cache keys on.
+
+``schema_version`` is explicit in every serialised scenario.  The
+versioning policy (see ``docs/specs.md``): breaking field changes bump
+the version and get a new ``*V<n>`` class; loaders reject versions they
+do not know rather than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro import units
+from repro.errors import SpecError
+
+#: The scenario schema version this module reads and writes.
+SCHEMA_VERSION = 1
+
+#: Unit-suffix sugar accepted by every ``from_dict``: a field spelled
+#: ``<name>_<suffix>`` is normalised to base SI via :mod:`repro.units`.
+UNIT_SUFFIXES: Dict[str, Callable[[float], float]] = {
+    "f": units.farads,
+    "mf": units.milli_farads,
+    "uf": units.micro_farads,
+    "v": units.volts,
+    "mv": units.milli_volts,
+    "ma": units.milli_amps,
+    "ua": units.micro_amps,
+    "na": units.nano_amps,
+    "mohm": units.milli_ohms,
+    "w": units.watts,
+    "mw": units.milli_watts,
+    "uw": units.micro_watts,
+    "ms": units.milliseconds,
+    "mm3": units.cubic_millimetres,
+}
+
+
+def normalize_units(data: Mapping[str, Any], context: str) -> Dict[str, Any]:
+    """Fold unit-suffixed keys into their base-SI field names.
+
+    ``{"capacitance_uf": 100}`` becomes ``{"capacitance": 1e-4}``.  A key
+    carrying both its base and a suffixed spelling is ambiguous and
+    rejected.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        base, sep, suffix = key.rpartition("_")
+        converter = UNIT_SUFFIXES.get(suffix) if sep else None
+        if converter is not None and base:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SpecError(
+                    f"{context}: unit-suffixed field {key!r} needs a number, "
+                    f"got {value!r}"
+                )
+            key, value = base, converter(float(value))
+        if key in out:
+            raise SpecError(
+                f"{context}: field {key!r} given more than once "
+                f"(base and unit-suffixed spellings?)"
+            )
+        out[key] = value
+    return out
+
+
+def _check_fields(
+    data: Mapping[str, Any], allowed: Tuple[str, ...], context: str
+) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"{context}: unknown fields {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _require(data: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in data:
+        raise SpecError(f"{context}: missing required field {key!r}")
+    return data[key]
+
+
+def _json_safe(value: Any, context: str) -> None:
+    """Reject values canonical JSON cannot carry losslessly."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise SpecError(f"{context}: non-finite float {value!r}")
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _json_safe(item, context)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SpecError(f"{context}: non-string key {key!r}")
+            _json_safe(item, context)
+        return
+    raise SpecError(f"{context}: unserialisable value {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Capacitor parts and banks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartSpecV1:
+    """Declarative capacitor part (datasheet values in base SI units).
+
+    ``cycle_endurance`` of ``None`` means unlimited (ceramics); it maps
+    to ``math.inf`` on the electrical model, which JSON cannot carry.
+    """
+
+    name: str
+    technology: str
+    capacitance: float
+    esr: float
+    leak_resistance: float
+    rated_voltage: float
+    volume: float
+    cycle_endurance: Optional[float] = None
+    derating: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "technology": self.technology,
+            "capacitance": self.capacitance,
+            "esr": self.esr,
+            "leak_resistance": self.leak_resistance,
+            "rated_voltage": self.rated_voltage,
+            "volume": self.volume,
+            "cycle_endurance": self.cycle_endurance,
+            "derating": self.derating,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartSpecV1":
+        context = f"part {data.get('name', '?')!r}"
+        data = normalize_units(data, context)
+        _check_fields(data, tuple(f.name for f in fields(cls)), context)
+        kwargs = dict(data)
+        endurance = kwargs.get("cycle_endurance")
+        if endurance is not None and math.isinf(endurance):
+            kwargs["cycle_endurance"] = None
+        return cls(
+            name=str(_require(kwargs, "name", context)),
+            technology=str(_require(kwargs, "technology", context)),
+            capacitance=float(_require(kwargs, "capacitance", context)),
+            esr=float(_require(kwargs, "esr", context)),
+            leak_resistance=float(_require(kwargs, "leak_resistance", context)),
+            rated_voltage=float(_require(kwargs, "rated_voltage", context)),
+            volume=float(_require(kwargs, "volume", context)),
+            cycle_endurance=(
+                None
+                if kwargs.get("cycle_endurance") is None
+                else float(kwargs["cycle_endurance"])
+            ),
+            derating=float(kwargs.get("derating", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class BankGroupV1:
+    """``count`` copies of one part, wired in parallel within a bank."""
+
+    part: PartSpecV1
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(
+                f"bank group of {self.part.name!r}: count must be >= 1"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"part": self.part.to_dict(), "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BankGroupV1":
+        context = "bank group"
+        _check_fields(data, ("part", "count"), context)
+        part = _require(data, "part", context)
+        if not isinstance(part, Mapping):
+            raise SpecError(f"{context}: 'part' must be an object")
+        return cls(
+            part=PartSpecV1.from_dict(part), count=int(data.get("count", 1))
+        )
+
+
+@dataclass(frozen=True)
+class BankSpecV1:
+    """Declarative parallel capacitor bank: named groups of parts."""
+
+    name: str
+    groups: Tuple[BankGroupV1, ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise SpecError(f"bank {self.name!r} has no part groups")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "groups": [group.to_dict() for group in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BankSpecV1":
+        context = f"bank {data.get('name', '?')!r}"
+        _check_fields(data, ("name", "groups"), context)
+        groups = _require(data, "groups", context)
+        if not isinstance(groups, (list, tuple)):
+            raise SpecError(f"{context}: 'groups' must be a list")
+        return cls(
+            name=str(_require(data, "name", context)),
+            groups=tuple(BankGroupV1.from_dict(group) for group in groups),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Front-end circuitry
+# ---------------------------------------------------------------------------
+
+#: Allowed parameter fields per harvester kind (see repro.energy.harvester).
+HARVESTER_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "regulated": ("voltage", "max_power"),
+    "solar": (
+        "area",
+        "efficiency",
+        "cells_in_series",
+        "voltage_per_panel",
+        "irradiance",
+    ),
+    "rf": ("transmit_power", "distance", "path_gain", "voltage"),
+    "scaled": ("inner", "power_scale"),
+}
+
+#: Allowed parameter fields per environment trace kind.
+TRACE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "constant": ("level",),
+    "dimmed_lamp": ("full_irradiance", "duty"),
+    "orbit": ("period", "eclipse_fraction", "irradiance"),
+    "piecewise": ("breakpoints", "initial"),
+}
+
+
+def _validate_trace_dict(data: Mapping[str, Any], context: str) -> Dict[str, Any]:
+    kind = _require(data, "kind", context)
+    if kind not in TRACE_FIELDS:
+        raise SpecError(
+            f"{context}: unknown trace kind {kind!r}; "
+            f"known: {sorted(TRACE_FIELDS)}"
+        )
+    body = normalize_units(
+        {k: v for k, v in data.items() if k != "kind"}, context
+    )
+    _check_fields(body, TRACE_FIELDS[kind], f"{context} ({kind})")
+    _json_safe(dict(body), context)
+    return {"kind": kind, **body}
+
+
+@dataclass(frozen=True)
+class HarvesterSpec:
+    """Declarative energy harvester: a kind plus its parameters.
+
+    ``params`` may nest a trace object under ``irradiance`` (solar) or a
+    whole inner harvester under ``inner`` (scaled).  Treat instances as
+    immutable; the dataclass is frozen and the params dict is validated
+    and normalised at construction.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        context = f"harvester ({self.kind})"
+        if self.kind not in HARVESTER_FIELDS:
+            raise SpecError(
+                f"unknown harvester kind {self.kind!r}; "
+                f"known: {sorted(HARVESTER_FIELDS)}"
+            )
+        params = normalize_units(self.params, context)
+        _check_fields(params, HARVESTER_FIELDS[self.kind], context)
+        if self.kind == "solar" and "irradiance" in params:
+            irradiance = params["irradiance"]
+            if not isinstance(irradiance, Mapping):
+                raise SpecError(f"{context}: 'irradiance' must be an object")
+            params["irradiance"] = _validate_trace_dict(irradiance, context)
+        if self.kind == "scaled":
+            inner = _require(params, "inner", context)
+            if not isinstance(inner, (Mapping, HarvesterSpec)):
+                raise SpecError(f"{context}: 'inner' must be an object")
+            if isinstance(inner, Mapping):
+                params["inner"] = HarvesterSpec.from_dict(inner)
+        _json_safe(
+            {k: v for k, v in params.items() if not isinstance(v, HarvesterSpec)},
+            context,
+        )
+        object.__setattr__(self, "params", params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        body = {
+            key: value.to_dict() if isinstance(value, HarvesterSpec) else value
+            for key, value in self.params.items()
+        }
+        return {"kind": self.kind, **body}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HarvesterSpec":
+        kind = _require(data, "kind", "harvester")
+        return cls(
+            kind=str(kind), params={k: v for k, v in data.items() if k != "kind"}
+        )
+
+
+#: Allowed parameter fields per booster kind (see repro.energy.booster).
+BOOSTER_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "input": (
+        "efficiency",
+        "v_cold_start",
+        "cold_start_efficiency",
+        "bypass",
+        "v_diode_drop",
+        "v_charge_target",
+        "min_input_voltage",
+        "low_voltage_efficiency",
+        "v_full_efficiency",
+    ),
+    "output": ("v_out", "v_in_min", "efficiency", "quiescent_power"),
+}
+
+
+@dataclass(frozen=True)
+class BoosterSpec:
+    """Declarative boost converter: ``input`` or ``output`` side."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        context = f"booster ({self.kind})"
+        if self.kind not in BOOSTER_FIELDS:
+            raise SpecError(
+                f"unknown booster kind {self.kind!r}; known: "
+                f"{sorted(BOOSTER_FIELDS)}"
+            )
+        params = normalize_units(self.params, context)
+        _check_fields(params, BOOSTER_FIELDS[self.kind], context)
+        _json_safe(dict(params), context)
+        object.__setattr__(self, "params", params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, **self.params}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BoosterSpec":
+        kind = _require(data, "kind", "booster")
+        return cls(
+            kind=str(kind), params={k: v for k, v in data.items() if k != "kind"}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Platform and scenario
+# ---------------------------------------------------------------------------
+
+#: System names a scenario may target (SystemKind values).
+SYSTEM_NAMES = ("Pwr", "Fixed", "CB-R", "CB-P")
+#: Switch polarity names (SwitchPolarity values).
+POLARITY_NAMES = ("NO", "NC")
+
+
+@dataclass(frozen=True)
+class PlatformSpecV1:
+    """Declarative platform: everything :class:`repro.core.builder.PlatformSpec`
+    holds, but as plain serialisable data.
+
+    ``banks`` order is significant: the first bank is hardwired, the
+    rest sit behind switches.  ``modes`` is kept sorted by mode name so
+    equal platforms are equal values.
+    """
+
+    banks: Tuple[BankSpecV1, ...]
+    modes: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    fixed_bank: BankSpecV1
+    harvester: HarvesterSpec
+    switch_polarity: str = "NO"
+    input_booster: Optional[BoosterSpec] = None
+    output_booster: Optional[BoosterSpec] = None
+    limiter_v_clamp: Optional[float] = None
+    quiescent_power: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            raise SpecError("platform needs at least one bank")
+        if not self.modes:
+            raise SpecError("platform needs at least one mode")
+        if self.switch_polarity not in POLARITY_NAMES:
+            raise SpecError(
+                f"unknown switch polarity {self.switch_polarity!r}; "
+                f"known: {list(POLARITY_NAMES)}"
+            )
+        names = {bank.name for bank in self.banks}
+        if len(names) != len(self.banks):
+            raise SpecError("bank names must be unique")
+        for mode, mode_banks in self.modes:
+            unknown = set(mode_banks) - names
+            if unknown:
+                raise SpecError(
+                    f"mode {mode!r} references unknown banks {sorted(unknown)}"
+                )
+        object.__setattr__(
+            self, "modes", tuple(sorted((m, tuple(b)) for m, b in self.modes))
+        )
+        if self.input_booster is not None and self.input_booster.kind != "input":
+            raise SpecError("input_booster must have kind 'input'")
+        if self.output_booster is not None and self.output_booster.kind != "output":
+            raise SpecError("output_booster must have kind 'output'")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "banks": [bank.to_dict() for bank in self.banks],
+            "modes": {mode: list(banks) for mode, banks in self.modes},
+            "fixed_bank": self.fixed_bank.to_dict(),
+            "harvester": self.harvester.to_dict(),
+            "switch_polarity": self.switch_polarity,
+            "input_booster": (
+                None if self.input_booster is None else self.input_booster.to_dict()
+            ),
+            "output_booster": (
+                None
+                if self.output_booster is None
+                else self.output_booster.to_dict()
+            ),
+            "limiter_v_clamp": self.limiter_v_clamp,
+            "quiescent_power": self.quiescent_power,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpecV1":
+        context = "platform"
+        data = normalize_units(data, context)
+        _check_fields(
+            data,
+            (
+                "banks",
+                "modes",
+                "fixed_bank",
+                "harvester",
+                "switch_polarity",
+                "input_booster",
+                "output_booster",
+                "limiter_v_clamp",
+                "quiescent_power",
+            ),
+            context,
+        )
+        banks = _require(data, "banks", context)
+        modes = _require(data, "modes", context)
+        if not isinstance(modes, Mapping):
+            raise SpecError(f"{context}: 'modes' must be an object")
+        input_booster = data.get("input_booster")
+        output_booster = data.get("output_booster")
+        limiter = data.get("limiter_v_clamp")
+        return cls(
+            banks=tuple(BankSpecV1.from_dict(bank) for bank in banks),
+            modes=tuple(
+                (str(mode), tuple(str(b) for b in bank_names))
+                for mode, bank_names in modes.items()
+            ),
+            fixed_bank=BankSpecV1.from_dict(_require(data, "fixed_bank", context)),
+            harvester=HarvesterSpec.from_dict(
+                _require(data, "harvester", context)
+            ),
+            switch_polarity=str(data.get("switch_polarity", "NO")),
+            input_booster=(
+                None if input_booster is None else BoosterSpec.from_dict(input_booster)
+            ),
+            output_booster=(
+                None
+                if output_booster is None
+                else BoosterSpec.from_dict(output_booster)
+            ),
+            limiter_v_clamp=None if limiter is None else float(limiter),
+            quiescent_power=float(data.get("quiescent_power", 2e-6)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One runnable scenario: platform + target system + workload.
+
+    ``system`` names the default :class:`~repro.core.builder.SystemKind`
+    ("Pwr", "Fixed", "CB-R", "CB-P"); campaign harnesses override it per
+    run.  ``workload`` is a flat JSON object naming the application
+    (``"app"``) and its parameters (seed, event_count, ...).
+    """
+
+    name: str
+    system: str
+    platform: PlatformSpecV1
+    workload: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise SpecError(
+                f"scenario {self.name!r}: unsupported schema_version "
+                f"{self.schema_version!r} (this build reads {SCHEMA_VERSION})"
+            )
+        if self.system not in SYSTEM_NAMES:
+            raise SpecError(
+                f"scenario {self.name!r}: unknown system {self.system!r}; "
+                f"known: {list(SYSTEM_NAMES)}"
+            )
+        if "app" in self.workload and not isinstance(self.workload["app"], str):
+            raise SpecError(f"scenario {self.name!r}: workload 'app' must be a string")
+        _json_safe(dict(self.workload), f"scenario {self.name!r} workload")
+
+    @property
+    def app(self) -> Optional[str]:
+        """The application this scenario runs, if it names one."""
+        app = self.workload.get("app")
+        return str(app) if app is not None else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "system": self.system,
+            "platform": self.platform.to_dict(),
+            "workload": dict(self.workload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        context = f"scenario {data.get('name', '?')!r}"
+        _check_fields(
+            data,
+            ("schema_version", "name", "system", "platform", "workload"),
+            context,
+        )
+        workload = data.get("workload", {})
+        if not isinstance(workload, Mapping):
+            raise SpecError(f"{context}: 'workload' must be an object")
+        platform = _require(data, "platform", context)
+        if not isinstance(platform, Mapping):
+            raise SpecError(f"{context}: 'platform' must be an object")
+        return cls(
+            name=str(_require(data, "name", context)),
+            system=str(_require(data, "system", context)),
+            platform=PlatformSpecV1.from_dict(platform),
+            workload=dict(workload),
+            schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Canonical form
+# ---------------------------------------------------------------------------
+
+#: Any spec class providing ``to_dict``.
+Spec = Any
+
+
+def canonical_json(spec: Spec) -> str:
+    """Sorted-key, compact JSON — equal specs give identical bytes."""
+    data = spec.to_dict() if hasattr(spec, "to_dict") else spec
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: Spec) -> str:
+    """SHA-256 over the canonical JSON bytes of *spec*."""
+    return hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+
+
+def combined_spec_hash(specs: List[Spec]) -> str:
+    """One stable hash over an ordered collection of specs."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(spec_hash(spec).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def load_scenario(text_or_path: Any) -> ScenarioSpec:
+    """Parse a :class:`ScenarioSpec` from a JSON string or file path.
+
+    Accepts a JSON document string, a ``pathlib.Path``, or a path string
+    ending in ``.json``.
+    """
+    from pathlib import Path
+
+    if isinstance(text_or_path, Path):
+        text = text_or_path.read_text()
+    elif isinstance(text_or_path, str) and text_or_path.lstrip().startswith("{"):
+        text = text_or_path
+    elif isinstance(text_or_path, str):
+        text = Path(text_or_path).read_text()
+    else:
+        raise SpecError(f"cannot load a scenario from {text_or_path!r}")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SpecError(f"scenario is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise SpecError("scenario JSON must be an object")
+    return ScenarioSpec.from_dict(data)
+
+
+def dump_scenario(spec: ScenarioSpec, pretty: bool = True) -> str:
+    """Render a scenario as JSON (pretty by default, canonical otherwise)."""
+    if not pretty:
+        return canonical_json(spec)
+    return json.dumps(spec.to_dict(), sort_keys=True, indent=2) + "\n"

@@ -222,3 +222,45 @@ class TestResultCache:
         cache.put(key, "payload")
         cache._path(key).write_bytes(b"\x00not a pickle")
         assert cache.get(key) is None
+
+    def test_corrupt_entry_is_counted_and_quarantined(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = result_key("exp", {}, fingerprint="f1")
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"\x80\x04garbage")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.as_dict()["corrupt"] == 1
+        # The bad file is removed, so the next miss is a plain miss.
+        assert not path.exists()
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        key = result_key("exp", {}, fingerprint="f1")
+        cache.put(key, ("text", {"metrics": {}}))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:5])  # simulate a torn write
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_missing_entry_is_not_corrupt(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        assert cache.get(result_key("exp", {}, fingerprint="f1")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_corrupt_entry_reports_telemetry(self, tmp_path):
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry()
+        cache = ResultCache(root=tmp_path / "cache", telemetry=telemetry)
+        key = result_key("exp", {}, fingerprint="f1")
+        cache.put(key, "payload")
+        cache._path(key).write_bytes(b"\x00junk")
+        assert cache.get(key) is None
+        assert telemetry.metrics.counter("cache.corrupt_entries").value == 1.0

@@ -1,0 +1,112 @@
+"""Suite-level cache behaviour: spec-hash keys give per-experiment
+invalidation — editing one experiment's declared scenario re-runs only
+that experiment on the next ``run_all`` invocation."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.experiments import run_all
+from repro.experiments.registry import Experiment, ExperimentRegistry
+
+
+def _fast_runner(tag):
+    def runner(seed, scale):
+        return f"{tag}: seed={seed} scale={scale}\n"
+
+    return runner
+
+
+@pytest.fixture
+def synthetic_registry(monkeypatch):
+    """Two tiny scenario-declaring experiments standing in for the suite.
+
+    ``alpha``'s scenario parameters live in a mutable dict so a test can
+    "edit the experiment" between ``run_all`` invocations.
+    """
+    from repro.apps import csr, temp_alarm
+
+    alpha_params = {"event_count": 6}
+
+    def alpha_scenarios(seed, scale):
+        return [
+            temp_alarm.scenario(
+                seed=seed, event_count=alpha_params["event_count"]
+            )
+        ]
+
+    def beta_scenarios(seed, scale):
+        return [csr.scenario(seed=seed, event_count=6)]
+
+    registry = ExperimentRegistry()
+    registry._catalogue_loaded = True  # keep the real catalogue out
+    registry.register(
+        Experiment(
+            job_id="alpha",
+            title="Alpha",
+            runner=_fast_runner("alpha"),
+            uses_seed=True,
+            scenarios=alpha_scenarios,
+        )
+    )
+    registry.register(
+        Experiment(
+            job_id="beta",
+            title="Beta",
+            runner=_fast_runner("beta"),
+            uses_seed=True,
+            scenarios=beta_scenarios,
+        )
+    )
+    monkeypatch.setattr(run_all, "_REGISTRY", registry)
+    # jobs=1 keeps execution in-process, so the patched lookup is the
+    # one the "workers" use.
+    monkeypatch.setattr(run_all, "get_experiment", registry.get)
+    return alpha_params
+
+
+def _run(tmp_path):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        run_all.main(seed=0, scale=0.05, jobs=1, cache_dir=tmp_path / "cache")
+    return buffer.getvalue()
+
+
+def test_editing_one_scenario_invalidates_only_that_experiment(
+    synthetic_registry, tmp_path
+):
+    alpha_params = synthetic_registry
+
+    cold = _run(tmp_path)
+    assert cold.count("[cache hit]") == 0
+
+    warm = _run(tmp_path)
+    assert warm.count("[cache hit]") == 2
+
+    # "Edit" alpha: its declared scenario now has a different event
+    # count, so its spec hash — and only its cache key — changes.
+    alpha_params["event_count"] = 7
+    edited = _run(tmp_path)
+    assert edited.count("[cache hit]") == 1
+    assert "## Beta [cache hit]" in edited
+    assert "## Alpha [cache hit]" not in edited
+
+    # Reverting the edit restores the original key: everything replays.
+    alpha_params["event_count"] = 6
+    reverted = _run(tmp_path)
+    assert reverted.count("[cache hit]") == 2
+
+
+def test_scenarioless_experiment_keys_ignore_spec_hash(tmp_path):
+    """Experiments without declared scenarios keep their old-style keys
+    (no "spec" component), so introducing the spec layer did not
+    invalidate their caches."""
+    from repro.experiments.cache import result_key
+
+    assert result_key("exp", {"seed": 1}, fingerprint="f") == result_key(
+        "exp", {"seed": 1}, fingerprint="f", spec_hash=None
+    )
+    assert result_key("exp", {"seed": 1}, fingerprint="f") != result_key(
+        "exp", {"seed": 1}, fingerprint="f", spec_hash="abc"
+    )
