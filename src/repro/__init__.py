@@ -15,6 +15,11 @@ The curated public API lives at this top level:
   cache, parallel workers, and the CLI.
 * :class:`Telemetry` / :func:`telemetry_scope` — opt-in structured
   metrics and tracing (:mod:`repro.observability`).
+* :class:`FaultScheduleSpec` / :func:`load_fault_schedule` /
+  :func:`apply_faults` — deterministic fault injection
+  (:mod:`repro.faults`): declarative, hashable schedules of harvester
+  blackouts, brown-outs, component degradation, and campaign worker
+  chaos, replayable bit-identically for a fixed seed.
 * :mod:`repro.units` — unit helpers (``micro_farads``, ``milli_watts``,
   ...), re-exported here for convenience.
 
@@ -98,6 +103,13 @@ __all__ = [
     "telemetry_scope",
     "current_telemetry",
     "NULL_TELEMETRY",
+    # fault injection (lazily resolved)
+    "FaultScheduleSpec",
+    "FaultSpec",
+    "load_fault_schedule",
+    "dump_fault_schedule",
+    "fault_schedule_hash",
+    "apply_faults",
     # errors
     "ReproError",
     # unit helpers
@@ -152,6 +164,18 @@ def __getattr__(name: str):
         from repro.core.builder import build_system
 
         return build_system
+    # Fault layer imports lazily for the same reason as the spec layer.
+    if name in (
+        "FaultScheduleSpec",
+        "FaultSpec",
+        "load_fault_schedule",
+        "dump_fault_schedule",
+        "fault_schedule_hash",
+        "apply_faults",
+    ):
+        from repro import faults as _faults
+
+        return getattr(_faults, name)
     if name in _DEPRECATED:
         _warnings.warn(
             f"repro.{name} is deprecated; use {_DEPRECATED[name]}",

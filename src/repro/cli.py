@@ -23,6 +23,11 @@ runnable here with no CLI changes.
 
 ``--metrics-out``/``--trace-out`` opt the run into the observability
 layer (:mod:`repro.observability`) and dump canonical JSONL.
+``--inject faults.json`` arms a :mod:`repro.faults` schedule: ``run``
+and ``run-app`` apply its simulation faults (harvester blackouts,
+brown-out sags, ESR/leakage spikes, stuck switches) to the instance
+before running; ``experiment all`` applies its ``worker_crash`` faults
+as deterministic campaign chaos.
 """
 
 from __future__ import annotations
@@ -120,6 +125,25 @@ def _wants_telemetry(args: argparse.Namespace) -> bool:
     return args.metrics_out is not None or args.trace_out is not None
 
 
+def _load_inject(args: argparse.Namespace):
+    """The fault schedule named by ``--inject``, or ``None``.
+
+    Exits with a spec error (code 2) rather than a traceback when the
+    file is missing or invalid — injection mistakes are user input
+    errors, not crashes.
+    """
+    if getattr(args, "inject", None) is None:
+        return None
+    from repro.errors import SpecError
+    from repro.faults import load_fault_schedule
+
+    try:
+        return load_fault_schedule(Path(args.inject))
+    except (SpecError, OSError) as error:
+        print(f"error: --inject: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
@@ -165,6 +189,7 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
 
     builder = APP_BUILDERS[args.app]
     kind = _SYSTEM_BY_NAME[args.system]
+    schedule = _load_inject(args)
     telemetry = Telemetry() if _wants_telemetry(args) else None
     scope = (
         telemetry_scope(telemetry)
@@ -173,6 +198,10 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
     )
     with scope:
         instance = builder(kind, args.seed, args.events)
+        if schedule is not None:
+            from repro.faults import apply_faults
+
+            apply_faults(instance, schedule, telemetry=telemetry)
         horizon = (
             args.horizon
             if args.horizon is not None
@@ -197,6 +226,7 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     kind = SystemKind.from_name(args.system or scenario.system)
+    fault_schedule = _load_inject(args)
     telemetry = Telemetry() if _wants_telemetry(args) else None
     scope = (
         telemetry_scope(telemetry)
@@ -205,6 +235,10 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     )
     with scope:
         instance = build_scenario_app(scenario, kind=kind)
+        if fault_schedule is not None:
+            from repro.faults import apply_faults
+
+            apply_faults(instance, fault_schedule, telemetry=telemetry)
         horizon = (
             args.horizon
             if args.horizon is not None
@@ -320,6 +354,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             clear_cache=args.clear_cache,
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
+            inject=args.inject,
         )
         return 0
 
@@ -360,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", type=str, default=None, help="write the trace to this JSON file"
     )
     run_parser.add_argument(
+        "--inject", type=str, default=None, metavar="FILE",
+        help="fault schedule JSON to apply before running (repro.faults)",
+    )
+    run_parser.add_argument(
         "--metrics-out", type=_writable_path, default=None, metavar="FILE",
         help="write run metrics as JSONL to FILE",
     )
@@ -385,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spec_run.add_argument(
         "--export", type=str, default=None, help="write the trace to this JSON file"
+    )
+    spec_run.add_argument(
+        "--inject", type=str, default=None, metavar="FILE",
+        help="fault schedule JSON to apply before running (repro.faults)",
     )
     spec_run.add_argument(
         "--metrics-out", type=_writable_path, default=None, metavar="FILE",
@@ -445,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument(
         "--clear-cache", action="store_true",
         help="drop cached `all` results before running",
+    )
+    exp_parser.add_argument(
+        "--inject", type=Path, default=None, metavar="FILE",
+        help="fault schedule JSON; `all` injects its worker_crash faults "
+        "as campaign chaos",
     )
     exp_parser.add_argument(
         "--metrics-out", type=_writable_path, default=None, metavar="FILE",

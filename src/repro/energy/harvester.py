@@ -173,6 +173,36 @@ class RFHarvester(Harvester):
 
 
 @dataclass
+class FaultyHarvester(Harvester):
+    """Wrap a harvester, applying a fault injector's output transform.
+
+    The injection point for harvester blackouts and brown-out sags
+    (:mod:`repro.faults`): ``output`` defers to the inner source, then
+    lets the injector zero or sag the operating point inside its fault
+    windows.  Deterministic — the transform is a pure function of
+    simulation time, so faulted replays are bit-identical.
+
+    ``spec_dict`` deliberately extracts the *inner* harvester: the fault
+    schedule is a separate document with its own hash, not part of the
+    platform description.
+    """
+
+    inner: Harvester
+    injector: object = None
+
+    def __post_init__(self) -> None:
+        if self.injector is None:
+            raise ConfigurationError("FaultyHarvester needs a fault injector")
+
+    def output(self, time: float) -> Tuple[float, float]:
+        voltage, power = self.inner.output(time)
+        return self.injector.transform_output(time, voltage, power)
+
+    def spec_dict(self) -> dict:
+        return self.inner.spec_dict()
+
+
+@dataclass
 class ScaledHarvester(Harvester):
     """Wrap a harvester, scaling its power (test and sweep helper)."""
 

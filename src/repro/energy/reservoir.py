@@ -77,6 +77,10 @@ class ReconfigurableReservoir:
         # names, banks, capacitance, esr).  Hot paths query the active
         # set hundreds of thousands of times between reconfigurations.
         self._active_cache: Optional[tuple] = None
+        # Optional fault injector (repro.faults): switch stuck-at
+        # overrides, ESR/leakage multipliers, and the fault-window
+        # boundaries that bound the active-set cache's validity.
+        self._fault_injector = None
         # Resolved once; per-joule aggregate paths (store/extract) stay
         # uninstrumented — telemetry records only reconfiguration-rate
         # happenings and losses.
@@ -131,6 +135,17 @@ class ReconfigurableReservoir:
             raise BankConfigurationError(f"unknown bank {name!r}")
         return self._banks[name]
 
+    def set_fault_injector(self, injector) -> None:
+        """Arm (or with ``None``, disarm) a fault injector.
+
+        The injector (duck-typed: ``switch_overrides``,
+        ``esr_multiplier``, ``leak_multiplier``, ``next_transition``)
+        participates in every active-set computation from the next query
+        on; the cache is invalidated so no pre-fault aggregate survives.
+        """
+        self._fault_injector = injector
+        self._active_cache = None
+
     def switch(self, name: str) -> BankSwitch:
         if name not in self._switches:
             raise BankConfigurationError(f"bank {name!r} has no switch")
@@ -149,10 +164,21 @@ class ReconfigurableReservoir:
         cache = self._active_cache
         if cache is not None and cache[2] == versions and cache[0] <= time < cache[1]:
             return cache
+        injector = self._fault_injector
+        overrides = (
+            injector.switch_overrides(time) if injector is not None else {}
+        )
         names: List[str] = []
         for name in self._order:
             switch = self._switches.get(name)
-            if switch is None or switch.is_closed(time):
+            if switch is None:
+                names.append(name)
+            elif name in overrides:
+                # Stuck-at fault: the physical switch ignores both its
+                # commanded state and latch decay for the window.
+                if overrides[name]:
+                    names.append(name)
+            elif switch.is_closed(time):
                 names.append(name)
         # is_closed() may have just resolved reversions (bumping
         # versions); recompute the sum after resolution.
@@ -167,8 +193,21 @@ class ReconfigurableReservoir:
         banks = [self._banks[name] for name in names]
         capacitance = sum(bank.capacitance for bank in banks)
         esr = parallel_esr(bank.esr for bank in banks) if banks else 0.0
+        if injector is not None:
+            # Cached aggregates must not outlive a fault-window edge,
+            # and the faulted ESR is what every consumer should see.
+            boundary = min(boundary, injector.next_transition(time))
+            esr *= injector.esr_multiplier(time)
         entry = (time, boundary, versions, names, banks, capacitance, esr)
         self._active_cache = entry
+        if injector is not None and len(banks) > 1:
+            # A bank rejoining the set at a fault edge (stuck window
+            # ending) carries its held voltage; physical reconnection
+            # redistributes charge instantly, so equalize here to keep
+            # the shared-voltage invariant every consumer asserts.
+            voltage = banks[0].voltage
+            if any(abs(bank.voltage - voltage) > 1e-9 for bank in banks[1:]):
+                self.equalize_active(time)
         return entry
 
     def active_names(self, time: float) -> List[str]:
@@ -373,6 +412,11 @@ class ReconfigurableReservoir:
 
         Returns total energy lost, joules.
         """
+        if self._fault_injector is not None:
+            # A leakage spike accelerates self-discharge: integrating the
+            # same RC decay over a stretched duration is exactly a
+            # proportionally lower leak resistance for the window.
+            duration = duration * self._fault_injector.leak_multiplier(time)
         lost = sum(bank.leak(duration) for bank in self._banks.values())
         # Leakage can nudge active-bank voltages apart (different leak
         # resistances); re-equalize to preserve the shared-voltage

@@ -23,8 +23,31 @@ class SpecError(ConfigurationError):
     a reference to an unknown part, app, or system kind."""
 
 
+class FaultSpecError(SpecError):
+    """A declarative fault schedule (:mod:`repro.faults`) failed
+    validation: an unknown fault kind, a malformed window, or a bad
+    schema version."""
+
+
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class InjectedFault(ReproError):
+    """Base class for deliberately injected failures (:mod:`repro.faults`).
+
+    Raised *on purpose* by the fault-injection layer to exercise the
+    resilience machinery; reaching a user unhandled means a retry or
+    degradation path is missing, not that the simulation is wrong.
+    """
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A campaign worker was deliberately crashed mid-job."""
+
+
+class InjectedWorkerTimeout(InjectedFault):
+    """A campaign worker was deliberately timed out mid-job."""
 
 
 class ScheduleError(SimulationError):

@@ -39,7 +39,18 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 #: Bump to invalidate every existing cache entry on format changes.
 #: v2: payloads became (stdout, telemetry snapshot | None) tuples.
-CACHE_FORMAT_VERSION = 2
+#: v3: on-disk entries gained a magic + SHA-256 checksum header so any
+#: byte-level corruption is a detected (quarantined) miss, never a
+#: wrong hit.
+CACHE_FORMAT_VERSION = 3
+
+#: On-disk entry layout: MAGIC, then the SHA-256 digest of the body,
+#: then the pickled body.  ``get`` recomputes the digest before
+#: unpickling — a flipped bit anywhere in the body fails closed instead
+#: of deserialising garbage (pickle happily "succeeds" on many
+#: corruptions).
+CACHE_MAGIC = b"RPC3"
+_DIGEST_SIZE = hashlib.sha256().digest_size
 
 
 def default_cache_dir() -> Path:
@@ -75,6 +86,7 @@ def result_key(
     params: Dict[str, Any],
     fingerprint: Optional[str] = None,
     spec_hash: Optional[str] = None,
+    fault_hash: Optional[str] = None,
 ) -> str:
     """Stable hash of (experiment id, parameters, spec hash, code fingerprint).
 
@@ -83,8 +95,11 @@ def result_key(
     *spec_hash* is the canonical hash of the experiment's declared
     scenario specs (:func:`repro.spec.spec_hash`): editing one
     experiment's scenario parameters changes only that experiment's
-    keys.  It is omitted from the payload when ``None`` so experiments
-    without declared scenarios keep their existing keys.
+    keys.  *fault_hash* is the canonical hash of an injected fault
+    schedule (:func:`repro.faults.fault_schedule_hash`): a faulted run
+    produces different results, so it must never share a key with the
+    clean run.  Both are omitted from the payload when ``None`` so
+    unaffected experiments keep their existing keys.
     """
     body: Dict[str, Any] = {
         "version": CACHE_FORMAT_VERSION,
@@ -94,6 +109,8 @@ def result_key(
     }
     if spec_hash is not None:
         body["spec"] = spec_hash
+    if fault_hash is not None:
+        body["faults"] = fault_hash
     payload = json.dumps(body, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -141,26 +158,40 @@ class ResultCache:
     def get(self, key: str) -> Optional[Any]:
         """The stored payload, or ``None`` on miss/corruption.
 
-        A present-but-unreadable entry (truncated write, a stale pickle
-        referencing renamed classes, plain disk corruption) is treated
-        as a miss: the entry is counted, reported via the
-        ``cache.corrupt_entries`` telemetry counter, and removed so the
-        re-computed result can replace it.
+        A present-but-unreadable entry is treated as a miss: the entry
+        is counted, reported via the ``cache.corrupt_entries`` telemetry
+        counter, and removed so the re-computed result can replace it.
+        "Unreadable" is decided by the checksum header, not by whether
+        pickle happens to raise: a truncated write, a flipped bit, a
+        wrong-magic or pre-v3 entry all fail the digest check before any
+        byte is deserialised, so corruption can never surface as a
+        wrong hit.
         """
         if not self.enabled:
             self.stats.misses += 1
             return None
         path = self._path(key)
         try:
-            handle = open(path, "rb")
+            raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             return None
-        try:
-            with handle:
-                payload = pickle.load(handle)
-        except Exception:
-            # Opened but undecodable: corrupt, not merely absent.
+        header_len = len(CACHE_MAGIC) + _DIGEST_SIZE
+        body = raw[header_len:]
+        intact = (
+            raw.startswith(CACHE_MAGIC)
+            and len(raw) >= header_len
+            and hashlib.sha256(body).digest()
+            == raw[len(CACHE_MAGIC) : header_len]
+        )
+        if intact:
+            try:
+                payload = pickle.loads(body)
+            except Exception:
+                # Checksum passed but the pickle no longer decodes
+                # (e.g. classes renamed since the entry was written).
+                intact = False
+        if not intact:
             self.stats.misses += 1
             self.stats.corrupt += 1
             self._report_corrupt()
@@ -186,8 +217,11 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(".tmp")
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(CACHE_MAGIC)
+            handle.write(hashlib.sha256(body).digest())
+            handle.write(body)
         os.replace(tmp, path)
         self.stats.stores += 1
 

@@ -17,7 +17,16 @@ depends on:
   a non-picklable task quietly degrades to the serial path with the
   same results;
 * **timing capture** — each task reports its wall-clock cost so
-  ``run_all`` can show where the time went.
+  ``run_all`` can show where the time went;
+* **resilience** — a :class:`RetryPolicy` re-runs failed tasks with
+  exponential backoff and deterministic jitter, and ``on_error="capture"``
+  degrades a permanently failing task into a :class:`TaskError` row
+  instead of aborting the batch.  Paired with
+  :class:`~repro.faults.inject.WorkerChaos`, the same machinery becomes
+  a chaos harness: injected crashes are deterministic per
+  ``(label, attempt)``, and because every task is a pure function of its
+  arguments, a crashed-and-retried batch is byte-identical to an
+  undisturbed one.
 
 Workers return only the :class:`~repro.sim.trace.Trace` (plain data);
 the parent process rebuilds the cheap ``AppInstance`` shell locally and
@@ -36,7 +45,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.apps.base import AppInstance
 from repro.core.builder import SystemKind
+from repro.errors import ConfigurationError
 from repro.experiments.campaign import DEFAULT_KINDS, AppBuilder, Campaign
+from repro.faults.inject import WorkerChaos, _unit_draw
+from repro.observability.telemetry import Telemetry, resolve_telemetry
 from repro.sim.trace import Trace
 
 T = TypeVar("T")
@@ -68,10 +80,64 @@ def _picklable(*objects: Any) -> bool:
 
 @dataclass
 class TaskTiming:
-    """Wall-clock cost of one parallel task, for reporting."""
+    """Wall-clock cost of one parallel task, for reporting.
+
+    ``seconds`` is the cost of the attempt that produced the result (or
+    the last attempt, for tasks that gave up); ``attempts`` is how many
+    tries that took.
+    """
 
     label: str
     seconds: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    The delay before attempt ``n+1`` is ``base_delay * 2**(n-1)`` capped
+    at *max_delay*, scaled by a jitter factor in ``[0.5, 1.0)`` drawn —
+    reproducibly — from SHA-256 of ``(seed, label, attempt)``.  Nothing
+    about a retried batch depends on wall-clock or global RNG state, so
+    retries never perturb results.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ConfigurationError("retry delays must be non-negative")
+
+    def delay(self, label: str, attempt: int) -> float:
+        """Backoff before re-running *label* after failed *attempt*."""
+        backoff = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        jitter = _unit_draw(self.seed, f"retry:{label}", attempt)
+        return backoff * (0.5 + 0.5 * jitter)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A task that failed every attempt, captured as data.
+
+    With ``on_error="capture"`` the failing task's result slot holds one
+    of these instead of aborting the whole batch — ``run_all`` turns it
+    into a structured error row.
+    """
+
+    label: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[error] {self.label} failed after {self.attempts} attempt(s): {self.error}"
 
 
 @dataclass
@@ -93,13 +159,38 @@ def _timed_call(fn: Callable[..., T], args: Tuple[Any, ...]) -> Tuple[T, float]:
     return result, _time.perf_counter() - started
 
 
+def _attempt_call(
+    fn: Callable[..., T],
+    args: Tuple[Any, ...],
+    chaos: Optional[WorkerChaos],
+    label: str,
+    attempt: int,
+) -> Tuple[T, float]:
+    """One timed attempt, with the chaos check inside the worker.
+
+    Module-level so the pool can ship it; the chaos policy travels by
+    value (it is a frozen dataclass), and its decision is a pure
+    function of ``(seed, label, attempt)``, so parent and worker agree
+    on which attempts die without any shared state.
+    """
+    started = _time.perf_counter()
+    if chaos is not None:
+        chaos.raise_if_injected(label, attempt)
+    result = fn(*args)
+    return result, _time.perf_counter() - started
+
+
 def parallel_map(
     fn: Callable[..., T],
     tasks: Sequence[Tuple[Any, ...]],
     jobs: Optional[int] = None,
     labels: Optional[Sequence[str]] = None,
     report: Optional[ParallelReport] = None,
-) -> List[T]:
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[WorkerChaos] = None,
+    on_error: str = "raise",
+    telemetry: Optional[Telemetry] = None,
+) -> List[Any]:
     """Apply *fn* to each argument tuple, fanning out over processes.
 
     Results are returned in task order.  Falls back to an in-process
@@ -110,34 +201,109 @@ def parallel_map(
         fn: a module-level (picklable) callable.
         tasks: one argument tuple per invocation.
         jobs: worker processes; ``None`` uses :func:`default_jobs`.
-        labels: optional display labels for the timing report.
+        labels: optional display labels for the timing report (also the
+            retry/chaos identity of each task — keep them stable).
         report: optional :class:`ParallelReport` to fill with timings.
+        retry: re-run failed tasks under this policy (default: one
+            attempt, no retry).
+        chaos: deterministic fault injection — each attempt first asks
+            the policy whether to crash (:mod:`repro.faults`).
+        on_error: ``"raise"`` re-raises once a task exhausts its
+            attempts; ``"capture"`` stores a :class:`TaskError` in that
+            task's result slot and keeps going.
+        telemetry: sink for ``campaign.retries`` / ``campaign.gave_up``
+            counters (``None`` resolves the ambient scope).
+
+    Raises:
+        ConfigurationError: for an unknown *on_error* mode.
     """
+    if on_error not in ("raise", "capture"):
+        raise ConfigurationError(
+            f'on_error must be "raise" or "capture", got {on_error!r}'
+        )
     jobs = default_jobs() if jobs is None else max(1, jobs)
     labels = list(labels) if labels is not None else [str(i) for i in range(len(tasks))]
-    use_pool = jobs > 1 and len(tasks) > 1 and _picklable(fn, list(tasks))
+    telemetry = resolve_telemetry(telemetry)
+    max_attempts = retry.max_attempts if retry is not None else 1
+    use_pool = (
+        jobs > 1
+        and len(tasks) > 1
+        and _picklable(fn, list(tasks))
+        and (chaos is None or _picklable(chaos))
+    )
 
     if report is not None:
         report.mode = "process-pool" if use_pool else "serial"
         report.jobs = jobs if use_pool else 1
 
-    outputs: List[T] = []
+    def _backoff(label: str, attempt: int) -> None:
+        if retry is None:
+            return
+        delay = retry.delay(label, attempt)
+        if delay > 0.0:
+            _time.sleep(delay)
+
+    def _give_up(label: str, attempt: int, error: BaseException) -> TaskError:
+        if telemetry.enabled:
+            telemetry.inc("campaign.gave_up")
+        if on_error == "raise":
+            raise error
+        return TaskError(label=label, error=repr(error), attempts=attempt)
+
+    outputs: List[Any] = []
     if not use_pool:
         for label, args in zip(labels, tasks):
-            result, seconds = _timed_call(fn, args)
-            outputs.append(result)
-            if report is not None:
-                report.timings.append(TaskTiming(label, seconds))
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    result, seconds = _attempt_call(fn, args, chaos, label, attempt)
+                except Exception as error:
+                    if attempt >= max_attempts:
+                        outputs.append(_give_up(label, attempt, error))
+                        if report is not None:
+                            report.timings.append(TaskTiming(label, 0.0, attempt))
+                        break
+                    if telemetry.enabled:
+                        telemetry.inc("campaign.retries")
+                    _backoff(label, attempt)
+                else:
+                    outputs.append(result)
+                    if report is not None:
+                        report.timings.append(TaskTiming(label, seconds, attempt))
+                    break
         return outputs
 
     workers = min(jobs, len(tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_timed_call, fn, args) for args in tasks]
-        for label, future in zip(labels, futures):
-            result, seconds = future.result()
-            outputs.append(result)
-            if report is not None:
-                report.timings.append(TaskTiming(label, seconds))
+        futures = [
+            pool.submit(_attempt_call, fn, args, chaos, label, 1)
+            for label, args in zip(labels, tasks)
+        ]
+        # Collect in submission order.  A failed future retries by
+        # resubmitting the same task (next attempt number) after the
+        # backoff; later tasks keep running in other workers meanwhile.
+        for index, (label, future) in enumerate(zip(labels, futures)):
+            attempt = 1
+            while True:
+                try:
+                    result, seconds = future.result()
+                except Exception as error:
+                    if attempt >= max_attempts:
+                        outputs.append(_give_up(label, attempt, error))
+                        if report is not None:
+                            report.timings.append(TaskTiming(label, 0.0, attempt))
+                        break
+                    if telemetry.enabled:
+                        telemetry.inc("campaign.retries")
+                    _backoff(label, attempt)
+                    attempt += 1
+                    future = pool.submit(
+                        _attempt_call, fn, tasks[index], chaos, label, attempt
+                    )
+                else:
+                    outputs.append(result)
+                    if report is not None:
+                        report.timings.append(TaskTiming(label, seconds, attempt))
+                    break
     return outputs
 
 

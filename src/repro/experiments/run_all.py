@@ -16,8 +16,20 @@ per-experiment snapshots (prefixed ``exp.<job_id>.``) with its own
 suite-level metrics (per-experiment timing, cache hit/miss) and dumps
 canonical JSONL plus a summary table.
 
+The suite degrades gracefully rather than aborting: every experiment
+runs under a :class:`~repro.experiments.parallel.RetryPolicy`
+(exponential backoff, deterministic jitter), and one that fails every
+attempt becomes a structured error row in the output and the summary
+table while the rest of the suite completes.  ``--inject faults.json``
+arms a :mod:`repro.faults` schedule: ``worker_crash`` faults kill
+worker attempts deterministically (exercising the retry path — results
+stay byte-identical because every task is a pure function of its
+arguments), and the schedule's canonical hash joins the cache key so
+faulted and clean runs never share entries.
+
 Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]
 [--jobs J | --serial] [--no-cache] [--clear-cache]
+[--inject faults.json]
 [--metrics-out metrics.jsonl] [--trace-out trace.jsonl]``
 """
 
@@ -31,7 +43,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache, result_key
-from repro.experiments.parallel import ParallelReport, default_jobs, parallel_map
+from repro.experiments.parallel import (
+    ParallelReport,
+    RetryPolicy,
+    TaskError,
+    default_jobs,
+    parallel_map,
+)
+from repro.faults import build_injector, fault_schedule_hash, load_fault_schedule
 from repro.experiments.registry import Experiment, get_experiment
 from repro.experiments.registry import REGISTRY as _REGISTRY
 from repro.experiments.runner import format_table
@@ -90,6 +109,8 @@ def main(
     cache_dir: Optional[Path] = None,
     metrics_out: Optional[Path] = None,
     trace_out: Optional[Path] = None,
+    inject: Optional[Path] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> None:
     """Run (or replay) the full suite.
 
@@ -105,6 +126,11 @@ def main(
             ``REPRO_CACHE_DIR``).
         metrics_out: write suite + per-experiment metrics as JSONL here.
         trace_out: write per-experiment trace records as JSONL here.
+        inject: fault schedule JSON (:mod:`repro.faults`); its
+            ``worker_crash`` faults drive deterministic chaos and its
+            hash joins every cache key.
+        retry: retry policy for failed experiments (default: 3 attempts
+            with backoff, jitter seeded by *seed*).
     """
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
@@ -117,6 +143,22 @@ def main(
     jobs = default_jobs() if jobs is None else jobs
     collect = metrics_out is not None or trace_out is not None
     suite_jobs: List[Experiment] = _REGISTRY.suite()
+    retry = retry if retry is not None else RetryPolicy(seed=seed)
+
+    chaos = None
+    fault_hash = None
+    if inject is not None:
+        schedule = load_fault_schedule(Path(inject))
+        chaos = build_injector(schedule).worker_chaos()
+        fault_hash = fault_schedule_hash(schedule)
+        ignored = len(schedule.sim_faults())
+        if ignored:
+            print(
+                f"[faults] note: {ignored} simulation fault(s) in "
+                f"{schedule.name!r} apply to single runs "
+                "(`repro run --inject`), not the campaign level; "
+                "only worker_crash faults act here"
+            )
 
     cache = ResultCache(**({"root": cache_dir} if cache_dir is not None else {}))
     cache.enabled = use_cache
@@ -128,7 +170,9 @@ def main(
     print(
         f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
         f"jobs={jobs}, cache={'on' if use_cache else 'off'}, "
-        f"telemetry={'on' if collect else 'off'})"
+        f"telemetry={'on' if collect else 'off'}"
+        + (f", chaos={chaos.mode}x{chaos.max_crashes}" if chaos is not None else "")
+        + ")"
     )
     print("#" * 70)
 
@@ -147,6 +191,7 @@ def main(
             job.job_id,
             job.params(seed, scale),
             spec_hash=job.spec_hash(seed, scale),
+            fault_hash=fault_hash,
         )
         for job in suite_jobs
     }
@@ -165,6 +210,7 @@ def main(
             pending.append(job)
 
     report = ParallelReport()
+    suite = Telemetry()
     if pending:
         fresh = parallel_map(
             _run_job,
@@ -172,8 +218,20 @@ def main(
             jobs=jobs,
             labels=[job.job_id for job in pending],
             report=report,
+            retry=retry,
+            chaos=chaos,
+            on_error="capture",
+            telemetry=suite,
         )
-        for job, (text, snapshot) in zip(pending, fresh):
+        for job, result in zip(pending, fresh):
+            if isinstance(result, TaskError):
+                # Graceful degradation: a permanently failing experiment
+                # becomes a structured error row, never a cached entry.
+                outputs[job.job_id] = str(result) + "\n"
+                snapshots[job.job_id] = None
+                sources[job.job_id] = "error"
+                continue
+            text, snapshot = result
             outputs[job.job_id] = text
             snapshots[job.job_id] = snapshot
             sources[job.job_id] = "ran"
@@ -181,43 +239,51 @@ def main(
 
     # Deterministic presentation order, independent of completion order.
     for job in suite_jobs:
-        marker = " [cache hit]" if sources[job.job_id] == "cache" else ""
+        marker = {"cache": " [cache hit]", "error": " [FAILED]"}.get(
+            sources[job.job_id], ""
+        )
         print(f"\n## {job.title}{marker}")
         print(outputs[job.job_id], end="" if outputs[job.job_id].endswith("\n") else "\n")
 
     # Timing / provenance summary.
     seconds_by_id = {timing.label: timing.seconds for timing in report.timings}
+    attempts_by_id = {timing.label: timing.attempts for timing in report.timings}
     rows = [
         [
             job.job_id,
             sources[job.job_id],
             f"{seconds_by_id[job.job_id]:.1f}s" if job.job_id in seconds_by_id else "-",
+            str(attempts_by_id.get(job.job_id, "-")),
         ]
         for job in suite_jobs
     ]
     print()
     print(
         format_table(
-            ["Experiment", "Source", "Task time"],
+            ["Experiment", "Source", "Task time", "Attempts"],
             rows,
             title=f"Execution summary ({report.mode}, jobs={report.jobs})",
         )
     )
     hits = sum(1 for source in sources.values() if source == "cache")
+    failures = sum(1 for source in sources.values() if source == "error")
     print(
         f"\n[total: {time.time() - started:.0f}s elapsed; "
         f"{hits}/{len(suite_jobs)} experiments from cache; "
-        f"task time {report.total_task_seconds:.0f}s]"
+        f"task time {report.total_task_seconds:.0f}s"
+        + (f"; {failures} experiment(s) FAILED" if failures else "")
+        + "]"
     )
 
     if collect:
         _emit_telemetry(
-            suite_jobs, snapshots, sources, seconds_by_id, cache,
+            suite, suite_jobs, snapshots, sources, seconds_by_id, cache,
             jobs, time.time() - started, metrics_out, trace_out,
         )
 
 
 def _emit_telemetry(
+    suite: Telemetry,
     suite_jobs: List[Experiment],
     snapshots: Dict[str, Optional[Dict[str, object]]],
     sources: Dict[str, str],
@@ -228,8 +294,12 @@ def _emit_telemetry(
     metrics_out: Optional[Path],
     trace_out: Optional[Path],
 ) -> None:
-    """Merge per-experiment snapshots, write JSONL, print the summary."""
-    suite = Telemetry()
+    """Merge per-experiment snapshots, write JSONL, print the summary.
+
+    *suite* arrives holding the campaign counters ``parallel_map``
+    recorded (``campaign.retries`` / ``campaign.gave_up``); suite-level
+    gauges and per-experiment snapshots merge into it here.
+    """
     suite.set_gauge("suite.jobs", jobs)
     suite.set_gauge("suite.wall_seconds", elapsed)
     suite.inc("suite.cache.hits", cache.stats.hits)
@@ -241,6 +311,9 @@ def _emit_telemetry(
         "suite.experiments_from_cache",
         sum(1 for source in sources.values() if source == "cache"),
     )
+    failed = sum(1 for source in sources.values() if source == "error")
+    if failed:
+        suite.inc("suite.experiments_failed", failed)
     for job in suite_jobs:
         if job.job_id in seconds_by_id:
             suite.observe("suite.experiment_seconds", seconds_by_id[job.job_id])
@@ -337,6 +410,11 @@ if __name__ == "__main__":
         "--clear-cache", action="store_true", help="drop cached results first"
     )
     parser.add_argument(
+        "--inject", type=Path, default=None, metavar="FILE",
+        help="fault schedule JSON (repro.faults); worker_crash faults "
+        "inject deterministic chaos into the pool",
+    )
+    parser.add_argument(
         "--metrics-out", type=_writable_path, default=None, metavar="FILE",
         help="write suite + per-experiment metrics as JSONL to FILE",
     )
@@ -353,4 +431,5 @@ if __name__ == "__main__":
         clear_cache=arguments.clear_cache,
         metrics_out=arguments.metrics_out,
         trace_out=arguments.trace_out,
+        inject=arguments.inject,
     )

@@ -1,0 +1,335 @@
+"""Deterministic fault injection: turning a schedule into runtime hooks.
+
+:func:`build_injector` compiles a
+:class:`~repro.faults.model.FaultScheduleSpec` into a
+:class:`FaultInjector` — the object the energy and simulation layers
+consult on their hot paths:
+
+* :class:`~repro.energy.harvester.FaultyHarvester` asks
+  :meth:`FaultInjector.transform_output` (blackouts, brown-out sags);
+* :class:`~repro.energy.reservoir.ReconfigurableReservoir` asks for
+  switch stuck-at overrides, the ESR multiplier, the leakage
+  multiplier, and — crucially — :meth:`FaultInjector.next_transition`,
+  which bounds its active-set cache so cached aggregates never leak
+  across a fault-window boundary;
+* :meth:`repro.sim.engine.Simulator.install_fault_events` asks for
+  :meth:`FaultInjector.sim_event_records` to emit exactly one trace
+  event per injected fault.
+
+Everything here is a pure function of the schedule (plus its seed for
+worker crashes): no wall clock, no global RNG, no hidden state.  That
+is what makes a faulted replay bit-identical and lets the golden tests
+compare crashed-and-retried campaigns byte-for-byte against fault-free
+runs.
+
+:class:`WorkerChaos` is the campaign-level face: a picklable value
+object the process pool ships to workers, whose
+:meth:`~WorkerChaos.injected_failure` decides — deterministically per
+``(job label, attempt)`` — whether to crash that attempt.  A bounded
+``max_crashes`` budget guarantees a retried job eventually runs clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FaultSpecError,
+    InjectedWorkerCrash,
+    InjectedWorkerTimeout,
+)
+from repro.faults.model import FaultScheduleSpec, FaultSpec
+from repro.observability.telemetry import Telemetry, resolve_telemetry
+
+
+def _unit_draw(seed: int, label: str, attempt: int) -> float:
+    """Deterministic draw in [0, 1) from (seed, label, attempt).
+
+    SHA-256 based so the value is stable across processes, platforms,
+    and Python hash randomisation — the property that lets parent and
+    worker processes agree on which attempts crash without sharing
+    state.
+    """
+    digest = hashlib.sha256(f"{seed}:{label}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Picklable worker crash/timeout injection policy.
+
+    Attributes:
+        seed: the schedule seed all draws derive from.
+        probability: per-attempt chance an attempt is killed.
+        max_crashes: injection budget per job label; after this many
+            injected failures the job runs clean, so any retry policy
+            with ``max_attempts > max_crashes`` is guaranteed to finish.
+        mode: "crash" (:class:`InjectedWorkerCrash`) or "timeout"
+            (:class:`InjectedWorkerTimeout`).
+    """
+
+    seed: int
+    probability: float = 1.0
+    max_crashes: int = 1
+    mode: str = "crash"
+
+    def injected_failure(self, label: str, attempt: int) -> Optional[str]:
+        """The failure mode to inject for *attempt* of *label*, if any.
+
+        Pure function: replays of the same (seed, label, attempt) always
+        agree, whichever process asks.
+        """
+        if self.probability <= 0.0 or self.max_crashes <= 0:
+            return None
+        injected_before = 0
+        for earlier in range(1, attempt):
+            if injected_before >= self.max_crashes:
+                return None
+            if _unit_draw(self.seed, label, earlier) < self.probability:
+                injected_before += 1
+        if injected_before >= self.max_crashes:
+            return None
+        if _unit_draw(self.seed, label, attempt) < self.probability:
+            return self.mode
+        return None
+
+    def raise_if_injected(self, label: str, attempt: int) -> None:
+        """Raise the injected failure for this attempt, if one is due."""
+        mode = self.injected_failure(label, attempt)
+        if mode == "timeout":
+            raise InjectedWorkerTimeout(
+                f"injected worker timeout: job {label!r} attempt {attempt}"
+            )
+        if mode is not None:
+            raise InjectedWorkerCrash(
+                f"injected worker crash: job {label!r} attempt {attempt}"
+            )
+
+
+class FaultInjector:
+    """Compiled runtime view of one fault schedule.
+
+    All query methods are pure in simulation time; the injector holds no
+    mutable state, so sharing one instance between the harvester wrapper
+    and the reservoir is safe and keeps the two layers consistent.
+    """
+
+    __slots__ = (
+        "schedule",
+        "_blackouts",
+        "_sags",
+        "_esr_spikes",
+        "_leak_spikes",
+        "_stuck",
+        "_transitions",
+    )
+
+    def __init__(self, schedule: FaultScheduleSpec) -> None:
+        self.schedule = schedule
+        sim_faults = schedule.sim_faults()
+        self._blackouts = tuple(
+            fault for fault in sim_faults if fault.kind == "harvester_blackout"
+        )
+        self._sags = tuple(
+            fault for fault in sim_faults if fault.kind == "brownout_sag"
+        )
+        self._esr_spikes = tuple(
+            fault for fault in sim_faults if fault.kind == "esr_spike"
+        )
+        self._leak_spikes = tuple(
+            fault for fault in sim_faults if fault.kind == "leakage_spike"
+        )
+        self._stuck = tuple(
+            fault for fault in sim_faults if fault.kind == "switch_stuck"
+        )
+        boundaries = set()
+        for fault in sim_faults:
+            boundaries.add(fault.start)
+            boundaries.add(fault.end)
+        self._transitions: Tuple[float, ...] = tuple(sorted(boundaries))
+
+    # ------------------------------------------------------------------
+    # Harvester-side faults
+    # ------------------------------------------------------------------
+
+    def transform_output(
+        self, time: float, voltage: float, power: float
+    ) -> Tuple[float, float]:
+        """Harvester ``(voltage, power)`` after blackout/sag windows."""
+        for fault in self._blackouts:
+            if fault.active(time):
+                return 0.0, 0.0
+        for fault in self._sags:
+            if fault.active(time):
+                voltage *= float(fault.params["voltage_scale"])
+                power *= float(fault.params["power_scale"])
+        return voltage, power
+
+    # ------------------------------------------------------------------
+    # Reservoir-side faults
+    # ------------------------------------------------------------------
+
+    def esr_multiplier(self, time: float) -> float:
+        """Factor applied to the active set's combined ESR at *time*."""
+        factor = 1.0
+        for fault in self._esr_spikes:
+            if fault.active(time):
+                factor *= float(fault.params["factor"])
+        return factor
+
+    def leak_multiplier(self, time: float) -> float:
+        """Factor applied to leakage integration durations at *time*."""
+        factor = 1.0
+        for fault in self._leak_spikes:
+            if fault.active(time):
+                factor *= float(fault.params["factor"])
+        return factor
+
+    def switch_overrides(self, time: float) -> Dict[str, bool]:
+        """Stuck-at overrides active at *time*: bank name -> closed."""
+        overrides: Dict[str, bool] = {}
+        for fault in self._stuck:
+            if fault.active(time):
+                overrides[str(fault.params["bank"])] = (
+                    fault.params["stuck"] == "closed"
+                )
+        return overrides
+
+    def stuck_bank_names(self) -> Tuple[str, ...]:
+        """Every bank any stuck-at fault references (validation hook)."""
+        return tuple(str(fault.params["bank"]) for fault in self._stuck)
+
+    def next_transition(self, time: float) -> float:
+        """First fault-window boundary strictly after *time* (or inf).
+
+        Cached aggregates (the reservoir's active-set entry) must not
+        outlive this boundary: a multiplier or override may change there.
+        """
+        for boundary in self._transitions:
+            if boundary > time:
+                return boundary
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Campaign-side faults
+    # ------------------------------------------------------------------
+
+    def worker_chaos(self) -> Optional[WorkerChaos]:
+        """The crash policy the campaign layer should apply, if any.
+
+        Multiple ``worker_crash`` faults fold into one policy: the
+        highest probability, the summed budget, and "timeout" mode if
+        any fault asks for it (a timeout exercises the same retry path).
+        """
+        faults = self.schedule.campaign_faults()
+        if not faults:
+            return None
+        probability = max(float(f.params["probability"]) for f in faults)
+        budget = sum(int(f.params["max_crashes"]) for f in faults)
+        mode = (
+            "timeout"
+            if any(f.params["mode"] == "timeout" for f in faults)
+            else "crash"
+        )
+        return WorkerChaos(
+            seed=self.schedule.seed,
+            probability=probability,
+            max_crashes=budget,
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Trace integration
+    # ------------------------------------------------------------------
+
+    def sim_event_records(self) -> List[Tuple[float, str, Dict[str, Any]]]:
+        """One ``(time, name, fields)`` record per simulation fault.
+
+        The contract tests lean on: every injected fault appears exactly
+        once, at its window start, in (start, declaration) order.
+        """
+        records: List[Tuple[float, str, Dict[str, Any]]] = []
+        for fault in self.schedule.sim_faults():
+            fields: Dict[str, Any] = {
+                key: value
+                for key, value in fault.params.items()
+                if isinstance(value, (int, float, str, bool))
+            }
+            records.append((fault.start, fault.kind, fields))
+        return records
+
+
+def build_injector(
+    schedule: "FaultScheduleSpec | FaultInjector",
+) -> FaultInjector:
+    """Compile *schedule* (pass-through for ready injectors)."""
+    if isinstance(schedule, FaultInjector):
+        return schedule
+    return FaultInjector(schedule)
+
+
+def apply_faults(
+    instance: Any,
+    schedule: "FaultScheduleSpec | FaultInjector",
+    telemetry: Optional[Telemetry] = None,
+) -> FaultInjector:
+    """Arm an :class:`~repro.apps.base.AppInstance` with *schedule*.
+
+    Wraps the power system's harvester in a
+    :class:`~repro.energy.harvester.FaultyHarvester`, points the
+    reservoir at the injector, and records one ``fault`` trace event per
+    simulation fault (plus ``faults.injected`` counters) on the resolved
+    telemetry.  Idempotent wiring is *not* attempted: arm an instance
+    once, before running it.
+
+    Raises:
+        FaultSpecError: if a ``switch_stuck`` fault names a bank the
+            instance's reservoir does not have (or one that is
+            hardwired, hence switchless).
+    """
+    from repro.energy.harvester import FaultyHarvester
+
+    injector = build_injector(schedule)
+    executor = instance.executor
+    power = getattr(executor, "power_system", None)
+    if power is None:
+        power = executor.board.power_system
+    reservoir = getattr(power, "reservoir", None)
+    if reservoir is not None:
+        switched = set(reservoir.bank_names) - set(reservoir.hardwired_names)
+        unknown = sorted(set(injector.stuck_bank_names()) - switched)
+        if unknown:
+            raise FaultSpecError(
+                f"fault schedule {injector.schedule.name!r}: switch_stuck "
+                f"references banks without switches {unknown}; "
+                f"switched banks: {sorted(switched)}"
+            )
+        reservoir.set_fault_injector(injector)
+    power.harvester = FaultyHarvester(inner=power.harvester, injector=injector)
+    record_fault_events(injector, telemetry)
+    return injector
+
+
+def record_fault_events(
+    injector: FaultInjector, telemetry: Optional[Telemetry] = None
+) -> int:
+    """Emit the schedule's fault events and counters onto *telemetry*.
+
+    Returns the number of fault events recorded (0 when telemetry is
+    disabled).  Used directly by executor-driven apps, which have no
+    event queue to schedule emission through; Simulator-driven runs use
+    :meth:`repro.sim.engine.Simulator.install_fault_events` instead so
+    events interleave with the run at their fault times.
+    """
+    telemetry = resolve_telemetry(telemetry)
+    if not telemetry.enabled:
+        return 0
+    records = injector.sim_event_records()
+    for time, name, fields in records:
+        telemetry.event(time, "fault", name, **fields)
+        telemetry.inc("faults.injected")
+        telemetry.inc(f"faults.injected.{name}")
+    return len(records)

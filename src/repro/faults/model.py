@@ -1,0 +1,321 @@
+"""Declarative, versioned fault-schedule specs.
+
+A *fault schedule* describes the adversarial conditions a run must
+survive — harvester blackouts, brown-out voltage sags, ESR/leakage
+spikes, bank switches stuck open or closed, and campaign-level worker
+crashes — as plain, JSON-serialisable data.  Schedules follow the same
+serialisation contract as :mod:`repro.spec`:
+
+* ``to_dict`` emits every field in base SI units;
+* ``from_dict`` rejects unknown fields and accepts unit-suffix sugar
+  (``duration_ms``, ...);
+* :func:`repro.spec.canonical_json` / :func:`repro.spec.spec_hash`
+  render the canonical bytes and the SHA-256 the result cache keys on.
+
+Determinism is the design centre: a schedule plus its ``seed`` fully
+determines every injected fault.  Timed faults carry explicit windows;
+stochastic faults (worker crashes) are resolved by pure functions of
+``(seed, job label, attempt)`` — no global RNG state — so a faulted run
+is replayable bit-for-bit and a crashed-and-retried campaign produces
+results byte-identical to a fault-free one.
+
+``fault_schema_version`` is explicit in every serialised schedule and
+versioned independently of the scenario schema; loaders reject versions
+they do not know.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import FaultSpecError
+from repro.spec.model import (
+    _check_fields,
+    _json_safe,
+    _require,
+    canonical_json,
+    normalize_units,
+    spec_hash,
+)
+
+#: The fault-schedule schema version this module reads and writes.
+FAULT_SCHEMA_VERSION = 1
+
+#: Fault kinds injected inside the simulation (they change physics).
+SIM_FAULT_KINDS = (
+    "harvester_blackout",
+    "brownout_sag",
+    "esr_spike",
+    "leakage_spike",
+    "switch_stuck",
+)
+#: Fault kinds injected around the campaign harness (they must *not*
+#: change results — only exercise retry/degradation machinery).
+CAMPAIGN_FAULT_KINDS = ("worker_crash",)
+
+#: Allowed parameter fields per fault kind.
+FAULT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "harvester_blackout": ("start", "duration"),
+    "brownout_sag": ("start", "duration", "voltage_scale", "power_scale"),
+    "esr_spike": ("start", "duration", "factor"),
+    "leakage_spike": ("start", "duration", "factor"),
+    "switch_stuck": ("start", "duration", "bank", "stuck"),
+    "worker_crash": ("probability", "max_crashes", "mode"),
+}
+
+#: Defaults applied per kind when a field is omitted.
+_FAULT_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "brownout_sag": {"voltage_scale": 0.5, "power_scale": 0.25},
+    "esr_spike": {"factor": 10.0},
+    "leakage_spike": {"factor": 10.0},
+    "worker_crash": {"probability": 1.0, "max_crashes": 1, "mode": "crash"},
+}
+
+#: Stuck-at states a switch fault may force.
+STUCK_STATES = ("open", "closed")
+#: Worker failure modes a crash fault may inject.
+CRASH_MODES = ("crash", "timeout")
+
+
+def _positive(value: Any, name: str, context: str) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise FaultSpecError(f"{context}: {name} must be > 0, got {value}")
+    return value
+
+
+def _non_negative(value: Any, name: str, context: str) -> float:
+    value = float(value)
+    if value < 0.0:
+        raise FaultSpecError(f"{context}: {name} must be >= 0, got {value}")
+    return value
+
+
+def _fraction(value: Any, name: str, context: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise FaultSpecError(
+            f"{context}: {name} must be in [0, 1], got {value}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: a kind plus validated parameters.
+
+    Timed kinds carry a ``[start, start + duration)`` activity window in
+    simulation seconds; the ``worker_crash`` kind instead carries a
+    per-attempt ``probability``, an injection budget ``max_crashes``
+    (the cap that guarantees a retried job eventually completes), and a
+    failure ``mode`` ("crash" or "timeout").
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        context = f"fault ({self.kind})"
+        if self.kind not in FAULT_FIELDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {sorted(FAULT_FIELDS)}"
+            )
+        params = normalize_units(self.params, context)
+        _check_fields(params, FAULT_FIELDS[self.kind], context)
+        merged = dict(_FAULT_DEFAULTS.get(self.kind, {}))
+        merged.update(params)
+        params = merged
+        if self.kind in SIM_FAULT_KINDS:
+            params["start"] = _non_negative(
+                _require(params, "start", context), "start", context
+            )
+            params["duration"] = _positive(
+                _require(params, "duration", context), "duration", context
+            )
+        if self.kind == "brownout_sag":
+            params["voltage_scale"] = _fraction(
+                params["voltage_scale"], "voltage_scale", context
+            )
+            params["power_scale"] = _fraction(
+                params["power_scale"], "power_scale", context
+            )
+        elif self.kind in ("esr_spike", "leakage_spike"):
+            factor = float(params["factor"])
+            if factor < 1.0:
+                raise FaultSpecError(
+                    f"{context}: factor must be >= 1 (a spike), got {factor}"
+                )
+            params["factor"] = factor
+        elif self.kind == "switch_stuck":
+            bank = _require(params, "bank", context)
+            if not isinstance(bank, str) or not bank:
+                raise FaultSpecError(f"{context}: bank must be a non-empty string")
+            stuck = _require(params, "stuck", context)
+            if stuck not in STUCK_STATES:
+                raise FaultSpecError(
+                    f"{context}: stuck must be one of {list(STUCK_STATES)}, "
+                    f"got {stuck!r}"
+                )
+        elif self.kind == "worker_crash":
+            params["probability"] = _fraction(
+                params["probability"], "probability", context
+            )
+            max_crashes = int(params["max_crashes"])
+            if max_crashes < 0:
+                raise FaultSpecError(
+                    f"{context}: max_crashes must be >= 0, got {max_crashes}"
+                )
+            params["max_crashes"] = max_crashes
+            if params["mode"] not in CRASH_MODES:
+                raise FaultSpecError(
+                    f"{context}: mode must be one of {list(CRASH_MODES)}, "
+                    f"got {params['mode']!r}"
+                )
+        _json_safe(dict(params), context)
+        object.__setattr__(self, "params", params)
+
+    # ------------------------------------------------------------------
+    # Window helpers (timed kinds only)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_sim_fault(self) -> bool:
+        return self.kind in SIM_FAULT_KINDS
+
+    @property
+    def start(self) -> float:
+        return float(self.params["start"])
+
+    @property
+    def end(self) -> float:
+        return self.start + float(self.params["duration"])
+
+    def active(self, time: float) -> bool:
+        """Whether a timed fault's window covers *time*."""
+        return self.start <= time < self.end
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, **self.params}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        kind = _require(data, "kind", "fault")
+        return cls(
+            kind=str(kind),
+            params={k: v for k, v in data.items() if k != "kind"},
+        )
+
+
+@dataclass(frozen=True)
+class FaultScheduleSpec:
+    """A named, seeded collection of faults — one adversarial condition.
+
+    ``seed`` drives every stochastic decision the schedule implies
+    (worker-crash draws); timed faults are fully explicit.  Equal
+    schedules produce identical canonical JSON and therefore identical
+    :func:`~repro.spec.spec_hash` values — the hash the result cache
+    embeds so faulted and fault-free runs never share entries.
+    """
+
+    name: str
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    fault_schema_version: int = FAULT_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.fault_schema_version != FAULT_SCHEMA_VERSION:
+            raise FaultSpecError(
+                f"fault schedule {self.name!r}: unsupported "
+                f"fault_schema_version {self.fault_schema_version!r} "
+                f"(this build reads {FAULT_SCHEMA_VERSION})"
+            )
+        if not self.name:
+            raise FaultSpecError("fault schedule needs a non-empty name")
+        if self.seed < 0:
+            raise FaultSpecError(
+                f"fault schedule {self.name!r}: seed must be >= 0"
+            )
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def sim_faults(self) -> Tuple[FaultSpec, ...]:
+        """Faults injected inside the simulation, in (start, index) order."""
+        timed = [fault for fault in self.faults if fault.is_sim_fault]
+        return tuple(sorted(timed, key=lambda fault: fault.start))
+
+    def campaign_faults(self) -> Tuple[FaultSpec, ...]:
+        """Faults injected around the campaign harness."""
+        return tuple(
+            fault for fault in self.faults if fault.kind in CAMPAIGN_FAULT_KINDS
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fault_schema_version": self.fault_schema_version,
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultScheduleSpec":
+        context = f"fault schedule {data.get('name', '?')!r}"
+        _check_fields(
+            data,
+            ("fault_schema_version", "name", "seed", "faults"),
+            context,
+        )
+        faults = data.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise FaultSpecError(f"{context}: 'faults' must be a list")
+        return cls(
+            name=str(_require(data, "name", context)),
+            faults=tuple(FaultSpec.from_dict(fault) for fault in faults),
+            seed=int(data.get("seed", 0)),
+            fault_schema_version=int(
+                data.get("fault_schema_version", FAULT_SCHEMA_VERSION)
+            ),
+        )
+
+
+def fault_schedule_hash(schedule: FaultScheduleSpec) -> str:
+    """SHA-256 over the canonical JSON of *schedule* (cache-key form)."""
+    return spec_hash(schedule)
+
+
+def load_fault_schedule(text_or_path: Any) -> FaultScheduleSpec:
+    """Parse a :class:`FaultScheduleSpec` from a JSON string or file path."""
+    from pathlib import Path
+
+    if isinstance(text_or_path, Path):
+        text = text_or_path.read_text()
+    elif isinstance(text_or_path, str) and text_or_path.lstrip().startswith("{"):
+        text = text_or_path
+    elif isinstance(text_or_path, str):
+        text = Path(text_or_path).read_text()
+    else:
+        raise FaultSpecError(
+            f"cannot load a fault schedule from {text_or_path!r}"
+        )
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FaultSpecError(
+            f"fault schedule is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise FaultSpecError("fault schedule JSON must be an object")
+    return FaultScheduleSpec.from_dict(data)
+
+
+def dump_fault_schedule(schedule: FaultScheduleSpec, pretty: bool = True) -> str:
+    """Render a schedule as JSON (pretty by default, canonical otherwise)."""
+    if not pretty:
+        return canonical_json(schedule)
+    return json.dumps(schedule.to_dict(), sort_keys=True, indent=2) + "\n"

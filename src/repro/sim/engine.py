@@ -200,6 +200,46 @@ class Simulator:
         return event
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def install_fault_events(self, injector, telemetry: Optional[Telemetry] = None) -> int:
+        """Schedule one trace event per simulation fault in *injector*.
+
+        *injector* is duck-typed (``sim_event_records() -> [(time, name,
+        fields)]``, see :class:`repro.faults.inject.FaultInjector`) so
+        the engine stays free of fault-layer imports.  Each fault fires
+        exactly one ``fault`` trace event at its window start, at
+        :data:`PRIORITY_EARLY` so the record lands before any normal
+        event observes the faulted state.  Fault events are pure
+        bookkeeping: they never mutate component state (the injector's
+        query methods are what change behaviour), so installing them
+        cannot perturb determinism.
+
+        Returns the number of events scheduled (faults whose start
+        precedes the current time are skipped — scheduling into the past
+        is an error, and a mid-run install only cares about the future).
+        """
+        telemetry = telemetry if telemetry is not None else self.telemetry
+
+        def _emit(time: float, name: str, fields: dict) -> Callable[[], None]:
+            def callback() -> None:
+                if telemetry.enabled:
+                    telemetry.event(time, "fault", name, **fields)
+                    telemetry.inc("faults.injected")
+                    telemetry.inc(f"faults.injected.{name}")
+
+            return callback
+
+        scheduled = 0
+        for time, name, fields in injector.sim_event_records():
+            if time < self._now:
+                continue
+            self.schedule_at(time, _emit(time, name, fields), PRIORITY_EARLY)
+            scheduled += 1
+        return scheduled
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.builder import PlatformSpec
@@ -40,6 +42,33 @@ def output_booster() -> OutputBooster:
 @pytest.fixture
 def input_booster() -> InputBooster:
     return InputBooster()
+
+
+@pytest.fixture
+def fault_seed() -> int:
+    """The root seed fault-injection tests share.
+
+    One fixture rather than per-test literals so chaos draws, retry
+    jitter, and golden comparisons all derive from the same value — a
+    differential test that mixes seeds silently stops being
+    differential.
+    """
+    return 7
+
+
+@pytest.fixture
+def tmp_cache(tmp_path: Path, monkeypatch: pytest.MonkeyPatch):
+    """An isolated, enabled :class:`ResultCache` rooted under tmp_path.
+
+    Also points ``REPRO_CACHE_DIR`` at the same directory so code paths
+    that construct their own cache (``run_all``, the CLI) land in the
+    sandbox rather than the developer's working-tree cache.
+    """
+    from repro.experiments.cache import ResultCache
+
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return ResultCache(root=root)
 
 
 @pytest.fixture

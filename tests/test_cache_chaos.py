@@ -1,0 +1,106 @@
+"""Cache corruption soak: every mangled entry is a quarantined miss.
+
+The v3 on-disk format (magic + SHA-256 checksum + pickle body) must turn
+*any* byte-level damage — truncation, bit flips, garbage prepends, even
+a zeroed file — into a counted, removed, recomputable miss.  The two
+failure modes this guards against:
+
+* an exception escaping ``get`` (corruption crashing a suite run);
+* a *wrong hit* — pickle often deserialises flipped bytes "successfully"
+  into different data, which without the checksum would silently replace
+  an experiment's results.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.cache import CACHE_MAGIC, ResultCache
+
+
+def _payload(tag):
+    return (f"experiment output {tag}\n", {"metrics": {}, "events": [], "dropped": 0})
+
+
+def _entry_path(cache, key):
+    (path,) = cache.root.glob(f"{key}.pkl")
+    return path
+
+
+def _corrupt(raw, rng):
+    """One random corruption: truncate, bit-flip, prepend, or zero."""
+    mode = rng.randrange(4)
+    if mode == 0 and len(raw) > 1:  # truncate anywhere, including mid-header
+        return raw[: rng.randrange(len(raw))]
+    if mode == 1:  # flip a single bit anywhere
+        index = rng.randrange(len(raw))
+        flipped = raw[index] ^ (1 << rng.randrange(8))
+        return raw[:index] + bytes([flipped]) + raw[index + 1 :]
+    if mode == 2:  # shift the whole entry (magic survives a prefix check)
+        return raw[:4] + b"\x00" + raw[4:]
+    return b"\x00" * len(raw)  # zeroed file
+
+
+@pytest.mark.parametrize("trial_seed", range(5))
+def test_soak_random_corruption_is_always_a_quarantined_miss(
+    tmp_cache, fault_seed, trial_seed
+):
+    rng = random.Random(fault_seed * 1000 + trial_seed)
+    for round_index in range(40):
+        key = f"{'0' * 60}{round_index:04d}"
+        tmp_cache.put(key, _payload(round_index))
+        path = _entry_path(tmp_cache, key)
+        raw = path.read_bytes()
+        path.write_bytes(_corrupt(raw, rng))
+
+        corrupt_before = tmp_cache.stats.corrupt
+        result = tmp_cache.get(key)  # must not raise
+
+        # Never a wrong hit: either a clean payload (impossible after
+        # corruption) or None — and None must be the *quarantined* kind.
+        assert result is None
+        assert tmp_cache.stats.corrupt == corrupt_before + 1
+        assert not path.exists(), "corrupt entry must be removed"
+
+        # The slot is immediately reusable.
+        tmp_cache.put(key, _payload(round_index))
+        assert tmp_cache.get(key) == _payload(round_index)
+
+
+def test_intact_entries_round_trip(tmp_cache):
+    tmp_cache.put("a" * 64, _payload("x"))
+    assert tmp_cache.get("a" * 64) == _payload("x")
+    assert tmp_cache.stats.corrupt == 0
+
+
+def test_entries_carry_magic_and_checksum(tmp_cache):
+    tmp_cache.put("b" * 64, _payload("y"))
+    raw = _entry_path(tmp_cache, "b" * 64).read_bytes()
+    assert raw.startswith(CACHE_MAGIC)
+    assert len(raw) > len(CACHE_MAGIC) + 32
+
+
+def test_pre_v3_entry_is_treated_as_corrupt(tmp_cache):
+    """A legacy (headerless pickle) entry fails the magic check and is
+    quarantined rather than deserialised."""
+    import pickle
+
+    key = "c" * 64
+    tmp_cache.root.mkdir(parents=True, exist_ok=True)
+    (tmp_cache.root / f"{key}.pkl").write_bytes(pickle.dumps(_payload("legacy")))
+    assert tmp_cache.get(key) is None
+    assert tmp_cache.stats.corrupt == 1
+
+
+def test_corruption_reports_telemetry(tmp_cache):
+    from repro.observability.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    tmp_cache.telemetry = telemetry
+    key = "d" * 64
+    tmp_cache.put(key, _payload("z"))
+    path = _entry_path(tmp_cache, key)
+    path.write_bytes(b"\xff" + path.read_bytes()[1:])
+    assert tmp_cache.get(key) is None
+    snapshot = telemetry.snapshot()["metrics"]
+    assert snapshot["cache.corrupt_entries"]["value"] == 1.0

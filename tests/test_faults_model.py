@@ -1,0 +1,155 @@
+"""FaultScheduleSpec: validation, serialisation, and hashing contracts."""
+
+import pytest
+
+from repro.errors import FaultSpecError, SpecError
+from repro.faults import (
+    FAULT_SCHEMA_VERSION,
+    FaultScheduleSpec,
+    FaultSpec,
+    dump_fault_schedule,
+    fault_schedule_hash,
+    load_fault_schedule,
+)
+
+
+def _schedule(**overrides):
+    base = dict(
+        name="test",
+        faults=(
+            FaultSpec(kind="harvester_blackout", params={"start": 10.0, "duration": 5.0}),
+            FaultSpec(kind="worker_crash", params={}),
+        ),
+        seed=3,
+    )
+    base.update(overrides)
+    return FaultScheduleSpec(**base)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            FaultSpec(kind="cosmic_ray", params={})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown fields"):
+            FaultSpec(kind="harvester_blackout", params={"start": 0, "duration": 1, "x": 2})
+
+    def test_timed_fault_requires_window(self):
+        with pytest.raises(SpecError, match="start"):
+            FaultSpec(kind="harvester_blackout", params={"duration": 5.0})
+        with pytest.raises(FaultSpecError, match="duration must be > 0"):
+            FaultSpec(kind="harvester_blackout", params={"start": 1.0, "duration": 0.0})
+
+    def test_sag_scales_must_be_fractions(self):
+        with pytest.raises(FaultSpecError, match="voltage_scale"):
+            FaultSpec(
+                kind="brownout_sag",
+                params={"start": 0.0, "duration": 1.0, "voltage_scale": 1.5},
+            )
+
+    def test_spike_factor_must_be_at_least_one(self):
+        with pytest.raises(FaultSpecError, match="factor must be >= 1"):
+            FaultSpec(
+                kind="esr_spike",
+                params={"start": 0.0, "duration": 1.0, "factor": 0.5},
+            )
+
+    def test_switch_stuck_state_restricted(self):
+        with pytest.raises(FaultSpecError, match="stuck must be one of"):
+            FaultSpec(
+                kind="switch_stuck",
+                params={"start": 0.0, "duration": 1.0, "bank": "b", "stuck": "ajar"},
+            )
+
+    def test_worker_crash_defaults(self):
+        fault = FaultSpec(kind="worker_crash", params={})
+        assert fault.params["probability"] == 1.0
+        assert fault.params["max_crashes"] == 1
+        assert fault.params["mode"] == "crash"
+
+    def test_unit_suffix_sugar(self):
+        fault = FaultSpec(
+            kind="harvester_blackout", params={"start_ms": 500, "duration_ms": 250}
+        )
+        assert fault.start == 0.5
+        assert fault.end == 0.75
+
+    def test_window_helpers(self):
+        fault = FaultSpec(kind="harvester_blackout", params={"start": 10.0, "duration": 5.0})
+        assert not fault.active(9.999)
+        assert fault.active(10.0)
+        assert fault.active(14.999)
+        assert not fault.active(15.0)  # half-open window
+
+
+class TestScheduleValidation:
+    def test_future_schema_version_rejected(self):
+        with pytest.raises(FaultSpecError, match="unsupported"):
+            _schedule(fault_schema_version=FAULT_SCHEMA_VERSION + 1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FaultSpecError, match="name"):
+            _schedule(name="")
+
+    def test_sim_faults_sorted_by_start(self):
+        schedule = FaultScheduleSpec(
+            name="order",
+            faults=(
+                FaultSpec(kind="esr_spike", params={"start": 30.0, "duration": 1.0}),
+                FaultSpec(kind="harvester_blackout", params={"start": 10.0, "duration": 1.0}),
+                FaultSpec(kind="worker_crash", params={}),
+            ),
+        )
+        assert [fault.start for fault in schedule.sim_faults()] == [10.0, 30.0]
+        assert [fault.kind for fault in schedule.campaign_faults()] == ["worker_crash"]
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        schedule = _schedule()
+        assert load_fault_schedule(dump_fault_schedule(schedule)) == schedule
+
+    def test_round_trip_from_file(self, tmp_path):
+        schedule = _schedule()
+        path = tmp_path / "faults.json"
+        path.write_text(dump_fault_schedule(schedule))
+        assert load_fault_schedule(path) == schedule
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown fields"):
+            load_fault_schedule('{"name": "x", "faults": [], "extra": 1}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultSpecError, match="not valid JSON"):
+            load_fault_schedule("{not json")
+
+
+class TestHashing:
+    def test_hash_is_stable_and_content_keyed(self):
+        assert fault_schedule_hash(_schedule()) == fault_schedule_hash(_schedule())
+        assert fault_schedule_hash(_schedule()) != fault_schedule_hash(
+            _schedule(seed=4)
+        )
+
+    def test_hash_survives_round_trip(self):
+        schedule = _schedule()
+        again = load_fault_schedule(dump_fault_schedule(schedule))
+        assert fault_schedule_hash(schedule) == fault_schedule_hash(again)
+
+    def test_defaults_do_not_change_hash(self):
+        """Explicitly writing a default equals omitting it: hashes key on
+        the normalised form, not the input text."""
+        implicit = FaultScheduleSpec(
+            name="n", faults=(FaultSpec(kind="worker_crash", params={}),)
+        )
+        explicit = FaultScheduleSpec(
+            name="n",
+            faults=(
+                FaultSpec(
+                    kind="worker_crash",
+                    params={"probability": 1.0, "max_crashes": 1, "mode": "crash"},
+                ),
+            ),
+        )
+        assert fault_schedule_hash(implicit) == fault_schedule_hash(explicit)

@@ -1,0 +1,225 @@
+"""Property-based tests on the fault-injection layer (hypothesis).
+
+The invariants robustness arguments rest on:
+
+* faults only ever *remove* energy — a blackout or sag never amplifies
+  the harvester's operating point;
+* the reservoir's physical floor survives injection — no fault
+  combination drives a bank voltage negative;
+* fault trace events never perturb the engine — simulation time stays
+  monotone and every injected fault appears exactly once in the trace;
+* worker-chaos draws are pure — same (seed, label, attempt), same
+  verdict — and respect the crash budget that guarantees completion.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.bank import BankSpec
+from repro.energy.capacitor import CERAMIC_X5R, TANTALUM_POLYMER
+from repro.energy.harvester import FaultyHarvester, RegulatedSupply
+from repro.energy.reservoir import ReconfigurableReservoir
+from repro.energy.switch import BankSwitch, SwitchPolarity
+from repro.faults import FaultScheduleSpec, FaultSpec, WorkerChaos, build_injector
+from repro.observability.telemetry import Telemetry
+from repro.sim.engine import Simulator
+
+starts = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+durations = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=2e3, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+factors = st.floats(min_value=1.0, max_value=1e3, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31)
+attempts = st.integers(min_value=1, max_value=12)
+
+
+def sag(start, duration, v_scale, p_scale):
+    return FaultSpec(
+        kind="brownout_sag",
+        params={
+            "start": start,
+            "duration": duration,
+            "voltage_scale": v_scale,
+            "power_scale": p_scale,
+        },
+    )
+
+
+def blackout(start, duration):
+    return FaultSpec(
+        kind="harvester_blackout", params={"start": start, "duration": duration}
+    )
+
+
+class TestHarvesterEnergyNeverCreated:
+    @given(start=starts, duration=durations, t=times, v=fractions, p=fractions)
+    def test_faulted_output_never_exceeds_clean(self, start, duration, t, v, p):
+        injector = build_injector(
+            FaultScheduleSpec(
+                name="p",
+                faults=(blackout(start, duration), sag(start, duration, v, p)),
+            )
+        )
+        inner = RegulatedSupply(voltage=3.0, max_power=1e-2)
+        harvester = FaultyHarvester(inner=inner, injector=injector)
+        voltage, power = harvester.output(t)
+        clean_v, clean_p = inner.output(t)
+        assert 0.0 <= voltage <= clean_v
+        assert 0.0 <= power <= clean_p
+
+    @given(start=starts, duration=durations, t=times)
+    def test_blackout_window_is_exact(self, start, duration, t):
+        injector = build_injector(
+            FaultScheduleSpec(name="p", faults=(blackout(start, duration),))
+        )
+        harvester = FaultyHarvester(
+            inner=RegulatedSupply(voltage=3.0, max_power=1e-2), injector=injector
+        )
+        voltage, power = harvester.output(t)
+        if start <= t < start + duration:
+            assert (voltage, power) == (0.0, 0.0)
+        else:
+            assert (voltage, power) == (3.0, 1e-2)
+
+
+class TestReservoirPhysicalFloor:
+    def _reservoir(self):
+        reservoir = ReconfigurableReservoir()
+        reservoir.add_bank(BankSpec.single("small", CERAMIC_X5R, 3))
+        reservoir.add_bank(
+            BankSpec.single("big", TANTALUM_POLYMER, 4),
+            switch=BankSwitch(name="big", polarity=SwitchPolarity.NORMALLY_CLOSED),
+        )
+        return reservoir
+
+    @settings(deadline=None)
+    @given(
+        start=starts,
+        duration=durations,
+        factor=factors,
+        leak_time=times,
+        leak_duration=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        charge=st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+    )
+    def test_voltage_never_negative_under_spikes(
+        self, start, duration, factor, leak_time, leak_duration, charge
+    ):
+        reservoir = self._reservoir()
+        reservoir.store(charge, 0.0)
+        reservoir.set_fault_injector(
+            build_injector(
+                FaultScheduleSpec(
+                    name="p",
+                    faults=(
+                        FaultSpec(
+                            kind="leakage_spike",
+                            params={
+                                "start": start,
+                                "duration": duration,
+                                "factor": factor,
+                            },
+                        ),
+                        FaultSpec(
+                            kind="esr_spike",
+                            params={
+                                "start": start,
+                                "duration": duration,
+                                "factor": factor,
+                            },
+                        ),
+                    ),
+                )
+            )
+        )
+        lost = reservoir.leak_all(leak_duration, leak_time)
+        assert lost >= 0.0
+        for name in reservoir.bank_names:
+            assert reservoir.bank(name).voltage >= 0.0
+        assert reservoir.active_esr(leak_time) >= 0.0
+
+    @settings(deadline=None)
+    @given(start=starts, duration=durations, t=times)
+    def test_stuck_open_never_breaks_aggregates(self, start, duration, t):
+        reservoir = self._reservoir()
+        reservoir.store(5e-4, 0.0)
+        reservoir.set_fault_injector(
+            build_injector(
+                FaultScheduleSpec(
+                    name="p",
+                    faults=(
+                        FaultSpec(
+                            kind="switch_stuck",
+                            params={
+                                "start": start,
+                                "duration": duration,
+                                "bank": "big",
+                                "stuck": "open",
+                            },
+                        ),
+                    ),
+                )
+            )
+        )
+        names = reservoir.active_names(t)
+        assert "small" in names  # hardwired banks are untouchable
+        assert reservoir.active_capacitance(t) > 0.0
+        assert reservoir.active_voltage(t) >= 0.0
+
+
+class TestEngineUnperturbed:
+    @settings(deadline=None)
+    @given(
+        windows=st.lists(
+            st.tuples(starts, durations), min_size=1, max_size=6
+        )
+    )
+    def test_every_fault_appears_exactly_once_and_time_monotone(self, windows):
+        telemetry = Telemetry()
+        sim = Simulator(telemetry=telemetry)
+        schedule = FaultScheduleSpec(
+            name="p",
+            faults=tuple(blackout(start, duration) for start, duration in windows),
+        )
+        injector = build_injector(schedule)
+        assert sim.install_fault_events(injector) == len(windows)
+
+        observed = []
+        for tick in range(0, 2001, 100):
+            sim.schedule_at(float(tick), lambda t=float(tick): observed.append(t))
+        sim.run()
+
+        assert observed == sorted(observed)  # engine time stayed monotone
+        fault_events = [
+            record
+            for record in telemetry.trace_records()
+            if record["kind"] == "fault"
+        ]
+        # exactly once per injected fault, at its window start
+        assert sorted(event["time"] for event in fault_events) == sorted(
+            start for start, _ in windows
+        )
+
+
+class TestWorkerChaosPurity:
+    @given(seed=seeds, attempt=attempts, probability=fractions)
+    def test_draws_are_pure(self, seed, attempt, probability):
+        chaos = WorkerChaos(seed=seed, probability=probability, max_crashes=3)
+        assert chaos.injected_failure("job", attempt) == chaos.injected_failure(
+            "job", attempt
+        )
+
+    @given(seed=seeds, probability=fractions, budget=st.integers(0, 4))
+    def test_budget_bounds_injected_failures(self, seed, probability, budget):
+        chaos = WorkerChaos(seed=seed, probability=probability, max_crashes=budget)
+        injected = sum(
+            1
+            for attempt in range(1, 20)
+            if chaos.injected_failure("job", attempt) is not None
+        )
+        assert injected <= budget
+        # Sequential retry completes within budget + 1 attempts: some
+        # attempt in that range must come back clean.
+        assert any(
+            chaos.injected_failure("job", attempt) is None
+            for attempt in range(1, budget + 2)
+        )

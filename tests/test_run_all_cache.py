@@ -66,35 +66,35 @@ def synthetic_registry(monkeypatch):
     return alpha_params
 
 
-def _run(tmp_path):
+def _run(cache_root, **kwargs):
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
-        run_all.main(seed=0, scale=0.05, jobs=1, cache_dir=tmp_path / "cache")
+        run_all.main(seed=0, scale=0.05, jobs=1, cache_dir=cache_root, **kwargs)
     return buffer.getvalue()
 
 
 def test_editing_one_scenario_invalidates_only_that_experiment(
-    synthetic_registry, tmp_path
+    synthetic_registry, tmp_cache
 ):
     alpha_params = synthetic_registry
 
-    cold = _run(tmp_path)
+    cold = _run(tmp_cache.root)
     assert cold.count("[cache hit]") == 0
 
-    warm = _run(tmp_path)
+    warm = _run(tmp_cache.root)
     assert warm.count("[cache hit]") == 2
 
     # "Edit" alpha: its declared scenario now has a different event
     # count, so its spec hash — and only its cache key — changes.
     alpha_params["event_count"] = 7
-    edited = _run(tmp_path)
+    edited = _run(tmp_cache.root)
     assert edited.count("[cache hit]") == 1
     assert "## Beta [cache hit]" in edited
     assert "## Alpha [cache hit]" not in edited
 
     # Reverting the edit restores the original key: everything replays.
     alpha_params["event_count"] = 6
-    reverted = _run(tmp_path)
+    reverted = _run(tmp_cache.root)
     assert reverted.count("[cache hit]") == 2
 
 
@@ -110,3 +110,54 @@ def test_scenarioless_experiment_keys_ignore_spec_hash(tmp_path):
     assert result_key("exp", {"seed": 1}, fingerprint="f") != result_key(
         "exp", {"seed": 1}, fingerprint="f", spec_hash="abc"
     )
+
+
+def test_fault_hash_segregates_cache_keys():
+    """A faulted run must never replay a clean run's cache entry (or
+    vice versa): the fault-schedule hash joins the key exactly when an
+    injection is active."""
+    from repro.experiments.cache import result_key
+
+    clean = result_key("exp", {"seed": 1}, fingerprint="f", spec_hash="s")
+    faulted = result_key(
+        "exp", {"seed": 1}, fingerprint="f", spec_hash="s", fault_hash="h1"
+    )
+    assert clean != faulted
+    assert faulted != result_key(
+        "exp", {"seed": 1}, fingerprint="f", spec_hash="s", fault_hash="h2"
+    )
+    # Omitted and None are the same key — pre-faults entries stay valid.
+    assert clean == result_key(
+        "exp", {"seed": 1}, fingerprint="f", spec_hash="s", fault_hash=None
+    )
+
+
+def test_run_all_reports_failing_experiment_without_aborting(
+    synthetic_registry, tmp_cache, monkeypatch
+):
+    """Graceful degradation: one permanently failing experiment becomes
+    a structured error row while the other experiment still runs,
+    prints, and caches."""
+    import dataclasses
+
+    from repro.experiments.parallel import RetryPolicy
+
+    registry = run_all._REGISTRY
+
+    def broken_runner(seed, scale):
+        raise RuntimeError("synthetic permanent failure")
+
+    broken = dataclasses.replace(registry.get("alpha"), runner=broken_runner)
+    monkeypatch.setitem(registry._experiments, "alpha", broken)
+    out = _run(tmp_cache.root, retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+
+    assert "## Alpha [FAILED]" in out
+    assert "synthetic permanent failure" in out
+    assert "failed after 2 attempt(s)" in out
+    assert "beta: seed=0" in out  # the healthy experiment completed
+    assert "1 experiment(s) FAILED" in out
+    # The failure is never cached: a rerun re-attempts alpha but
+    # replays beta.
+    again = _run(tmp_cache.root, retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+    assert "## Beta [cache hit]" in again
+    assert "## Alpha [FAILED]" in again
