@@ -51,10 +51,17 @@ def _bench_means(path: Path) -> dict:
 
 
 def compare(latest: Path, baseline: Path, budget: float = OVERHEAD_BUDGET) -> int:
-    """Print mean deltas vs *baseline*; non-zero if any exceeds *budget*."""
+    """Print mean deltas vs *baseline*; non-zero if any exceeds *budget*.
+
+    Snapshot drift — a benchmark present on only one side — is a loud
+    failure, not a silently shrunk comparison: a rename or a deleted
+    bench would otherwise make a regression unmeasurable.
+    """
     current = _bench_means(latest)
     recorded = _bench_means(baseline)
     shared = sorted(set(current) & set(recorded))
+    missing_from_run = sorted(set(recorded) - set(current))
+    missing_from_baseline = sorted(set(current) - set(recorded))
     if not shared:
         print("no overlapping benchmarks to compare", file=sys.stderr)
         return 1
@@ -70,7 +77,27 @@ def compare(latest: Path, baseline: Path, budget: float = OVERHEAD_BUDGET) -> in
             f"{current[name]*1e3:9.3f}ms  {delta:+7.1%}{flag}"
         )
     print(f"worst delta: {worst:+.1%}")
-    return 1 if worst > budget else 0
+
+    drift = False
+    if missing_from_run:
+        drift = True
+        print(
+            f"DRIFT: {len(missing_from_run)} benchmark(s) in "
+            f"{baseline.name} did not run this time:",
+            file=sys.stderr,
+        )
+        for name in missing_from_run:
+            print(f"  - {name}", file=sys.stderr)
+    if missing_from_baseline:
+        drift = True
+        print(
+            f"DRIFT: {len(missing_from_baseline)} benchmark(s) ran but are "
+            f"not in {baseline.name} (record a new baseline):",
+            file=sys.stderr,
+        )
+        for name in missing_from_baseline:
+            print(f"  + {name}", file=sys.stderr)
+    return 1 if worst > budget or drift else 0
 
 
 def main(argv=None) -> int:

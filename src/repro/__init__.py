@@ -13,6 +13,11 @@ The curated public API lives at this top level:
   versioned system descriptions (:mod:`repro.spec`): one JSON document
   describes a platform + workload and drives the builder, the result
   cache, parallel workers, and the CLI.
+* :class:`FleetState` / :class:`FleetKernel` / :func:`build_fleet` /
+  :func:`vec_capabilities` — the vectorized fleet backend
+  (:mod:`repro.vec`): thousands of devices as struct-of-arrays NumPy
+  state advanced in lockstep, for grid-shaped experiments
+  (``--backend vec``).
 * :class:`Telemetry` / :func:`telemetry_scope` — opt-in structured
   metrics and tracing (:mod:`repro.observability`).
 * :class:`FaultScheduleSpec` / :func:`load_fault_schedule` /
@@ -98,6 +103,11 @@ __all__ = [
     "spec_hash",
     "build_scenario_app",
     "build_system",
+    # vectorized fleet backend (lazily resolved)
+    "FleetState",
+    "FleetKernel",
+    "build_fleet",
+    "vec_capabilities",
     # observability
     "Telemetry",
     "telemetry_scope",
@@ -164,6 +174,11 @@ def __getattr__(name: str):
         from repro.core.builder import build_system
 
         return build_system
+    # Vectorized fleet backend: NumPy and the spec layer load on demand.
+    if name in ("FleetState", "FleetKernel", "build_fleet", "vec_capabilities"):
+        from repro import vec as _vec
+
+        return getattr(_vec, name)
     # Fault layer imports lazily for the same reason as the spec layer.
     if name in (
         "FaultScheduleSpec",

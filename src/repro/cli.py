@@ -326,6 +326,7 @@ def _cmd_spec(args: argparse.Namespace) -> int:
         return 0
 
     # spec check
+    backend = getattr(args, "backend", "scalar")
     failures = 0
     for name in args.files:
         try:
@@ -334,10 +335,41 @@ def _cmd_spec(args: argparse.Namespace) -> int:
             print(f"FAIL {name}: {error}")
             failures += 1
             continue
+        if backend == "vec":
+            from repro.vec import check_scenario
+
+            reasons = check_scenario(scenario)
+            if reasons:
+                listing = "; ".join(reasons)
+                print(f"FAIL {name}: vec backend cannot run this scenario: {listing}")
+                failures += 1
+                continue
         print(f"ok   {name}  {scenario.name}  sha256:{spec_hash(scenario)[:12]}")
     if failures:
         print(f"{failures}/{len(args.files)} scenario files failed validation")
         return 1
+    return 0
+
+
+def _cmd_vec_info(_: argparse.Namespace) -> int:
+    """Print the vectorized backend's feature matrix."""
+    from repro.vec import vec_capabilities
+
+    info = vec_capabilities()
+    print(f"backend: {info['backend']}")
+    print("harvesters:")
+    for kind, text in info["harvesters"].items():
+        print(f"  {kind:10s} {text}")
+    print("systems:")
+    for kind, text in info["systems"].items():
+        print(f"  {kind:10s} {text}")
+    for key in ("boosters", "limiter", "reconfiguration", "faults", "workloads"):
+        print(f"{key}: {info[key]}")
+    print(
+        "\nroutable experiments (repro experiment NAME --backend vec): "
+        "fig03, fig04, ablation, power-sweep"
+    )
+    print("spec validation: repro spec check --backend vec FILE...")
     return 0
 
 
@@ -355,14 +387,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
             inject=args.inject,
+            backend=args.backend,
         )
         return 0
 
+    from repro.errors import ConfigurationError
     from repro.experiments.registry import run_experiment
     from repro.observability.telemetry import Telemetry
 
     telemetry = Telemetry() if _wants_telemetry(args) else None
-    text = run_experiment(name, seed=args.seed, scale=args.scale, telemetry=telemetry)
+    try:
+        text = run_experiment(
+            name,
+            seed=args.seed,
+            scale=args.scale,
+            telemetry=telemetry,
+            backend=args.backend,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(text, end="" if text.endswith("\n") else "\n")
     if telemetry is not None:
         _dump_telemetry(telemetry, scope=name, args=args)
@@ -467,12 +511,26 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="validate scenario JSON files"
     )
     check_parser.add_argument("files", nargs="+", metavar="FILE")
+    check_parser.add_argument(
+        "--backend", choices=["scalar", "vec"], default="scalar",
+        help="also require support by this simulation backend",
+    )
     check_parser.set_defaults(func=_cmd_spec)
+
+    vec_info_parser = sub.add_parser(
+        "vec-info", help="show the vectorized backend's supported features"
+    )
+    vec_info_parser.set_defaults(func=_cmd_vec_info)
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper figure")
     exp_parser.add_argument("name", choices=_experiment_names())
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.add_argument("--scale", type=float, default=0.25)
+    exp_parser.add_argument(
+        "--backend", choices=["scalar", "vec"], default="scalar",
+        help="simulation engine for backend-routable experiments "
+        "(fig03, fig04, ablation, power-sweep; see `repro vec-info`)",
+    )
     exp_parser.add_argument(
         "--jobs", type=_positive_int, default=None,
         help="worker processes for `all`, >= 1 (default: REPRO_JOBS or CPU count)",

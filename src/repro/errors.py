@@ -29,6 +29,13 @@ class FaultSpecError(SpecError):
     schema version."""
 
 
+class VecCapabilityError(SpecError):
+    """A scenario uses features the vectorized backend (:mod:`repro.vec`)
+    does not support — e.g. a time-varying harvester trace or a fault
+    schedule.  Raised instead of silently falling back to the scalar
+    engine; the message lists every unsupported feature."""
+
+
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 

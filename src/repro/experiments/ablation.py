@@ -51,14 +51,27 @@ from repro.core.builder import PlatformSpec
 def bypass_ablation(
     bank_spec: BankSpec = BankSpec.single("probe", TANTALUM_POLYMER, 4),
     harvest_power: float = 1e-3,
+    backend: str = "scalar",
 ) -> ExperimentResult:
     """Charge-from-empty time with and without the bypass diode."""
-    with_bypass = charge_time_for_bank(
-        bank_spec, harvest_power, InputBooster(bypass=True)
-    )
-    without_bypass = charge_time_for_bank(
-        bank_spec, harvest_power, InputBooster(bypass=False)
-    )
+    if backend not in ("scalar", "vec"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
+    if backend == "vec":
+        from repro.vec import charge_times, fleet_from_banks
+
+        state = fleet_from_banks(
+            [bank_spec, bank_spec],
+            input_booster=[InputBooster(bypass=True), InputBooster(bypass=False)],
+            harvest_power=harvest_power,
+        )
+        with_bypass, without_bypass = (float(t) for t in charge_times(state))
+    else:
+        with_bypass = charge_time_for_bank(
+            bank_spec, harvest_power, InputBooster(bypass=True)
+        )
+        without_bypass = charge_time_for_bank(
+            bank_spec, harvest_power, InputBooster(bypass=False)
+        )
     result = ExperimentResult(
         experiment="ablation-bypass",
         columns=["Configuration", "Cold charge time"],
@@ -79,13 +92,17 @@ def bypass_ablation(
 # 2. Switched banks vs Vtop threshold
 # ---------------------------------------------------------------------------
 
-def mechanism_ablation(harvest_power: float = 1e-3) -> ExperimentResult:
+def mechanism_ablation(
+    harvest_power: float = 1e-3, backend: str = "scalar"
+) -> ExperimentResult:
     """Cold-start comparison of the two reconfiguration mechanisms.
 
     Both must provide a small energy quantum (a sensor task's worth).
     The C-control mechanism charges only its small bank; the threshold
     mechanism hauls the full capacitance up past the booster minimum.
     """
+    if backend not in ("scalar", "vec"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
     small = BankSpec.single("small", CERAMIC_X5R, 4)
     full_array = BankSpec.of_parts(
         "full", [(CERAMIC_X5R, 4), (TANTALUM_POLYMER, 8)]
@@ -93,14 +110,31 @@ def mechanism_ablation(harvest_power: float = 1e-3) -> ExperimentResult:
     threshold = ThresholdReconfigurator(bank_spec=full_array)
     switch = BankSwitch(name="bank1")
 
-    # C-control: cold start charges just the default small bank.
-    switched_time = charge_time_for_bank(small, harvest_power)
-    # Vtop-control: the full capacitance must reach at least v_top_min
-    # before the stored energy is usable at all.
-    booster = InputBooster()
-    threshold_time = _charge_bank_to(
-        full_array, threshold.v_top_min, harvest_power, booster
-    )
+    if backend == "vec":
+        import numpy as np
+
+        from repro.vec import charge_times, fleet_from_banks
+
+        state = fleet_from_banks(
+            [small, full_array], harvest_power=harvest_power
+        )
+        # Device 0 charges to the booster target (C control's small
+        # bank); device 1 only needs to reach the Vtop threshold.
+        targets = np.asarray(
+            [state.charge_target[0], threshold.v_top_min]
+        )
+        switched_time, threshold_time = (
+            float(t) for t in charge_times(state, target=targets)
+        )
+    else:
+        # C-control: cold start charges just the default small bank.
+        switched_time = charge_time_for_bank(small, harvest_power)
+        # Vtop-control: the full capacitance must reach at least
+        # v_top_min before the stored energy is usable at all.
+        booster = InputBooster()
+        threshold_time = _charge_bank_to(
+            full_array, threshold.v_top_min, harvest_power, booster
+        )
 
     result = ExperimentResult(
         experiment="ablation-mechanism",
@@ -295,11 +329,14 @@ def polarity_ablation(horizon: float = 2000.0) -> ExperimentResult:
     return result
 
 
-def main() -> None:
-    print_result(bypass_ablation())
+def main(backend: str = "scalar") -> None:
+    print_result(bypass_ablation(backend=backend))
     print()
-    print_result(mechanism_ablation())
+    print_result(mechanism_ablation(backend=backend))
     print()
+    # The polarity study runs full intermittent-app simulations with a
+    # time-varying (piecewise) harvester — scalar-engine territory on
+    # every backend (see `repro vec-info`).
     print_result(polarity_ablation())
 
 

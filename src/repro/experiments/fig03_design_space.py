@@ -25,6 +25,7 @@ from repro.device.mcu import MCU_MSP430FR5969, MCUModel
 from repro.energy.bank import BankSpec, CapacitorBank
 from repro.energy.booster import InputBooster, OutputBooster
 from repro.energy.capacitor import CapacitorSpec, TANTALUM_POLYMER
+from repro.errors import ConfigurationError
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import ExperimentResult, print_result
 
@@ -114,18 +115,40 @@ def _design_point(capacitance: float, harvest_power: float) -> DesignPoint:
     )
 
 
+def _vec_curve(
+    capacitances: List[float], harvest_power: float
+) -> List[DesignPoint]:
+    """The whole grid as one fleet: both axes in two vectorized sweeps."""
+    from repro.vec import atomicity_ops, charge_times, fleet_from_banks
+
+    banks = [_scaled_bank(TANTALUM_POLYMER, c) for c in capacitances]
+    charged = fleet_from_banks(
+        banks, harvest_power=harvest_power, initial_voltage="target"
+    )
+    ops = atomicity_ops(charged, MCU_MSP430FR5969.op_rate)
+    times = charge_times(fleet_from_banks(banks, harvest_power=harvest_power))
+    return [
+        DesignPoint(capacitance=c, atomicity_ops=float(o), charge_time=float(t))
+        for c, o, t in zip(capacitances, ops, times)
+    ]
+
+
 def run(
     points: int = 13,
     c_min: float = 100e-6,
     c_max: float = 10e-3,
     harvest_power: float = 1.0e-3,
     jobs: Optional[int] = None,
+    backend: str = "scalar",
 ) -> Tuple[ExperimentResult, List[DesignPoint]]:
     """Sweep capacitance logarithmically and measure both axes.
 
-    Grid points are independent, so they fan out over the parallel
-    runner; results come back in sweep order either way.
+    Grid points are independent: ``backend="scalar"`` fans them out over
+    the parallel runner, ``backend="vec"`` evaluates the whole grid as
+    one :mod:`repro.vec` fleet (same integrators, array arithmetic).
     """
+    if backend not in ("scalar", "vec"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
     capacitances = [
         float(c) for c in np.logspace(np.log10(c_min), np.log10(c_max), points)
     ]
@@ -133,12 +156,15 @@ def run(
         experiment="fig03-design-space",
         columns=["Capacitance (uF)", "Atomicity (Mops)", "Charge time (s)"],
     )
-    curve = parallel_map(
-        _design_point,
-        [(capacitance, harvest_power) for capacitance in capacitances],
-        jobs=jobs,
-        labels=[f"{capacitance * 1e6:.0f}uF" for capacitance in capacitances],
-    )
+    if backend == "vec":
+        curve = _vec_curve(capacitances, harvest_power)
+    else:
+        curve = parallel_map(
+            _design_point,
+            [(capacitance, harvest_power) for capacitance in capacitances],
+            jobs=jobs,
+            labels=[f"{capacitance * 1e6:.0f}uF" for capacitance in capacitances],
+        )
     for capacitance, point in zip(capacitances, curve):
         charge = point.charge_time
         key = f"{capacitance * 1e6:.0f}uF"
@@ -158,8 +184,8 @@ def run(
     return result, curve
 
 
-def main() -> ExperimentResult:
-    result, _ = run()
+def main(backend: str = "scalar") -> ExperimentResult:
+    result, _ = run(backend=backend)
     print_result(result)
     return result
 

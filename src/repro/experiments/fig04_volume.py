@@ -25,7 +25,7 @@ from repro.device.mcu import MCU_MSP430FR5969, MCUModel
 from repro.energy.bank import BankSpec, CapacitorBank
 from repro.energy.booster import OutputBooster
 from repro.energy.capacitor import CERAMIC_X5R, EDLC_CPH3225A, CapacitorSpec
-from repro.errors import PowerSystemError
+from repro.errors import ConfigurationError, PowerSystemError
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import ExperimentResult, print_result
 
@@ -72,12 +72,35 @@ def _volume_point(label: str, part: CapacitorSpec, count: int) -> VolumePoint:
     )
 
 
-def run(max_parts: int = 8, jobs: Optional[int] = None) -> ExperimentResult:
+def _vec_points(grid) -> List[VolumePoint]:
+    """The whole (technology, count) grid as one vectorized fleet."""
+    from repro.vec import atomicity_ops, fleet_from_banks
+
+    banks = [
+        BankSpec.single(f"{part.name}-x{count}", part, count)
+        for _, part, count in grid
+    ]
+    state = fleet_from_banks(banks, initial_voltage="target")
+    ops = atomicity_ops(state, MCU_MSP430FR5969.op_rate)
+    return [
+        VolumePoint(label, count, part.volume * count * 1e9, float(mops) / 1e6)
+        for (label, part, count), mops in zip(grid, ops)
+    ]
+
+
+def run(
+    max_parts: int = 8,
+    jobs: Optional[int] = None,
+    backend: str = "scalar",
+) -> ExperimentResult:
     """Sweep part count for both technologies.
 
-    Every (technology, count) point is independent, so the grid fans
-    out over the parallel runner in sweep order.
+    Every (technology, count) point is independent: ``backend="scalar"``
+    fans the grid out over the parallel runner, ``backend="vec"``
+    evaluates it as one :mod:`repro.vec` fleet.
     """
+    if backend not in ("scalar", "vec"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
     result = ExperimentResult(
         experiment="fig04-volume",
         columns=["Technology", "Parts", "Volume (mm^3)", "Atomicity (Mops)"],
@@ -87,12 +110,15 @@ def run(max_parts: int = 8, jobs: Optional[int] = None) -> ExperimentResult:
         for label, part in (("ceramic", CERAMIC_X5R), ("supercap", EDLC_CPH3225A))
         for count in range(1, max_parts + 1)
     ]
-    points = parallel_map(
-        _volume_point,
-        grid,
-        jobs=jobs,
-        labels=[f"{label}-x{count}" for label, _, count in grid],
-    )
+    if backend == "vec":
+        points = _vec_points(grid)
+    else:
+        points = parallel_map(
+            _volume_point,
+            grid,
+            jobs=jobs,
+            labels=[f"{label}-x{count}" for label, _, count in grid],
+        )
     curves: Dict[str, List[VolumePoint]] = {"ceramic": [], "supercap": []}
     for point in points:
         curves[point.technology].append(point)
@@ -120,8 +146,8 @@ def run(max_parts: int = 8, jobs: Optional[int] = None) -> ExperimentResult:
     return result
 
 
-def main() -> ExperimentResult:
-    result = run()
+def main(backend: str = "scalar") -> ExperimentResult:
+    result = run(backend=backend)
     print_result(result)
     return result
 

@@ -62,19 +62,23 @@ from repro.observability.tracing import write_jsonl
 JobPayload = Tuple[str, Optional[Dict[str, object]]]
 
 
-def _run_job(job_id: str, seed: int, scale: float, collect: bool) -> JobPayload:
+def _run_job(
+    job_id: str, seed: int, scale: float, collect: bool, backend: str = "scalar"
+) -> JobPayload:
     """Pool worker entry point (only plain data crosses processes).
 
     When *collect* is set the job runs inside a fresh telemetry scope so
     every instrumented component (engine, reservoir, executors) reports
-    into a snapshot the parent can merge.
+    into a snapshot the parent can merge.  *backend* reaches only the
+    experiments that declare ``uses_backend``.
     """
     exp = get_experiment(job_id)
+    kwargs = {"backend": backend} if exp.uses_backend else {}
     if not collect:
-        return exp.runner(seed, scale), None
+        return exp.runner(seed, scale, **kwargs), None
     telemetry = Telemetry()
     with telemetry_scope(telemetry):
-        text = exp.runner(seed, scale)
+        text = exp.runner(seed, scale, **kwargs)
     return text, telemetry.snapshot()
 
 
@@ -111,6 +115,7 @@ def main(
     trace_out: Optional[Path] = None,
     inject: Optional[Path] = None,
     retry: Optional[RetryPolicy] = None,
+    backend: str = "scalar",
 ) -> None:
     """Run (or replay) the full suite.
 
@@ -131,9 +136,14 @@ def main(
             hash joins every cache key.
         retry: retry policy for failed experiments (default: 3 attempts
             with backoff, jitter seeded by *seed*).
+        backend: simulation engine for the grid-shaped experiments that
+            declare ``uses_backend`` ("scalar" or "vec"); the rest of
+            the suite always runs on the scalar engine.
     """
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if backend not in ("scalar", "vec"):
+        raise ConfigurationError(f"--backend must be scalar or vec, got {backend!r}")
     for flag, path in (("--metrics-out", metrics_out), ("--trace-out", trace_out)):
         if path is not None and not Path(path).parent.is_dir():
             raise ConfigurationError(
@@ -171,6 +181,7 @@ def main(
         f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
         f"jobs={jobs}, cache={'on' if use_cache else 'off'}, "
         f"telemetry={'on' if collect else 'off'}"
+        + (f", backend={backend}" if backend != "scalar" else "")
         + (f", chaos={chaos.mode}x{chaos.max_crashes}" if chaos is not None else "")
         + ")"
     )
@@ -189,7 +200,7 @@ def main(
     keys: Dict[str, str] = {
         job.job_id: result_key(
             job.job_id,
-            job.params(seed, scale),
+            job.params(seed, scale, backend),
             spec_hash=job.spec_hash(seed, scale),
             fault_hash=fault_hash,
         )
@@ -214,7 +225,7 @@ def main(
     if pending:
         fresh = parallel_map(
             _run_job,
-            [(job.job_id, seed, scale, collect) for job in pending],
+            [(job.job_id, seed, scale, collect, backend) for job in pending],
             jobs=jobs,
             labels=[job.job_id for job in pending],
             report=report,
@@ -415,6 +426,11 @@ if __name__ == "__main__":
         "inject deterministic chaos into the pool",
     )
     parser.add_argument(
+        "--backend", choices=["scalar", "vec"], default="scalar",
+        help="engine for the grid-shaped experiments (fig03, fig04, "
+        "ablation, power-sweep)",
+    )
+    parser.add_argument(
         "--metrics-out", type=_writable_path, default=None, metavar="FILE",
         help="write suite + per-experiment metrics as JSONL to FILE",
     )
@@ -432,4 +448,5 @@ if __name__ == "__main__":
         metrics_out=arguments.metrics_out,
         trace_out=arguments.trace_out,
         inject=arguments.inject,
+        backend=arguments.backend,
     )

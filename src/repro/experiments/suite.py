@@ -44,18 +44,20 @@ def fig02(seed: int, scale: float) -> str:
     return _capture(fig02_fixed_capacity.main, horizon=600.0)
 
 
-@experiment("fig03", "Figure 3: atomicity vs capacitance")
-def fig03(seed: int, scale: float) -> str:
+@experiment("fig03", "Figure 3: atomicity vs capacitance", uses_backend=True)
+def fig03(seed: int, scale: float, backend: str = "scalar") -> str:
     from repro.experiments import fig03_design_space
 
-    return _capture(fig03_design_space.main)
+    return _capture(fig03_design_space.main, backend=backend)
 
 
-@experiment("fig04", "Figure 4: atomicity by volume and technology")
-def fig04(seed: int, scale: float) -> str:
+@experiment(
+    "fig04", "Figure 4: atomicity by volume and technology", uses_backend=True
+)
+def fig04(seed: int, scale: float, backend: str = "scalar") -> str:
     from repro.experiments import fig04_volume
 
-    return _capture(fig04_volume.main)
+    return _capture(fig04_volume.main, backend=backend)
 
 
 @experiment(
@@ -138,11 +140,11 @@ def capysat(seed: int, scale: float) -> str:
     return _capture(capysat_study.main, seed=seed)
 
 
-@experiment("ablation", "Section 5 ablations")
-def ablation(seed: int, scale: float) -> str:
+@experiment("ablation", "Section 5 ablations", uses_backend=True)
+def ablation(seed: int, scale: float, backend: str = "scalar") -> str:
     from repro.experiments import ablation as module
 
-    return _capture(module.main)
+    return _capture(module.main, backend=backend)
 
 
 @experiment("debs", "Related work: DEBS comparison", uses_seed=True)
@@ -159,11 +161,16 @@ def checkpoint(seed: int, scale: float) -> str:
     return _capture(checkpoint_study.main)
 
 
-@experiment("power-sweep", "Related work: input-power sweep", uses_seed=True)
-def power_sweep(seed: int, scale: float) -> str:
+@experiment(
+    "power-sweep",
+    "Related work: input-power sweep",
+    uses_seed=True,
+    uses_backend=True,
+)
+def power_sweep(seed: int, scale: float, backend: str = "scalar") -> str:
     from repro.experiments import power_sweep as module
 
-    return _capture(module.main, seed=seed)
+    return _capture(module.main, seed=seed, backend=backend)
 
 
 @experiment("versatility", "Related work: versatility study", uses_seed=True)

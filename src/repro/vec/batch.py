@@ -1,0 +1,408 @@
+"""Build fleet state from canonical scenario specs, with capability checks.
+
+The spec layer (:mod:`repro.spec`) is the wire format; this module is
+the bridge from a *batch* of :class:`~repro.spec.ScenarioSpec`
+documents to one :class:`~repro.vec.state.FleetState`.  Because the
+vectorized kernel advances every device on one clock with no per-device
+Python dispatch, it supports a deliberately static subset of the
+scenario language:
+
+* **harvesters** must resolve to a time-invariant operating point:
+  ``regulated``, ``rf``, ``solar`` over a ``constant`` or
+  ``dimmed_lamp`` irradiance trace, and ``scaled`` wrappers over any of
+  those.  ``orbit`` and ``piecewise`` traces vary with time and are
+  rejected.
+* **reconfiguration** is static per device: each device simulates one
+  active bank set (the fixed bank for Pwr/Fixed systems, a named energy
+  mode — or the union of all banks — for CB systems).  Dynamic
+  mode switching mid-run is the scalar engine's job.
+* **faults** are not supported: any simulation fault kind in an armed
+  schedule is rejected.
+* **workloads** are abstracted to a constant regulated-rail load; the
+  task graphs, radios, and schedules of the scalar apps do not run.
+
+:func:`check_scenario` returns the list of violations for a scenario
+(empty means supported) and :func:`ensure_supported` raises
+:class:`~repro.errors.VecCapabilityError` listing every reason — the
+backend never silently falls back to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.device.mcu import MCU_MSP430FR5969
+from repro.energy.bank import BankSpec
+from repro.energy.booster import InputBooster, OutputBooster
+from repro.energy.environment import ConstantTrace, DimmedLampTrace
+from repro.energy.harvester import (
+    FaultyHarvester,
+    Harvester,
+    RegulatedSupply,
+    RFHarvester,
+    ScaledHarvester,
+    SolarPanel,
+)
+from repro.energy.limiter import InputVoltageLimiter
+from repro.errors import ConfigurationError, VecCapabilityError
+from repro.spec.build import bank_from_spec, booster_from_spec, harvester_from_spec
+from repro.spec.model import PlatformSpecV1, ScenarioSpec
+from repro.vec.state import FleetState
+
+__all__ = [
+    "DEFAULT_LOAD_POWER",
+    "FIXED_BANK_MODE",
+    "ALL_BANKS_MODE",
+    "vec_capabilities",
+    "check_scenario",
+    "check_platform",
+    "ensure_supported",
+    "active_bank_spec",
+    "build_fleet",
+    "fleet_from_banks",
+]
+
+#: Default regulated-rail demand per device: the paper's measurement
+#: MCU computing at full clock.
+DEFAULT_LOAD_POWER = MCU_MSP430FR5969.active_power
+
+#: Mode sentinel: simulate the hardwired fixed bank.
+FIXED_BANK_MODE = "__fixed__"
+#: Mode sentinel: simulate every declared bank in parallel.
+ALL_BANKS_MODE = "__all__"
+
+#: Trace kinds whose level is constant in time.
+_STATIC_TRACES = (ConstantTrace, DimmedLampTrace)
+
+
+def vec_capabilities() -> dict:
+    """The feature matrix `repro vec-info` prints, as plain data."""
+    return {
+        "backend": "vec",
+        "harvesters": {
+            "regulated": "supported",
+            "rf": "supported",
+            "solar": "supported with a constant or dimmed_lamp irradiance "
+            "trace; orbit and piecewise traces are time-varying and rejected",
+            "scaled": "supported over any supported inner harvester",
+        },
+        "systems": {
+            "Pwr": "fixed bank, always-on load",
+            "Fixed": "fixed bank",
+            "CB-R": "one static energy mode (or all banks in parallel)",
+            "CB-P": "one static energy mode (or all banks in parallel)",
+        },
+        "boosters": "full input/output converter models (cold start, "
+        "bypass diode, efficiency ramp, ESR droop, regulation floor)",
+        "limiter": "folded into the constant harvester operating point",
+        "reconfiguration": "static per device; dynamic mode switching "
+        "requires the scalar engine",
+        "faults": "unsupported — any simulation fault kind is rejected",
+        "workloads": "abstracted to a constant regulated-rail load; task "
+        "graphs and radios require the scalar engine",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Capability checks
+# ---------------------------------------------------------------------------
+
+
+def _harvester_reasons(harvester: Harvester) -> List[str]:
+    if isinstance(harvester, ScaledHarvester):
+        return _harvester_reasons(harvester.inner)
+    if isinstance(harvester, FaultyHarvester):
+        return [
+            "fault-injected harvester: the vec backend does not support "
+            "fault schedules"
+        ]
+    if isinstance(harvester, (RegulatedSupply, RFHarvester)):
+        return []
+    if isinstance(harvester, SolarPanel):
+        trace = harvester.irradiance
+        if isinstance(trace, _STATIC_TRACES):
+            return []
+        return [
+            f"time-varying irradiance trace "
+            f"{type(trace).__name__}: the vec backend needs a constant "
+            f"harvester operating point (constant or dimmed_lamp)"
+        ]
+    return [
+        f"harvester {type(harvester).__name__} has no vectorized model"
+    ]
+
+
+def check_platform(platform: PlatformSpecV1) -> List[str]:
+    """Reasons the vec backend cannot simulate *platform* (empty = ok)."""
+    try:
+        harvester = harvester_from_spec(platform.harvester)
+    except Exception as error:  # invalid spec: report, don't crash
+        return [f"harvester spec does not build: {error}"]
+    return _harvester_reasons(harvester)
+
+
+def check_scenario(scenario: ScenarioSpec, fault_schedule=None) -> List[str]:
+    """Reasons the vec backend cannot simulate *scenario* (empty = ok).
+
+    *fault_schedule* is an optional :mod:`repro.faults` schedule the
+    caller intends to arm; every simulation fault in it is a reason.
+    """
+    reasons = check_platform(scenario.platform)
+    if fault_schedule is not None:
+        kinds = sorted({fault.kind for fault in fault_schedule.sim_faults()})
+        if kinds:
+            reasons.append(
+                f"fault schedule {fault_schedule.name!r} arms simulation "
+                f"fault kind(s) {kinds}: the vec backend supports none"
+            )
+    return reasons
+
+
+def ensure_supported(scenario: ScenarioSpec, fault_schedule=None) -> None:
+    """Raise :class:`VecCapabilityError` unless *scenario* is supported."""
+    reasons = check_scenario(scenario, fault_schedule)
+    if reasons:
+        listing = "; ".join(reasons)
+        raise VecCapabilityError(
+            f"scenario {scenario.name!r} is not supported by the vec "
+            f"backend: {listing}. Use the scalar engine, or see `repro "
+            f"vec-info` for the supported feature set."
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fleet construction
+# ---------------------------------------------------------------------------
+
+
+def operating_point(
+    harvester: Harvester, v_clamp: Optional[float] = None
+):
+    """The constant ``(voltage, power)`` a supported harvester provides.
+
+    Applies the input voltage limiter exactly as the scalar power system
+    does (``v_clamp=None`` uses the default limiter).
+    """
+    voltage, power = harvester.output(0.0)
+    limiter = (
+        InputVoltageLimiter() if v_clamp is None else InputVoltageLimiter(v_clamp)
+    )
+    return limiter.limit(voltage, power)
+
+
+def active_bank_spec(
+    platform: PlatformSpecV1, system: str, mode: Optional[str] = None
+) -> BankSpec:
+    """The aggregate bank set one vec device simulates.
+
+    ``Pwr``/``Fixed`` systems (and the :data:`FIXED_BANK_MODE`
+    sentinel) use the hardwired fixed bank; CB systems use the named
+    energy mode, or every declared bank in parallel when *mode* is
+    ``None``/:data:`ALL_BANKS_MODE`.  Aggregation reuses the scalar
+    :class:`~repro.energy.bank.BankSpec` parallel rules, so capacitance,
+    ESR, leakage, and rated voltage match the scalar reservoir exactly.
+    """
+    if mode == FIXED_BANK_MODE or (mode is None and system in ("Pwr", "Fixed")):
+        return bank_from_spec(platform.fixed_bank)
+    banks = {bank.name: bank_from_spec(bank) for bank in platform.banks}
+    if mode is None or mode == ALL_BANKS_MODE:
+        names = list(banks)
+    else:
+        modes = dict(platform.modes)
+        if mode not in modes:
+            raise ConfigurationError(
+                f"unknown energy mode {mode!r}; declared: {sorted(modes)}"
+            )
+        names = list(modes[mode])
+    groups = []
+    for name in names:
+        if name not in banks:
+            raise ConfigurationError(
+                f"mode {mode!r} references unknown bank {name!r}"
+            )
+        groups.extend(banks[name].groups)
+    return BankSpec(name=f"vec[{'+'.join(names)}]", groups=tuple(groups))
+
+
+def _broadcast(option, n: int):
+    if option is None or isinstance(option, (str, float, int)):
+        return [option] * n
+    option = list(option)
+    if len(option) != n:
+        raise ConfigurationError(
+            f"per-device option needs {n} entries, got {len(option)}"
+        )
+    return option
+
+
+def build_fleet(
+    scenarios: Sequence[ScenarioSpec],
+    modes: Union[None, str, Sequence[Optional[str]]] = None,
+    load_power: Union[float, Sequence[float]] = DEFAULT_LOAD_POWER,
+    power_scales: Union[float, Sequence[float]] = 1.0,
+    initial_voltage: Union[float, Sequence[float]] = 0.0,
+    check: bool = True,
+) -> FleetState:
+    """One :class:`FleetState` from a batch of canonical scenarios.
+
+    Args:
+        scenarios: one :class:`ScenarioSpec` per device (repeat an entry
+            to replicate a platform across grid points).
+        modes: active bank set per device (see :func:`active_bank_spec`).
+        load_power: regulated-rail demand per device while on, watts.
+        power_scales: harvest-power multiplier per device — the grid
+            axis of the power sweep.
+        initial_voltage: starting terminal voltage per device.
+        check: run :func:`ensure_supported` on each scenario first
+            (disable only for pre-validated batches).
+
+    Raises:
+        VecCapabilityError: when *check* finds an unsupported scenario.
+    """
+    if not scenarios:
+        raise ConfigurationError("build_fleet needs at least one scenario")
+    n = len(scenarios)
+    modes = _broadcast(modes, n)
+    loads = _broadcast(load_power, n)
+    scales = _broadcast(power_scales, n)
+    volts = _broadcast(initial_voltage, n)
+
+    banks: List[BankSpec] = []
+    input_boosters: List[InputBooster] = []
+    output_boosters: List[OutputBooster] = []
+    hv = np.zeros(n)
+    hp = np.zeros(n)
+    quiescent = np.zeros(n)
+    for i, scenario in enumerate(scenarios):
+        if check:
+            ensure_supported(scenario)
+        platform = scenario.platform
+        banks.append(active_bank_spec(platform, scenario.system, modes[i]))
+        input_boosters.append(
+            InputBooster()
+            if platform.input_booster is None
+            else booster_from_spec(platform.input_booster)
+        )
+        output_boosters.append(
+            OutputBooster()
+            if platform.output_booster is None
+            else booster_from_spec(platform.output_booster)
+        )
+        voltage, power = operating_point(
+            harvester_from_spec(platform.harvester), platform.limiter_v_clamp
+        )
+        hv[i] = voltage
+        hp[i] = power * float(scales[i])
+        quiescent[i] = platform.quiescent_power
+
+    return _assemble(
+        banks, input_boosters, output_boosters, hv, hp,
+        np.asarray([float(load) for load in loads]),
+        quiescent,
+        np.asarray([float(v) for v in volts]),
+    )
+
+
+def fleet_from_banks(
+    banks: Sequence[BankSpec],
+    input_booster: Union[InputBooster, Sequence[InputBooster]] = InputBooster(),
+    output_booster: Union[OutputBooster, Sequence[OutputBooster]] = OutputBooster(),
+    harvester_voltage: Union[float, Sequence[float]] = 3.0,
+    harvest_power: Union[float, Sequence[float]] = 1.0e-3,
+    load_power: Union[float, Sequence[float]] = DEFAULT_LOAD_POWER,
+    quiescent_power: Union[float, Sequence[float]] = 0.0,
+    initial_voltage: Union[float, Sequence[float], str] = 0.0,
+) -> FleetState:
+    """A fleet directly from runtime bank specs (design-space sweeps).
+
+    The Figure 3/4 grids and the ablations sweep synthetic banks that
+    never pass through the scenario layer; this builder takes the
+    runtime objects directly.  ``initial_voltage="target"`` starts each
+    device at its charge target (the fully-charged sweeps).
+    """
+    if not banks:
+        raise ConfigurationError("fleet_from_banks needs at least one bank")
+    n = len(banks)
+    if isinstance(input_booster, InputBooster):
+        input_boosters = [input_booster] * n
+    else:
+        input_boosters = list(input_booster)
+    if isinstance(output_booster, OutputBooster):
+        output_boosters = [output_booster] * n
+    else:
+        output_boosters = list(output_booster)
+    if len(input_boosters) != n or len(output_boosters) != n:
+        raise ConfigurationError(
+            "booster lists must match the number of banks"
+        )
+    hv = np.broadcast_to(np.asarray(harvester_voltage, dtype=float), (n,)).copy()
+    hp = np.broadcast_to(np.asarray(harvest_power, dtype=float), (n,)).copy()
+    loads = np.broadcast_to(np.asarray(load_power, dtype=float), (n,)).copy()
+    quiescent = np.broadcast_to(
+        np.asarray(quiescent_power, dtype=float), (n,)
+    ).copy()
+    if isinstance(initial_voltage, str):
+        if initial_voltage != "target":
+            raise ConfigurationError(
+                f"initial_voltage: expected a number or 'target', "
+                f"got {initial_voltage!r}"
+            )
+        volts = np.asarray(
+            [
+                min(booster.v_charge_target, bank.rated_voltage)
+                for booster, bank in zip(input_boosters, banks)
+            ]
+        )
+    else:
+        volts = np.broadcast_to(
+            np.asarray(initial_voltage, dtype=float), (n,)
+        ).copy()
+    return _assemble(
+        list(banks), input_boosters, output_boosters, hv, hp, loads,
+        quiescent, volts,
+    )
+
+
+def _assemble(
+    banks: List[BankSpec],
+    input_boosters: List[InputBooster],
+    output_boosters: List[OutputBooster],
+    hv: np.ndarray,
+    hp: np.ndarray,
+    loads: np.ndarray,
+    quiescent: np.ndarray,
+    volts: np.ndarray,
+) -> FleetState:
+    def column(objects, attribute):
+        return np.asarray([getattr(obj, attribute) for obj in objects])
+
+    capacitance = np.asarray([bank.capacitance for bank in banks])
+    return FleetState(
+        voltage=volts,
+        capacitance=capacitance,
+        esr=np.asarray([bank.esr for bank in banks]),
+        leak_tau=np.asarray(
+            [bank.leak_resistance * bank.capacitance for bank in banks]
+        ),
+        rated_voltage=np.asarray([bank.rated_voltage for bank in banks]),
+        harvest_voltage=hv,
+        harvest_power=hp,
+        load_power=loads,
+        quiescent_power=quiescent,
+        in_efficiency=column(input_boosters, "efficiency"),
+        in_v_cold_start=column(input_boosters, "v_cold_start"),
+        in_cold_start_efficiency=column(input_boosters, "cold_start_efficiency"),
+        in_bypass=np.asarray([bool(b.bypass) for b in input_boosters]),
+        in_v_diode_drop=column(input_boosters, "v_diode_drop"),
+        in_v_charge_target=column(input_boosters, "v_charge_target"),
+        in_min_input_voltage=column(input_boosters, "min_input_voltage"),
+        in_low_voltage_efficiency=column(
+            input_boosters, "low_voltage_efficiency"
+        ),
+        in_v_full_efficiency=column(input_boosters, "v_full_efficiency"),
+        out_efficiency=column(output_boosters, "efficiency"),
+        out_quiescent=column(output_boosters, "quiescent_power"),
+        out_v_in_min=column(output_boosters, "v_in_min"),
+    )

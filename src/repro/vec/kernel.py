@@ -1,0 +1,315 @@
+"""The vectorized fixed-timestep kernel.
+
+Two tiers of vectorized computation, both mirroring the scalar
+electrical models term for term:
+
+* :class:`FleetKernel` — a fixed-timestep duty-cycle engine.  Each
+  ``step(dt)`` evaluates the input-booster charge paths (cold start,
+  keeper-diode bypass, efficiency ramp), the output-booster droop
+  drain, platform quiescent draw, RC leakage, and the
+  charge-to-target / discharge-to-floor state machine for every device
+  at once.  This is the discretized "VirtCap" form: any DC/DC
+  converter + capacitor stack advanced on a shared clock, with NumPy
+  arrays instead of per-device objects.
+
+* Analytic sweep helpers — :func:`charge_times` and
+  :func:`times_to_brownout` replicate the scalar integrators used by
+  the Figure 3/4 design-space sweeps (``charge_time_for_bank``,
+  ``OutputBooster.time_to_brownout``) step for step, so the vec
+  backend's design-space numbers agree with the scalar backend to
+  floating-point tolerance (see ``docs/performance.md``).
+
+Per-step discretization order (the documented contract the
+scalar-compat adapter in :mod:`repro.vec.compat` reproduces exactly):
+
+1. devices that are on but at/below their discharge floor brown out;
+2. charge and drain powers are evaluated at the step-start voltage;
+3. the net energy delta ``(charge - quiescent - drain) * dt`` is
+   applied, clipped to ``[0, energy(charge_target)]``;
+4. off devices whose post-update voltage reached the charge target
+   turn on (the comparator fires as charging tops out, *before* the
+   same step's leakage nudges the voltage back below the target);
+5. RC leakage decays the post-update voltage.
+
+Tolerance semantics: against the scalar models the kernel agrees to
+float rounding (~1e-12 relative) per step on identical operating
+points; over a trace, first-order Euler discretization error is bounded
+by the chosen ``dt`` and documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerSystemError
+from repro.observability.telemetry import Telemetry, resolve_telemetry
+from repro.vec.state import FleetState
+
+__all__ = [
+    "FleetKernel",
+    "charge_power_vec",
+    "drain_power_vec",
+    "charge_times",
+    "times_to_brownout",
+    "atomicity_ops",
+]
+
+#: Epsilon matching the scalar discharge loop's floor guard.
+_FLOOR_EPS = 1e-9
+#: Epsilon matching the scalar charge loop's target guard.
+_TARGET_EPS = 1e-9
+
+
+def charge_power_vec(voltage: np.ndarray, state: FleetState) -> np.ndarray:
+    """Power into each capacitor, watts — ``InputBooster.charge_power``.
+
+    Evaluates every path of the scalar model on arrays: the warm path
+    with its linear efficiency ramp, the cold-start path, and the
+    keeper-diode bypass, then zeroes devices whose harvester is too
+    weak or whose capacitor is at/above the charge target.
+    """
+    hv = state.harvest_voltage
+    hp = state.harvest_power
+
+    span = state.in_v_full_efficiency - state.in_v_cold_start
+    fraction = np.clip((voltage - state.in_v_cold_start) / span, 0.0, 1.0)
+    # Above v_full_efficiency the scalar model returns exactly 1.0.
+    ramp = np.where(
+        voltage >= state.in_v_full_efficiency,
+        1.0,
+        state.in_low_voltage_efficiency
+        + (1.0 - state.in_low_voltage_efficiency) * fraction,
+    )
+    warm = hp * state.in_efficiency * ramp
+
+    cold = hp * state.in_cold_start_efficiency
+    with np.errstate(divide="ignore", invalid="ignore"):
+        diode_efficiency = np.where(
+            hv > 0.0, np.maximum(0.0, 1.0 - state.in_v_diode_drop / hv), 0.0
+        )
+    bypass = np.where(
+        state.in_bypass & (voltage < hv - state.in_v_diode_drop),
+        hp * diode_efficiency,
+        0.0,
+    )
+    cold_path = np.maximum(cold, bypass)
+
+    power = np.where(voltage >= state.in_v_cold_start, warm, cold_path)
+    blocked = (
+        (hp <= 0.0)
+        | (hv < state.in_min_input_voltage)
+        | (voltage >= state.in_v_charge_target)
+    )
+    return np.where(blocked, 0.0, power)
+
+
+def drain_power_vec(
+    voltage: np.ndarray, state: FleetState, active: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Power leaving each bank to feed its load, watts.
+
+    The scalar ``OutputBooster.drain_power``: solve the ESR droop
+    quadratic ``I (V - I ESR) = P_in`` for the stable root and return
+    ``I * V``.  Only meaningful above the discharge floor; *active*
+    masks devices for which the drain applies (others get 0).
+    """
+    p_in = state.p_in
+    if active is None:
+        active = np.ones_like(voltage, dtype=bool)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        discriminant = voltage * voltage - 4.0 * state.esr * p_in
+        sqrt_disc = np.sqrt(np.maximum(discriminant, 0.0))
+        current_esr = (voltage - sqrt_disc) / (2.0 * state.esr)
+        current_zero_esr = p_in / np.maximum(voltage, 1e-300)
+        current = np.where(state.esr > 0.0, current_esr, current_zero_esr)
+    valid = active & (discriminant >= 0.0) & (voltage > 0.0)
+    return np.where(valid, current * voltage, 0.0)
+
+
+class FleetKernel:
+    """Advance a :class:`FleetState` through fixed timesteps.
+
+    Args:
+        state: the fleet to advance (mutated in place).
+        telemetry: optional :class:`~repro.observability.Telemetry`;
+            falls back to the ambient scope.  :meth:`run` records
+            ``vec.steps``, ``vec.devices``, and ``vec.batch_seconds``.
+    """
+
+    def __init__(
+        self, state: FleetState, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.state = state
+        self.telemetry = resolve_telemetry(telemetry)
+        self.steps = 0
+        self.now = 0.0
+
+    def step(self, dt: float, _decay: Optional[np.ndarray] = None) -> None:
+        """Advance every device by *dt* seconds (see module docstring
+        for the discretization order)."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        s = self.state
+        v = s.voltage
+
+        # 1. Brown out devices that can no longer hold their load.
+        browned = s.on & (v <= s.floor + _FLOOR_EPS)
+        if browned.any():
+            s.on = s.on & ~browned
+            s.brownouts += browned
+
+        # 2. Operating-point powers at the step-start voltage.
+        charge = charge_power_vec(v, s)
+        net_in = np.where(charge > 0.0, charge - s.quiescent_power, 0.0)
+        drain = drain_power_vec(v, s, active=s.on)
+
+        # 3. Energy update, clipped to [0, energy at charge target]
+        #    (an over-target initial voltage is preserved, not clipped).
+        half_c = 0.5 * s.capacitance
+        energy = half_c * v * v
+        target_energy = np.maximum(half_c * s.charge_target * s.charge_target, energy)
+        new_energy = np.clip(energy + (net_in - drain) * dt, 0.0, target_energy)
+        v = np.sqrt(new_energy / half_c)
+
+        # 4. Wake devices whose post-update voltage reached the target.
+        wake = (~s.on) & (s.load_power > 0.0) & (v >= s.charge_target - _TARGET_EPS)
+        s.on = s.on | wake
+
+        # 5. RC leakage on the post-update voltage.
+        decay = _decay if _decay is not None else np.exp(-dt / s.leak_tau)
+        leaked_from = half_c * v * v
+        v = v * decay
+        s.voltage = v
+        s.energy_leaked += leaked_from - half_c * v * v
+
+        # Accounting: gross flows at the step operating points (clipping
+        # at target/empty and leakage close the balance separately).
+        s.energy_in += charge * dt
+        s.energy_out += drain * dt
+        s.on_seconds += np.where(drain > 0.0, dt, 0.0)
+        self.steps += 1
+        self.now += dt
+
+    def run(self, duration: float, dt: float = 0.05) -> Dict[str, float]:
+        """Step the fleet through *duration* seconds at resolution *dt*.
+
+        Returns a summary dict (steps, devices, wall seconds) and, when
+        telemetry is enabled, records the ``vec.*`` counters.
+        """
+        if duration < 0.0:
+            raise ConfigurationError(
+                f"duration must be non-negative, got {duration}"
+            )
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        steps = int(round(duration / dt))
+        started = time.perf_counter()
+        decay = np.exp(-dt / self.state.leak_tau)
+        for _ in range(steps):
+            self.step(dt, _decay=decay)
+        wall = time.perf_counter() - started
+        if self.telemetry.enabled:
+            self.telemetry.inc("vec.steps", steps)
+            self.telemetry.inc("vec.devices", self.state.n)
+            self.telemetry.observe("vec.batch_seconds", wall)
+        return {
+            "steps": float(steps),
+            "devices": float(self.state.n),
+            "wall_seconds": wall,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Analytic design-space sweeps (Figures 3/4, ablations)
+# ---------------------------------------------------------------------------
+
+
+def charge_times(
+    state: FleetState,
+    target: Optional[np.ndarray] = None,
+    steps: int = 200,
+) -> np.ndarray:
+    """Seconds to charge each device from empty to *target*, vectorized.
+
+    Replicates ``fig03_design_space.charge_time_for_bank`` exactly: the
+    voltage range splits into *steps* fixed increments and each segment
+    integrates at the charge power evaluated at its lower edge.  Devices
+    whose harvester cannot charge at some voltage get ``inf`` (the
+    scalar integrator's sentinel).
+    """
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    s = state
+    goal = s.charge_target if target is None else np.asarray(target, dtype=np.float64)
+    if goal.shape != s.voltage.shape:
+        raise ConfigurationError(
+            f"target: expected shape {s.voltage.shape}, got {goal.shape}"
+        )
+    step = goal / float(steps)
+    half_c = 0.5 * s.capacitance
+    elapsed = np.zeros(s.n)
+    voltage = np.zeros(s.n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(steps):
+            v_next = np.minimum(goal, voltage + step)
+            power = charge_power_vec(voltage, s)
+            energy = half_c * (v_next * v_next - voltage * voltage)
+            elapsed = elapsed + np.where(power > 0.0, energy / power, np.inf)
+            voltage = v_next
+    return elapsed
+
+
+def times_to_brownout(
+    state: FleetState,
+    voltage_step_fraction: float = 0.01,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """Seconds each device sustains its load from its current voltage.
+
+    Replicates ``OutputBooster.discharge`` with infinite duration: the
+    voltage falls in per-device steps of ``max(v * fraction, 1e-6)``
+    toward the discharge floor, each segment billed at the drain power
+    of its upper edge.  Devices already at/below their floor (or unable
+    to deliver the load at all) return 0 — the scalar sweeps' infeasible
+    region.
+    """
+    if voltage_step_fraction <= 0.0:
+        raise ConfigurationError("voltage_step_fraction must be positive")
+    s = state
+    half_c = 0.5 * s.capacitance
+    voltage = s.voltage.copy()
+    elapsed = np.zeros(s.n)
+    done = voltage <= s.floor + _FLOOR_EPS
+    for _ in range(max_iterations):
+        if done.all():
+            return elapsed
+        power = drain_power_vec(voltage, s, active=~done)
+        # Devices whose droop quadratic has no real root cannot deliver
+        # the load: they are infeasible, not slowly discharging.
+        stuck = (~done) & (power <= 0.0)
+        done = done | stuck
+        dv = np.maximum(voltage * voltage_step_fraction, 1e-6)
+        v_next = np.maximum(s.floor, voltage - dv)
+        step_energy = half_c * (voltage * voltage - v_next * v_next)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            step_time = np.where(power > 0.0, step_energy / power, 0.0)
+        elapsed = elapsed + np.where(done, 0.0, step_time)
+        voltage = np.where(done, voltage, v_next)
+        done = done | (voltage <= s.floor + _FLOOR_EPS)
+    raise PowerSystemError(
+        f"brownout integration did not converge in {max_iterations} steps"
+    )
+
+
+def atomicity_ops(state: FleetState, op_rate: float) -> np.ndarray:
+    """Operations each device sustains before brownout (Figures 3/4).
+
+    ``times_to_brownout * op_rate`` — the vectorized form of the scalar
+    ``atomicity_for_bank`` / ``atomicity_by_parts`` metric.
+    """
+    if op_rate <= 0.0:
+        raise ConfigurationError(f"op_rate must be positive, got {op_rate}")
+    return times_to_brownout(state) * op_rate

@@ -1,0 +1,250 @@
+"""Struct-of-arrays fleet state for the vectorized backend.
+
+The scalar engine simulates one device through Python objects; the
+vectorized backend (:mod:`repro.vec`) advances *N* devices in lockstep,
+holding every electrical quantity as a NumPy array indexed by device.
+:class:`FleetState` is that state: reservoir voltages, aggregate
+active-set parameters, harvester operating points, and the full
+input/output booster parameter sets, plus the energy-accounting
+columns the property tests and experiments read back.
+
+No per-device Python objects exist on the hot path — the kernel
+(:mod:`repro.vec.kernel`) reads and writes these arrays wholesale.
+Construction validates shapes and the same physical invariants the
+scalar dataclasses enforce in ``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FleetState"]
+
+
+def _as_array(value, n: int, name: str) -> np.ndarray:
+    """Broadcast *value* (scalar or sequence) to a float64 array of n."""
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        array = np.full(n, float(array))
+    if array.shape != (n,):
+        raise ConfigurationError(
+            f"{name}: expected shape ({n},), got {array.shape}"
+        )
+    return array.copy()
+
+
+@dataclass
+class FleetState:
+    """Electrical state of N devices, one array column per quantity.
+
+    Attributes (all shape ``(n,)`` float64 unless noted):
+        voltage: active-set terminal voltage, volts.
+        capacitance: aggregate active-set capacitance, farads.
+        esr: aggregate active-set ESR, ohms.
+        leak_tau: RC self-discharge time constant, seconds
+            (``leak_resistance * capacitance``).
+        rated_voltage: minimum rated voltage over the active parts.
+        harvest_voltage / harvest_power: the harvester operating point
+            (the vec backend supports time-invariant harvesters only;
+            see :func:`repro.vec.batch.check_scenario`).
+        load_power: regulated-rail demand while a device is on, watts.
+        quiescent_power: platform standing draw, watts.
+        in_*: the :class:`~repro.energy.booster.InputBooster` parameter
+            columns (efficiency, cold-start knee, bypass diode, charge
+            target, efficiency ramp).
+        out_*: the :class:`~repro.energy.booster.OutputBooster`
+            parameter columns (efficiency, quiescent draw, minimum
+            input voltage).
+        on: bool column — device currently discharging into its load.
+        charge_target: ``min(in_v_charge_target, rated_voltage)``.
+        p_in: booster input power needed for ``load_power``
+            (``load / out_efficiency + out_quiescent``).
+        floor: discharge floor — the larger of the droop-equation and
+            regulation constraints, exactly the scalar
+            ``OutputBooster.min_bank_voltage``.
+        energy_in / energy_out / energy_leaked: cumulative joules moved
+            into the reservoir, drained from it, and lost to leakage.
+        on_seconds: cumulative seconds each device spent discharging.
+        brownouts: int64 column — discharge-floor hits.
+    """
+
+    voltage: np.ndarray
+    capacitance: np.ndarray
+    esr: np.ndarray
+    leak_tau: np.ndarray
+    rated_voltage: np.ndarray
+    harvest_voltage: np.ndarray
+    harvest_power: np.ndarray
+    load_power: np.ndarray
+    quiescent_power: np.ndarray
+
+    in_efficiency: np.ndarray
+    in_v_cold_start: np.ndarray
+    in_cold_start_efficiency: np.ndarray
+    in_bypass: np.ndarray
+    in_v_diode_drop: np.ndarray
+    in_v_charge_target: np.ndarray
+    in_min_input_voltage: np.ndarray
+    in_low_voltage_efficiency: np.ndarray
+    in_v_full_efficiency: np.ndarray
+
+    out_efficiency: np.ndarray
+    out_quiescent: np.ndarray
+    out_v_in_min: np.ndarray
+
+    on: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    # Derived (filled by __post_init__)
+    charge_target: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p_in: np.ndarray = field(default=None)  # type: ignore[assignment]
+    floor: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    # Accounting
+    energy_in: np.ndarray = field(default=None)  # type: ignore[assignment]
+    energy_out: np.ndarray = field(default=None)  # type: ignore[assignment]
+    energy_leaked: np.ndarray = field(default=None)  # type: ignore[assignment]
+    on_seconds: np.ndarray = field(default=None)  # type: ignore[assignment]
+    brownouts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = len(np.atleast_1d(np.asarray(self.capacitance)))
+        for name in (
+            "voltage", "capacitance", "esr", "leak_tau", "rated_voltage",
+            "harvest_voltage", "harvest_power", "load_power",
+            "quiescent_power", "in_efficiency", "in_v_cold_start",
+            "in_cold_start_efficiency", "in_v_diode_drop",
+            "in_v_charge_target", "in_min_input_voltage",
+            "in_low_voltage_efficiency", "in_v_full_efficiency",
+            "out_efficiency", "out_quiescent", "out_v_in_min",
+        ):
+            setattr(self, name, _as_array(getattr(self, name), n, name))
+        bypass = np.asarray(self.in_bypass)
+        if bypass.ndim == 0:
+            bypass = np.full(n, bool(bypass))
+        self.in_bypass = bypass.astype(bool).copy()
+
+        self._validate(n)
+
+        if self.on is None:
+            self.on = np.zeros(n, dtype=bool)
+        else:
+            self.on = np.asarray(self.on).astype(bool).copy()
+            if self.on.shape != (n,):
+                raise ConfigurationError(
+                    f"on: expected shape ({n},), got {self.on.shape}"
+                )
+
+        self.charge_target = np.minimum(
+            self.in_v_charge_target, self.rated_voltage
+        )
+        self.p_in = self.load_power / self.out_efficiency + self.out_quiescent
+        droop_floor = 2.0 * np.sqrt(self.esr * self.p_in)
+        regulation_floor = (
+            self.out_v_in_min + self.esr * self.p_in / self.out_v_in_min
+        )
+        self.floor = np.maximum(droop_floor, regulation_floor)
+
+        zeros = lambda: np.zeros(n, dtype=np.float64)  # noqa: E731
+        self.energy_in = zeros()
+        self.energy_out = zeros()
+        self.energy_leaked = zeros()
+        self.on_seconds = zeros()
+        self.brownouts = np.zeros(n, dtype=np.int64)
+
+    def _validate(self, n: int) -> None:
+        def _require(condition: np.ndarray, message: str) -> None:
+            if not bool(np.all(condition)):
+                bad = int(np.argmin(condition))
+                raise ConfigurationError(f"device {bad}: {message}")
+
+        _require(self.capacitance > 0.0, "capacitance must be positive")
+        _require(self.esr >= 0.0, "esr must be non-negative")
+        _require(self.leak_tau > 0.0, "leak_tau must be positive")
+        _require(self.rated_voltage > 0.0, "rated_voltage must be positive")
+        _require(
+            (self.voltage >= 0.0) & (self.voltage <= self.rated_voltage),
+            "voltage outside [0, rated_voltage]",
+        )
+        _require(self.harvest_power >= 0.0, "harvest_power must be non-negative")
+        _require(self.load_power >= 0.0, "load_power must be non-negative")
+        _require(
+            self.quiescent_power >= 0.0, "quiescent_power must be non-negative"
+        )
+        _require(
+            (self.in_efficiency > 0.0) & (self.in_efficiency <= 1.0),
+            "input efficiency must be in (0, 1]",
+        )
+        _require(
+            (self.in_cold_start_efficiency > 0.0)
+            & (self.in_cold_start_efficiency <= self.in_efficiency),
+            "cold_start_efficiency must be in (0, efficiency]",
+        )
+        _require(
+            self.in_v_charge_target > self.in_v_cold_start,
+            "v_charge_target must exceed v_cold_start",
+        )
+        _require(
+            self.in_v_full_efficiency > self.in_v_cold_start,
+            "v_full_efficiency must exceed v_cold_start",
+        )
+        _require(
+            (self.in_low_voltage_efficiency > 0.0)
+            & (self.in_low_voltage_efficiency <= 1.0),
+            "low_voltage_efficiency must be in (0, 1]",
+        )
+        _require(
+            (self.out_efficiency > 0.0) & (self.out_efficiency <= 1.0),
+            "output efficiency must be in (0, 1]",
+        )
+        _require(self.out_v_in_min > 0.0, "v_in_min must be positive")
+        _require(self.out_quiescent >= 0.0, "quiescent_power must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of devices in the fleet."""
+        return self.voltage.shape[0]
+
+    def energy(self) -> np.ndarray:
+        """Stored energy per device, joules (``1/2 C V^2``)."""
+        return 0.5 * self.capacitance * self.voltage * self.voltage
+
+    def total_energy(self) -> float:
+        """Stored energy summed over the fleet, joules."""
+        return float(np.sum(self.energy()))
+
+    def select(self, indices: Sequence[int]) -> "FleetState":
+        """A new state holding only *indices* (accounting reset)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return FleetState(
+            voltage=self.voltage[idx],
+            capacitance=self.capacitance[idx],
+            esr=self.esr[idx],
+            leak_tau=self.leak_tau[idx],
+            rated_voltage=self.rated_voltage[idx],
+            harvest_voltage=self.harvest_voltage[idx],
+            harvest_power=self.harvest_power[idx],
+            load_power=self.load_power[idx],
+            quiescent_power=self.quiescent_power[idx],
+            in_efficiency=self.in_efficiency[idx],
+            in_v_cold_start=self.in_v_cold_start[idx],
+            in_cold_start_efficiency=self.in_cold_start_efficiency[idx],
+            in_bypass=self.in_bypass[idx],
+            in_v_diode_drop=self.in_v_diode_drop[idx],
+            in_v_charge_target=self.in_v_charge_target[idx],
+            in_min_input_voltage=self.in_min_input_voltage[idx],
+            in_low_voltage_efficiency=self.in_low_voltage_efficiency[idx],
+            in_v_full_efficiency=self.in_v_full_efficiency[idx],
+            out_efficiency=self.out_efficiency[idx],
+            out_quiescent=self.out_quiescent[idx],
+            out_v_in_min=self.out_v_in_min[idx],
+            on=self.on[idx],
+        )

@@ -1,0 +1,124 @@
+"""Backend routing and capability gating for the vec backend.
+
+The contract under test: the vec backend is *routable* — experiments
+declare it, the cache keys carry it, the CLI exposes it — and it is
+*honest* — unsupported scenarios are rejected with reasons, never
+silently handed to the scalar engine.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.temp_alarm import scenario
+from repro.cli import build_parser, main as cli_main
+from repro.errors import ConfigurationError, VecCapabilityError
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.spec import dump_scenario, load_scenario
+from repro.vec import (
+    build_fleet,
+    check_scenario,
+    ensure_supported,
+    vec_capabilities,
+)
+
+
+def _piecewise_scenario():
+    """A scenario the vec backend must reject (time-varying trace)."""
+    doc = json.loads(dump_scenario(scenario(seed=3)))
+    doc["platform"]["harvester"]["irradiance"] = {
+        "kind": "piecewise",
+        "breakpoints": [[10.0, 0.0]],
+        "initial": 24.0,
+    }
+    return load_scenario(json.dumps(doc))
+
+
+class TestCapabilities:
+    def test_temp_alarm_scenario_supported(self):
+        assert check_scenario(scenario(seed=1)) == []
+
+    def test_piecewise_trace_rejected_with_reason(self):
+        reasons = check_scenario(_piecewise_scenario())
+        assert reasons
+        assert any("trace" in reason for reason in reasons)
+
+    def test_ensure_supported_raises_listing_reasons(self):
+        with pytest.raises(VecCapabilityError) as exc:
+            ensure_supported(_piecewise_scenario())
+        assert "vec-info" in str(exc.value)
+
+    def test_no_silent_fallback_in_build_fleet(self):
+        with pytest.raises(VecCapabilityError):
+            build_fleet([_piecewise_scenario()])
+
+    def test_capability_matrix_shape(self):
+        caps = vec_capabilities()
+        assert caps["backend"] == "vec"
+        assert caps["harvesters"]["regulated"] == "supported"
+        assert "rejected" in caps["faults"]
+
+    def test_supported_scenario_builds(self):
+        state = build_fleet([scenario(seed=1), scenario(seed=2)])
+        assert state.n == 2
+        assert (state.capacitance > 0.0).all()
+
+
+class TestRouting:
+    def test_routable_experiments_declare_backend(self):
+        for name in ("fig03", "fig04", "ablation", "power-sweep"):
+            assert get_experiment(name).uses_backend, name
+
+    def test_scalar_backend_keeps_legacy_cache_params(self):
+        exp = get_experiment("fig03")
+        assert "backend" not in exp.params(seed=0, scale=1.0)
+        assert "backend" not in exp.params(seed=0, scale=1.0, backend="scalar")
+
+    def test_vec_backend_key_joins_cache_params(self):
+        exp = get_experiment("fig03")
+        assert exp.params(seed=0, scale=1.0, backend="vec")["backend"] == "vec"
+
+    def test_unroutable_experiment_rejects_vec(self):
+        with pytest.raises(ConfigurationError) as exc:
+            run_experiment("fig02", backend="vec")
+        assert "no 'vec' backend" in str(exc.value)
+        assert "fig03" in str(exc.value)
+
+
+class TestCli:
+    def test_experiment_backend_flag_parses(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig03", "--backend", "vec"]
+        )
+        assert args.backend == "vec"
+
+    def test_spec_check_backend_flag_parses(self, tmp_path):
+        spec = tmp_path / "ok.json"
+        spec.write_text(dump_scenario(scenario(seed=1)))
+        args = build_parser().parse_args(
+            ["spec", "check", str(spec), "--backend", "vec"]
+        )
+        assert args.backend == "vec"
+
+    def test_vec_info_prints_matrix(self, capsys):
+        assert cli_main(["vec-info"]) == 0
+        out = capsys.readouterr().out
+        assert "harvesters" in out
+        assert "power-sweep" in out
+
+    def test_spec_check_vec_passes_supported(self, tmp_path, capsys):
+        spec = tmp_path / "ok.json"
+        spec.write_text(dump_scenario(scenario(seed=1)))
+        assert cli_main(["spec", "check", str(spec), "--backend", "vec"]) == 0
+
+    def test_spec_check_vec_fails_unsupported(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(dump_scenario(_piecewise_scenario()))
+        assert cli_main(["spec", "check", str(spec), "--backend", "vec"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_experiment_unroutable_backend_exits_2(self, capsys):
+        assert cli_main(["experiment", "fig02", "--backend", "vec"]) == 2
+        err = capsys.readouterr().err
+        assert "no 'vec' backend" in err

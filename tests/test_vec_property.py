@@ -1,0 +1,153 @@
+"""Property-based tests on the vectorized fleet kernel (hypothesis).
+
+Randomized fleets pin the physical invariants the step contract must
+hold regardless of parameters:
+
+* **energy is never created** — stored energy never ends above initial
+  stored energy plus harvested input;
+* **the voltage floor is respected** — a device whose terminal voltage
+  falls to its brownout floor is off by the end of the next step, with
+  the brownout counted;
+* **voltages stay in the physical envelope** — non-negative and never
+  above the charge target (or the starting voltage, if it began higher);
+* **the vec kernel and the scalar-compat reference agree** on any
+  randomized fleet, not just the committed golden one.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.bank import BankSpec
+from repro.energy.booster import InputBooster
+from repro.energy.capacitor import (
+    CERAMIC_X5R,
+    EDLC_CPH3225A,
+    TANTALUM_POLYMER,
+)
+from repro.vec import FleetKernel, ScalarFleet, fleet_from_banks
+
+PARTS = [CERAMIC_X5R, TANTALUM_POLYMER, EDLC_CPH3225A]
+
+parts = st.sampled_from(PARTS)
+counts = st.integers(min_value=1, max_value=4)
+harvest_powers = st.floats(
+    min_value=0.0, max_value=2e-2, allow_nan=False, allow_infinity=False
+)
+load_powers = st.floats(
+    min_value=0.0, max_value=8e-3, allow_nan=False, allow_infinity=False
+)
+start_fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+bypasses = st.booleans()
+
+devices = st.tuples(parts, counts, harvest_powers, load_powers,
+                    start_fractions, bypasses)
+fleets = st.lists(devices, min_size=1, max_size=5)
+dts = st.floats(min_value=1e-3, max_value=0.5, allow_nan=False)
+
+
+def _build(fleet_params):
+    banks = [
+        BankSpec.single(f"d{i}", part, count)
+        for i, (part, count, _, _, _, _) in enumerate(fleet_params)
+    ]
+    boosters = [
+        InputBooster(bypass=bypass)
+        for (_, _, _, _, _, bypass) in fleet_params
+    ]
+    state = fleet_from_banks(
+        banks,
+        input_booster=boosters,
+        harvest_power=[hp for (_, _, hp, _, _, _) in fleet_params],
+        load_power=[lp for (_, _, _, lp, _, _) in fleet_params],
+    )
+    # Start each device at a random fraction of its charge target so
+    # the runs explore charging, duty cycling, and brownout regimes.
+    state.voltage = state.charge_target * np.asarray(
+        [frac for (_, _, _, _, frac, _) in fleet_params]
+    )
+    return state
+
+
+class TestEnergyProperties:
+    @given(fleet=fleets, dt=dts)
+    @settings(max_examples=60, deadline=None)
+    def test_energy_never_created(self, fleet, dt):
+        state = _build(fleet)
+        initial = state.total_energy()
+        kernel = FleetKernel(state)
+        for _ in range(30):
+            kernel.step(dt)
+        budget = initial + float(state.energy_in.sum())
+        assert state.total_energy() <= budget * (1 + 1e-9) + 1e-15
+
+    @given(fleet=fleets, dt=dts)
+    @settings(max_examples=60, deadline=None)
+    def test_gross_flows_bound_stored_delta(self, fleet, dt):
+        # Accounting records gross operating-point flows; clipping at
+        # the charge target and quiescent drain only *discard* energy.
+        # So per device: delta stored <= gross in - leaked, and every
+        # flow column is non-negative.
+        state = _build(fleet)
+        initial = state.energy()
+        kernel = FleetKernel(state)
+        for _ in range(30):
+            kernel.step(dt)
+        delta = state.energy() - initial
+        ceiling = state.energy_in - state.energy_leaked
+        assert (delta <= ceiling + np.abs(ceiling) * 1e-9 + 1e-15).all()
+        assert (state.energy_in >= 0.0).all()
+        assert (state.energy_out >= 0.0).all()
+        assert (state.energy_leaked >= 0.0).all()
+
+
+class TestVoltageProperties:
+    @given(fleet=fleets, dt=dts)
+    @settings(max_examples=60, deadline=None)
+    def test_voltage_stays_in_envelope(self, fleet, dt):
+        state = _build(fleet)
+        ceiling = np.maximum(state.charge_target, state.voltage)
+        kernel = FleetKernel(state)
+        for _ in range(30):
+            kernel.step(dt)
+            assert (state.voltage >= 0.0).all()
+            assert (state.voltage <= ceiling + 1e-9).all()
+
+    @given(fleet=fleets, dt=dts)
+    @settings(max_examples=60, deadline=None)
+    def test_floor_respected(self, fleet, dt):
+        # A device at or below its floor browns out on the next step
+        # (counted), and can only be on again afterwards if it fully
+        # recharged to its target within that same step.
+        state = _build(fleet)
+        kernel = FleetKernel(state)
+        for _ in range(30):
+            at_floor = state.voltage <= state.floor + 1e-9
+            was_on = state.on.copy()
+            before = state.brownouts.copy()
+            kernel.step(dt)
+            tripped = at_floor & was_on
+            assert (state.brownouts[tripped] == before[tripped] + 1).all()
+            rewoke = at_floor & state.on
+            assert (
+                state.voltage[rewoke] >= state.charge_target[rewoke] - 1e-3
+            ).all()
+
+
+class TestDifferentialProperty:
+    @given(fleet=fleets, dt=dts)
+    @settings(max_examples=40, deadline=None)
+    def test_vec_matches_scalar_reference(self, fleet, dt):
+        vec_state = _build(fleet)
+        ref_state = _build(fleet)
+        vec = FleetKernel(vec_state)
+        ref = ScalarFleet(ref_state)
+        for _ in range(20):
+            vec.step(dt)
+            ref.step(dt)
+        assert (vec_state.voltage == ref_state.voltage).all()
+        assert (vec_state.on == ref_state.on).all()
+        assert (vec_state.brownouts == ref_state.brownouts).all()
+        np.testing.assert_allclose(
+            vec_state.energy_in, ref_state.energy_in, rtol=1e-12
+        )
