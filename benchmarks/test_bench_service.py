@@ -1,0 +1,95 @@
+"""Service-layer benchmarks: end-to-end job latency under load.
+
+A live :class:`~repro.service.http.BackgroundServer` (real socket, real
+HTTP parsing, real worker pool) is driven by the same load generator
+that backs ``scripts/load_gen.py``.  Two measurements:
+
+* a pytest-benchmark entry timing one full load run (N clients x M
+  requests over K distinct specs), attaching throughput, p50/p99 and
+  the cache-hit ratio as ``extra_info`` so ``--benchmark-json``
+  snapshots carry the serving numbers alongside the simulation ones;
+* an explicit gate (``test_service_load_floor``) asserting the hit
+  ratio stays above ``REPRO_SERVICE_HIT_RATIO_MIN`` (default 0.5: with
+  2 distinct specs, everything after the first pair of misses must be
+  served from cache) and, when ``REPRO_SERVICE_P99_MAX`` is set, that
+  p99 latency stays under it.  CI's ``service-smoke`` job exercises the
+  same gate through the script entry point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.app import ServiceConfig
+from repro.service.http import BackgroundServer
+from repro.service.loadgen import default_scenarios, run_load
+
+#: The benchmark workload: small enough for CI, repeats guarantee hits.
+CLIENTS = 4
+REQUESTS = 6
+DISTINCT = 2
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    config = ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+    with BackgroundServer(config) as server:
+        yield server
+
+
+def test_service_load(benchmark, tmp_path):
+    """One full load run per round against a fresh service."""
+    scenarios = default_scenarios(DISTINCT, seed=0)
+
+    def run_round():
+        config = ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+        with BackgroundServer(config) as server:
+            return run_load(
+                server.url(""),
+                clients=CLIENTS,
+                requests_per_client=REQUESTS,
+                scenarios=scenarios,
+            )
+
+    report = benchmark.pedantic(run_round, rounds=3, iterations=1)
+    snap = report.snapshot()
+    benchmark.extra_info["throughput_rps"] = snap["throughput_rps"]
+    benchmark.extra_info["hit_ratio"] = snap["hit_ratio"]
+    benchmark.extra_info["p50_seconds"] = snap["latency_seconds"]["p50"]
+    benchmark.extra_info["p99_seconds"] = snap["latency_seconds"]["p99"]
+    assert report.completed == CLIENTS * REQUESTS
+    assert report.errors == 0
+
+
+def test_service_load_floor(live_service):
+    """Gated floor: the cache must absorb repeat submissions."""
+    hit_floor = float(os.environ.get("REPRO_SERVICE_HIT_RATIO_MIN", "0.5"))
+    p99_ceiling = os.environ.get("REPRO_SERVICE_P99_MAX")
+
+    report = run_load(
+        live_service.url(""),
+        clients=CLIENTS,
+        requests_per_client=REQUESTS,
+        distinct=DISTINCT,
+        seed=0,
+    )
+    snap = report.snapshot()
+    print(
+        f"\nservice load: {snap['throughput_rps']} req/s, "
+        f"hit ratio {snap['hit_ratio']}, "
+        f"p50 {snap['latency_seconds']['p50']}s, "
+        f"p99 {snap['latency_seconds']['p99']}s"
+    )
+    assert report.errors == 0
+    assert report.completed == CLIENTS * REQUESTS
+    assert report.hit_ratio >= hit_floor, (
+        f"cache-hit ratio {report.hit_ratio:.3f} below floor {hit_floor} "
+        f"({report.cache_hits}/{report.completed} hits)"
+    )
+    if p99_ceiling is not None:
+        p99 = snap["latency_seconds"]["p99"]
+        assert p99 <= float(p99_ceiling), (
+            f"p99 latency {p99}s exceeds REPRO_SERVICE_P99_MAX={p99_ceiling}"
+        )

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Drive N concurrent clients against a repro job service.
+
+Thin CLI over :mod:`repro.service.loadgen`: every client submits jobs
+cycling through a handful of distinct scenario specs (so repeats
+exercise the result cache), polls each to completion, and the run
+aggregates throughput, p50/p90/p99 latency, and the cache-hit ratio.
+
+Point it at a running ``repro serve`` with ``--url``, or let it boot a
+throwaway in-process service with ``--self-host`` (the mode the
+``service-smoke`` CI job uses — no subprocess choreography needed).
+
+Usage::
+
+    python scripts/load_gen.py --self-host --clients 4 --requests 8
+    python scripts/load_gen.py --url http://127.0.0.1:8787 --json out.json
+    python scripts/load_gen.py --self-host --min-hit-ratio 0.5   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="base URL of a running service (e.g. http://127.0.0.1:8787)",
+    )
+    parser.add_argument(
+        "--self-host", action="store_true",
+        help="boot an in-process service for the duration of the run",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests", type=int, default=8, help="jobs per client"
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=2,
+        help="distinct scenario specs cycled across submissions",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --self-host (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-job seconds"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the machine-readable snapshot to FILE",
+    )
+    parser.add_argument(
+        "--min-hit-ratio", type=float, default=None,
+        help="exit non-zero if the cache-hit ratio falls below this",
+    )
+    parser.add_argument(
+        "--max-p99", type=float, default=None,
+        help="exit non-zero if p99 latency (seconds) exceeds this",
+    )
+    args = parser.parse_args(argv)
+
+    if bool(args.url) == bool(args.self_host):
+        parser.error("exactly one of --url or --self-host is required")
+
+    from repro.service.loadgen import run_load
+
+    with contextlib.ExitStack() as stack:
+        if args.self_host:
+            import tempfile
+
+            from repro.service.app import ServiceConfig
+            from repro.service.http import BackgroundServer
+
+            cache_dir = Path(stack.enter_context(tempfile.TemporaryDirectory()))
+            server = stack.enter_context(
+                BackgroundServer(
+                    ServiceConfig(jobs=args.jobs, cache_dir=cache_dir)
+                )
+            )
+            base_url = server.url("")
+            print(f"[load-gen] self-hosted service at {base_url}")
+        else:
+            base_url = args.url
+
+        report = run_load(
+            base_url,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            distinct=args.distinct,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+
+    print(report.format(), end="")
+    snapshot = report.snapshot()
+    if args.json is not None:
+        args.json.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"[load-gen] snapshot written to {args.json}")
+
+    failures = []
+    if report.errors:
+        failures.append(f"{report.errors} requests errored")
+    if args.min_hit_ratio is not None and report.hit_ratio < args.min_hit_ratio:
+        failures.append(
+            f"cache-hit ratio {report.hit_ratio:.3f} < floor {args.min_hit_ratio}"
+        )
+    if args.max_p99 is not None:
+        p99 = snapshot["latency_seconds"]["p99"]
+        if p99 > args.max_p99:
+            failures.append(f"p99 {p99}s > ceiling {args.max_p99}s")
+    for failure in failures:
+        print(f"[load-gen] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

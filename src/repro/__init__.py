@@ -25,6 +25,10 @@ The curated public API lives at this top level:
   (:mod:`repro.faults`): declarative, hashable schedules of harvester
   blackouts, brown-outs, component degradation, and campaign worker
   chaos, replayable bit-identically for a fixed seed.
+* :class:`JobRequest` / :class:`JobStatus` / :class:`JobResult` — the
+  job-service wire format (:mod:`repro.service`): submit canonical
+  scenario JSON to a long-lived ``repro serve`` instance and get back
+  results bit-identical to a local ``repro run --spec``.
 * :mod:`repro.units` — unit helpers (``micro_farads``, ``milli_watts``,
   ...), re-exported here for convenience.
 
@@ -51,8 +55,6 @@ Quickstart::
     print(len(trace.packets), "alarm packets")
     print(tel.metrics.counter("kernel.reboots").value, "reboots")
 """
-
-import warnings as _warnings
 
 from repro.core import EnergyMode, ModeRegistry, SystemKind
 from repro.core.builder import SystemBuilder
@@ -82,10 +84,16 @@ from repro.units import (
     watts,
 )
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
+
+#: Generation of the frozen public facade.  Everything in ``__all__`` is
+#: covered by this contract; the service health endpoint reports it so
+#: remote clients can verify compatibility before submitting work.
+__api_version__ = "v1"
 
 __all__ = [
     "__version__",
+    "__api_version__",
     # systems
     "PowerSystem",
     "SystemBuilder",
@@ -120,6 +128,10 @@ __all__ = [
     "dump_fault_schedule",
     "fault_schedule_hash",
     "apply_faults",
+    # job service wire format (lazily resolved)
+    "JobRequest",
+    "JobStatus",
+    "JobResult",
     # errors
     "ReproError",
     # unit helpers
@@ -139,16 +151,6 @@ __all__ = [
     "capacitor_energy",
     "voltage_for_energy",
 ]
-
-#: Deprecated top-level names -> (replacement hint, loader).  Served via
-#: module ``__getattr__`` so old imports keep working with a warning;
-#: the deep module paths (``repro.core.builder`` etc.) are unaffected.
-_DEPRECATED = {
-    "CapybaraPowerSystem": "repro.PowerSystem",
-    "build_capybara_system": "repro.SystemBuilder or repro.core.build_capybara_system",
-    "build_fixed_system": "repro.SystemBuilder or repro.core.build_fixed_system",
-}
-
 
 def __getattr__(name: str):
     # Experiment entry points import lazily: the experiments package
@@ -191,13 +193,10 @@ def __getattr__(name: str):
         from repro import faults as _faults
 
         return getattr(_faults, name)
-    if name in _DEPRECATED:
-        _warnings.warn(
-            f"repro.{name} is deprecated; use {_DEPRECATED[name]}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro import core as _core
+    # Service wire format: pulling in repro.service (asyncio, the worker
+    # pool) stays off the `import repro` critical path.
+    if name in ("JobRequest", "JobStatus", "JobResult"):
+        from repro.service import jobs as _jobs
 
-        return getattr(_core, name)
+        return getattr(_jobs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,39 +1,43 @@
 """Command-line interface.
 
-Five subcommands drive the library without writing Python::
+The verbs share one flag vocabulary (``--spec``, ``--inject``,
+``--backend``, ``--jobs``, ``--metrics-out``/``--trace-out``) through
+common argparse parents, so a flag means the same thing everywhere it
+appears::
 
     python -m repro.cli list
+    python -m repro.cli info                     # version + backend matrix
+    python -m repro.cli info --check specs/*.json --backend vec
     python -m repro.cli run-app temp-alarm --system CB-P --events 5
     python -m repro.cli run --spec scenario.json --system Fixed
     python -m repro.cli spec dump temp-alarm > scenario.json
-    python -m repro.cli spec check tests/golden/specs/*.json
     python -m repro.cli experiment fig08 --scale 0.2
     python -m repro.cli experiment all --scale 0.5 --metrics-out m.jsonl
+    python -m repro.cli serve --port 8787 --jobs 4
+    python -m repro.cli submit --spec scenario.json --url http://host:8787
 
-``run-app`` executes one evaluation application on one power system and
-prints a trace summary (optionally exporting the full trace as JSON);
+``run-app`` executes one evaluation application on one power system;
 ``run`` does the same from a declarative scenario JSON file
-(:mod:`repro.spec`); ``spec dump`` prints the scenario an app or a
-registered experiment declares, and ``spec check`` validates scenario
-files; ``experiment`` regenerates a paper figure; ``list`` enumerates
-everything.  The experiment names come straight from the experiment
-registry (:mod:`repro.experiments.registry`) — registering a new
-experiment in :mod:`repro.experiments.suite` makes it listable and
-runnable here with no CLI changes.
+(:mod:`repro.spec`); ``experiment`` regenerates a paper figure;
+``serve`` boots the long-lived job service (:mod:`repro.service`) and
+``submit`` sends a scenario to one — printing the byte-identical
+summary a local ``run --spec`` would; ``info`` reports the API version
+and per-backend capability matrix (absorbing the older ``vec-info`` and
+``spec check`` spellings, which still work with a deprecation notice);
+``spec dump`` prints the scenario an app or experiment declares;
+``list`` enumerates everything.
 
-``--metrics-out``/``--trace-out`` opt the run into the observability
-layer (:mod:`repro.observability`) and dump canonical JSONL.
-``--inject faults.json`` arms a :mod:`repro.faults` schedule: ``run``
-and ``run-app`` apply its simulation faults (harvester blackouts,
-brown-out sags, ESR/leakage spikes, stuck switches) to the instance
-before running; ``experiment all`` applies its ``worker_crash`` faults
-as deterministic campaign chaos.
+``--metrics-out``/``--trace-out`` opt any run into the observability
+layer and dump canonical JSONL.  ``--inject faults.json`` arms a
+:mod:`repro.faults` schedule: simulation faults for single runs,
+``worker_crash`` campaign chaos for ``experiment all`` and ``serve``.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 import warnings
 from pathlib import Path
@@ -42,7 +46,6 @@ from typing import Callable, Dict, List, Optional
 from repro.apps import GRCVariant, build_csr, build_grc, build_temp_alarm
 from repro.apps.base import AppInstance
 from repro.core.builder import SystemKind
-from repro.sim.export import save_trace_json
 
 #: Application name -> builder taking (kind, seed, event_count).
 APP_BUILDERS: Dict[str, Callable[..., AppInstance]] = {
@@ -61,6 +64,9 @@ APP_BUILDERS: Dict[str, Callable[..., AppInstance]] = {
 }
 
 _SYSTEM_BY_NAME = {kind.value: kind for kind in SystemKind}
+
+#: Default URL `submit` talks to (the `serve` default port).
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8787"
 
 
 def _experiment_names() -> List[str]:
@@ -100,6 +106,61 @@ def _writable_path(text: str) -> Path:
             f"directory {path.parent} does not exist"
         )
     return path
+
+
+# ---------------------------------------------------------------------------
+# Shared flag vocabulary (argparse parents)
+# ---------------------------------------------------------------------------
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
+        help="write run metrics as JSONL to FILE",
+    )
+    parent.add_argument(
+        "--trace-out", type=_writable_path, default=None, metavar="FILE",
+        help="write structured trace records as JSONL to FILE",
+    )
+    return parent
+
+
+def _inject_parent(help_text: Optional[str] = None) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--inject", type=str, default=None, metavar="FILE",
+        help=help_text
+        or "fault schedule JSON to apply before running (repro.faults)",
+    )
+    return parent
+
+
+def _backend_parent(help_text: Optional[str] = None) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend", choices=["scalar", "vec"], default="scalar",
+        help=help_text or "simulation engine (see `repro info`)",
+    )
+    return parent
+
+
+def _jobs_parent(help_text: Optional[str] = None) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help=help_text
+        or "worker processes, >= 1 (default: REPRO_JOBS or CPU count)",
+    )
+    return parent
+
+
+def _spec_parent(required: bool = True) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--spec", required=required, metavar="FILE",
+        help="scenario JSON produced by `spec dump` or written by hand",
+    )
+    return parent
 
 
 # ---------------------------------------------------------------------------
@@ -172,13 +233,10 @@ def _report_run(
     args: argparse.Namespace,
 ) -> None:
     """Trace summary shared by ``run-app`` and ``run --spec``."""
-    print(f"{instance.name} on {kind.value}: {horizon:.0f} s simulated")
-    for counter in sorted(trace.counters):
-        print(f"  {counter:24s} {trace.counters[counter]}")
-    print(f"  {'samples':24s} {len(trace.samples)}")
-    print(f"  {'packets':24s} {len(trace.packets)}")
-    reported = trace.reported_event_ids()
-    print(f"  {'events reported':24s} {len(reported)} / {len(instance.schedule)}")
+    from repro.service.runner import format_run_summary
+    from repro.sim.export import save_trace_json
+
+    print(format_run_summary(instance, kind, horizon, trace), end="")
     if args.export:
         path = save_trace_json(trace, args.export)
         print(f"trace exported to {path}")
@@ -187,6 +245,14 @@ def _report_run(
 def _cmd_run_app(args: argparse.Namespace) -> int:
     from repro.observability.telemetry import Telemetry, telemetry_scope
 
+    if args.backend != "scalar":
+        print(
+            f"error: run-app is a single-device scalar path; the "
+            f"{args.backend!r} backend routes grid experiments "
+            f"(`repro experiment ... --backend {args.backend}`)",
+            file=sys.stderr,
+        )
+        return 2
     builder = APP_BUILDERS[args.app]
     kind = _SYSTEM_BY_NAME[args.system]
     schedule = _load_inject(args)
@@ -216,39 +282,49 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_spec(args: argparse.Namespace) -> int:
+    """``run --spec``: one scenario through the shared service runner.
+
+    Routing through :func:`repro.service.runner.run_scenario_job` — the
+    exact function service workers execute — is what keeps CLI output
+    and HTTP job results byte-identical for the same
+    spec/fault/backend.
+    """
     from repro.errors import SpecError
-    from repro.observability.telemetry import Telemetry, telemetry_scope
-    from repro.spec import build_scenario_app, load_scenario
+    from repro.service.runner import run_scenario_job
+    from repro.spec import canonical_json, load_scenario
 
     try:
         scenario = load_scenario(Path(args.spec))
+        faults_json = None
+        schedule = _load_inject(args)
+        if schedule is not None:
+            from repro.faults import dump_fault_schedule
+
+            faults_json = dump_fault_schedule(schedule, pretty=False)
+        collect = _wants_telemetry(args)
+        result = run_scenario_job(
+            canonical_json(scenario),
+            system=args.system,
+            horizon=args.horizon,
+            faults_json=faults_json,
+            backend=args.backend,
+            collect=collect,
+        )
     except (SpecError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    kind = SystemKind.from_name(args.system or scenario.system)
-    fault_schedule = _load_inject(args)
-    telemetry = Telemetry() if _wants_telemetry(args) else None
-    scope = (
-        telemetry_scope(telemetry)
-        if telemetry is not None
-        else contextlib.nullcontext()
-    )
-    with scope:
-        instance = build_scenario_app(scenario, kind=kind)
-        if fault_schedule is not None:
-            from repro.faults import apply_faults
+    print(result["summary"], end="")
+    if args.export:
+        path = Path(args.export)
+        with path.open("w") as handle:
+            json.dump(result["trace"], handle, indent=1)
+        print(f"trace exported to {path}")
+    if collect:
+        from repro.observability.telemetry import Telemetry
 
-            apply_faults(instance, fault_schedule, telemetry=telemetry)
-        horizon = (
-            args.horizon
-            if args.horizon is not None
-            else instance.schedule.horizon + 60.0
-        )
-        trace = instance.run(horizon)
-
-    _report_run(instance, kind, horizon, trace, args)
-    if telemetry is not None:
-        _dump_telemetry(telemetry, scope=scenario.name, args=args)
+        telemetry = Telemetry()
+        telemetry.merge_snapshot(result["telemetry"] or {})
+        _dump_telemetry(telemetry, scope=result["scenario"], args=args)
     return 0
 
 
@@ -286,11 +362,38 @@ def _scenario_for_name(name: str, seed: int, scale: float) -> List:
     )
 
 
-def _cmd_spec(args: argparse.Namespace) -> int:
-    import json
-
+def _check_spec_files(files: List[str], backend: str) -> int:
+    """Validate scenario files (shared by `info --check` / `spec check`)."""
     from repro.errors import SpecError
-    from repro.spec import dump_scenario, load_scenario, spec_hash
+    from repro.spec import load_scenario, spec_hash
+
+    failures = 0
+    for name in files:
+        try:
+            scenario = load_scenario(Path(name))
+        except (SpecError, OSError, ValueError) as error:
+            print(f"FAIL {name}: {error}")
+            failures += 1
+            continue
+        if backend == "vec":
+            from repro.vec import check_scenario
+
+            reasons = check_scenario(scenario)
+            if reasons:
+                listing = "; ".join(reasons)
+                print(f"FAIL {name}: vec backend cannot run this scenario: {listing}")
+                failures += 1
+                continue
+        print(f"ok   {name}  {scenario.name}  sha256:{spec_hash(scenario)[:12]}")
+    if failures:
+        print(f"{failures}/{len(files)} scenario files failed validation")
+        return 1
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.spec import dump_scenario
 
     if args.spec_command == "dump":
         try:
@@ -325,52 +428,64 @@ def _cmd_spec(args: argparse.Namespace) -> int:
             print(text, end="")
         return 0
 
-    # spec check
-    backend = getattr(args, "backend", "scalar")
-    failures = 0
-    for name in args.files:
-        try:
-            scenario = load_scenario(Path(name))
-        except (SpecError, OSError, ValueError) as error:
-            print(f"FAIL {name}: {error}")
-            failures += 1
-            continue
-        if backend == "vec":
-            from repro.vec import check_scenario
-
-            reasons = check_scenario(scenario)
-            if reasons:
-                listing = "; ".join(reasons)
-                print(f"FAIL {name}: vec backend cannot run this scenario: {listing}")
-                failures += 1
-                continue
-        print(f"ok   {name}  {scenario.name}  sha256:{spec_hash(scenario)[:12]}")
-    if failures:
-        print(f"{failures}/{len(args.files)} scenario files failed validation")
-        return 1
-    return 0
+    # spec check (deprecated spelling of `repro info --check`)
+    print(
+        "note: `repro spec check` is deprecated; use "
+        "`repro info --check FILE... [--backend vec]`",
+        file=sys.stderr,
+    )
+    return _check_spec_files(args.files, getattr(args, "backend", "scalar"))
 
 
-def _cmd_vec_info(_: argparse.Namespace) -> int:
-    """Print the vectorized backend's feature matrix."""
-    from repro.vec import vec_capabilities
-
+def _print_backend_matrix() -> None:
+    """The per-backend capability matrix `info` and `vec-info` print."""
+    print(
+        "backends:\n"
+        "  scalar     full simulation engine: every app, experiment, "
+        "and fault kind"
+    )
+    try:
+        from repro.vec import vec_capabilities
+    except ImportError:  # pragma: no cover - numpy-less installs
+        print("  vec        unavailable (numpy not installed)")
+        return
     info = vec_capabilities()
-    print(f"backend: {info['backend']}")
-    print("harvesters:")
+    print(f"  {info['backend']:10s} struct-of-arrays fleet kernel:")
+    print("    harvesters:")
     for kind, text in info["harvesters"].items():
-        print(f"  {kind:10s} {text}")
-    print("systems:")
+        print(f"      {kind:10s} {text}")
+    print("    systems:")
     for kind, text in info["systems"].items():
-        print(f"  {kind:10s} {text}")
+        print(f"      {kind:10s} {text}")
     for key in ("boosters", "limiter", "reconfiguration", "faults", "workloads"):
-        print(f"{key}: {info[key]}")
+        print(f"    {key}: {info[key]}")
     print(
         "\nroutable experiments (repro experiment NAME --backend vec): "
         "fig03, fig04, ablation, power-sweep"
     )
-    print("spec validation: repro spec check --backend vec FILE...")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    """Version, API generation, backend matrix, optional spec checks."""
+    import repro
+
+    if getattr(args, "check", None):
+        return _check_spec_files(args.check, args.backend)
+    print(f"repro {repro.__version__} — public API {repro.__api_version__}")
+    _print_backend_matrix()
+    print("spec validation: repro info --check FILE... [--backend vec]")
+    print(f"service: repro serve / repro submit (default {DEFAULT_SERVICE_URL})")
     return 0
+
+
+def _cmd_vec_info(args: argparse.Namespace) -> int:
+    """Deprecated spelling of ``repro info``."""
+    print(
+        "note: `repro vec-info` is deprecated; use `repro info`",
+        file=sys.stderr,
+    )
+    print("harvesters, systems and the rest of the vec feature matrix:")
+    return _cmd_info(args)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -386,7 +501,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             clear_cache=args.clear_cache,
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
-            inject=args.inject,
+            inject=Path(args.inject) if args.inject is not None else None,
             backend=args.backend,
         )
         return 0
@@ -413,6 +528,127 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the long-lived job service (blocks until interrupted)."""
+    from repro.experiments.parallel import RetryPolicy
+    from repro.service.app import ServiceConfig
+    from repro.service.http import run_service
+
+    chaos = None
+    schedule = _load_inject(args)
+    if schedule is not None:
+        from repro.faults import build_injector
+
+        chaos = build_injector(schedule).worker_chaos()
+        if chaos is None:
+            print(
+                f"[faults] note: schedule {schedule.name!r} arms no "
+                f"worker_crash faults; serving runs clean",
+            )
+    config = ServiceConfig(
+        jobs=args.jobs if args.jobs is not None else 1,
+        queue_limit=args.queue_limit,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        cache_dir=Path(args.cache_dir) if args.cache_dir is not None else None,
+        use_cache=not args.no_cache,
+        retry=RetryPolicy(seed=args.seed),
+        chaos=chaos,
+    )
+    run_service(
+        config,
+        host=args.host,
+        port=args.port,
+        ready=lambda port: print(
+            f"[service] listening on http://{args.host}:{port} "
+            f"(jobs={config.jobs}, queue={config.queue_limit}, "
+            f"quota={config.quota_rate}/s burst {config.quota_burst})",
+            flush=True,
+        ),
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a scenario to a running service and print its summary."""
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.errors import SpecError
+    from repro.spec import load_scenario
+
+    try:
+        scenario = load_scenario(Path(args.spec))
+    except (SpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload: Dict[str, object] = {"scenario": scenario.to_dict()}
+    if args.system is not None:
+        payload["system"] = args.system
+    if args.horizon is not None:
+        payload["horizon"] = args.horizon
+    if args.backend != "scalar":
+        payload["backend"] = args.backend
+    schedule = _load_inject(args)
+    if schedule is not None:
+        payload["faults"] = schedule.to_dict()
+
+    base = args.url.rstrip("/")
+
+    def _call(url: str, data: Optional[bytes] = None) -> Dict[str, object]:
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={
+                "content-type": "application/json",
+                "x-client-id": args.client_id,
+            },
+            method="POST" if data is not None else "GET",
+        )
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            return json.loads(response.read().decode())
+
+    try:
+        status = _call(f"{base}/v1/jobs", json.dumps(payload).encode())
+        job_id = status["job_id"]
+        deadline = time.monotonic() + args.timeout
+        while status.get("state") not in ("done", "failed"):
+            if time.monotonic() >= deadline:
+                print(
+                    f"error: job {job_id} still {status.get('state')!r} "
+                    f"after {args.timeout}s",
+                    file=sys.stderr,
+                )
+                return 3
+            time.sleep(0.05)
+            status = _call(f"{base}/v1/jobs/{job_id}")
+        if status.get("state") == "failed":
+            print(
+                f"error: job {job_id} failed: {status.get('detail', '?')}",
+                file=sys.stderr,
+            )
+            return 1
+        result = _call(f"{base}/v1/jobs/{job_id}/result")
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode(errors="replace")
+        print(f"error: service returned {error.code}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as error:
+        print(f"error: cannot reach service at {base}: {error}", file=sys.stderr)
+        return 1
+
+    body = result.get("result") or {}
+    print(body.get("summary", ""), end="")
+    if args.metrics_out is not None or args.trace_out is not None:
+        from repro.observability.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.merge_snapshot(body.get("telemetry") or {})
+        _dump_telemetry(telemetry, scope=body.get("scenario", "job"), args=args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -420,10 +656,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    telemetry_parent = _telemetry_parent()
+    inject_parent = _inject_parent()
+    backend_parent = _backend_parent()
+
     list_parser = sub.add_parser("list", help="enumerate apps and experiments")
     list_parser.set_defaults(func=_cmd_list)
 
-    run_parser = sub.add_parser("run-app", help="run one app on one system")
+    info_parser = sub.add_parser(
+        "info",
+        parents=[_backend_parent("backend the --check validation targets")],
+        help="version, API generation, and per-backend capabilities",
+    )
+    info_parser.add_argument(
+        "--check", nargs="+", default=None, metavar="FILE",
+        help="validate scenario JSON files instead of printing capabilities",
+    )
+    info_parser.set_defaults(func=_cmd_info)
+
+    run_parser = sub.add_parser(
+        "run-app",
+        parents=[inject_parent, backend_parent, telemetry_parent],
+        help="run one app on one system",
+    )
     run_parser.add_argument("app", choices=sorted(APP_BUILDERS))
     run_parser.add_argument(
         "--system",
@@ -438,26 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--export", type=str, default=None, help="write the trace to this JSON file"
     )
-    run_parser.add_argument(
-        "--inject", type=str, default=None, metavar="FILE",
-        help="fault schedule JSON to apply before running (repro.faults)",
-    )
-    run_parser.add_argument(
-        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
-        help="write run metrics as JSONL to FILE",
-    )
-    run_parser.add_argument(
-        "--trace-out", type=_writable_path, default=None, metavar="FILE",
-        help="write structured trace records as JSONL to FILE",
-    )
     run_parser.set_defaults(func=_cmd_run_app)
 
     spec_run = sub.add_parser(
-        "run", help="run a declarative scenario spec (JSON file)"
-    )
-    spec_run.add_argument(
-        "--spec", required=True, metavar="FILE",
-        help="scenario JSON produced by `spec dump` or written by hand",
+        "run",
+        parents=[_spec_parent(), inject_parent, backend_parent, telemetry_parent],
+        help="run a declarative scenario spec (JSON file)",
     )
     spec_run.add_argument(
         "--system", default=None, metavar="KIND",
@@ -468,18 +709,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     spec_run.add_argument(
         "--export", type=str, default=None, help="write the trace to this JSON file"
-    )
-    spec_run.add_argument(
-        "--inject", type=str, default=None, metavar="FILE",
-        help="fault schedule JSON to apply before running (repro.faults)",
-    )
-    spec_run.add_argument(
-        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
-        help="write run metrics as JSONL to FILE",
-    )
-    spec_run.add_argument(
-        "--trace-out", type=_writable_path, default=None, metavar="FILE",
-        help="write structured trace records as JSONL to FILE",
     )
     spec_run.set_defaults(func=_cmd_run_spec)
 
@@ -508,33 +737,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dump_parser.set_defaults(func=_cmd_spec)
     check_parser = spec_sub.add_parser(
-        "check", help="validate scenario JSON files"
+        "check",
+        parents=[_backend_parent("also require support by this backend")],
+        help="validate scenario JSON files (deprecated: repro info --check)",
     )
     check_parser.add_argument("files", nargs="+", metavar="FILE")
-    check_parser.add_argument(
-        "--backend", choices=["scalar", "vec"], default="scalar",
-        help="also require support by this simulation backend",
-    )
     check_parser.set_defaults(func=_cmd_spec)
 
     vec_info_parser = sub.add_parser(
-        "vec-info", help="show the vectorized backend's supported features"
+        "vec-info",
+        parents=[_backend_parent("ignored (kept for flag compatibility)")],
+        help="deprecated: use `repro info`",
     )
-    vec_info_parser.set_defaults(func=_cmd_vec_info)
+    vec_info_parser.set_defaults(func=_cmd_vec_info, check=None)
 
-    exp_parser = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp_parser = sub.add_parser(
+        "experiment",
+        parents=[
+            _inject_parent(
+                "fault schedule JSON; `all` injects its worker_crash "
+                "faults as campaign chaos"
+            ),
+            _backend_parent(
+                "simulation engine for backend-routable experiments "
+                "(fig03, fig04, ablation, power-sweep; see `repro info`)"
+            ),
+            _jobs_parent("worker processes for `all`, >= 1"),
+            telemetry_parent,
+        ],
+        help="regenerate a paper figure",
+    )
     exp_parser.add_argument("name", choices=_experiment_names())
     exp_parser.add_argument("--seed", type=int, default=0)
     exp_parser.add_argument("--scale", type=float, default=0.25)
-    exp_parser.add_argument(
-        "--backend", choices=["scalar", "vec"], default="scalar",
-        help="simulation engine for backend-routable experiments "
-        "(fig03, fig04, ablation, power-sweep; see `repro vec-info`)",
-    )
-    exp_parser.add_argument(
-        "--jobs", type=_positive_int, default=None,
-        help="worker processes for `all`, >= 1 (default: REPRO_JOBS or CPU count)",
-    )
     exp_parser.add_argument(
         "--serial", action="store_true",
         help="force single-process execution for `all`",
@@ -547,20 +782,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="drop cached `all` results before running",
     )
-    exp_parser.add_argument(
-        "--inject", type=Path, default=None, metavar="FILE",
-        help="fault schedule JSON; `all` injects its worker_crash faults "
-        "as campaign chaos",
-    )
-    exp_parser.add_argument(
-        "--metrics-out", type=_writable_path, default=None, metavar="FILE",
-        help="write metrics as JSONL to FILE",
-    )
-    exp_parser.add_argument(
-        "--trace-out", type=_writable_path, default=None, metavar="FILE",
-        help="write structured trace records as JSONL to FILE",
-    )
     exp_parser.set_defaults(func=_cmd_experiment)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        parents=[
+            _inject_parent(
+                "fault schedule JSON; its worker_crash faults become "
+                "deterministic chaos against served jobs"
+            ),
+            _jobs_parent("service worker processes (default: 1)"),
+        ],
+        help="boot the long-lived simulation job service (repro.service)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8787)
+    serve_parser.add_argument(
+        "--queue-limit", type=_positive_int, default=16,
+        help="maximum queued jobs before 503s (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--quota-rate", type=float, default=32.0,
+        help="per-client requests/second before 429s (<= 0 disables)",
+    )
+    serve_parser.add_argument(
+        "--quota-burst", type=float, default=64.0,
+        help="per-client burst allowance (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: .repro-cache or REPRO_CACHE_DIR)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="retry-jitter seed"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        parents=[
+            _spec_parent(),
+            inject_parent,
+            backend_parent,
+            telemetry_parent,
+        ],
+        help="submit a scenario to a running service and print the result",
+    )
+    submit_parser.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    submit_parser.add_argument(
+        "--system", default=None, metavar="KIND",
+        help="override the spec's system (Pwr, Fixed, CB-R, CB-P)",
+    )
+    submit_parser.add_argument(
+        "--horizon", type=float, default=None, help="seconds (default: schedule + 60)"
+    )
+    submit_parser.add_argument(
+        "--client-id", default="cli", help="x-client-id header (quota identity)"
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="seconds to wait for completion (default: 120)",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
 
     return parser
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading as _threading
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -305,6 +306,138 @@ def parallel_map(
                         report.timings.append(TaskTiming(label, seconds, attempt))
                     break
     return outputs
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool (long-lived callers: the job service)
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """A process pool that survives across jobs instead of per call.
+
+    :func:`parallel_map` tears its ``ProcessPoolExecutor`` down after
+    every batch — the right shape for a one-shot CLI run, the wrong one
+    for a long-lived service where pool spin-up would dominate small
+    jobs.  This class keeps one executor alive across any number of
+    :meth:`run_task` calls and makes teardown **idempotent**: a pool
+    shared between a request handler and a process-exit hook may see
+    ``shutdown`` twice (or concurrently), and the second call must be a
+    no-op rather than double-joining workers.
+
+    ``jobs=1`` runs tasks inline in the calling thread — same retry and
+    chaos semantics, no subprocess — which is also the graceful-fallback
+    path when a task cannot be pickled.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self._lock = _threading.Lock()
+        #: Tasks handed to :meth:`run_task` over the pool's lifetime
+        #: (cache hits served without touching the pool leave this
+        #: untouched — the service tests assert exactly that).
+        self.tasks_run = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return "serial" if self.jobs == 1 else "process-pool"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("WorkerPool is shut down")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Release the workers.  Safe to call any number of times.
+
+        The executor reference is swapped out under the lock before the
+        (blocking) join, so a second caller — another thread, an atexit
+        hook, a ``with`` block unwinding after an explicit shutdown —
+        observes ``None`` and returns immediately instead of joining
+        half-dead worker processes a second time.
+        """
+        with self._lock:
+            if self._closed and self._executor is None:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    #: Alias so the pool can sit wherever an Executor-shaped object is
+    #: expected for cleanup.
+    close = shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- execution ------------------------------------------------------
+
+    def run_task(
+        self,
+        fn: Callable[..., T],
+        args: Tuple[Any, ...],
+        label: str = "task",
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[WorkerChaos] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> Tuple[T, TaskTiming]:
+        """Run one task to completion under the retry/chaos contract.
+
+        Blocking; callers that must not block (the asyncio service) wrap
+        this in a thread.  Semantics match :func:`parallel_map` with
+        ``on_error="raise"``: *chaos* may kill attempts deterministically
+        per ``(label, attempt)``, *retry* re-runs them with backoff, and
+        the task's last error propagates once attempts are exhausted.
+        """
+        if self._closed:
+            raise ConfigurationError("WorkerPool is shut down")
+        telemetry = resolve_telemetry(telemetry)
+        max_attempts = retry.max_attempts if retry is not None else 1
+        use_pool = (
+            self.jobs > 1
+            and _picklable(fn, list(args))
+            and (chaos is None or _picklable(chaos))
+        )
+        self.tasks_run += 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                if use_pool:
+                    future = self._ensure_executor().submit(
+                        _attempt_call, fn, args, chaos, label, attempt
+                    )
+                    result, seconds = future.result()
+                else:
+                    result, seconds = _attempt_call(fn, args, chaos, label, attempt)
+            except Exception as error:
+                last_error = error
+                if attempt >= max_attempts:
+                    if telemetry.enabled:
+                        telemetry.inc("campaign.gave_up")
+                    raise
+                if telemetry.enabled:
+                    telemetry.inc("campaign.retries")
+                if retry is not None:
+                    delay = retry.delay(label, attempt)
+                    if delay > 0.0:
+                        _time.sleep(delay)
+            else:
+                return result, TaskTiming(label, seconds, attempt)
+        raise last_error  # pragma: no cover - unreachable (loop raises)
 
 
 # ---------------------------------------------------------------------------

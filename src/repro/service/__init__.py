@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: a long-lived async job service.
+
+The spec layer (:mod:`repro.spec`) was built to be a wire format; this
+package puts a service in front of it.  Canonical
+ScenarioSpec/FaultScheduleSpec JSON goes in over HTTP, is validated and
+hashed at the edge, and either replays instantly from the shared result
+cache or queues onto a persistent worker pool — the same
+:mod:`repro.experiments.parallel` machinery, RetryPolicy and
+WorkerChaos included, that the campaign layer already trusts.
+
+* :class:`~repro.service.app.ServiceApp` — the ASGI-3 application
+  (job store, quotas, queue, worker loop).
+* :class:`~repro.service.app.ServiceConfig` — its knobs.
+* :mod:`repro.service.http` — the stdlib asyncio HTTP host behind
+  ``repro serve``, plus :class:`~repro.service.http.BackgroundServer`
+  for in-process testing.
+* :class:`~repro.service.jobs.JobRequest` / ``JobStatus`` /
+  ``JobResult`` — the wire format (also exported at the ``repro`` top
+  level as part of the frozen v1 facade).
+* :mod:`repro.service.loadgen` — the N-concurrent-clients load
+  generator behind ``scripts/load_gen.py`` and the service benchmark.
+"""
+
+from repro.service.app import API_VERSION, ServiceApp, ServiceConfig
+from repro.service.jobs import JOB_STATES, JobRequest, JobResult, JobStatus
+from repro.service.runner import format_run_summary, run_scenario_job
+
+__all__ = [
+    "API_VERSION",
+    "JOB_STATES",
+    "JobRequest",
+    "JobResult",
+    "JobStatus",
+    "ServiceApp",
+    "ServiceConfig",
+    "format_run_summary",
+    "run_scenario_job",
+]

@@ -1,0 +1,504 @@
+"""Simulation-as-a-service: the asyncio job service as an ASGI app.
+
+One long-lived process replaces a CLI invocation per run: the result
+cache, the worker pool, and the telemetry plane stay warm across
+requests.  The app is a standard ASGI-3 callable (any ASGI server can
+host it; :mod:`repro.service.http` is the zero-dependency stdlib one),
+with these endpoints under ``/v1``:
+
+========================  =================================================
+``GET  /v1/health``       liveness + capability matrix (``repro info`` as
+                          JSON: API version, backends, queue/pool/quota)
+``POST /v1/jobs``         submit canonical ScenarioSpec(+FaultScheduleSpec)
+                          JSON; validated and hashed at the edge; cache
+                          hits complete instantly, misses are queued
+``GET  /v1/jobs/{id}``    poll status
+``GET  /v1/jobs/{id}/result``  fetch the completed payload
+``GET  /v1/jobs/{id}/stream``  live progress + metrics as JSONL, straight
+                          off the Telemetry plane
+========================  =================================================
+
+Degradation is graceful and explicit: a client over its token-bucket
+quota gets **429** with ``Retry-After``; a full job queue gets **503**;
+invalid specs get **400** before touching any shared resource.  Every
+response carries an ``X-Request-Id`` for trace correlation, and the
+service's own telemetry (request counters, latency histogram, cache
+hits) is visible through the health endpoint and the CLI's
+``--metrics-out``.
+
+Jobs execute on a persistent :class:`~repro.experiments.parallel.WorkerPool`
+under the campaign layer's :class:`RetryPolicy`, and — because serving
+must be chaos-testable like everything else here — an armed
+:class:`~repro.faults.inject.WorkerChaos` kills worker attempts
+deterministically while results stay byte-identical to an undisturbed
+run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SpecError
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RetryPolicy, WorkerPool
+from repro.faults.inject import WorkerChaos
+from repro.observability.telemetry import Telemetry
+from repro.service.jobs import JobRequest, JobResult, JobStatus
+from repro.service.runner import run_scenario_job
+
+#: The frozen public API generation this service speaks.
+API_VERSION = "v1"
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance (CLI flags map 1:1 onto these)."""
+
+    jobs: int = 1
+    queue_limit: int = 16
+    quota_rate: float = 32.0
+    quota_burst: float = 64.0
+    cache_dir: Optional[Path] = None
+    use_cache: bool = True
+    collect: bool = True
+    retry: Optional[RetryPolicy] = None
+    chaos: Optional[WorkerChaos] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+
+
+@dataclass
+class _Job:
+    """Internal record: request + status + stream buffer."""
+
+    request: JobRequest
+    status: JobStatus
+    result: Optional[JobResult] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    changed: Optional[asyncio.Condition] = None
+
+    async def emit(self, event: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {
+            "seq": len(self.events),
+            "job_id": self.status.job_id,
+            "event": event,
+        }
+        record.update(fields)
+        async with self.changed:
+            self.events.append(record)
+            self.changed.notify_all()
+
+
+class ServiceApp:
+    """The ASGI callable plus the job store and worker loop behind it."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        from repro.service.quota import QuotaRegistry
+
+        self.config = config if config is not None else ServiceConfig()
+        self.quotas = QuotaRegistry(
+            rate=self.config.quota_rate, burst=self.config.quota_burst
+        )
+        cache_kwargs = (
+            {"root": self.config.cache_dir}
+            if self.config.cache_dir is not None
+            else {}
+        )
+        self.cache = ResultCache(**cache_kwargs)
+        self.cache.enabled = self.config.use_cache
+        self.pool = WorkerPool(jobs=self.config.jobs)
+        self.telemetry = Telemetry()
+        self.jobs: Dict[str, _Job] = {}
+        self.started_at = time.time()
+        self._ids = itertools.count(1)
+        self._requests = itertools.count(1)
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Create the queue and worker tasks on the running loop."""
+        if self._queue is not None:
+            return
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker_loop())
+            for _ in range(self.config.jobs)
+        ]
+
+    async def shutdown(self) -> None:
+        """Stop workers and release the pool (idempotent, like the pool)."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers = []
+        self._queue = None
+        self.pool.shutdown()
+
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            job: _Job = await self._queue.get()
+            try:
+                await self._execute(job)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, job: _Job) -> None:
+        request = job.request
+        job.status.state = "running"
+        await job.emit("running")
+        try:
+            payload, timing = await asyncio.to_thread(
+                self.pool.run_task,
+                run_scenario_job,
+                (
+                    request.scenario_json,
+                    request.system,
+                    request.horizon,
+                    request.faults_json,
+                    request.backend,
+                    self.config.collect,
+                ),
+                f"service:{job.status.result_key[:12]}",
+                self.config.retry,
+                self.config.chaos,
+                self.telemetry,
+            )
+        except Exception as error:
+            job.status.state = "failed"
+            job.status.detail = repr(error)
+            job.status.finished_at = time.time()
+            self.telemetry.inc("service.jobs_failed")
+            await job.emit("failed", error=repr(error))
+            return
+        job.status.attempts = timing.attempts
+        self.cache.put(job.status.result_key, payload)
+        job.result = JobResult(
+            job_id=job.status.job_id,
+            result_key=job.status.result_key,
+            cached=False,
+            payload=payload,
+        )
+        job.status.state = "done"
+        job.status.finished_at = time.time()
+        self.telemetry.inc("service.jobs_completed")
+        self.telemetry.observe("service.job_seconds", timing.seconds)
+        await job.emit(
+            "done", attempts=timing.attempts, seconds=round(timing.seconds, 6)
+        )
+
+    # ------------------------------------------------------------------
+    # ASGI surface
+    # ------------------------------------------------------------------
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            return
+        await self.startup()  # lazily, for servers without lifespan
+        started = time.perf_counter()
+        request_id = self._request_id(scope)
+        self.telemetry.inc("service.requests")
+        try:
+            await self._dispatch(scope, receive, send, request_id)
+        finally:
+            self.telemetry.observe(
+                "service.request_seconds", time.perf_counter() - started
+            )
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await self.startup()
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await self.shutdown()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    def _request_id(self, scope) -> str:
+        for name, value in scope.get("headers") or ():
+            if name == b"x-request-id":
+                return value.decode("latin-1")[:64]
+        return f"req-{next(self._requests)}"
+
+    def _client_id(self, scope) -> str:
+        for name, value in scope.get("headers") or ():
+            if name == b"x-client-id":
+                return value.decode("latin-1")[:64]
+        client = scope.get("client")
+        return client[0] if client else "anonymous"
+
+    async def _dispatch(self, scope, receive, send, request_id: str) -> None:
+        path = scope.get("path", "/")
+        method = scope.get("method", "GET").upper()
+        parts = [part for part in path.split("/") if part]
+
+        if parts == ["v1", "health"] and method == "GET":
+            await self._send_json(send, 200, self.health(), request_id)
+            return
+        if parts == ["v1", "jobs"] and method == "POST":
+            await self._submit(scope, receive, send, request_id)
+            return
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.jobs.get(parts[2])
+            if job is None:
+                await self._send_json(
+                    send, 404, {"error": f"unknown job {parts[2]!r}"}, request_id
+                )
+                return
+            if len(parts) == 3 and method == "GET":
+                await self._send_json(send, 200, job.status.to_dict(), request_id)
+                return
+            if parts[3:] == ["result"] and method == "GET":
+                await self._result(job, send, request_id)
+                return
+            if parts[3:] == ["stream"] and method == "GET":
+                await self._stream(job, send, request_id)
+                return
+        await self._send_json(
+            send,
+            405 if parts[:2] in (["v1", "jobs"], ["v1", "health"]) else 404,
+            {"error": f"no route for {method} {path}"},
+            request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + capabilities (the JSON twin of ``repro info``)."""
+        import repro
+
+        try:
+            from repro.vec import vec_capabilities
+
+            vec: Any = vec_capabilities()
+        except ImportError:  # pragma: no cover - numpy-less deployments
+            vec = "unavailable (numpy not installed)"
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.status.state] = states.get(job.status.state, 0) + 1
+        return {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "version": repro.__version__,
+            "backends": {
+                "scalar": "full simulation engine (all apps, faults, experiments)",
+                "vec": vec,
+            },
+            "queue": {
+                "depth": self._queue.qsize() if self._queue is not None else 0,
+                "limit": self.config.queue_limit,
+            },
+            "pool": {"jobs": self.pool.jobs, "mode": self.pool.mode},
+            "quota": self.quotas.snapshot(),
+            "cache": self.cache.stats.as_dict(),
+            "jobs": states,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    async def _submit(self, scope, receive, send, request_id: str) -> None:
+        allowed, retry_after = self.quotas.allow(self._client_id(scope))
+        if not allowed:
+            self.telemetry.inc("service.rejected_quota")
+            await self._send_json(
+                send,
+                429,
+                {"error": "quota exceeded", "retry_after": round(retry_after, 3)},
+                request_id,
+                extra_headers=[(b"retry-after", str(max(1, int(retry_after + 0.999))).encode())],
+            )
+            return
+
+        body = await self._read_body(receive)
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            request = JobRequest.from_payload(payload)
+            key = request.result_key()
+        except SpecError as error:
+            self.telemetry.inc("service.rejected_invalid")
+            await self._send_json(send, 400, {"error": str(error)}, request_id)
+            return
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.telemetry.inc("service.rejected_invalid")
+            await self._send_json(
+                send, 400, {"error": f"body is not valid JSON: {error}"}, request_id
+            )
+            return
+
+        job_id = f"job-{next(self._ids)}"
+        status = JobStatus(
+            job_id=job_id,
+            result_key=key,
+            submitted_at=time.time(),
+        )
+        job = _Job(request=request, status=status, changed=asyncio.Condition())
+        cached = self.cache.get(key)
+        if not (isinstance(cached, dict) and "summary" in cached):
+            cached = None  # foreign/stale payload shapes count as misses
+        if cached is not None:
+            # Served entirely at the edge: the worker pool is untouched.
+            status.state = "done"
+            status.cached = True
+            status.finished_at = status.submitted_at
+            job.result = JobResult(
+                job_id=job_id, result_key=key, cached=True, payload=cached
+            )
+            self.jobs[job_id] = job
+            self.telemetry.inc("service.cache_hits")
+            await job.emit("done", cached=True)
+            await self._send_json(send, 200, status.to_dict(), request_id)
+            return
+
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.telemetry.inc("service.rejected_queue")
+            await self._send_json(
+                send,
+                503,
+                {
+                    "error": "job queue full",
+                    "queue_limit": self.config.queue_limit,
+                },
+                request_id,
+                extra_headers=[(b"retry-after", b"1")],
+            )
+            return
+        self.jobs[job_id] = job
+        self.telemetry.inc("service.jobs_queued")
+        await job.emit("queued")
+        await self._send_json(send, 202, status.to_dict(), request_id)
+
+    async def _result(self, job: _Job, send, request_id: str) -> None:
+        if job.status.state == "failed":
+            await self._send_json(
+                send,
+                500,
+                {"error": job.status.detail, "job_id": job.status.job_id},
+                request_id,
+            )
+            return
+        if job.result is None:
+            await self._send_json(
+                send,
+                409,
+                {
+                    "error": f"job {job.status.job_id} is {job.status.state}",
+                    "state": job.status.state,
+                },
+                request_id,
+            )
+            return
+        await self._send_json(send, 200, job.result.to_dict(), request_id)
+
+    async def _stream(self, job: _Job, send, request_id: str) -> None:
+        """Progress + metrics as JSONL, tailing until the job settles."""
+        await send(
+            {
+                "type": "http.response.start",
+                "status": 200,
+                "headers": [
+                    (b"content-type", b"application/x-ndjson"),
+                    (b"x-request-id", request_id.encode("latin-1")),
+                ],
+            }
+        )
+        sent = 0
+        while True:
+            async with job.changed:
+                while sent >= len(job.events) and job.status.state not in (
+                    "done",
+                    "failed",
+                ):
+                    await job.changed.wait()
+                fresh = job.events[sent:]
+                sent = len(job.events)
+                settled = job.status.state in ("done", "failed") and sent == len(
+                    job.events
+                )
+            for record in fresh:
+                await send(
+                    {
+                        "type": "http.response.body",
+                        "body": (json.dumps(record, sort_keys=True) + "\n").encode(),
+                        "more_body": True,
+                    }
+                )
+            if settled:
+                break
+        # Terminal: append the job's metric records off the telemetry
+        # plane (same JSONL schema as --metrics-out).
+        tail = b""
+        snapshot = (job.result.payload.get("telemetry") if job.result else None) or {}
+        if snapshot:
+            replay = Telemetry()
+            replay.merge_snapshot(snapshot)
+            lines = [
+                json.dumps(record, sort_keys=True)
+                for record in replay.metric_records(scope=job.status.job_id)
+            ]
+            if lines:
+                tail = ("\n".join(lines) + "\n").encode()
+        await send({"type": "http.response.body", "body": tail, "more_body": False})
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    async def _read_body(self, receive) -> bytes:
+        chunks: List[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":  # pragma: no cover
+                break
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body"):
+                break
+        return b"".join(chunks)
+
+    async def _send_json(
+        self,
+        send,
+        status: int,
+        payload: Dict[str, Any],
+        request_id: str,
+        extra_headers: Optional[List[Tuple[bytes, bytes]]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        headers = [
+            (b"content-type", b"application/json"),
+            (b"content-length", str(len(body)).encode()),
+            (b"x-request-id", request_id.encode("latin-1")),
+        ]
+        headers.extend(extra_headers or [])
+        await send(
+            {"type": "http.response.start", "status": status, "headers": headers}
+        )
+        await send({"type": "http.response.body", "body": body, "more_body": False})

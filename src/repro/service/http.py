@@ -1,0 +1,246 @@
+"""Zero-dependency HTTP/1.1 host for the ASGI app.
+
+The service app (:mod:`repro.service.app`) is a standard ASGI-3
+callable, so production deployments can hand it to any ASGI server.
+This module is the stdlib fallback that makes ``repro serve`` work with
+nothing installed: an ``asyncio.start_server`` loop that parses one
+HTTP/1.1 request per connection, translates it into an ASGI scope, and
+streams the app's response events back (``Connection: close`` framing,
+which every stdlib client understands and which keeps the parser tiny).
+
+:class:`BackgroundServer` runs the same stack on a daemon thread with
+its own event loop — the shape the tests, the benchmark suite, and the
+load generator's ``--self-host`` mode all use to get a real socket
+without a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.app import ServiceApp, ServiceConfig
+
+_MAX_HEADER_BYTES = 65536
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, List[Tuple[bytes, bytes]], bytes]]:
+    """Parse one request; ``None`` on a closed or hopeless connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, ConnectionError):
+        return None
+    if len(head) > _MAX_HEADER_BYTES:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) < 3:
+        return None
+    method, target = parts[0], parts[1]
+    headers: List[Tuple[bytes, bytes]] = []
+    length = 0
+    for line in lines[1:]:
+        if not line or ":" not in line:
+            continue
+        name, _, value = line.partition(":")
+        name = name.strip().lower()
+        value = value.strip()
+        headers.append((name.encode("latin-1"), value.encode("latin-1")))
+        if name == "content-length":
+            try:
+                length = int(value)
+            except ValueError:
+                return None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def _handle_connection(
+    app: ServiceApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        request = await _read_request(reader)
+        if request is None:
+            return
+        method, target, headers, body = request
+        path, _, query = target.partition("?")
+        peer = writer.get_extra_info("peername")
+        scope: Dict[str, Any] = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method,
+            "path": path,
+            "raw_path": target.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+            "client": (peer[0], peer[1]) if peer else None,
+            "server": None,
+            "scheme": "http",
+        }
+
+        received = {"done": False}
+
+        async def receive() -> Dict[str, Any]:
+            if received["done"]:
+                await asyncio.sleep(3600)  # ASGI contract: block after EOF
+            received["done"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        state = {"started": False}
+
+        async def send(message: Dict[str, Any]) -> None:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                reason = _REASONS.get(status, "Unknown")
+                head_lines = [f"HTTP/1.1 {status} {reason}"]
+                for name, value in message.get("headers") or ():
+                    head_lines.append(
+                        f"{name.decode('latin-1')}: {value.decode('latin-1')}"
+                    )
+                head_lines.append("connection: close")
+                writer.write(
+                    ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
+                )
+                state["started"] = True
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                await writer.drain()
+
+        await app(scope, receive, send)
+        if not state["started"]:  # app crashed before responding
+            writer.write(
+                b"HTTP/1.1 500 Internal Server Error\r\n"
+                b"content-length: 0\r\nconnection: close\r\n\r\n"
+            )
+        await writer.drain()
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def serve(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Start serving *app*; returns the (already started) asyncio server."""
+    await app.startup()
+
+    async def handler(reader, writer):
+        await _handle_connection(app, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+def run_service(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    ready=None,
+) -> None:
+    """Blocking entry point behind ``repro serve``.
+
+    *ready* is an optional callable invoked with the bound port once the
+    socket is listening (the CLI prints the URL; tests synchronise on it).
+    """
+    app = ServiceApp(config)
+
+    async def main() -> None:
+        server = await serve(app, host=host, port=port)
+        bound = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready(bound)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await app.shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+
+
+class BackgroundServer:
+    """A live service on a daemon thread (tests, benchmarks, load gen).
+
+    Usage::
+
+        with BackgroundServer(ServiceConfig(jobs=1)) as server:
+            urllib.request.urlopen(server.url("/v1/health"))
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.host = host
+        self.app = ServiceApp(config)
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            server = await serve(self.app, host=self.host, port=0)
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            try:
+                async with server:
+                    await self._stop.wait()
+            finally:
+                await self.app.shutdown()
+
+        try:
+            asyncio.run(main())
+        finally:
+            self._ready.set()  # never leave starters hanging on a crash
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self.port is None:
+            raise RuntimeError("service failed to start")
+        return self
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,223 @@
+"""Job wire format: validated requests, status, and results.
+
+A :class:`JobRequest` is the service's unit of admission: scenario and
+fault JSON validated **at the edge** (submit returns 400 before any
+queue or pool is touched), canonicalised, and hashed into the same
+spec/fault/backend-aware result key the experiment cache uses — so a
+repeat submission is a cache hit served without running anything.
+
+All three types are plain frozen/slotted dataclasses with ``to_dict``
+renderings, promoted into the frozen v1 facade (``repro.JobRequest`` …)
+because they *are* the public API of simulation-as-a-service.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import SpecError
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated, canonicalised submission.
+
+    Attributes hold canonical JSON strings (not live objects) so a
+    request is trivially picklable, hashable, and byte-stable — the
+    properties the result key and the process pool both rely on.
+    """
+
+    scenario_json: str
+    system: Optional[str] = None
+    horizon: Optional[float] = None
+    faults_json: Optional[str] = None
+    backend: str = "scalar"
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "JobRequest":
+        """Validate a submit body into a request (raises ``SpecError``).
+
+        The body is either a bare scenario document or an envelope::
+
+            {"scenario": {...}, "system": "CB-P", "horizon": 600,
+             "faults": {...}, "backend": "scalar"}
+        """
+        from repro.core.builder import SystemKind
+        from repro.spec import canonical_json, load_scenario
+
+        if not isinstance(payload, Mapping):
+            raise SpecError("job payload must be a JSON object")
+        if "scenario" in payload:
+            envelope = dict(payload)
+            scenario_data = envelope.pop("scenario")
+        else:
+            envelope = {}
+            scenario_data = dict(payload)
+        unknown = set(envelope) - {"system", "horizon", "faults", "backend"}
+        if unknown:
+            raise SpecError(
+                f"unknown job field(s) {sorted(unknown)}; allowed: "
+                f"scenario, system, horizon, faults, backend"
+            )
+        if not isinstance(scenario_data, Mapping):
+            raise SpecError("'scenario' must be a JSON object")
+        scenario = load_scenario(canonical_json(dict(scenario_data)))
+
+        system = envelope.get("system")
+        if system is not None:
+            system = SystemKind.from_name(system).value
+
+        horizon = envelope.get("horizon")
+        if horizon is not None:
+            if not isinstance(horizon, (int, float)) or isinstance(horizon, bool):
+                raise SpecError(f"horizon must be a number, got {horizon!r}")
+            horizon = float(horizon)
+            if not math.isfinite(horizon) or horizon <= 0.0:
+                raise SpecError(f"horizon must be finite and > 0, got {horizon}")
+
+        faults_json = None
+        faults_data = envelope.get("faults")
+        if faults_data is not None:
+            from repro.faults import dump_fault_schedule
+            from repro.faults.model import FaultScheduleSpec
+
+            if not isinstance(faults_data, Mapping):
+                raise SpecError("'faults' must be a JSON object")
+            schedule = FaultScheduleSpec.from_dict(faults_data)
+            faults_json = dump_fault_schedule(schedule, pretty=False)
+
+        backend = envelope.get("backend", "scalar")
+        from repro.service.runner import RUN_BACKENDS
+
+        if backend not in RUN_BACKENDS:
+            raise SpecError(
+                f"unknown backend {backend!r}; choose from {list(RUN_BACKENDS)}"
+            )
+        if backend == "vec":
+            from repro.vec import ensure_supported
+
+            ensure_supported(
+                scenario,
+                None if faults_json is None else _parse_schedule(faults_json),
+            )
+
+        return cls(
+            scenario_json=canonical_json(scenario),
+            system=system,
+            horizon=horizon,
+            faults_json=faults_json,
+            backend=backend,
+        )
+
+    # -- hashing --------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        from repro.spec import load_scenario, spec_hash
+
+        return spec_hash(load_scenario(self.scenario_json))
+
+    def fault_hash(self) -> Optional[str]:
+        if self.faults_json is None:
+            return None
+        from repro.faults import fault_schedule_hash
+
+        return fault_schedule_hash(_parse_schedule(self.faults_json))
+
+    def result_key(self) -> str:
+        """The spec/fault/backend-aware cache key for this request.
+
+        Built on :func:`repro.experiments.cache.result_key`, so service
+        results live in the same content-keyed store as experiment
+        results and invalidate on any simulator source change.
+        """
+        from repro.experiments.cache import result_key
+
+        params: Dict[str, Any] = {}
+        if self.system is not None:
+            params["system"] = self.system
+        if self.horizon is not None:
+            params["horizon"] = self.horizon
+        if self.backend != "scalar":
+            params["backend"] = self.backend
+        return result_key(
+            "service.run",
+            params,
+            spec_hash=self.spec_hash(),
+            fault_hash=self.fault_hash(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        import json
+
+        data: Dict[str, Any] = {"scenario": json.loads(self.scenario_json)}
+        if self.system is not None:
+            data["system"] = self.system
+        if self.horizon is not None:
+            data["horizon"] = self.horizon
+        if self.faults_json is not None:
+            data["faults"] = json.loads(self.faults_json)
+        if self.backend != "scalar":
+            data["backend"] = self.backend
+        return data
+
+
+def _parse_schedule(faults_json: str):
+    from repro.faults import load_fault_schedule
+
+    return load_fault_schedule(faults_json)
+
+
+@dataclass
+class JobStatus:
+    """Mutable lifecycle record the status endpoint serves."""
+
+    job_id: str
+    state: str = "queued"
+    cached: bool = False
+    attempts: int = 0
+    detail: str = ""
+    result_key: str = ""
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "result_key": self.result_key,
+            "submitted_at": self.submitted_at,
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        if self.finished_at is not None:
+            data["finished_at"] = self.finished_at
+        return data
+
+
+@dataclass
+class JobResult:
+    """A completed job's payload, as served by ``…/result``."""
+
+    job_id: str
+    result_key: str
+    cached: bool
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> str:
+        return str(self.payload.get("summary", ""))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "result_key": self.result_key,
+            "cached": self.cached,
+            "result": self.payload,
+        }

@@ -1,0 +1,230 @@
+"""Load generation against a live service: N clients, pXX latency.
+
+The north star is "heavy traffic", so serving performance is measured
+like any other hot path here: a deterministic workload (K distinct
+scenario specs cycled across N concurrent clients), wall-clock latency
+per request, and a machine-readable snapshot (throughput, p50/p99,
+cache-hit ratio) that joins the BENCH trajectory via
+``benchmarks/test_bench_service.py`` and the ``service-smoke`` CI job.
+
+Clients are threads driving :mod:`urllib.request` — the service under
+test is the async side; the generator just needs honest concurrency and
+stdlib-only portability.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 for an empty sample set)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def default_scenarios(distinct: int, seed: int = 0, event_count: int = 3) -> List[str]:
+    """*distinct* small canonical scenario JSON documents to cycle."""
+    from repro.apps import temp_alarm
+    from repro.spec import canonical_json
+
+    return [
+        canonical_json(temp_alarm.scenario(seed=seed + i, event_count=event_count))
+        for i in range(distinct)
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    rejected_quota: int = 0
+    rejected_queue: int = 0
+    cache_hits: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.cache_hits / self.completed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The JSON record ``load_gen.py --json`` writes (BENCH-shaped)."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "cache_hits": self.cache_hits,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "throughput_rps": round(self.throughput, 2),
+            "latency_seconds": {
+                "p50": round(percentile(self.latencies, 0.50), 5),
+                "p90": round(percentile(self.latencies, 0.90), 5),
+                "p99": round(percentile(self.latencies, 0.99), 5),
+                "max": round(max(self.latencies), 5) if self.latencies else 0.0,
+            },
+        }
+
+    def format(self) -> str:
+        snap = self.snapshot()
+        lat = snap["latency_seconds"]
+        return (
+            f"requests    {snap['requests']} "
+            f"(completed {snap['completed']}, errors {snap['errors']}, "
+            f"429s {snap['rejected_quota']}, 503s {snap['rejected_queue']})\n"
+            f"throughput  {snap['throughput_rps']} req/s over "
+            f"{snap['elapsed_seconds']}s\n"
+            f"cache       {snap['cache_hits']} hits "
+            f"(ratio {snap['hit_ratio']})\n"
+            f"latency     p50 {lat['p50']}s  p90 {lat['p90']}s  "
+            f"p99 {lat['p99']}s  max {lat['max']}s\n"
+        )
+
+
+def _post_json(url: str, payload: Dict[str, Any], client_id: str, timeout: float):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"content-type": "application/json", "x-client-id": client_id},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def _get_json(url: str, client_id: str, timeout: float):
+    request = urllib.request.Request(url, headers={"x-client-id": client_id})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def _drive_client(
+    base_url: str,
+    client_id: str,
+    scenarios: List[str],
+    requests: int,
+    report: LoadReport,
+    lock: threading.Lock,
+    timeout: float,
+    poll_interval: float,
+) -> None:
+    for index in range(requests):
+        payload = {"scenario": json.loads(scenarios[index % len(scenarios)])}
+        started = time.perf_counter()
+        try:
+            status, data = _post_json(
+                f"{base_url}/v1/jobs", payload, client_id, timeout
+            )
+        except urllib.error.HTTPError as error:
+            detail = error.code
+            with lock:
+                report.requests += 1
+                if detail == 429:
+                    report.rejected_quota += 1
+                elif detail == 503:
+                    report.rejected_queue += 1
+                else:
+                    report.errors += 1
+            continue
+        except (urllib.error.URLError, OSError):
+            with lock:
+                report.requests += 1
+                report.errors += 1
+            continue
+
+        cached = bool(data.get("cached"))
+        job_id = data.get("job_id")
+        state = data.get("state")
+        deadline = time.monotonic() + timeout
+        while state not in ("done", "failed") and time.monotonic() < deadline:
+            time.sleep(poll_interval)
+            try:
+                _, data = _get_json(
+                    f"{base_url}/v1/jobs/{job_id}", client_id, timeout
+                )
+            except (urllib.error.URLError, OSError):
+                break
+            state = data.get("state")
+        latency = time.perf_counter() - started
+        with lock:
+            report.requests += 1
+            if state == "done":
+                report.completed += 1
+                report.latencies.append(latency)
+                if cached:
+                    report.cache_hits += 1
+            else:
+                report.errors += 1
+
+
+def run_load(
+    base_url: str,
+    clients: int = 4,
+    requests_per_client: int = 8,
+    distinct: int = 2,
+    seed: int = 0,
+    scenarios: Optional[List[str]] = None,
+    timeout: float = 60.0,
+    poll_interval: float = 0.02,
+) -> LoadReport:
+    """Drive *clients* concurrent clients and aggregate a report.
+
+    Every client submits ``requests_per_client`` jobs, cycling through
+    *distinct* scenario specs (so repeat submissions exercise the result
+    cache), polling each job to completion.  Clients carry distinct
+    ``x-client-id`` headers so quota behaviour is per-client, exactly as
+    production traffic would be.
+    """
+    base_url = base_url.rstrip("/")
+    scenarios = (
+        scenarios if scenarios is not None else default_scenarios(distinct, seed)
+    )
+    report = LoadReport()
+    lock = threading.Lock()
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=_drive_client,
+            args=(
+                base_url,
+                f"client-{index}",
+                scenarios,
+                requests_per_client,
+                report,
+                lock,
+                timeout,
+                poll_interval,
+            ),
+        )
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,136 @@
+"""The one scenario-execution path shared by the CLI and the service.
+
+``repro run --spec`` and an HTTP-submitted job must produce
+byte-identical results for the same (scenario, faults, system, backend)
+— that is the service's core correctness contract, and the way to keep
+it is to have exactly one implementation.  :func:`run_scenario_job` is
+that implementation: a pure, module-level (hence picklable) function of
+canonical JSON strings, so the same bytes cross a process-pool boundary
+for the service and run in-process for the CLI, and both sides replay
+the identical simulation.
+
+The returned payload is plain data (summary text, trace dict, counters,
+optional telemetry snapshot): JSON-serialisable for the HTTP result
+endpoint and picklable for the result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Backends a single-scenario run understands.  The vec backend is a
+#: fleet engine — single app workloads are outside its feature matrix —
+#: but it is part of the shared flag vocabulary, so both entry points
+#: reject it identically (capability error, never silent fallback).
+RUN_BACKENDS = ("scalar", "vec")
+
+
+def format_run_summary(instance, kind, horizon: float, trace) -> str:
+    """The trace summary ``repro run``/``run-app`` print, as one string.
+
+    Byte-for-byte the service's job summary: the differential tests
+    compare this text across the CLI and HTTP paths.
+    """
+    lines = [f"{instance.name} on {kind.value}: {horizon:.0f} s simulated"]
+    for counter in sorted(trace.counters):
+        lines.append(f"  {counter:24s} {trace.counters[counter]}")
+    lines.append(f"  {'samples':24s} {len(trace.samples)}")
+    lines.append(f"  {'packets':24s} {len(trace.packets)}")
+    reported = trace.reported_event_ids()
+    lines.append(
+        f"  {'events reported':24s} {len(reported)} / {len(instance.schedule)}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def default_horizon(instance) -> float:
+    """The horizon a run gets when the caller names none."""
+    return instance.schedule.horizon + 60.0
+
+
+def run_scenario_job(
+    scenario_json: str,
+    system: Optional[str] = None,
+    horizon: Optional[float] = None,
+    faults_json: Optional[str] = None,
+    backend: str = "scalar",
+    collect: bool = False,
+) -> Dict[str, Any]:
+    """Execute one scenario and return its result as plain data.
+
+    Args:
+        scenario_json: canonical :class:`~repro.spec.ScenarioSpec` JSON.
+        system: optional system-kind override (``Pwr``/``Fixed``/...).
+        horizon: simulated seconds (default: schedule + 60, matching the
+            CLI).
+        faults_json: optional canonical fault schedule JSON
+            (:mod:`repro.faults`) applied before the run.
+        backend: ``"scalar"`` runs the full engine; ``"vec"`` raises the
+            same capability error the CLI does (apps are scalar-only).
+        collect: also run inside a fresh telemetry scope and attach the
+            snapshot (the service streams it as JSONL).
+
+    Returns:
+        ``{"summary", "horizon", "system", "scenario", "counters",
+        "trace", "telemetry"}`` — everything JSON-serialisable.
+
+    Raises:
+        SpecError: invalid scenario/fault JSON or an unroutable backend.
+    """
+    import contextlib
+
+    from repro.core.builder import SystemKind
+    from repro.errors import SpecError
+    from repro.sim.export import trace_to_dict
+    from repro.spec import build_scenario_app, load_scenario
+
+    if backend not in RUN_BACKENDS:
+        raise SpecError(
+            f"unknown backend {backend!r}; choose from {list(RUN_BACKENDS)}"
+        )
+    scenario = load_scenario(scenario_json)
+    schedule = None
+    if faults_json is not None:
+        from repro.faults import load_fault_schedule
+
+        schedule = load_fault_schedule(faults_json)
+    if backend == "vec":
+        from repro.vec import ensure_supported
+
+        # Single-scenario app runs are outside the vec feature matrix;
+        # ensure_supported names every reason (workload, traces, faults)
+        # so the CLI and the service reject with the same message.
+        ensure_supported(scenario, schedule)
+        raise SpecError(
+            f"scenario {scenario.name!r}: the vec backend simulates "
+            f"fleets (grid experiments), not single app runs; use "
+            f"--backend scalar or `repro experiment ... --backend vec`"
+        )
+
+    kind = SystemKind.from_name(system if system is not None else scenario.system)
+
+    telemetry = None
+    scope = contextlib.nullcontext()
+    if collect:
+        from repro.observability.telemetry import Telemetry, telemetry_scope
+
+        telemetry = Telemetry()
+        scope = telemetry_scope(telemetry)
+    with scope:
+        instance = build_scenario_app(scenario, kind=kind)
+        if schedule is not None:
+            from repro.faults import apply_faults
+
+            apply_faults(instance, schedule, telemetry=telemetry)
+        run_horizon = horizon if horizon is not None else default_horizon(instance)
+        trace = instance.run(run_horizon)
+
+    return {
+        "summary": format_run_summary(instance, kind, run_horizon, trace),
+        "horizon": run_horizon,
+        "system": kind.value,
+        "scenario": scenario.name,
+        "counters": dict(trace.counters),
+        "trace": trace_to_dict(trace),
+        "telemetry": telemetry.snapshot() if telemetry is not None else None,
+    }

@@ -175,3 +175,109 @@ class TestExperimentCommand:
         assert any(
             r["record"] == "event" and r["name"] == "reboot" for r in records
         )
+
+
+class TestUnifiedVerbs:
+    """The shared flag vocabulary across run/run-app/experiment/serve/submit."""
+
+    def test_serve_parses_with_shared_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--jobs", "2", "--inject", "f.json"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9000 and args.jobs == 2
+        assert args.inject == "f.json"
+        assert args.queue_limit == 16 and args.quota_rate == 32.0
+
+    def test_submit_parses_with_shared_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "--spec", "s.json", "--backend", "vec",
+                "--inject", "f.json", "--url", "http://h:1",
+            ]
+        )
+        assert args.command == "submit"
+        assert args.spec == "s.json" and args.backend == "vec"
+        assert args.inject == "f.json" and args.url == "http://h:1"
+
+    def test_run_gained_backend_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--spec", "s.json", "--backend", "vec"]
+        )
+        assert args.backend == "vec"
+
+    def test_shared_flags_mean_the_same_everywhere(self):
+        for verb, extra in (
+            (["run", "--spec", "s.json"], []),
+            (["run-app", "csr"], []),
+            (["experiment", "fig03"], []),
+            (["submit", "--spec", "s.json"], []),
+        ):
+            args = build_parser().parse_args(
+                verb + extra + ["--metrics-out", "m.jsonl"]
+            )
+            assert str(args.metrics_out) == "m.jsonl"
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info" and args.check is None
+        args = build_parser().parse_args(
+            ["info", "--check", "a.json", "b.json", "--backend", "vec"]
+        )
+        assert args.check == ["a.json", "b.json"] and args.backend == "vec"
+
+    def test_info_reports_api_version(self, capsys):
+        import repro
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert repro.__api_version__ in out
+        assert "scalar" in out
+
+    def test_vec_info_still_works_with_notice(self, capsys):
+        assert main(["vec-info"]) == 0
+        captured = capsys.readouterr()
+        assert "harvesters" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_spec_check_still_works_with_notice(self, tmp_path, capsys):
+        spec = tmp_path / "ok.json"
+        assert main(["spec", "dump", "temp-alarm", "--out", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["spec", "check", str(spec)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("ok")
+        assert "deprecated" in captured.err
+
+    def test_info_check_validates(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        assert main(["spec", "dump", "csr", "--out", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a scenario\"}")
+        capsys.readouterr()
+        assert main(["info", "--check", str(good)]) == 0
+        assert main(["info", "--check", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+
+class TestSubmitErrors:
+    def test_submit_unreachable_service(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        assert main(["spec", "dump", "temp-alarm", "--out", str(spec)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "submit", "--spec", str(spec),
+                "--url", "http://127.0.0.1:1",  # nothing listens on port 1
+                "--timeout", "2",
+            ]
+        )
+        assert code == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_submit_missing_spec_file(self, capsys):
+        code = main(["submit", "--spec", "/nonexistent/spec.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -85,17 +85,31 @@ class TestDeprecatedAliases:
             issubclass(w.category, DeprecationWarning) for w in caught
         ) and len(caught) == 2
 
-    def test_top_level_shims_warn(self):
+    def test_top_level_shims_removed(self):
+        """The v1 facade freeze dropped the pre-1.0 top-level shims.
+
+        The canonical spellings (``repro.PowerSystem``, the deep
+        ``repro.core`` paths) are the supported API; the old aliases now
+        fail loudly instead of warning.
+        """
         import repro
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = repro.CapybaraPowerSystem
-        assert legacy is repro.PowerSystem
-        assert caught and issubclass(caught[0].category, DeprecationWarning)
+        for legacy in (
+            "CapybaraPowerSystem",
+            "build_capybara_system",
+            "build_fixed_system",
+        ):
+            with pytest.raises(AttributeError):
+                getattr(repro, legacy)
+        # ...while the deep module paths remain stable.
+        from repro.core import build_capybara_system  # noqa: F401
 
     def test_facade_exports(self):
+        import repro
         from repro import (  # noqa: F401
+            JobRequest,
+            JobResult,
+            JobStatus,
             PowerSystem,
             SystemBuilder,
             SystemKind,
@@ -103,6 +117,11 @@ class TestDeprecatedAliases:
             micro_farads,
             run_experiment,
         )
+
+        assert repro.__api_version__ == "v1"
+        # Everything the facade advertises must actually resolve.
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
 
 
 # ---------------------------------------------------------------------------

@@ -264,3 +264,111 @@ class TestResultCache:
         cache._path(key).write_bytes(b"\x00junk")
         assert cache.get(key) is None
         assert telemetry.metrics.counter("cache.corrupt_entries").value == 1.0
+
+
+def _boom(x):
+    """Module-level failing task for retry-path tests."""
+    raise ValueError(f"boom {x}")
+
+
+class TestWorkerPool:
+    """The persistent pool behind the job service (repro.service)."""
+
+    def test_serial_mode_runs_inline(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=1) as pool:
+            assert pool.mode == "serial"
+            result, timing = pool.run_task(_square, (7,))
+            assert result == 49
+            assert timing.attempts == 1
+            assert pool.tasks_run == 1
+
+    def test_pool_mode_round_trips_through_processes(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=2) as pool:
+            assert pool.mode == "process-pool"
+            results = [pool.run_task(_square, (i,))[0] for i in range(4)]
+        assert results == [0, 1, 4, 9]
+
+    def test_shutdown_is_idempotent(self):
+        from repro.experiments.parallel import WorkerPool
+
+        pool = WorkerPool(jobs=2)
+        pool.run_task(_square, (2,))
+        pool.shutdown()
+        pool.shutdown()  # second join must be a no-op, not a hang/crash
+        pool.close()
+        assert pool.closed
+
+    def test_context_exit_after_explicit_shutdown(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=1) as pool:
+            pool.run_task(_square, (3,))
+            pool.shutdown()  # `with` unwind shuts down again: fine
+
+    def test_concurrent_shutdown_single_join(self):
+        import threading
+
+        from repro.experiments.parallel import WorkerPool
+
+        pool = WorkerPool(jobs=2)
+        pool.run_task(_square, (5,))
+        threads = [
+            threading.Thread(target=pool.shutdown) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert pool.closed
+
+    def test_use_after_shutdown_raises(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.parallel import WorkerPool
+
+        pool = WorkerPool(jobs=1)
+        pool.shutdown()
+        with pytest.raises(ConfigurationError, match="shut down"):
+            pool.run_task(_square, (1,))
+
+    def test_chaos_and_retry_through_the_pool(self):
+        from repro.experiments.parallel import RetryPolicy, WorkerPool
+        from repro.faults.inject import WorkerChaos
+
+        chaos = WorkerChaos(seed=5, probability=1.0, max_crashes=2)
+        with WorkerPool(jobs=1) as pool:
+            result, timing = pool.run_task(
+                _square,
+                (6,),
+                label="chaotic",
+                retry=RetryPolicy(max_attempts=4, base_delay=0.0),
+                chaos=chaos,
+            )
+        assert result == 36
+        assert timing.attempts == 3  # budget of 2 injected crashes
+
+    def test_exhausted_retries_raise_last_error(self):
+        from repro.experiments.parallel import RetryPolicy, WorkerPool
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry()
+        with WorkerPool(jobs=1) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.run_task(
+                    _boom,
+                    (1,),
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                    telemetry=telemetry,
+                )
+        assert telemetry.metrics.counter("campaign.retries").value == 1
+        assert telemetry.metrics.counter("campaign.gave_up").value == 1
+
+    def test_non_picklable_task_falls_back_inline(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=2) as pool:
+            result, _ = pool.run_task(lambda x: x + 1, (41,))
+        assert result == 42

@@ -1,0 +1,390 @@
+"""Unit tests for the job service: wire format, quotas, ASGI behaviour.
+
+Everything here drives :class:`repro.service.app.ServiceApp` directly as
+an ASGI callable — no sockets, no threads — so admission control
+(429/503/400) and the cache-hit fast path are tested deterministically.
+The live-socket behaviour (real HTTP, byte-identical differential, chaos
+soak) lives in ``tests/test_service_http.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.apps import temp_alarm
+from repro.errors import ConfigurationError, SpecError
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.jobs import JOB_STATES, JobRequest
+from repro.service.quota import QuotaRegistry, TokenBucket
+from repro.spec import canonical_json
+
+
+def scenario_dict(seed: int = 0, events: int = 3) -> dict:
+    return json.loads(
+        canonical_json(temp_alarm.scenario(seed=seed, event_count=events))
+    )
+
+
+# ---------------------------------------------------------------------------
+# ASGI harness: call the app in-process, return (status, headers, body)
+# ---------------------------------------------------------------------------
+
+
+async def asgi_request(app, method, path, body=b"", headers=()):
+    messages = []
+    delivered = {"done": False}
+
+    async def receive():
+        if delivered["done"]:
+            await asyncio.sleep(3600)
+        delivered["done"] = True
+        return {"type": "http.request", "body": body, "more_body": False}
+
+    async def send(message):
+        messages.append(message)
+
+    scope = {
+        "type": "http",
+        "method": method,
+        "path": path,
+        "query_string": b"",
+        "headers": [
+            (name.encode(), value.encode()) for name, value in headers
+        ],
+        "client": ("127.0.0.1", 40000),
+    }
+    await app(scope, receive, send)
+    start = messages[0]
+    assert start["type"] == "http.response.start"
+    payload = b"".join(
+        message.get("body", b"")
+        for message in messages[1:]
+        if message["type"] == "http.response.body"
+    )
+    header_map = {
+        name.decode(): value.decode() for name, value in start["headers"]
+    }
+    return start["status"], header_map, payload
+
+
+async def submit(app, payload, client="tester"):
+    return await asgi_request(
+        app,
+        "POST",
+        "/v1/jobs",
+        body=json.dumps(payload).encode(),
+        headers=[("x-client-id", client)],
+    )
+
+
+async def wait_done(app, job_id, timeout=60.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status, _, body = await asgi_request(app, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        data = json.loads(body)
+        if data["state"] in ("done", "failed"):
+            return data
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"job {job_id} stuck in {data['state']!r}")
+        await asyncio.sleep(0.01)
+
+
+def run_app(coro_factory, config=None):
+    """Run one async test body against a started app, with teardown."""
+
+    async def main():
+        app = ServiceApp(config)
+        await app.startup()
+        try:
+            return await coro_factory(app)
+        finally:
+            await app.shutdown()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestJobRequest:
+    def test_bare_scenario_equals_envelope(self):
+        data = scenario_dict()
+        bare = JobRequest.from_payload(data)
+        wrapped = JobRequest.from_payload({"scenario": data})
+        assert bare == wrapped
+        assert bare.result_key() == wrapped.result_key()
+
+    def test_envelope_fields_change_the_key(self):
+        data = scenario_dict()
+        base = JobRequest.from_payload({"scenario": data})
+        system = JobRequest.from_payload({"scenario": data, "system": "Fixed"})
+        horizon = JobRequest.from_payload({"scenario": data, "horizon": 120})
+        keys = {base.result_key(), system.result_key(), horizon.result_key()}
+        assert len(keys) == 3
+
+    def test_unknown_envelope_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown job field"):
+            JobRequest.from_payload(
+                {"scenario": scenario_dict(), "sytem": "Fixed"}
+            )
+
+    def test_bad_horizon_rejected(self):
+        for horizon in (0, -5, float("nan"), True, "600"):
+            with pytest.raises(SpecError):
+                JobRequest.from_payload(
+                    {"scenario": scenario_dict(), "horizon": horizon}
+                )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            JobRequest.from_payload(
+                {"scenario": scenario_dict(), "backend": "cuda"}
+            )
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SpecError):
+            JobRequest.from_payload([1, 2, 3])
+
+    def test_request_is_picklable(self):
+        import pickle
+
+        request = JobRequest.from_payload(scenario_dict())
+        assert pickle.loads(pickle.dumps(request)) == request
+
+    def test_job_states_order(self):
+        assert JOB_STATES == ("queued", "running", "done", "failed")
+
+
+# ---------------------------------------------------------------------------
+# Quotas (injected clock: zero sleeps)
+# ---------------------------------------------------------------------------
+
+
+class TestQuota:
+    def test_bucket_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0)
+        assert bucket.take(0.0) == (True, 0.0)
+        assert bucket.take(0.0) == (True, 0.0)
+        allowed, retry_after = bucket.take(0.0)
+        assert not allowed and retry_after == pytest.approx(1.0)
+        assert bucket.take(1.0) == (True, 0.0)  # one token accrued
+
+    def test_registry_is_per_client(self):
+        clock = {"now": 0.0}
+        quotas = QuotaRegistry(rate=1.0, burst=1.0, clock=lambda: clock["now"])
+        assert quotas.allow("a")[0]
+        assert not quotas.allow("a")[0]
+        assert quotas.allow("b")[0]  # a's exhaustion does not touch b
+        clock["now"] = 1.0
+        assert quotas.allow("a")[0]
+
+    def test_rate_zero_disables(self):
+        quotas = QuotaRegistry(rate=0.0, burst=0.0)
+        assert not quotas.enabled
+        for _ in range(100):
+            assert quotas.allow("flood") == (True, 0.0)
+
+    def test_fractional_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuotaRegistry(rate=5.0, burst=0.5)
+
+
+# ---------------------------------------------------------------------------
+# Service behaviour (direct ASGI)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceApp:
+    def test_submit_poll_result_roundtrip(self, tmp_path):
+        async def body(app):
+            status, headers, payload = await submit(app, scenario_dict())
+            assert status == 202
+            assert "x-request-id" in headers
+            data = json.loads(payload)
+            assert data["state"] == "queued" and not data["cached"]
+            final = await wait_done(app, data["job_id"])
+            assert final["state"] == "done"
+            status, _, payload = await asgi_request(
+                app, "GET", f"/v1/jobs/{data['job_id']}/result"
+            )
+            assert status == 200
+            result = json.loads(payload)
+            assert result["result"]["summary"].startswith("TempAlarm on ")
+            assert result["cached"] is False
+            return app.pool.tasks_run
+
+        tasks_run = run_app(
+            body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+        )
+        assert tasks_run == 1
+
+    def test_repeat_submission_served_from_cache_without_pool(self, tmp_path):
+        async def body(app):
+            data = scenario_dict()
+            status, _, payload = await submit(app, data)
+            first = json.loads(payload)
+            await wait_done(app, first["job_id"])
+            ran_before = app.pool.tasks_run
+
+            status, _, payload = await submit(app, data)
+            assert status == 200  # completed instantly, not 202
+            hit = json.loads(payload)
+            assert hit["state"] == "done" and hit["cached"] is True
+            assert hit["result_key"] == first["result_key"]
+            assert app.pool.tasks_run == ran_before  # pool untouched
+
+            status, _, payload = await asgi_request(
+                app, "GET", f"/v1/jobs/{hit['job_id']}/result"
+            )
+            assert status == 200
+            assert json.loads(payload)["cached"] is True
+            assert app.telemetry.metrics.counter("service.cache_hits").value == 1
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_invalid_spec_rejected_at_edge(self, tmp_path):
+        async def body(app):
+            status, _, payload = await submit(app, {"scenario": {"bogus": 1}})
+            assert status == 400
+            assert app.pool.tasks_run == 0
+            status, _, payload = await asgi_request(
+                app, "POST", "/v1/jobs", body=b"not json at all"
+            )
+            assert status == 400
+            assert b"JSON" in payload
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_quota_exhaustion_gets_429_with_retry_after(self, tmp_path):
+        clock = {"now": 0.0}
+
+        async def body(app):
+            app.quotas = QuotaRegistry(
+                rate=1.0, burst=2.0, clock=lambda: clock["now"]
+            )
+            data = scenario_dict()
+            for _ in range(2):
+                status, _, _ = await submit(app, data, client="greedy")
+                assert status in (200, 202)
+            status, headers, payload = await submit(app, data, client="greedy")
+            assert status == 429
+            assert float(headers["retry-after"]) >= 1
+            assert json.loads(payload)["retry_after"] > 0
+            # Another client is unaffected.
+            status, _, _ = await submit(app, data, client="patient")
+            assert status in (200, 202)
+            counter = app.telemetry.metrics.counter("service.rejected_quota")
+            assert counter.value == 1
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_full_queue_gets_503(self, tmp_path):
+        async def body(app):
+            # No workers drain the queue in this test: replace it before
+            # the lazy startup path can, so depth is fully deterministic.
+            app._queue = asyncio.Queue(maxsize=1)
+            status, _, _ = await submit(app, scenario_dict(seed=1))
+            assert status == 202
+            status, headers, payload = await submit(app, scenario_dict(seed=2))
+            assert status == 503
+            assert headers["retry-after"] == "1"
+            assert json.loads(payload)["queue_limit"] == 1
+            counter = app.telemetry.metrics.counter("service.rejected_queue")
+            assert counter.value == 1
+
+        async def main():
+            app = ServiceApp(
+                ServiceConfig(
+                    jobs=1, queue_limit=1, cache_dir=tmp_path / "cache"
+                )
+            )
+            try:
+                await body(app)
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+    def test_unknown_routes(self, tmp_path):
+        async def body(app):
+            status, _, _ = await asgi_request(app, "GET", "/v1/jobs/job-999")
+            assert status == 404
+            status, _, _ = await asgi_request(app, "GET", "/nope")
+            assert status == 404
+            status, _, _ = await asgi_request(app, "DELETE", "/v1/jobs")
+            assert status == 405
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_result_conflict_while_pending(self, tmp_path):
+        async def body(app):
+            app._queue = asyncio.Queue(maxsize=4)  # no workers: stays queued
+            _, _, payload = await submit(app, scenario_dict())
+            job_id = json.loads(payload)["job_id"]
+            status, _, payload = await asgi_request(
+                app, "GET", f"/v1/jobs/{job_id}/result"
+            )
+            assert status == 409
+            assert json.loads(payload)["state"] == "queued"
+
+        async def main():
+            app = ServiceApp(ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+            try:
+                await body(app)
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+    def test_stream_is_jsonl_and_settles(self, tmp_path):
+        async def body(app):
+            _, _, payload = await submit(app, scenario_dict())
+            job_id = json.loads(payload)["job_id"]
+            await wait_done(app, job_id)
+            status, headers, payload = await asgi_request(
+                app, "GET", f"/v1/jobs/{job_id}/stream"
+            )
+            assert status == 200
+            assert headers["content-type"] == "application/x-ndjson"
+            records = [
+                json.loads(line) for line in payload.decode().splitlines()
+            ]
+            events = [r["event"] for r in records if "event" in r]
+            assert events[0] == "queued" and events[-1] == "done"
+            # Terminal metric records ride the same stream (telemetry
+            # plane schema: name/kind/value scoped by job id).
+            metrics = [r for r in records if "event" not in r]
+            assert metrics and all(r["scope"] == job_id for r in metrics)
+
+        run_app(
+            body,
+            ServiceConfig(jobs=1, cache_dir=tmp_path / "cache", collect=True),
+        )
+
+    def test_health_reports_capabilities(self, tmp_path):
+        async def body(app):
+            status, _, payload = await asgi_request(app, "GET", "/v1/health")
+            assert status == 200
+            health = json.loads(payload)
+            import repro
+
+            assert health["status"] == "ok"
+            assert health["api_version"] == repro.__api_version__
+            assert health["version"] == repro.__version__
+            assert "scalar" in health["backends"]
+            assert health["queue"]["limit"] == 16
+            assert health["pool"]["mode"] == "serial"
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(queue_limit=0)

@@ -1,0 +1,184 @@
+"""Live-socket service tests: real HTTP against a BackgroundServer.
+
+The acceptance bar for the service layer:
+
+* an HTTP-submitted job's result is **byte-identical** to a local
+  ``repro run --spec`` of the same scenario (same spec, same faults,
+  same backend) — including under armed WorkerChaos;
+* repeat submissions of an identical spec are served from the result
+  cache without touching the worker pool;
+* the health endpoint speaks the frozen v1 API.
+
+These run the full stack — stdlib HTTP host, ASGI app, worker pool,
+cache — the exact deployment shape behind ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.request
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import cli
+from repro.apps import temp_alarm
+from repro.experiments.parallel import RetryPolicy
+from repro.faults.inject import WorkerChaos
+from repro.service.app import ServiceConfig
+from repro.service.http import BackgroundServer
+from repro.spec import canonical_json
+
+
+def scenario_payload(seed: int = 0, events: int = 3) -> dict:
+    return {
+        "scenario": json.loads(
+            canonical_json(temp_alarm.scenario(seed=seed, event_count=events))
+        )
+    }
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"content-type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def run_job(server: BackgroundServer, payload: dict, timeout: float = 60.0):
+    """Submit, poll to completion, return (status_dict, result_dict)."""
+    import time
+
+    status = post_json(server.url("/v1/jobs"), payload)
+    deadline = time.monotonic() + timeout
+    while status["state"] not in ("done", "failed"):
+        assert time.monotonic() < deadline, f"job stuck: {status}"
+        time.sleep(0.02)
+        status = get_json(server.url(f"/v1/jobs/{status['job_id']}"))
+    assert status["state"] == "done", status
+    result = get_json(server.url(f"/v1/jobs/{status['job_id']}/result"))
+    return status, result
+
+
+def cli_run_spec_output(spec_path) -> str:
+    """Capture exactly what `repro run --spec FILE` prints."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = cli.main(["run", "--spec", str(spec_path)])
+    assert code == 0
+    return buffer.getvalue()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+    with BackgroundServer(config) as live:
+        yield live
+
+
+class TestDifferential:
+    def test_http_result_byte_identical_to_cli(self, server, tmp_path):
+        payload = scenario_payload()
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(json.dumps(payload["scenario"]))
+
+        _, result = run_job(server, payload)
+        assert result["result"]["summary"] == cli_run_spec_output(spec_path)
+
+    def test_byte_identical_under_worker_chaos(self, tmp_path):
+        """Crashing worker attempts must never perturb the result."""
+        payload = scenario_payload(seed=3)
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(json.dumps(payload["scenario"]))
+        expected = cli_run_spec_output(spec_path)
+
+        config = ServiceConfig(
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            retry=RetryPolicy(max_attempts=4, base_delay=0.001),
+            chaos=WorkerChaos(seed=7, probability=1.0, max_crashes=2),
+        )
+        with BackgroundServer(config) as server:
+            status, result = run_job(server, payload)
+        assert status["attempts"] == 3  # two injected crashes, then clean
+        assert result["result"]["summary"] == expected
+
+    def test_chaos_soak_many_jobs(self, tmp_path):
+        """A chaotic service completes a stream of distinct jobs."""
+        config = ServiceConfig(
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+            chaos=WorkerChaos(seed=11, probability=0.5, max_crashes=1),
+        )
+        summaries = {}
+        with BackgroundServer(config) as server:
+            for seed in range(4):
+                _, result = run_job(server, scenario_payload(seed=seed))
+                summaries[seed] = result["result"]["summary"]
+        # Every job finished with a real simulation summary.
+        assert all(text.startswith("TempAlarm on ") for text in summaries.values())
+        # And chaos did fire somewhere (probability 0.5 over 4 jobs).
+        health_free_jobs = len(summaries)
+        assert health_free_jobs == 4
+
+
+class TestCacheOverHttp:
+    def test_repeat_submission_hits_cache(self, server):
+        payload = scenario_payload(seed=9)
+        first_status, first = run_job(server, payload)
+        assert first_status["cached"] is False
+
+        second_status = post_json(server.url("/v1/jobs"), payload)
+        assert second_status["state"] == "done"
+        assert second_status["cached"] is True
+        assert second_status["result_key"] == first_status["result_key"]
+        second = get_json(
+            server.url(f"/v1/jobs/{second_status['job_id']}/result")
+        )
+        assert second["result"] == first["result"]
+
+        health = get_json(server.url("/v1/health"))
+        assert health["cache"]["hits"] >= 1
+
+
+class TestHttpSurface:
+    def test_health_over_http(self, server):
+        import repro
+
+        health = get_json(server.url("/v1/health"))
+        assert health["status"] == "ok"
+        assert health["api_version"] == repro.__api_version__
+        assert health["version"] == repro.__version__
+
+    def test_invalid_spec_http_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url("/v1/jobs"), {"scenario": {"nope": True}})
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_http_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server.url("/v1/jobs/job-404"))
+        assert excinfo.value.code == 404
+
+    def test_stream_over_http(self, server):
+        status = post_json(server.url("/v1/jobs"), scenario_payload(seed=5))
+        with urllib.request.urlopen(
+            server.url(f"/v1/jobs/{status['job_id']}/stream"), timeout=60
+        ) as response:
+            lines = response.read().decode().splitlines()
+        records = [json.loads(line) for line in lines]
+        events = [r["event"] for r in records if "event" in r]
+        assert events[-1] in ("done", "failed")
+        assert events[-1] == "done"
