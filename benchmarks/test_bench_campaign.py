@@ -1,0 +1,131 @@
+"""Campaign batching benchmarks: 512 jobs, one planner, few launches.
+
+The campaign planner's value proposition is mechanical: N solo jobs pay
+N ``build_fleet`` + kernel launches, a planned campaign pays one (per
+shard).  These benches time both routes over the *same* 512-job
+campaign (256 harvest scales x 2 systems — the grid shape of the
+paper's sweeps) through the same :func:`execute_plan` entry point, so
+the ratio isolates exactly the per-job dispatch the planner removes.
+
+* pytest-benchmark entries for both routes, so ``--benchmark-json``
+  snapshots carry them;
+* an explicit gate (``test_campaign_speedup_ratio``) asserting the
+  batched route is at least ``REPRO_CAMPAIGN_SPEEDUP_MIN`` times faster
+  (default 5x locally; CI's 1-core runners set 3x — see
+  ``.github/workflows/ci.yml``);
+* a bit-identity check: both routes return identical per-job payloads,
+  the invariant that makes the speedup safe to take.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.apps.temp_alarm import MODE_SENSE, scenario
+from repro.experiments.plan import (
+    CampaignJob,
+    execute_plan,
+    plan_campaign,
+)
+from repro.spec import canonical_json
+from repro.vec import FIXED_BANK_MODE
+
+#: The benchmark campaign: 256 harvest scales x 2 systems = 512 jobs.
+CAMPAIGN_SCALES = np.linspace(0.25, 4.0, 256)
+CAMPAIGN_JOBS = 512
+
+#: Simulated seconds per job (200 steps at dt=0.05).
+HORIZON = 10.0
+DT = 0.05
+
+
+def _campaign():
+    scenario_json = canonical_json(scenario())
+    jobs = []
+    for power_scale in CAMPAIGN_SCALES:
+        for system, mode in (("Fixed", FIXED_BANK_MODE), ("CB-P", MODE_SENSE)):
+            jobs.append(
+                CampaignJob(
+                    label=f"{power_scale:g}x/{system}",
+                    scenario_json=scenario_json,
+                    system=system,
+                    horizon=HORIZON,
+                    backend="vec",
+                    dt=DT,
+                    mode=mode,
+                    power_scale=round(float(power_scale), 6),
+                )
+            )
+    assert len(jobs) == CAMPAIGN_JOBS
+    return jobs
+
+
+def _run(jobs, shard_size):
+    return execute_plan(
+        plan_campaign(jobs), jobs=1, shard_size=shard_size
+    ).results
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Fastest wall time over *rounds* runs, seconds."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_campaign_batched(benchmark):
+    """The planned route: the whole campaign as one cohort batch."""
+    jobs = _campaign()
+    results = benchmark(lambda: _run(jobs, shard_size=None))
+    benchmark.extra_info["jobs"] = CAMPAIGN_JOBS
+    benchmark.extra_info["route"] = "batched"
+    assert sum(r["fleet"]["on_seconds"] for r in results) > 0.0
+
+
+def test_campaign_solo_baseline(benchmark):
+    """The unbatched baseline, kept to 32 jobs per round so the suite
+    stays usably fast; the full 512-job head-to-head lives in
+    :func:`test_campaign_speedup_ratio`."""
+    jobs = _campaign()[:32]
+    results = benchmark(lambda: _run(jobs, shard_size=1))
+    benchmark.extra_info["jobs"] = len(jobs)
+    benchmark.extra_info["route"] = "solo"
+    assert sum(r["fleet"]["energy_in"] for r in results) > 0.0
+
+
+def test_campaign_speedup_ratio():
+    """The batched route must beat the solo baseline by the floor.
+
+    Both routes execute the identical 512-job plan through
+    :func:`execute_plan`; best-of-N wall times so a noisy neighbour can
+    only hurt, not help, the measured ratio.
+    """
+    minimum = float(os.environ.get("REPRO_CAMPAIGN_SPEEDUP_MIN", "5"))
+    jobs = _campaign()
+
+    batched_seconds = _best_of(lambda: _run(jobs, shard_size=None), rounds=3)
+    solo_seconds = _best_of(lambda: _run(jobs, shard_size=1), rounds=1)
+
+    speedup = solo_seconds / batched_seconds
+    print(
+        f"\nbatched {batched_seconds*1e3:.0f}ms vs solo "
+        f"{solo_seconds*1e3:.0f}ms on {CAMPAIGN_JOBS} jobs x "
+        f"{int(HORIZON / DT)} steps: {speedup:.1f}x"
+    )
+    assert speedup >= minimum, (
+        f"campaign batching is only {speedup:.1f}x faster than the solo "
+        f"baseline on the {CAMPAIGN_JOBS}-job campaign "
+        f"(required: {minimum:.0f}x)"
+    )
+
+
+def test_campaign_routes_are_bit_identical():
+    """The speedup is only admissible because the bits agree."""
+    jobs = _campaign()[:64]
+    assert _run(jobs, shard_size=None) == _run(jobs, shard_size=1)

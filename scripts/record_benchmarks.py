@@ -53,9 +53,11 @@ def _bench_means(path: Path) -> dict:
 def compare(latest: Path, baseline: Path, budget: float = OVERHEAD_BUDGET) -> int:
     """Print mean deltas vs *baseline*; non-zero if any exceeds *budget*.
 
-    Snapshot drift — a benchmark present on only one side — is a loud
-    failure, not a silently shrunk comparison: a rename or a deleted
-    bench would otherwise make a regression unmeasurable.
+    Snapshot drift is asymmetric: a benchmark that **disappeared** from
+    the run is a loud failure (a rename or deleted bench would otherwise
+    make a regression unmeasurable), while a benchmark **new** to the
+    run — a fresh group on its first snapshot — is informational until a
+    new baseline records it.
     """
     current = _bench_means(latest)
     recorded = _bench_means(baseline)
@@ -89,14 +91,15 @@ def compare(latest: Path, baseline: Path, budget: float = OVERHEAD_BUDGET) -> in
         for name in missing_from_run:
             print(f"  - {name}", file=sys.stderr)
     if missing_from_baseline:
-        drift = True
+        # A brand-new benchmark (first snapshot of a fresh group) is
+        # informational, not drift: only disappearing groups fail.
         print(
-            f"DRIFT: {len(missing_from_baseline)} benchmark(s) ran but are "
-            f"not in {baseline.name} (record a new baseline):",
-            file=sys.stderr,
+            f"NEW: {len(missing_from_baseline)} benchmark(s) ran but are "
+            f"not yet in {baseline.name} (informational; record a new "
+            f"baseline to track them):"
         )
         for name in missing_from_baseline:
-            print(f"  + {name}", file=sys.stderr)
+            print(f"  + {name}")
     return 1 if worst > budget or drift else 0
 
 

@@ -461,7 +461,11 @@ def _print_backend_matrix() -> None:
         print(f"    {key}: {info[key]}")
     print(
         "\nroutable experiments (repro experiment NAME --backend vec): "
-        "fig03, fig04, ablation, power-sweep"
+        "fig03, fig04, ablation, power-sweep, fleet"
+    )
+    print(
+        "campaign batching (repro run-all --backend vec): plans "
+        "vec-routable jobs into fleet cohorts (see docs/performance.md)"
     )
 
 
@@ -528,6 +532,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    """``repro run-all``: the experiment campaign as a first-class verb.
+
+    Identical to ``repro experiment all``; with ``--backend vec`` the
+    campaign's vec-routable experiments run through the batching
+    planner (:mod:`repro.experiments.plan`).
+    """
+    args.name = "all"
+    return _cmd_experiment(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the long-lived job service (blocks until interrupted)."""
     from repro.experiments.parallel import RetryPolicy
@@ -554,6 +569,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         retry=RetryPolicy(seed=args.seed),
         chaos=chaos,
+        job_ttl=args.job_ttl,
+        batch_window=args.batch_window,
     )
     run_service(
         config,
@@ -760,7 +777,8 @@ def build_parser() -> argparse.ArgumentParser:
             ),
             _backend_parent(
                 "simulation engine for backend-routable experiments "
-                "(fig03, fig04, ablation, power-sweep; see `repro info`)"
+                "(fig03, fig04, ablation, power-sweep, fleet; see "
+                "`repro info`)"
             ),
             _jobs_parent("worker processes for `all`, >= 1"),
             telemetry_parent,
@@ -783,6 +801,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop cached `all` results before running",
     )
     exp_parser.set_defaults(func=_cmd_experiment)
+
+    run_all_parser = sub.add_parser(
+        "run-all",
+        parents=[
+            _inject_parent(
+                "fault schedule JSON; its worker_crash faults become "
+                "deterministic campaign chaos"
+            ),
+            _backend_parent(
+                "simulation engine for the campaign's backend-routable "
+                "experiments; vec routes them through the batching planner"
+            ),
+            _jobs_parent("worker processes, >= 1"),
+            telemetry_parent,
+        ],
+        help="run the whole experiment campaign (alias of `experiment all`)",
+    )
+    run_all_parser.add_argument("--seed", type=int, default=0)
+    run_all_parser.add_argument("--scale", type=float, default=0.25)
+    run_all_parser.add_argument(
+        "--serial", action="store_true",
+        help="force single-process execution",
+    )
+    run_all_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run_all_parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop cached results before running",
+    )
+    run_all_parser.set_defaults(func=_cmd_run_all)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -818,6 +867,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--seed", type=int, default=0, help="retry-jitter seed"
+    )
+    serve_parser.add_argument(
+        "--job-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict finished jobs after this many seconds "
+        "(polling them answers 410; default: keep forever)",
+    )
+    serve_parser.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="linger after each dequeue to coalesce queued vec jobs "
+        "into one fleet batch (default: 0, no batching)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

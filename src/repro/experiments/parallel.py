@@ -439,6 +439,121 @@ class WorkerPool:
                 return result, TaskTiming(label, seconds, attempt)
         raise last_error  # pragma: no cover - unreachable (loop raises)
 
+    def map_tasks(
+        self,
+        fn: Callable[..., T],
+        tasks: Sequence[Tuple[Any, ...]],
+        labels: Optional[Sequence[str]] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[WorkerChaos] = None,
+        on_error: str = "raise",
+        telemetry: Optional[Telemetry] = None,
+        report: Optional[ParallelReport] = None,
+    ) -> List[Any]:
+        """:func:`parallel_map` semantics on the persistent executor.
+
+        Results come back in task order; retry/chaos/``on_error``
+        contracts match :func:`parallel_map` exactly, so a campaign can
+        move from the per-call pool to a long-lived one without
+        changing results.  Each task counts toward :attr:`tasks_run`
+        (the batch is N tasks, however they are scheduled).
+        """
+        if on_error not in ("raise", "capture"):
+            raise ConfigurationError(
+                f'on_error must be "raise" or "capture", got {on_error!r}'
+            )
+        if self._closed:
+            raise ConfigurationError("WorkerPool is shut down")
+        labels = (
+            list(labels)
+            if labels is not None
+            else [str(i) for i in range(len(tasks))]
+        )
+        telemetry = resolve_telemetry(telemetry)
+        max_attempts = retry.max_attempts if retry is not None else 1
+        use_pool = (
+            self.jobs > 1
+            and len(tasks) > 1
+            and _picklable(fn, list(tasks))
+            and (chaos is None or _picklable(chaos))
+        )
+        self.tasks_run += len(tasks)
+        if report is not None:
+            report.mode = "process-pool" if use_pool else "serial"
+            report.jobs = self.jobs if use_pool else 1
+
+        def _give_up(label: str, attempt: int, error: BaseException) -> TaskError:
+            if telemetry.enabled:
+                telemetry.inc("campaign.gave_up")
+            if on_error == "raise":
+                raise error
+            return TaskError(label=label, error=repr(error), attempts=attempt)
+
+        def _backoff(label: str, attempt: int) -> None:
+            if retry is None:
+                return
+            delay = retry.delay(label, attempt)
+            if delay > 0.0:
+                _time.sleep(delay)
+
+        outputs: List[Any] = []
+        if not use_pool:
+            for label, args in zip(labels, tasks):
+                for attempt in range(1, max_attempts + 1):
+                    try:
+                        result, seconds = _attempt_call(
+                            fn, args, chaos, label, attempt
+                        )
+                    except Exception as error:
+                        if attempt >= max_attempts:
+                            outputs.append(_give_up(label, attempt, error))
+                            if report is not None:
+                                report.timings.append(
+                                    TaskTiming(label, 0.0, attempt)
+                                )
+                            break
+                        if telemetry.enabled:
+                            telemetry.inc("campaign.retries")
+                        _backoff(label, attempt)
+                    else:
+                        outputs.append(result)
+                        if report is not None:
+                            report.timings.append(
+                                TaskTiming(label, seconds, attempt)
+                            )
+                        break
+            return outputs
+
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_attempt_call, fn, args, chaos, label, 1)
+            for label, args in zip(labels, tasks)
+        ]
+        for index, (label, future) in enumerate(zip(labels, futures)):
+            attempt = 1
+            while True:
+                try:
+                    result, seconds = future.result()
+                except Exception as error:
+                    if attempt >= max_attempts:
+                        outputs.append(_give_up(label, attempt, error))
+                        if report is not None:
+                            report.timings.append(TaskTiming(label, 0.0, attempt))
+                        break
+                    if telemetry.enabled:
+                        telemetry.inc("campaign.retries")
+                    _backoff(label, attempt)
+                    attempt += 1
+                    future = executor.submit(
+                        _attempt_call, fn, tasks[index], chaos, label, attempt
+                    )
+                else:
+                    outputs.append(result)
+                    if report is not None:
+                        report.timings.append(TaskTiming(label, seconds, attempt))
+                    break
+        return outputs
+
 
 # ---------------------------------------------------------------------------
 # Campaign fan-out

@@ -173,6 +173,26 @@ def power_sweep(seed: int, scale: float, backend: str = "scalar") -> str:
     return _capture(module.main, seed=seed, backend=backend)
 
 
+def _fleet_scenarios(seed: int, scale: float):
+    from repro.experiments.fleet_campaign import declared_scenarios
+
+    return declared_scenarios(seed, scale)
+
+
+@experiment(
+    "fleet",
+    "Fleet campaign: planner-batched duty-cycle availability",
+    uses_seed=True,
+    uses_scale=True,
+    uses_backend=True,
+    scenarios=_fleet_scenarios,
+)
+def fleet(seed: int, scale: float, backend: str = "scalar") -> str:
+    from repro.experiments import fleet_campaign
+
+    return _capture(fleet_campaign.main, seed=seed, scale=scale, backend=backend)
+
+
 @experiment("versatility", "Related work: versatility study", uses_seed=True)
 def versatility(seed: int, scale: float) -> str:
     from repro.experiments import versatility as module

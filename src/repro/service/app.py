@@ -26,6 +26,14 @@ service's own telemetry (request counters, latency histogram, cache
 hits) is visible through the health endpoint and the CLI's
 ``--metrics-out``.
 
+The job store is bounded and duplicate-free: terminal jobs expire after
+``job_ttl`` seconds (polling an evicted id answers **410 Gone**), and a
+submit whose result key matches a job still in flight attaches to it
+instead of queueing duplicate work.  With ``batch_window > 0`` a worker
+lingers briefly after each dequeue and coalesces queued vec-compatible
+jobs into one fleet batch (:mod:`repro.experiments.plan`) whose
+per-job payloads are byte-identical to solo execution.
+
 Jobs execute on a persistent :class:`~repro.experiments.parallel.WorkerPool`
 under the campaign layer's :class:`RetryPolicy`, and — because serving
 must be chaos-testable like everything else here — an armed
@@ -69,6 +77,14 @@ class ServiceConfig:
     collect: bool = True
     retry: Optional[RetryPolicy] = None
     chaos: Optional[WorkerChaos] = None
+    #: Seconds a terminal (done/failed) job stays pollable before the
+    #: store evicts it; ``None`` keeps every job forever (the pre-TTL
+    #: behaviour).  Evicted ids answer 410 Gone, not 404.
+    job_ttl: Optional[float] = None
+    #: Seconds a worker lingers after dequeuing a job to coalesce other
+    #: queued vec-compatible jobs into one fleet batch; ``0`` executes
+    #: strictly one job per dequeue.
+    batch_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -76,6 +92,14 @@ class ServiceConfig:
         if self.queue_limit < 1:
             raise ConfigurationError(
                 f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.job_ttl is not None and self.job_ttl <= 0:
+            raise ConfigurationError(
+                f"job_ttl must be > 0 seconds (or None), got {self.job_ttl}"
+            )
+        if self.batch_window < 0:
+            raise ConfigurationError(
+                f"batch_window must be >= 0 seconds, got {self.batch_window}"
             )
 
 
@@ -88,6 +112,9 @@ class _Job:
     result: Optional[JobResult] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
     changed: Optional[asyncio.Condition] = None
+    #: Coalesced duplicates: jobs with this job's result key submitted
+    #: while it was still in flight.  They settle when this job does.
+    followers: List["_Job"] = field(default_factory=list)
 
     async def emit(self, event: str, **fields: Any) -> None:
         record: Dict[str, Any] = {
@@ -122,6 +149,12 @@ class ServiceApp:
         self.telemetry = Telemetry()
         self.jobs: Dict[str, _Job] = {}
         self.started_at = time.time()
+        #: result_key -> job_id of the in-flight leader for that key;
+        #: duplicate submissions attach to it instead of queueing.
+        self._inflight: Dict[str, str] = {}
+        #: Highest job sequence number ever issued; ids at or below it
+        #: that are missing from the store were evicted (410, not 404).
+        self._last_job_seq = 0
         self._ids = itertools.count(1)
         self._requests = itertools.count(1)
         self._queue: Optional[asyncio.Queue] = None
@@ -158,10 +191,61 @@ class ServiceApp:
         assert self._queue is not None
         while True:
             job: _Job = await self._queue.get()
+            group = [job]
+            window = self.config.batch_window
+            if window > 0.0:
+                # Linger briefly to coalesce queued compatible jobs into
+                # one fleet batch (the campaign planner's cohort rule,
+                # applied to whatever the window drains).
+                deadline = time.monotonic() + window
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    try:
+                        group.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
             try:
-                await self._execute(job)
+                for batch in self._group_batch(group):
+                    if len(batch) == 1:
+                        await self._execute(batch[0])
+                    else:
+                        await self._execute_batch(batch)
             finally:
-                self._queue.task_done()
+                for _ in group:
+                    self._queue.task_done()
+
+    def _group_batch(self, group: List[_Job]) -> List[List[_Job]]:
+        """Partition drained jobs into executable batches.
+
+        Vec jobs sharing a resolved horizon form one batch (they were
+        capability-checked at admission, so the horizon is the only
+        remaining cohort key); scalar jobs execute one by one.  Order of
+        first appearance is preserved.
+        """
+        from repro.experiments.plan import DEFAULT_VEC_HORIZON
+
+        batches: List[List[_Job]] = []
+        vec_batches: Dict[float, List[_Job]] = {}
+        for job in group:
+            request = job.request
+            if request.backend != "vec":
+                batches.append([job])
+                continue
+            horizon = (
+                request.horizon
+                if request.horizon is not None
+                else DEFAULT_VEC_HORIZON
+            )
+            batch = vec_batches.get(horizon)
+            if batch is None:
+                batch = vec_batches[horizon] = []
+                batches.append(batch)
+            batch.append(job)
+        return batches
 
     async def _execute(self, job: _Job) -> None:
         request = job.request
@@ -190,6 +274,7 @@ class ServiceApp:
             job.status.finished_at = time.time()
             self.telemetry.inc("service.jobs_failed")
             await job.emit("failed", error=repr(error))
+            await self._settle(job)
             return
         job.status.attempts = timing.attempts
         self.cache.put(job.status.result_key, payload)
@@ -206,6 +291,125 @@ class ServiceApp:
         await job.emit(
             "done", attempts=timing.attempts, seconds=round(timing.seconds, 6)
         )
+        await self._settle(job)
+
+    async def _execute_batch(self, batch: List[_Job]) -> None:
+        """Run window-coalesced vec jobs as ONE fleet batch.
+
+        One :func:`run_fleet_batch` call on the pool; the per-job
+        payloads it splits out are byte-identical to solo execution, so
+        each job completes exactly as if it had run alone.
+        """
+        from repro.experiments.plan import CampaignJob, run_fleet_batch
+
+        for job in batch:
+            job.status.state = "running"
+            await job.emit("running", batched=len(batch))
+        campaign = tuple(
+            CampaignJob.from_request(job.request) for job in batch
+        )
+        try:
+            payloads, timing = await asyncio.to_thread(
+                self.pool.run_task,
+                run_fleet_batch,
+                (campaign, self.config.collect),
+                f"service:batch:{len(batch)}",
+                self.config.retry,
+                self.config.chaos,
+                self.telemetry,
+            )
+        except Exception as error:
+            for job in batch:
+                job.status.state = "failed"
+                job.status.detail = repr(error)
+                job.status.finished_at = time.time()
+                self.telemetry.inc("service.jobs_failed")
+                await job.emit("failed", error=repr(error))
+                await self._settle(job)
+            return
+        self.telemetry.inc("service.jobs_batched", len(batch))
+        self.telemetry.observe("service.job_seconds", timing.seconds)
+        for job, payload in zip(batch, payloads):
+            job.status.attempts = timing.attempts
+            self.cache.put(job.status.result_key, payload)
+            job.result = JobResult(
+                job_id=job.status.job_id,
+                result_key=job.status.result_key,
+                cached=False,
+                payload=payload,
+            )
+            job.status.state = "done"
+            job.status.finished_at = time.time()
+            self.telemetry.inc("service.jobs_completed")
+            await job.emit(
+                "done", attempts=timing.attempts, batched=len(batch)
+            )
+            await self._settle(job)
+
+    async def _settle(self, job: _Job) -> None:
+        """Propagate a terminal job to its coalesced followers."""
+        if self._inflight.get(job.status.result_key) == job.status.job_id:
+            del self._inflight[job.status.result_key]
+        followers, job.followers = job.followers, []
+        for follower in followers:
+            follower.status.state = job.status.state
+            follower.status.detail = job.status.detail
+            follower.status.attempts = job.status.attempts
+            follower.status.finished_at = job.status.finished_at
+            if job.result is not None:
+                follower.result = JobResult(
+                    job_id=follower.status.job_id,
+                    result_key=follower.status.result_key,
+                    cached=False,
+                    payload=job.result.payload,
+                )
+                await follower.emit("done", coalesced_with=job.status.job_id)
+            else:
+                await follower.emit(
+                    "failed", error=job.status.detail,
+                    coalesced_with=job.status.job_id,
+                )
+
+    def _was_issued(self, job_id: str) -> bool:
+        """Whether an id missing from the store was once a real job.
+
+        Ids are sequential (``job-1`` …), so any well-formed id at or
+        below the highest issued sequence must have existed — and, being
+        absent now, was evicted.  Keeps 410-vs-404 precise without an
+        unbounded evicted-id set.
+        """
+        if not job_id.startswith("job-"):
+            return False
+        try:
+            seq = int(job_id[4:])
+        except ValueError:
+            return False
+        return 1 <= seq <= self._last_job_seq
+
+    def _evict_expired(self, now: Optional[float] = None) -> int:
+        """Drop terminal jobs older than the TTL; count what went.
+
+        *now* is injectable so tests can advance time synthetically.
+        Returns the number of evicted jobs (also counted on
+        ``service.jobs_evicted``).
+        """
+        ttl = self.config.job_ttl
+        if ttl is None:
+            return 0
+        if now is None:
+            now = time.time()
+        expired = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.status.state in ("done", "failed")
+            and job.status.finished_at is not None
+            and now - job.status.finished_at >= ttl
+        ]
+        for job_id in expired:
+            del self.jobs[job_id]
+        if expired:
+            self.telemetry.inc("service.jobs_evicted", len(expired))
+        return len(expired)
 
     # ------------------------------------------------------------------
     # ASGI surface
@@ -256,6 +460,7 @@ class ServiceApp:
         path = scope.get("path", "/")
         method = scope.get("method", "GET").upper()
         parts = [part for part in path.split("/") if part]
+        self._evict_expired()
 
         if parts == ["v1", "health"] and method == "GET":
             await self._send_json(send, 200, self.health(), request_id)
@@ -266,6 +471,17 @@ class ServiceApp:
         if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
             job = self.jobs.get(parts[2])
             if job is None:
+                if self._was_issued(parts[2]):
+                    await self._send_json(
+                        send,
+                        410,
+                        {
+                            "error": f"job {parts[2]!r} evicted after "
+                            f"job_ttl={self.config.job_ttl}s"
+                        },
+                        request_id,
+                    )
+                    return
                 await self._send_json(
                     send, 404, {"error": f"unknown job {parts[2]!r}"}, request_id
                 )
@@ -351,7 +567,9 @@ class ServiceApp:
             )
             return
 
-        job_id = f"job-{next(self._ids)}"
+        seq = next(self._ids)
+        self._last_job_seq = seq
+        job_id = f"job-{seq}"
         status = JobStatus(
             job_id=job_id,
             result_key=key,
@@ -375,6 +593,20 @@ class ServiceApp:
             await self._send_json(send, 200, status.to_dict(), request_id)
             return
 
+        leader_id = self._inflight.get(key)
+        leader = self.jobs.get(leader_id) if leader_id is not None else None
+        if leader is not None and leader.status.state in ("queued", "running"):
+            # Identical work is already in flight: attach to it instead
+            # of queueing a duplicate.  The follower settles (result,
+            # state, events) when the leader does.
+            status.state = leader.status.state
+            leader.followers.append(job)
+            self.jobs[job_id] = job
+            self.telemetry.inc("service.jobs_coalesced")
+            await job.emit("coalesced", leader=leader.status.job_id)
+            await self._send_json(send, 202, status.to_dict(), request_id)
+            return
+
         assert self._queue is not None
         try:
             self._queue.put_nowait(job)
@@ -392,6 +624,7 @@ class ServiceApp:
             )
             return
         self.jobs[job_id] = job
+        self._inflight[key] = job_id
         self.telemetry.inc("service.jobs_queued")
         await job.emit("queued")
         await self._send_json(send, 202, status.to_dict(), request_id)

@@ -131,25 +131,15 @@ class JobRequest:
     def result_key(self) -> str:
         """The spec/fault/backend-aware cache key for this request.
 
-        Built on :func:`repro.experiments.cache.result_key`, so service
-        results live in the same content-keyed store as experiment
-        results and invalidate on any simulator source change.
+        Delegates to :func:`repro.experiments.plan.job_result_key` — one
+        key function shared by HTTP submissions and batched campaign
+        execution, so a job keys identically however it is scheduled.
+        Keys live in the same content-keyed store as experiment results
+        and invalidate on any simulator source change.
         """
-        from repro.experiments.cache import result_key
+        from repro.experiments.plan import CampaignJob, job_result_key
 
-        params: Dict[str, Any] = {}
-        if self.system is not None:
-            params["system"] = self.system
-        if self.horizon is not None:
-            params["horizon"] = self.horizon
-        if self.backend != "scalar":
-            params["backend"] = self.backend
-        return result_key(
-            "service.run",
-            params,
-            spec_hash=self.spec_hash(),
-            fault_hash=self.fault_hash(),
-        )
+        return job_result_key(CampaignJob.from_request(self))
 
     def to_dict(self) -> Dict[str, Any]:
         import json

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-#: Backends a single-scenario run understands.  The vec backend is a
-#: fleet engine — single app workloads are outside its feature matrix —
-#: but it is part of the shared flag vocabulary, so both entry points
-#: reject it identically (capability error, never silent fallback).
+#: Backends a single-scenario run understands.  The vec backend runs a
+#: capability-checked scenario as a fleet batch of one (byte-identical
+#: to the same job batched into a campaign); scenarios outside the vec
+#: feature matrix are rejected identically by both entry points
+#: (capability error, never silent fallback).
 RUN_BACKENDS = ("scalar", "vec")
 
 
@@ -65,8 +66,10 @@ def run_scenario_job(
             CLI).
         faults_json: optional canonical fault schedule JSON
             (:mod:`repro.faults`) applied before the run.
-        backend: ``"scalar"`` runs the full engine; ``"vec"`` raises the
-            same capability error the CLI does (apps are scalar-only).
+        backend: ``"scalar"`` runs the full engine; ``"vec"`` runs the
+            scenario through :func:`repro.experiments.plan.run_fleet_batch`
+            as a batch of one (capability-checked; unsupported scenarios
+            raise the same error the CLI prints).
         collect: also run inside a fresh telemetry scope and attach the
             snapshot (the service streams it as JSONL).
 
@@ -95,17 +98,23 @@ def run_scenario_job(
 
         schedule = load_fault_schedule(faults_json)
     if backend == "vec":
+        from repro.experiments.plan import CampaignJob, run_fleet_batch
         from repro.vec import ensure_supported
 
-        # Single-scenario app runs are outside the vec feature matrix;
-        # ensure_supported names every reason (workload, traces, faults)
-        # so the CLI and the service reject with the same message.
+        # ensure_supported names every capability reason (workload,
+        # traces, faults) so the CLI and the service reject identically.
+        # A supported job runs as a fleet batch of one — byte-identical
+        # to the same job coalesced into a larger campaign batch.
         ensure_supported(scenario, schedule)
-        raise SpecError(
-            f"scenario {scenario.name!r}: the vec backend simulates "
-            f"fleets (grid experiments), not single app runs; use "
-            f"--backend scalar or `repro experiment ... --backend vec`"
+        job = CampaignJob(
+            label=scenario.name,
+            scenario_json=scenario_json,
+            system=SystemKind.from_name(system).value if system is not None else None,
+            horizon=horizon,
+            faults_json=faults_json,
+            backend="vec",
         )
+        return run_fleet_batch((job,), collect=collect)[0]
 
     kind = SystemKind.from_name(system if system is not None else scenario.system)
 

@@ -42,6 +42,7 @@ from repro.vec.kernel import (
     charge_power_vec,
     charge_times,
     drain_power_vec,
+    leak_decay,
     times_to_brownout,
 )
 from repro.vec.state import FleetState
@@ -63,6 +64,7 @@ __all__ = [
     "drain_power_vec",
     "ensure_supported",
     "fleet_from_banks",
+    "leak_decay",
     "times_to_brownout",
     "vec_capabilities",
 ]

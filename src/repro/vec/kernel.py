@@ -53,6 +53,7 @@ __all__ = [
     "charge_power_vec",
     "drain_power_vec",
     "charge_times",
+    "leak_decay",
     "times_to_brownout",
     "atomicity_ops",
 ]
@@ -61,6 +62,27 @@ __all__ = [
 _FLOOR_EPS = 1e-9
 #: Epsilon matching the scalar charge loop's target guard.
 _TARGET_EPS = 1e-9
+
+
+def leak_decay(leak_tau: np.ndarray, dt: float) -> np.ndarray:
+    """Per-device RC decay factors, computed element by element.
+
+    Every other kernel operation is elementwise IEEE arithmetic, so a
+    batch of N devices and N batches of one produce identical bits — as
+    long as ``exp`` does too.  ``np.exp`` over an array may take a SIMD
+    path whose rounding can differ from the size-1 evaluation on some
+    builds, which would make batching observable.  This helper pins the
+    size-1 evaluation for every element, so any batch composition of
+    the same devices shares exactly these factors.  Pass the result to
+    :meth:`FleetKernel.run` via ``decay=`` when batch composition must
+    not influence results (the campaign planner does).
+    """
+    taus = np.atleast_1d(np.asarray(leak_tau, dtype=np.float64))
+    if dt <= 0.0:
+        raise ConfigurationError(f"dt must be positive, got {dt}")
+    return np.asarray(
+        [np.exp(np.float64(-dt) / tau) for tau in taus], dtype=np.float64
+    )
 
 
 def charge_power_vec(voltage: np.ndarray, state: FleetState) -> np.ndarray:
@@ -193,11 +215,19 @@ class FleetKernel:
         self.steps += 1
         self.now += dt
 
-    def run(self, duration: float, dt: float = 0.05) -> Dict[str, float]:
+    def run(
+        self,
+        duration: float,
+        dt: float = 0.05,
+        decay: Optional[np.ndarray] = None,
+    ) -> Dict[str, float]:
         """Step the fleet through *duration* seconds at resolution *dt*.
 
         Returns a summary dict (steps, devices, wall seconds) and, when
-        telemetry is enabled, records the ``vec.*`` counters.
+        telemetry is enabled, records the ``vec.*`` counters.  *decay*
+        optionally overrides the per-step RC leakage factors; pass
+        :func:`leak_decay` when results must not depend on batch
+        composition (see that helper's docstring).
         """
         if duration < 0.0:
             raise ConfigurationError(
@@ -207,7 +237,13 @@ class FleetKernel:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         steps = int(round(duration / dt))
         started = time.perf_counter()
-        decay = np.exp(-dt / self.state.leak_tau)
+        if decay is None:
+            decay = np.exp(-dt / self.state.leak_tau)
+        elif np.shape(decay) != self.state.voltage.shape:
+            raise ConfigurationError(
+                f"decay: expected shape {self.state.voltage.shape}, "
+                f"got {np.shape(decay)}"
+            )
         for _ in range(steps):
             self.step(dt, _decay=decay)
         wall = time.perf_counter() - started

@@ -281,3 +281,48 @@ class TestSubmitErrors:
         code = main(["submit", "--spec", "/nonexistent/spec.json"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestRunAllVerb:
+    """`repro run-all`: the campaign as a first-class verb."""
+
+    def test_parses_with_campaign_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run-all", "--backend", "vec", "--jobs", "3",
+                "--scale", "0.5", "--inject", "f.json", "--no-cache",
+            ]
+        )
+        assert args.command == "run-all"
+        assert args.backend == "vec" and args.jobs == 3
+        assert args.scale == 0.5 and args.inject == "f.json"
+        assert args.no_cache is True
+
+    def test_forwards_to_the_experiment_all_path(self, monkeypatch):
+        from repro.experiments import run_all
+
+        seen = {}
+
+        def fake_main(**kwargs):
+            seen.update(kwargs)
+
+        monkeypatch.setattr(run_all, "main", fake_main)
+        code = main(["run-all", "--backend", "vec", "--serial"])
+        assert code == 0
+        assert seen["backend"] == "vec"
+        assert seen["jobs"] == 1  # --serial forces one worker
+
+    def test_serve_gained_ttl_and_batch_window_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--job-ttl", "300", "--batch-window", "0.5"]
+        )
+        assert args.job_ttl == 300.0
+        assert args.batch_window == 0.5
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.job_ttl is None and defaults.batch_window == 0.0
+
+    def test_fleet_experiment_is_registered(self):
+        args = build_parser().parse_args(
+            ["experiment", "fleet", "--backend", "vec"]
+        )
+        assert args.name == "fleet" and args.backend == "vec"

@@ -372,3 +372,80 @@ class TestWorkerPool:
         with WorkerPool(jobs=2) as pool:
             result, _ = pool.run_task(lambda x: x + 1, (41,))
         assert result == 42
+
+
+class TestWorkerPoolMapTasks:
+    """`map_tasks`: parallel_map semantics on the persistent executor —
+    the campaign planner's execution primitive."""
+
+    def test_results_in_submission_order(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=2) as pool:
+            results = pool.map_tasks(_square, [(i,) for i in range(8)])
+        assert results == [i * i for i in range(8)]
+
+    def test_serial_and_pool_paths_agree(self):
+        from repro.experiments.parallel import WorkerPool
+
+        tasks = [(i,) for i in range(6)]
+        with WorkerPool(jobs=1) as serial, WorkerPool(jobs=2) as pooled:
+            assert serial.map_tasks(_square, tasks) == pooled.map_tasks(
+                _square, tasks
+            )
+
+    def test_counts_toward_tasks_run_and_pool_survives(self):
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=1) as pool:
+            pool.map_tasks(_square, [(1,), (2,)])
+            assert pool.tasks_run == 2
+            # The pool is reusable for further campaigns and singles.
+            pool.map_tasks(_square, [(3,)])
+            result, _ = pool.run_task(_square, (4,))
+            assert result == 16
+            assert pool.tasks_run == 4
+
+    def test_chaos_and_retry_are_deterministic(self):
+        from repro.experiments.parallel import RetryPolicy, WorkerPool
+        from repro.faults.inject import WorkerChaos
+
+        tasks = [(i,) for i in range(4)]
+        retry = RetryPolicy(max_attempts=4, base_delay=0.0)
+        chaos = WorkerChaos(seed=5, probability=1.0, max_crashes=2)
+        with WorkerPool(jobs=1) as pool:
+            clean = pool.map_tasks(_square, tasks)
+            chaotic = pool.map_tasks(_square, tasks, retry=retry, chaos=chaos)
+        assert chaotic == clean
+
+    def test_capture_returns_task_errors_in_place(self):
+        from repro.experiments.parallel import RetryPolicy, TaskError, WorkerPool
+
+        with WorkerPool(jobs=1) as pool:
+            results = pool.map_tasks(
+                _boom,
+                [(1,), (2,)],
+                labels=["a", "b"],
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                on_error="capture",
+            )
+        assert all(isinstance(r, TaskError) for r in results)
+        assert [r.label for r in results] == ["a", "b"]
+        assert all(r.attempts == 2 for r in results)
+
+    def test_shutdown_pool_rejects_map_tasks(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.parallel import WorkerPool
+
+        pool = WorkerPool(jobs=1)
+        pool.shutdown()
+        with pytest.raises(ConfigurationError, match="shut down"):
+            pool.map_tasks(_square, [(1,)])
+
+    def test_invalid_on_error_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(jobs=1) as pool:
+            with pytest.raises(ConfigurationError, match="on_error"):
+                pool.map_tasks(_square, [(1,)], on_error="ignore")

@@ -1,0 +1,283 @@
+"""Campaign batching planner: partition rules, bit-identity, keys.
+
+The planner's one non-negotiable invariant is that batch composition is
+invisible: a job's payload and cache key are byte-identical whether it
+runs solo, in a cohort batch, through the service, or under worker
+chaos with retries.  These tests pin that invariant from every side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.temp_alarm import MODE_SENSE, scenario
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import RetryPolicy, TaskError, WorkerPool
+from repro.experiments.plan import (
+    DEFAULT_VEC_HORIZON,
+    CampaignJob,
+    execute_plan,
+    job_result_key,
+    plan_campaign,
+    run_fleet_batch,
+)
+from repro.faults.inject import WorkerChaos
+from repro.observability import Telemetry
+from repro.spec import canonical_json
+from repro.vec import FIXED_BANK_MODE
+
+GOLDEN_FAULTS = Path(__file__).parent / "golden" / "faults"
+
+
+def _scenario_json(seed: int = 0) -> str:
+    return canonical_json(scenario(seed=seed))
+
+
+def _vec_jobs(count: int = 4, horizon: float = 60.0):
+    """A small (power scale x system) grid of vec campaign jobs."""
+    scenario_json = _scenario_json()
+    systems = (("Fixed", FIXED_BANK_MODE), ("CB-P", MODE_SENSE))
+    jobs = []
+    for i in range(count):
+        system, mode = systems[i % 2]
+        jobs.append(
+            CampaignJob(
+                label=f"j{i}",
+                scenario_json=scenario_json,
+                system=system,
+                horizon=horizon,
+                backend="vec",
+                mode=mode,
+                power_scale=0.5 + 0.5 * (i // 2),
+            )
+        )
+    return jobs
+
+
+class TestPlanCampaign:
+    def test_partitions_cohorts_and_stragglers(self):
+        jobs = _vec_jobs(4)
+        scalar = CampaignJob(
+            label="scalar", scenario_json=_scenario_json(), horizon=60.0
+        )
+        faulted = dataclasses.replace(
+            jobs[0],
+            label="faulted",
+            faults_json=(GOLDEN_FAULTS / "blackout.json").read_text(),
+        )
+        telemetry = Telemetry()
+        plan = plan_campaign(jobs + [scalar, faulted], telemetry=telemetry)
+
+        assert len(plan.cohorts) == 1
+        assert [i for i, _ in plan.cohorts[0].jobs] == [0, 1, 2, 3]
+        assert [s.index for s in plan.stragglers] == [4, 5]
+        assert [s.slug for s in plan.stragglers] == ["backend-scalar", "faults"]
+
+        stats = plan.stats()
+        assert stats == {
+            "jobs": 6,
+            "cohorts": 1,
+            "batched_jobs": 4,
+            "straggler_jobs": 2,
+            "batched_fraction": 4 / 6,
+            "straggler_reasons": {"backend-scalar": 1, "faults": 1},
+        }
+        counters = telemetry.metrics
+        assert counters.counter("plan.jobs").value == 6
+        assert counters.counter("plan.batched_jobs").value == 4
+        assert counters.counter("plan.straggler_jobs").value == 2
+        assert counters.counter("plan.straggler_reason.faults").value == 1
+        assert counters.gauge("plan.batched_fraction").value == 4 / 6
+
+    def test_cohorts_split_by_resolved_horizon(self):
+        jobs = _vec_jobs(2, horizon=60.0) + [
+            dataclasses.replace(job, label=job.label + "b", horizon=120.0)
+            for job in _vec_jobs(2)
+        ]
+        plan = plan_campaign(jobs)
+        assert len(plan.cohorts) == 2
+        assert [c.horizon for c in plan.cohorts] == [60.0, 120.0]
+        assert plan.stats()["batched_fraction"] == 1.0
+
+    def test_default_horizon_resolves(self):
+        job = dataclasses.replace(_vec_jobs(1)[0], horizon=None)
+        assert job.vec_horizon == DEFAULT_VEC_HORIZON
+        plan = plan_campaign([job])
+        assert plan.cohorts[0].horizon == DEFAULT_VEC_HORIZON
+
+    def test_rejected_vec_job_downgrades_to_scalar_key(self):
+        faulted = dataclasses.replace(
+            _vec_jobs(1)[0],
+            faults_json=(GOLDEN_FAULTS / "blackout.json").read_text(),
+        )
+        plan = plan_campaign([faulted])
+        (straggler,) = plan.stragglers
+        assert straggler.job.backend == "scalar"
+        assert "fault" in straggler.reason
+        # The downgraded job keys exactly as the same work requested
+        # scalar up front: key and payload stay coherent with how it ran.
+        assert job_result_key(straggler.job) == job_result_key(
+            dataclasses.replace(faulted, backend="scalar")
+        )
+
+
+class TestBitIdentity:
+    def test_batch_equals_solo(self):
+        jobs = _vec_jobs(4)
+        assert run_fleet_batch(jobs) == [
+            run_fleet_batch((job,))[0] for job in jobs
+        ]
+
+    def test_batch_equals_solo_with_telemetry_snapshots(self):
+        jobs = _vec_jobs(4)
+        batched = run_fleet_batch(jobs, collect=True)
+        solo = [run_fleet_batch((job,), collect=True)[0] for job in jobs]
+        assert batched == solo
+        assert batched[0]["telemetry"] is not None
+
+    def test_execute_plan_routes_agree(self):
+        plan = plan_campaign(_vec_jobs(4))
+        batched = execute_plan(plan, jobs=1)
+        solo = execute_plan(plan, jobs=1, shard_size=1)
+        assert batched.results == solo.results
+        assert batched.keys == solo.keys
+
+    def test_fleet_experiment_output_identical_on_both_backends(self):
+        from repro.experiments.registry import run_experiment
+
+        scalar = run_experiment("fleet", seed=0, scale=0.4, backend="scalar")
+        vec = run_experiment("fleet", seed=0, scale=0.4, backend="vec")
+        assert scalar == vec
+        assert "fleet" in scalar
+
+    def test_mixed_plan_keeps_original_job_order(self):
+        jobs = _vec_jobs(2)
+        scalar = CampaignJob(
+            label="scalar", scenario_json=_scenario_json(), horizon=60.0
+        )
+        mixed = [jobs[0], scalar, jobs[1]]
+        executed = execute_plan(plan_campaign(mixed), jobs=1)
+        # vec payloads carry per-device fleet columns, scalar payloads a
+        # full trace — each job got its own backend's payload, in order.
+        assert [("fleet" in r, "trace" in r) for r in executed.results] == [
+            (True, False),
+            (False, True),
+            (True, False),
+        ]
+        assert executed.results[0] == run_fleet_batch((jobs[0],))[0]
+        assert executed.results[2] == run_fleet_batch((jobs[1],))[0]
+
+
+class TestResultKeys:
+    def test_service_request_interop(self):
+        from repro.service.jobs import JobRequest
+
+        scenario_json = _scenario_json()
+        for backend in ("scalar", "vec"):
+            request = JobRequest(
+                scenario_json=scenario_json,
+                system="CB-P",
+                horizon=120.0,
+                backend=backend,
+            )
+            job = CampaignJob.from_request(request)
+            assert job_result_key(job) == request.result_key()
+
+    def test_vec_knobs_join_key_only_when_non_default(self):
+        base = _vec_jobs(1)[0]
+        default_knobs = dataclasses.replace(
+            base, mode=None, power_scale=1.0, initial_voltage=0.0
+        )
+        from repro.service.jobs import JobRequest
+
+        request = JobRequest(
+            scenario_json=base.scenario_json,
+            system=base.system,
+            horizon=base.horizon,
+            backend="vec",
+        )
+        assert job_result_key(default_knobs) == request.result_key()
+        assert job_result_key(base) != job_result_key(default_knobs)
+
+    def test_label_does_not_affect_key(self):
+        job = _vec_jobs(1)[0]
+        assert job_result_key(job) == job_result_key(
+            dataclasses.replace(job, label="renamed")
+        )
+
+
+class TestExecutePlan:
+    def test_cache_round_trip(self, tmp_cache):
+        jobs = _vec_jobs(4)
+        plan = plan_campaign(jobs)
+        first = execute_plan(plan, cache=tmp_cache, jobs=1)
+        assert first.cached == [False] * 4
+
+        telemetry = Telemetry()
+        second = execute_plan(
+            plan_campaign(jobs), cache=tmp_cache, jobs=1, telemetry=telemetry
+        )
+        assert second.cached == [True] * 4
+        assert second.results == first.results
+        assert telemetry.metrics.counter("plan.cache_hits").value == 4
+
+    def test_cached_payloads_serve_the_service_guard(self, tmp_cache):
+        # The service accepts a cached payload only if it looks like a
+        # job result; planner payloads must pass that shape check.
+        executed = execute_plan(
+            plan_campaign(_vec_jobs(2)), cache=tmp_cache, jobs=1
+        )
+        for key in executed.keys:
+            cached = tmp_cache.get(key)
+            assert isinstance(cached, dict) and "summary" in cached
+            json.dumps(cached)  # HTTP-serialisable end to end
+
+    def test_chaos_with_budget_is_bit_identical_to_clean(self):
+        jobs = _vec_jobs(4)
+        clean = execute_plan(plan_campaign(jobs), jobs=1)
+        chaotic = execute_plan(
+            plan_campaign(jobs),
+            jobs=1,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.0),
+            chaos=WorkerChaos(seed=7, probability=1.0, max_crashes=2),
+        )
+        assert chaotic.results == clean.results
+
+    def test_chaos_past_budget_captures_task_errors(self):
+        jobs = _vec_jobs(2)
+        telemetry = Telemetry()
+        executed = execute_plan(
+            plan_campaign(jobs),
+            jobs=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            chaos=WorkerChaos(seed=7, probability=1.0, max_crashes=5),
+            on_error="capture",
+            telemetry=telemetry,
+        )
+        assert all(isinstance(r, TaskError) for r in executed.results)
+        assert telemetry.metrics.counter("campaign.gave_up").value >= 1
+
+    def test_run_fleet_batch_rejects_mixed_cohorts(self):
+        jobs = _vec_jobs(1) + [
+            dataclasses.replace(_vec_jobs(1)[0], label="other", horizon=120.0)
+        ]
+        with pytest.raises(ConfigurationError, match="separate cohorts"):
+            run_fleet_batch(jobs)
+        with pytest.raises(ConfigurationError, match="vec cohorts only"):
+            run_fleet_batch(
+                (CampaignJob(label="s", scenario_json=_scenario_json()),)
+            )
+
+    def test_worker_pool_runs_consecutive_plans(self):
+        jobs = _vec_jobs(4)
+        serial = execute_plan(plan_campaign(jobs), jobs=1)
+        with WorkerPool(jobs=2) as pool:
+            first = execute_plan(plan_campaign(jobs), pool=pool)
+            second = execute_plan(plan_campaign(jobs), pool=pool)
+            assert pool.tasks_run >= 2
+        assert first.results == serial.results
+        assert second.results == serial.results

@@ -1,0 +1,75 @@
+"""The benchmark snapshot comparator's drift rules.
+
+``scripts/record_benchmarks.py --compare`` must fail when a recorded
+benchmark disappears from the run (a rename would silently shrink the
+comparison) but stay green when the run adds a brand-new benchmark —
+the first snapshot of a fresh group is informational, not drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "record_benchmarks.py"
+
+spec = importlib.util.spec_from_file_location("record_benchmarks", SCRIPT)
+record_benchmarks = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(record_benchmarks)
+
+
+def _snapshot(path: Path, means: dict) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+def test_identical_snapshots_pass(tmp_path):
+    latest = _snapshot(tmp_path / "latest.json", {"bench_a": 0.010})
+    baseline = _snapshot(tmp_path / "base.json", {"bench_a": 0.010})
+    assert record_benchmarks.compare(latest, baseline) == 0
+
+
+def test_regression_past_budget_fails(tmp_path):
+    latest = _snapshot(tmp_path / "latest.json", {"bench_a": 0.020})
+    baseline = _snapshot(tmp_path / "base.json", {"bench_a": 0.010})
+    assert record_benchmarks.compare(latest, baseline) == 1
+
+
+def test_new_benchmark_is_informational(tmp_path, capsys):
+    latest = _snapshot(
+        tmp_path / "latest.json", {"bench_a": 0.010, "bench_campaign": 0.005}
+    )
+    baseline = _snapshot(tmp_path / "base.json", {"bench_a": 0.010})
+    assert record_benchmarks.compare(latest, baseline) == 0
+    out = capsys.readouterr().out
+    assert "NEW: 1 benchmark(s)" in out
+    assert "bench_campaign" in out
+
+
+def test_disappeared_benchmark_fails(tmp_path, capsys):
+    latest = _snapshot(tmp_path / "latest.json", {"bench_a": 0.010})
+    baseline = _snapshot(
+        tmp_path / "base.json", {"bench_a": 0.010, "bench_gone": 0.005}
+    )
+    assert record_benchmarks.compare(latest, baseline) == 1
+    err = capsys.readouterr().err
+    assert "DRIFT" in err
+    assert "bench_gone" in err
+
+
+def test_no_overlap_is_an_error(tmp_path):
+    latest = _snapshot(tmp_path / "latest.json", {"bench_new": 0.010})
+    baseline = _snapshot(tmp_path / "base.json", {"bench_old": 0.010})
+    assert record_benchmarks.compare(latest, baseline) == 1

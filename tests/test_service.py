@@ -16,6 +16,8 @@ import pytest
 
 from repro.apps import temp_alarm
 from repro.errors import ConfigurationError, SpecError
+from repro.experiments.parallel import RetryPolicy
+from repro.faults.inject import WorkerChaos
 from repro.service.app import ServiceApp, ServiceConfig
 from repro.service.jobs import JOB_STATES, JobRequest
 from repro.service.quota import QuotaRegistry, TokenBucket
@@ -388,3 +390,243 @@ class TestServiceApp:
             ServiceConfig(jobs=0)
         with pytest.raises(ConfigurationError):
             ServiceConfig(queue_limit=0)
+
+
+# ---------------------------------------------------------------------------
+# Job store TTL / eviction
+# ---------------------------------------------------------------------------
+
+
+class TestJobTTL:
+    def test_terminal_jobs_evict_and_answer_410(self, tmp_path):
+        async def body(app):
+            _, _, payload = await submit(app, scenario_dict())
+            job_id = json.loads(payload)["job_id"]
+            await wait_done(app, job_id)
+
+            finished_at = app.jobs[job_id].status.finished_at
+            # Synthetic clock: advance past the TTL without sleeping.
+            assert app._evict_expired(now=finished_at + 4.9) == 0
+            assert app._evict_expired(now=finished_at + 5.0) == 1
+            counter = app.telemetry.metrics.counter("service.jobs_evicted")
+            assert counter.value == 1
+
+            for suffix in ("", "/result", "/stream"):
+                status, _, payload = await asgi_request(
+                    app, "GET", f"/v1/jobs/{job_id}{suffix}"
+                )
+                assert status == 410
+                assert "evicted" in json.loads(payload)["error"]
+            # Ids never issued still answer 404, not 410.
+            status, _, _ = await asgi_request(app, "GET", "/v1/jobs/job-999")
+            assert status == 404
+            status, _, _ = await asgi_request(app, "GET", "/v1/jobs/bogus")
+            assert status == 404
+
+        run_app(
+            body,
+            ServiceConfig(jobs=1, cache_dir=tmp_path / "cache", job_ttl=5.0),
+        )
+
+    def test_pending_jobs_never_evict(self, tmp_path):
+        import time as time_module
+
+        async def main():
+            app = ServiceApp(
+                ServiceConfig(
+                    jobs=1, cache_dir=tmp_path / "cache", job_ttl=0.001
+                )
+            )
+            app._queue = asyncio.Queue(maxsize=4)  # no workers: stays queued
+            try:
+                _, _, payload = await submit(app, scenario_dict())
+                job_id = json.loads(payload)["job_id"]
+                assert (
+                    app._evict_expired(now=time_module.time() + 1000.0) == 0
+                )
+                assert job_id in app.jobs
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+    def test_ttl_and_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(job_ttl=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(job_ttl=-1.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(batch_window=-0.1)
+        assert ServiceConfig(job_ttl=None).job_ttl is None
+
+
+# ---------------------------------------------------------------------------
+# In-flight coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_duplicate_inflight_submit_attaches_to_leader(self, tmp_path):
+        async def main():
+            app = ServiceApp(
+                ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+            )
+            app._queue = asyncio.Queue(maxsize=4)  # no workers: manual drain
+            try:
+                _, _, first = await submit(app, scenario_dict())
+                leader_id = json.loads(first)["job_id"]
+                status, _, second = await submit(app, scenario_dict())
+                assert status == 202
+                follower = json.loads(second)
+                assert follower["job_id"] != leader_id
+                assert follower["result_key"] == json.loads(first)["result_key"]
+                counter = app.telemetry.metrics.counter(
+                    "service.jobs_coalesced"
+                )
+                assert counter.value == 1
+                assert app._queue.qsize() == 1  # only the leader queued
+
+                await app._execute(await app._queue.get())
+                # One task ran; both jobs settled with the same payload.
+                assert app.pool.tasks_run == 1
+                results = []
+                for job_id in (leader_id, follower["job_id"]):
+                    status, _, payload = await asgi_request(
+                        app, "GET", f"/v1/jobs/{job_id}/result"
+                    )
+                    assert status == 200
+                    results.append(json.loads(payload))
+                assert results[0]["result"] == results[1]["result"]
+                assert results[1]["job_id"] == follower["job_id"]
+                # The key is free again: a later submit is a cache hit,
+                # not a new leader.
+                status, _, payload = await submit(app, scenario_dict())
+                assert status == 200 and json.loads(payload)["cached"]
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+    def test_failed_leader_fails_followers(self, tmp_path):
+        async def main():
+            app = ServiceApp(
+                ServiceConfig(
+                    jobs=1,
+                    cache_dir=tmp_path / "cache",
+                    retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                    chaos=WorkerChaos(seed=7, probability=1.0, max_crashes=9),
+                )
+            )
+            app._queue = asyncio.Queue(maxsize=4)
+            try:
+                _, _, first = await submit(app, scenario_dict())
+                _, _, second = await submit(app, scenario_dict())
+                await app._execute(await app._queue.get())
+                for payload in (first, second):
+                    job_id = json.loads(payload)["job_id"]
+                    assert app.jobs[job_id].status.state == "failed"
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Vec jobs and the batch window
+# ---------------------------------------------------------------------------
+
+
+def vec_payload(seed: int = 0, horizon: float = 30.0) -> dict:
+    return {
+        "scenario": scenario_dict(seed=seed),
+        "backend": "vec",
+        "horizon": horizon,
+    }
+
+
+class TestVecJobs:
+    def test_vec_submit_roundtrip_and_cache_hit(self, tmp_path):
+        async def body(app):
+            _, _, payload = await submit(app, vec_payload())
+            job_id = json.loads(payload)["job_id"]
+            await wait_done(app, job_id)
+            status, _, payload = await asgi_request(
+                app, "GET", f"/v1/jobs/{job_id}/result"
+            )
+            assert status == 200
+            result = json.loads(payload)["result"]
+            assert result["backend"] == "vec"
+            assert "fleet" in result
+            assert "(vec fleet)" in result["summary"]
+            # The planner-shaped payload passes the cache-hit guard.
+            status, _, payload = await submit(app, vec_payload())
+            assert status == 200
+            assert json.loads(payload)["cached"] is True
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_group_batch_partitions_by_backend_and_horizon(self, tmp_path):
+        from repro.service.app import _Job
+        from repro.service.jobs import JobStatus
+
+        async def main():
+            app = ServiceApp(
+                ServiceConfig(jobs=1, cache_dir=tmp_path / "cache")
+            )
+            try:
+                def make(job_id, payload):
+                    request = JobRequest.from_payload(payload)
+                    return _Job(
+                        request=request,
+                        status=JobStatus(
+                            job_id=job_id, result_key=request.result_key()
+                        ),
+                        changed=asyncio.Condition(),
+                    )
+
+                vec_a = make("job-a", vec_payload(seed=1))
+                vec_b = make("job-b", vec_payload(seed=2))
+                scalar = make("job-c", {"scenario": scenario_dict(seed=3)})
+                vec_other = make(
+                    "job-d", vec_payload(seed=4, horizon=60.0)
+                )
+                batches = app._group_batch([vec_a, scalar, vec_b, vec_other])
+                assert batches == [[vec_a, vec_b], [scalar], [vec_other]]
+            finally:
+                app.pool.shutdown()
+
+        asyncio.run(main())
+
+    def test_batch_window_coalesces_queued_vec_jobs(self, tmp_path):
+        async def body(app):
+            _, _, first = await submit(app, vec_payload(seed=1))
+            _, _, second = await submit(app, vec_payload(seed=2))
+            ids = [json.loads(first)["job_id"], json.loads(second)["job_id"]]
+            finals = [await wait_done(app, job_id) for job_id in ids]
+            assert all(final["state"] == "done" for final in finals)
+            counter = app.telemetry.metrics.counter("service.jobs_batched")
+            assert counter.value == 2
+            # Batched payloads are byte-identical to solo execution.
+            from repro.service.runner import run_scenario_job
+
+            for job_id, seed in zip(ids, (1, 2)):
+                status, _, payload = await asgi_request(
+                    app, "GET", f"/v1/jobs/{job_id}/result"
+                )
+                assert status == 200
+                solo = run_scenario_job(
+                    app.jobs[job_id].request.scenario_json,
+                    horizon=30.0,
+                    backend="vec",
+                    collect=True,
+                )
+                assert json.loads(payload)["result"] == json.loads(
+                    json.dumps(solo)
+                )
+
+        run_app(
+            body,
+            ServiceConfig(
+                jobs=1, cache_dir=tmp_path / "cache", batch_window=0.25
+            ),
+        )
