@@ -1,0 +1,97 @@
+"""Trace-format benchmarks: streaming ingestion stays streaming.
+
+Two kinds of measurement:
+
+* pytest-benchmark entries for writing and verifying a multi-hour
+  recording, so ``--benchmark-json`` snapshots carry the format's
+  throughput alongside the simulation benchmarks;
+* an explicit memory gate (:func:`test_streaming_read_memory_bounded`)
+  that records a day-long trace, then checks — via ``tracemalloc`` —
+  that a full checksum-verified read allocates no more than a few
+  chunks' worth of Python objects.  If a refactor ever makes
+  :class:`TraceReader` materialize the whole sample list, the peak
+  jumps by orders of magnitude and this gate fails.
+
+``REPRO_TRACE_READ_PEAK_MAX`` (bytes) overrides the allocation ceiling
+for unusual allocators; the default is deliberately generous (64x a
+chunk's raw float payload) so the gate only fires on asymptotic
+regressions, not allocator noise.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+from repro.traces import DEFAULT_CHUNK_SAMPLES, TraceReader, TraceWriter
+
+#: A simulated day sampled at 1 Hz.
+DAY_SAMPLES = 86_400
+#: The bench-suite entries use a shorter recording to stay fast.
+HOUR_SAMPLES = 3_600
+
+#: Allocation ceiling for one full verified read of the day-long trace.
+#: One chunk holds DEFAULT_CHUNK_SAMPLES (time, level) floats; 64
+#: chunks of slack covers the JSON decode scratch of a chunk plus the
+#: footer index, while a full materialization of 86 400 samples costs
+#: megabytes and trips the gate immediately.
+READ_PEAK_MAX = int(
+    os.environ.get(
+        "REPRO_TRACE_READ_PEAK_MAX", 64 * DEFAULT_CHUNK_SAMPLES * 2 * 8 * 8
+    )
+)
+
+
+def _record(path, count):
+    with TraceWriter(path, dt=1.0, units="W/m^2") as writer:
+        for i in range(count):
+            # A deterministic sawtooth: cheap, incompressible enough.
+            writer.append(float(i % 900))
+    return path
+
+
+def test_write_hour_trace(benchmark, tmp_path):
+    """Stream an hour-long recording to disk, once per round."""
+
+    def write():
+        return _record(tmp_path / "hour.rtrc", HOUR_SAMPLES)
+
+    path = benchmark(write)
+    benchmark.extra_info["samples"] = HOUR_SAMPLES
+    benchmark.extra_info["bytes"] = path.stat().st_size
+
+
+def test_verify_hour_trace(benchmark, tmp_path):
+    """Checksum-verify the hour-long recording, once per round."""
+    path = _record(tmp_path / "hour.rtrc", HOUR_SAMPLES)
+
+    def verify():
+        with TraceReader(path) as reader:
+            reader.verify()
+            return reader.n_samples
+
+    assert benchmark(verify) == HOUR_SAMPLES
+    benchmark.extra_info["samples"] = HOUR_SAMPLES
+
+
+def test_streaming_read_memory_bounded(tmp_path):
+    """A verified full read of a day-long trace never materializes it."""
+    path = _record(tmp_path / "day.rtrc", DAY_SAMPLES)
+
+    with TraceReader(path) as reader:
+        tracemalloc.start()
+        try:
+            reader.verify()
+            count = 0
+            for _time, _level in reader.iter_samples():
+                count += 1
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+    assert count == DAY_SAMPLES
+    assert peak <= READ_PEAK_MAX, (
+        f"verified read of {DAY_SAMPLES} samples peaked at {peak} bytes "
+        f"(ceiling {READ_PEAK_MAX}); TraceReader must stream chunks, "
+        f"not materialize the trace"
+    )

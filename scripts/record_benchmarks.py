@@ -10,8 +10,11 @@ the repository root:
 ``--smoke`` restricts the run to the micro-kernel benches
 (``benchmarks/test_bench_micro.py``) — the quick pass to execute before
 and after touching the integrators, the reservoir, or the event engine.
-The full suite regenerates every figure once per round and takes
-considerably longer.
+``--trace`` restricts it to the trace-format benches
+(``benchmarks/test_bench_trace.py``), which also enforce the streaming
+reader's memory ceiling — the quick pass after touching
+:mod:`repro.traces`.  The full suite regenerates every figure once per
+round and takes considerably longer.
 
 ``--compare BENCH_<date>.json`` diffs the fresh run against a recorded
 baseline and reports the per-benchmark mean delta — the check used to
@@ -22,6 +25,7 @@ Usage::
 
     python scripts/record_benchmarks.py            # full suite
     python scripts/record_benchmarks.py --smoke    # micro kernels only
+    python scripts/record_benchmarks.py --trace    # trace format only
     python scripts/record_benchmarks.py --smoke --compare BENCH_2026-08-06.json
 """
 
@@ -111,6 +115,12 @@ def main(argv=None) -> int:
         help="run only the micro-kernel benches (fast)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run only the trace-format benches, including the "
+        "streaming-reader memory gate (fast)",
+    )
+    parser.add_argument(
         "--pytest-args",
         default="",
         help="extra arguments forwarded to pytest (one string)",
@@ -127,7 +137,14 @@ def main(argv=None) -> int:
     if args.compare is not None and not args.compare.is_file():
         parser.error(f"baseline {args.compare} does not exist")
 
-    target = "benchmarks/test_bench_micro.py" if args.smoke else "benchmarks"
+    if args.smoke and args.trace:
+        parser.error("--smoke and --trace select different suites; pick one")
+    if args.smoke:
+        target = "benchmarks/test_bench_micro.py"
+    elif args.trace:
+        target = "benchmarks/test_bench_trace.py"
+    else:
+        target = "benchmarks"
     command = [
         sys.executable,
         "-m",

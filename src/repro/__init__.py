@@ -18,6 +18,11 @@ The curated public API lives at this top level:
   (:mod:`repro.vec`): thousands of devices as struct-of-arrays NumPy
   state advanced in lockstep, for grid-shaped experiments
   (``--backend vec``).
+* :class:`ReplayTrace` / :class:`TraceReader` / :class:`TraceWriter` /
+  :func:`record_trace` — recorded environment traces
+  (:mod:`repro.traces`): a versioned, chunk-checksummed on-disk format
+  for sampled harvesting environments, replayable bit-identically
+  through both backends and pinned into scenarios by content digest.
 * :class:`Telemetry` / :func:`telemetry_scope` — opt-in structured
   metrics and tracing (:mod:`repro.observability`).
 * :class:`FaultScheduleSpec` / :func:`load_fault_schedule` /
@@ -84,7 +89,7 @@ from repro.units import (
     watts,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 #: Generation of the frozen public facade.  Everything in ``__all__`` is
 #: covered by this contract; the service health endpoint reports it so
@@ -116,6 +121,11 @@ __all__ = [
     "FleetKernel",
     "build_fleet",
     "vec_capabilities",
+    # recorded environment traces (lazily resolved)
+    "ReplayTrace",
+    "TraceReader",
+    "TraceWriter",
+    "record_trace",
     # observability
     "Telemetry",
     "telemetry_scope",
@@ -181,6 +191,12 @@ def __getattr__(name: str):
         from repro import vec as _vec
 
         return getattr(_vec, name)
+    # Recorded environment traces: kept off the import critical path for
+    # the same reason.
+    if name in ("ReplayTrace", "TraceReader", "TraceWriter", "record_trace"):
+        from repro import traces as _traces
+
+        return getattr(_traces, name)
     # Fault layer imports lazily for the same reason as the spec layer.
     if name in (
         "FaultScheduleSpec",

@@ -11,6 +11,10 @@ appears::
     python -m repro.cli run-app temp-alarm --system CB-P --events 5
     python -m repro.cli run --spec scenario.json --system Fixed
     python -m repro.cli spec dump temp-alarm > scenario.json
+    python -m repro.cli trace record --spec scenario.json --out env.rtrc \
+        --duration 2h --dt 50ms
+    python -m repro.cli trace info env.rtrc
+    python -m repro.cli trace replay env.rtrc --at 0 30min 1h
     python -m repro.cli experiment fig08 --scale 0.2
     python -m repro.cli experiment all --scale 0.5 --metrics-out m.jsonl
     python -m repro.cli serve --port 8787 --jobs 4
@@ -25,7 +29,11 @@ summary a local ``run --spec`` would; ``info`` reports the API version
 and per-backend capability matrix (absorbing the older ``vec-info`` and
 ``spec check`` spellings, which still work with a deprecation notice);
 ``spec dump`` prints the scenario an app or experiment declares;
-``list`` enumerates everything.
+``trace record``/``info``/``replay`` sample synthetic environments into
+checksummed trace files (:mod:`repro.traces`), verify them, and read
+them back — a recorded file slots into any scenario as a
+``{"kind": "replay", ...}`` irradiance trace; ``list`` enumerates
+everything.
 
 ``--metrics-out``/``--trace-out`` opt any run into the observability
 layer and dump canonical JSONL.  ``--inject faults.json`` arms a
@@ -106,6 +114,16 @@ def _writable_path(text: str) -> Path:
             f"directory {path.parent} does not exist"
         )
     return path
+
+
+def _duration(text: str) -> float:
+    """Seconds, with unit-suffix sugar (``50ms``, ``90min``, ``2h``)."""
+    from repro.units import parse_duration
+
+    try:
+        return parse_duration(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 # ---------------------------------------------------------------------------
@@ -477,9 +495,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
         return _check_spec_files(args.check, args.backend)
     print(f"repro {repro.__version__} — public API {repro.__api_version__}")
     _print_backend_matrix()
+    _print_trace_info()
     print("spec validation: repro info --check FILE... [--backend vec]")
     print(f"service: repro serve / repro submit (default {DEFAULT_SERVICE_URL})")
     return 0
+
+
+def _print_trace_info() -> None:
+    """Registered trace kinds + the on-disk format version."""
+    from repro.spec.model import TRACE_FIELDS
+    from repro.traces import TRACE_FORMAT_VERSION
+
+    kinds = ", ".join(sorted(TRACE_FIELDS))
+    print(
+        f"environment traces: kinds {kinds}; file format "
+        f"v{TRACE_FORMAT_VERSION} (repro trace record|replay|info)"
+    )
 
 
 def _cmd_vec_info(args: argparse.Namespace) -> int:
@@ -490,6 +521,149 @@ def _cmd_vec_info(args: argparse.Namespace) -> int:
     )
     print("harvesters, systems and the rest of the vec feature matrix:")
     return _cmd_info(args)
+
+
+# ---------------------------------------------------------------------------
+# Environment traces (repro trace record|info|replay)
+# ---------------------------------------------------------------------------
+
+def _trace_source(args: argparse.Namespace):
+    """The environment trace named by ``--env`` / ``--spec``, plus a label."""
+    from repro.errors import SpecError
+    from repro.spec import load_scenario
+    from repro.spec.build import harvester_from_spec, trace_from_dict
+
+    if (args.env is None) == (args.spec is None):
+        raise SpecError(
+            "trace record samples exactly one source: --env JSON "
+            "or --spec FILE"
+        )
+    if args.env is not None:
+        try:
+            data = json.loads(args.env)
+        except ValueError as error:
+            raise SpecError(f"--env is not valid JSON: {error}")
+        if not isinstance(data, dict) or "kind" not in data:
+            raise SpecError(
+                '--env must be a trace object like '
+                '\'{"kind": "orbit", "period": 5400, ...}\''
+            )
+        return trace_from_dict(data), str(data["kind"])
+    scenario = load_scenario(Path(args.spec))
+    harvester = harvester_from_spec(scenario.platform.harvester)
+    while hasattr(harvester, "inner"):  # unwrap the scaled wrapper
+        harvester = harvester.inner
+    if not hasattr(harvester, "irradiance"):
+        raise SpecError(
+            f"scenario {scenario.name!r} harvests from "
+            f"{type(harvester).__name__}, which has no irradiance "
+            f"environment to record"
+        )
+    return harvester.irradiance, f"{scenario.name}:irradiance"
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """Sample a synthetic environment into a chunked trace file."""
+    from repro.errors import SpecError
+    from repro.traces import DEFAULT_CHUNK_SAMPLES, record_trace
+
+    try:
+        source, label = _trace_source(args)
+        replay = record_trace(
+            source,
+            args.out,
+            duration=args.duration,
+            dt=args.dt,
+            t0=args.t0,
+            units=args.units,
+            metadata={"source": label},
+            chunk_samples=(
+                args.chunk_samples
+                if args.chunk_samples is not None
+                else DEFAULT_CHUNK_SAMPLES
+            ),
+        )
+    except (SpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        reader = replay._reader
+        print(
+            f"recorded {reader.n_samples} samples "
+            f"({reader.n_chunks} chunks) from {label} to {args.out}"
+        )
+        print(f"  span [{reader.t0:g}, {reader.t_end:g}] s  dt {reader.dt:g} s")
+        print(f"  trace_hash {replay.trace_hash}")
+    finally:
+        replay.close()
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    """Verify trace files and print their headers (CI golden gate)."""
+    from repro.errors import SpecError
+    from repro.traces import TraceReader
+
+    failures = 0
+    for name in args.files:
+        try:
+            with TraceReader(name) as reader:
+                reader.verify()
+                dt = "timestamped" if reader.dt is None else f"{reader.dt:g} s"
+                print(
+                    f"ok   {name}  {reader.n_samples} samples / "
+                    f"{reader.n_chunks} chunks  dt {dt}  "
+                    f"[{reader.t0:g}, {reader.t_end:g}] s  "
+                    f"{reader.interpolation}  {reader.units}"
+                )
+                print(f"     trace_hash {reader.trace_hash}")
+        except (SpecError, OSError) as error:
+            print(f"FAIL {name}: {error}")
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(args.files)} trace files failed validation")
+        return 1
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a trace file: sample it at the requested times."""
+    from repro.errors import SpecError
+    from repro.traces import ReplayTrace
+
+    try:
+        trace = ReplayTrace.open(
+            args.file,
+            interpolation=args.interpolation,
+            expected_hash=args.expect_hash,
+        )
+    except (SpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        reader = trace._reader
+        print(
+            f"{args.file}: {reader.n_samples} samples  "
+            f"[{reader.t0:g}, {reader.t_end:g}] s  "
+            f"{trace.interpolation}  {reader.units}"
+        )
+        times = args.at
+        if not times:
+            span = reader.t_end - reader.t0
+            times = [reader.t0 + span * i / 4.0 for i in range(5)]
+        for time in times:
+            print(f"  t={time:g} s  level={trace(time):.17g}")
+    finally:
+        trace.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    if args.trace_command == "info":
+        return _cmd_trace_info(args)
+    return _cmd_trace_replay(args)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -767,6 +941,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated: use `repro info`",
     )
     vec_info_parser.set_defaults(func=_cmd_vec_info, check=None)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record, inspect, and replay environment traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record",
+        parents=[_spec_parent(required=False)],
+        help="sample a synthetic environment into a chunked trace file",
+    )
+    trace_record.add_argument(
+        "--env", default=None, metavar="JSON",
+        help='inline trace object, e.g. \'{"kind": "orbit", "period": 5400, '
+        '"irradiance": 1100, "eclipse_fraction": 0.35}\' '
+        '(alternative to --spec, which records the scenario\'s irradiance)',
+    )
+    trace_record.add_argument(
+        "--out", required=True, type=_writable_path, metavar="FILE",
+        help="trace file to write",
+    )
+    trace_record.add_argument(
+        "--duration", required=True, type=_duration, metavar="SECONDS",
+        help="recorded span; accepts unit suffixes (90min, 2h)",
+    )
+    trace_record.add_argument(
+        "--dt", required=True, type=_duration, metavar="SECONDS",
+        help="sample period; accepts unit suffixes (50ms)",
+    )
+    trace_record.add_argument(
+        "--t0", type=_duration, default=0.0, metavar="SECONDS",
+        help="time of the first sample (default: 0)",
+    )
+    trace_record.add_argument(
+        "--units", default="W/m^2", help="level units recorded in the header"
+    )
+    trace_record.add_argument(
+        "--chunk-samples", type=_positive_int, default=None,
+        help="samples per checksummed chunk (default: 4096)",
+    )
+    trace_record.set_defaults(func=_cmd_trace)
+    trace_info = trace_sub.add_parser(
+        "info",
+        help="verify trace files end to end and print their headers",
+    )
+    trace_info.add_argument("files", nargs="+", metavar="FILE")
+    trace_info.set_defaults(func=_cmd_trace)
+    trace_replay = trace_sub.add_parser(
+        "replay", help="sample a recorded trace at chosen times"
+    )
+    trace_replay.add_argument("file", metavar="FILE")
+    trace_replay.add_argument(
+        "--at", nargs="+", type=_duration, default=None, metavar="TIME",
+        help="times to sample (default: five points across the span); "
+        "accepts unit suffixes",
+    )
+    trace_replay.add_argument(
+        "--interpolation", choices=["hold", "linear"], default=None,
+        help="override the recorded interpolation policy",
+    )
+    trace_replay.add_argument(
+        "--expect-hash", default=None, metavar="SHA256",
+        help="fail unless the file's content digest matches",
+    )
+    trace_replay.set_defaults(func=_cmd_trace)
 
     exp_parser = sub.add_parser(
         "experiment",

@@ -21,6 +21,14 @@ from repro.energy.capacitor import (
     CapacitorSpec,
     parallel_esr,
 )
+from repro.energy.environment import (
+    FULL_SUN,
+    ConstantTrace,
+    DimmedLampTrace,
+    EnvironmentTrace,
+    OrbitTrace,
+    PiecewiseTrace,
+)
 from repro.energy.harvester import (
     Harvester,
     RegulatedSupply,
@@ -41,6 +49,12 @@ __all__ = [
     "EDLC_CPH3225A",
     "BankSpec",
     "CapacitorBank",
+    "FULL_SUN",
+    "EnvironmentTrace",
+    "ConstantTrace",
+    "DimmedLampTrace",
+    "OrbitTrace",
+    "PiecewiseTrace",
     "Harvester",
     "RegulatedSupply",
     "SolarPanel",

@@ -13,16 +13,74 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.traces import ReplayTrace
+
+__all__ = [
+    "FULL_SUN",
+    "EnvironmentTrace",
+    "Trace",
+    "ConstantTrace",
+    "DimmedLampTrace",
+    "OrbitTrace",
+    "PiecewiseTrace",
+]
 
 #: Standard full-sun irradiance, W/m^2.
 FULL_SUN = 1000.0
 
 
+@runtime_checkable
+class EnvironmentTrace(Protocol):
+    """The environment-trace contract: simulation time -> intensity.
+
+    Everything that drives a harvester — the synthetic models below and
+    :class:`repro.traces.ReplayTrace` for recorded environments — is a
+    callable from simulation time (seconds) to a non-negative scalar
+    intensity (W/m^2 for light, or a direct scale factor).  Harvester
+    constructors are typed against this protocol rather than a bare
+    ``Callable`` so the contract has a name and a home.
+    """
+
+    def __call__(self, time: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class _Recordable:
+    """Mixin giving every synthetic trace a ``record()`` exporter."""
+
+    def record(
+        self,
+        path,
+        duration: float,
+        dt: float,
+        t0: float = 0.0,
+        units: str = "W/m^2",
+        metadata: Optional[dict] = None,
+    ) -> "ReplayTrace":
+        """Sample this environment into the on-disk trace format.
+
+        Evaluates the trace at ``t0 + i*dt`` for ``ceil(duration/dt)+1``
+        samples (the endpoint is included so replay covers the full
+        horizon) and writes a :mod:`repro.traces` file at *path*.
+        Returns a :class:`~repro.traces.ReplayTrace` over the recording.
+        """
+        from repro.traces import record_trace
+
+        meta = {"source": type(self).__name__}
+        if metadata:
+            meta.update(metadata)
+        return record_trace(
+            self, path, duration=duration, dt=dt, t0=t0, units=units, metadata=meta
+        )
+
+
 @dataclass(frozen=True)
-class ConstantTrace:
+class ConstantTrace(_Recordable):
     """A constant intensity (a fixed lamp, a bench light box)."""
 
     level: float
@@ -40,7 +98,7 @@ class ConstantTrace:
 
 
 @dataclass(frozen=True)
-class DimmedLampTrace:
+class DimmedLampTrace(_Recordable):
     """A lamp dimmed by PWM duty cycle (Section 6.1.2's halogen at 42%).
 
     The lamp's full-brightness irradiance at the panel is scaled by the
@@ -70,7 +128,7 @@ class DimmedLampTrace:
 
 
 @dataclass(frozen=True)
-class OrbitTrace:
+class OrbitTrace(_Recordable):
     """Low-Earth-orbit illumination: full sun, with eclipse each orbit.
 
     CapySat (Section 6.6) rides a KickSat-class carrier in LEO; a ~93
@@ -114,7 +172,7 @@ class OrbitTrace:
         }
 
 
-class PiecewiseTrace:
+class PiecewiseTrace(_Recordable):
     """An arbitrary step trace: ``[(start_time, level), ...]``.
 
     Levels hold from each start time until the next; before the first
@@ -163,4 +221,7 @@ class PiecewiseTrace:
         }
 
 
-Trace = Callable[[float], float]
+#: Backwards-compatible alias for the protocol above.  Older call sites
+#: annotated against ``Trace``; new code should prefer the explicit
+#: :class:`EnvironmentTrace` name.
+Trace = EnvironmentTrace

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.errors import ConfigurationError
-from repro.energy.environment import FULL_SUN, ConstantTrace, Trace
+from repro.energy.environment import FULL_SUN, ConstantTrace, EnvironmentTrace
 
 
 class Harvester:
@@ -91,7 +91,9 @@ class SolarPanel(Harvester):
     efficiency: float = 0.18
     cells_in_series: int = 2
     voltage_per_panel: float = 2.7
-    irradiance: Trace = field(default_factory=lambda: ConstantTrace(FULL_SUN))
+    irradiance: EnvironmentTrace = field(
+        default_factory=lambda: ConstantTrace(FULL_SUN)
+    )
 
     def __post_init__(self) -> None:
         if self.area <= 0.0:

@@ -29,6 +29,15 @@ class FaultSpecError(SpecError):
     schema version."""
 
 
+class TraceFormatError(SpecError):
+    """A recorded environment trace (:mod:`repro.traces`) failed
+    validation: bad magic or schema version, a chunk whose sha256 does
+    not match its samples, a truncated or missing file, non-monotonic
+    sample times, or a pinned ``trace_hash`` that does not match the
+    file content.  Corruption is always surfaced as this typed error —
+    the reader never yields garbage samples."""
+
+
 class VecCapabilityError(SpecError):
     """A scenario uses features the vectorized backend (:mod:`repro.vec`)
     does not support — e.g. a time-varying harvester trace or a fault

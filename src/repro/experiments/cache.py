@@ -87,6 +87,7 @@ def result_key(
     fingerprint: Optional[str] = None,
     spec_hash: Optional[str] = None,
     fault_hash: Optional[str] = None,
+    trace_hash: Optional[str] = None,
 ) -> str:
     """Stable hash of (experiment id, parameters, spec hash, code fingerprint).
 
@@ -98,8 +99,13 @@ def result_key(
     keys.  *fault_hash* is the canonical hash of an injected fault
     schedule (:func:`repro.faults.fault_schedule_hash`): a faulted run
     produces different results, so it must never share a key with the
-    clean run.  Both are omitted from the payload when ``None`` so
-    unaffected experiments keep their existing keys.
+    clean run.  *trace_hash* is the content digest of any recorded
+    environment traces the scenario replays
+    (:func:`repro.spec.scenario_trace_hash`): a spec that pins a trace
+    *file* hashes the same whatever path it lives at, replays of
+    identical content hit, and re-recording the file's bytes misses.
+    All three are omitted from the payload when ``None`` so unaffected
+    experiments keep their existing keys byte for byte.
     """
     body: Dict[str, Any] = {
         "version": CACHE_FORMAT_VERSION,
@@ -111,6 +117,8 @@ def result_key(
         body["spec"] = spec_hash
     if fault_hash is not None:
         body["faults"] = fault_hash
+    if trace_hash is not None:
+        body["trace"] = trace_hash
     payload = json.dumps(body, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -8,11 +8,12 @@ the way the fleet kernel wants to execute it:
 
 1. :func:`plan_campaign` partitions the jobs into **vec-compatible
    cohorts** (same fixed-timestep contract: one resolved ``(horizon,
-   dt)`` pair, capability-checked through the same
-   :func:`~repro.vec.batch.check_scenario` rules as ``build_fleet``)
-   and **scalar stragglers** (jobs that requested the scalar engine, or
-   vec jobs the capability rules reject — each downgrade records its
-   reason, never silently).
+   dt, trace)`` triple — *trace* being the scenario's recorded-trace
+   content digest, empty for static environments — capability-checked
+   through the same :func:`~repro.vec.batch.check_scenario` rules as
+   ``build_fleet``) and **scalar stragglers** (jobs that requested the
+   scalar engine, or vec jobs the capability rules reject — each
+   downgrade records its reason, never silently).
 2. :func:`execute_plan` runs each cohort as one or more
    :class:`~repro.vec.kernel.FleetKernel` batches sharded across the
    worker pool, runs stragglers through the shared scalar runner, and
@@ -116,14 +117,16 @@ def job_result_key(job: CampaignJob) -> str:
 
     Single source of truth shared with the service
     (:meth:`JobRequest.result_key` delegates here): the key depends on
-    the canonical scenario, the fault schedule, the system/horizon
-    overrides, the backend when non-scalar, and — for vec jobs only —
-    any non-default fleet knob.  It never depends on how the job was
-    scheduled, which is what makes batched and solo execution
-    cache-compatible.
+    the canonical scenario, the fault schedule, the content digest of
+    any recorded environment traces the scenario replays (so replaying
+    identical trace content hits wherever the file lives, and
+    re-recording it misses), the system/horizon overrides, the backend
+    when non-scalar, and — for vec jobs only — any non-default fleet
+    knob.  It never depends on how the job was scheduled, which is what
+    makes batched and solo execution cache-compatible.
     """
     from repro.experiments.cache import result_key
-    from repro.spec import load_scenario, spec_hash
+    from repro.spec import load_scenario, scenario_trace_hash, spec_hash
 
     params: Dict[str, Any] = {}
     if job.system is not None:
@@ -149,11 +152,13 @@ def job_result_key(job: CampaignJob) -> str:
         from repro.faults import fault_schedule_hash, load_fault_schedule
 
         fault_hash = fault_schedule_hash(load_fault_schedule(job.faults_json))
+    scenario = load_scenario(job.scenario_json)
     return result_key(
         "service.run",
         params,
-        spec_hash=spec_hash(load_scenario(job.scenario_json)),
+        spec_hash=spec_hash(scenario),
         fault_hash=fault_hash,
+        trace_hash=scenario_trace_hash(scenario),
     )
 
 
@@ -191,14 +196,25 @@ def run_fleet_batch(
     All jobs must share one resolved ``(horizon, dt)`` pair (that is
     what a cohort is); each becomes one device of a single
     :class:`FleetKernel` run, and the per-device state columns split
-    back into one payload per job.  Payloads — including the optional
-    telemetry snapshot, which is synthesized per job from
-    simulation-derived values only — carry no trace of the batch, so a
-    batch of N and N batches of one return identical bits.
+    back into one payload per job.  Scenarios driven by
+    piecewise-constant environment traces (synthetic piecewise or
+    hold-interpolated replays) are compiled into operating-point
+    segments (:func:`~repro.vec.batch.compile_operating_segments`) and
+    advanced with :meth:`FleetKernel.run_segments`; static batches take
+    the single-segment :meth:`FleetKernel.run` path unchanged.
+    Payloads — including the optional telemetry snapshot, which is
+    synthesized per job from simulation-derived values only — carry no
+    trace of the batch, so a batch of N and N batches of one return
+    identical bits.
     """
     from repro.core.builder import SystemKind
     from repro.spec import ScenarioSpec, load_scenario
-    from repro.vec import FleetKernel, build_fleet, leak_decay
+    from repro.vec import (
+        FleetKernel,
+        build_fleet,
+        compile_operating_segments,
+        leak_decay,
+    )
     from repro.vec.batch import DEFAULT_LOAD_POWER
 
     if not jobs:
@@ -247,9 +263,18 @@ def run_fleet_batch(
         power_scales=[job.power_scale for job in jobs],
         initial_voltage=[job.initial_voltage for job in jobs],
     )
-    summary = FleetKernel(state).run(
-        horizon, dt=dt, decay=leak_decay(state.leak_tau, dt)
+    segments = compile_operating_segments(
+        scenarios, horizon, dt,
+        power_scales=[job.power_scale for job in jobs],
     )
+    kernel = FleetKernel(state)
+    decay = leak_decay(state.leak_tau, dt)
+    if len(segments) > 1:
+        summary = kernel.run_segments(segments, dt, decay=decay)
+    else:
+        # Static batch: the pre-existing single-launch path, untouched
+        # so trace-less campaigns stay byte-stable.
+        summary = kernel.run(horizon, dt=dt, decay=decay)
     steps = int(summary["steps"])
 
     payloads: List[Dict[str, Any]] = []
@@ -311,6 +336,11 @@ class Cohort:
 
     horizon: float
     dt: float
+    #: Content digest of the cohort's recorded environment traces
+    #: (:func:`repro.spec.scenario_trace_hash`); ``""`` for cohorts with
+    #: no replay traces.  Jobs replaying different trace content land in
+    #: different cohorts so each batch compiles one segment schedule.
+    trace: str = ""
     jobs: List[Tuple[int, CampaignJob]] = field(default_factory=list)
 
 
@@ -366,6 +396,8 @@ def _straggler_slug(reason: str) -> str:
         return "spec-error"
     if "fault" in reason:
         return "faults"
+    if "replay trace" in reason:
+        return "trace"
     if "harvester" in reason or "irradiance" in reason:
         return "harvester"
     return "capability"
@@ -379,18 +411,20 @@ def plan_campaign(
 
     A job joins a cohort when it requests the vec backend and passes
     the same :func:`~repro.vec.batch.check_scenario` capability rules
-    ``build_fleet`` enforces; cohorts group by resolved ``(horizon,
-    dt)`` so every member shares the kernel's step contract.  Everything
-    else is a straggler with a recorded reason — including vec requests
-    the rules reject, which are downgraded to the scalar engine rather
-    than dropped or silently re-routed.
+    ``build_fleet`` enforces; cohorts group by resolved ``(horizon, dt,
+    trace)`` — the step contract plus the content digest of any replay
+    traces — so every member shares the kernel's step contract and one
+    compiled segment schedule.  Everything else is a straggler with a
+    recorded reason — including vec requests the rules reject, which
+    are downgraded to the scalar engine rather than dropped or silently
+    re-routed.
     """
     from repro.errors import SpecError
-    from repro.spec import load_scenario
+    from repro.spec import load_scenario, scenario_trace_hash
     from repro.vec import check_scenario
 
     telemetry = resolve_telemetry(telemetry)
-    cohorts: Dict[Tuple[float, float], Cohort] = {}
+    cohorts: Dict[Tuple[float, float, str], Cohort] = {}
     stragglers: List[Straggler] = []
     for index, job in enumerate(jobs):
         if job.backend != "vec":
@@ -407,6 +441,7 @@ def plan_campaign(
 
                 schedule = load_fault_schedule(job.faults_json)
             reasons = check_scenario(scenario, schedule)
+            trace_key = scenario_trace_hash(scenario) or "" if not reasons else ""
         except SpecError as error:
             reasons = [f"spec-error: {error}"]
         if reasons:
@@ -416,10 +451,10 @@ def plan_campaign(
                 Straggler(index, downgraded, reason, _straggler_slug(reason))
             )
             continue
-        key = (job.vec_horizon, job.dt)
-        cohorts.setdefault(key, Cohort(horizon=key[0], dt=key[1])).jobs.append(
-            (index, job)
-        )
+        key = (job.vec_horizon, job.dt, trace_key)
+        cohorts.setdefault(
+            key, Cohort(horizon=key[0], dt=key[1], trace=key[2])
+        ).jobs.append((index, job))
 
     plan = CampaignPlan(
         jobs=list(jobs),

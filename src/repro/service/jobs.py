@@ -1,10 +1,12 @@
 """Job wire format: validated requests, status, and results.
 
-A :class:`JobRequest` is the service's unit of admission: scenario and
-fault JSON validated **at the edge** (submit returns 400 before any
-queue or pool is touched), canonicalised, and hashed into the same
-spec/fault/backend-aware result key the experiment cache uses — so a
-repeat submission is a cache hit served without running anything.
+A :class:`JobRequest` is the service's unit of admission: scenario,
+fault, and environment-trace references validated **at the edge**
+(submit returns 400 before any queue or pool is touched — a missing or
+corrupt trace file included), canonicalised with trace references
+pinned by content digest, and hashed into the same
+spec/fault/trace/backend-aware result key the experiment cache uses —
+so a repeat submission is a cache hit served without running anything.
 
 All three types are plain frozen/slotted dataclasses with ``to_dict``
 renderings, promoted into the frozen v1 facade (``repro.JobRequest`` …)
@@ -48,7 +50,11 @@ class JobRequest:
              "faults": {...}, "backend": "scalar"}
         """
         from repro.core.builder import SystemKind
-        from repro.spec import canonical_json, load_scenario
+        from repro.spec import (
+            canonical_json,
+            load_scenario,
+            resolve_scenario_traces,
+        )
 
         if not isinstance(payload, Mapping):
             raise SpecError("job payload must be a JSON object")
@@ -67,6 +73,13 @@ class JobRequest:
         if not isinstance(scenario_data, Mapping):
             raise SpecError("'scenario' must be a JSON object")
         scenario = load_scenario(canonical_json(dict(scenario_data)))
+        # Resolve trace references at the edge: every replay-trace file
+        # the scenario points at is opened, checksum-verified in full,
+        # and pinned by content digest here — a missing or corrupt trace
+        # is a 400 (TraceFormatError is a SpecError) before any queue or
+        # pool is touched, and the pinned hash makes the result key's
+        # trace digest a free lookup downstream.
+        scenario = resolve_scenario_traces(scenario)
 
         system = envelope.get("system")
         if system is not None:

@@ -27,6 +27,7 @@ from repro.spec.model import (
     PartSpecV1,
     PlatformSpecV1,
     ScenarioSpec,
+    TraceSpecV1,
     canonical_json,
     combined_spec_hash,
     dump_scenario,
@@ -43,6 +44,9 @@ from repro.spec.build import (
     part_from_spec,
     platform_from_spec,
     platform_to_spec,
+    resolve_scenario_traces,
+    scenario_trace_hash,
+    scenario_trace_hashes,
     trace_from_dict,
 )
 
@@ -56,6 +60,7 @@ __all__ = [
     "PlatformSpecV1",
     "ScenarioSpec",
     "ScenarioBuilder",
+    "TraceSpecV1",
     "assemble_from_spec",
     "bank_from_spec",
     "booster_from_spec",
@@ -68,6 +73,9 @@ __all__ = [
     "part_from_spec",
     "platform_from_spec",
     "platform_to_spec",
+    "resolve_scenario_traces",
+    "scenario_trace_hash",
+    "scenario_trace_hashes",
     "spec_hash",
     "trace_from_dict",
 ]

@@ -50,6 +50,8 @@ from repro.spec.model import (
     load_scenario,
 )
 
+import dataclasses
+import hashlib
 import math
 
 # ---------------------------------------------------------------------------
@@ -100,6 +102,23 @@ def trace_from_dict(data: Mapping[str, Any]) -> Trace:
                 (float(time), float(level)) for time, level in body["breakpoints"]
             ],
             initial=body.get("initial", 0.0),
+        )
+    if kind == "replay":
+        # Imported lazily: repro.traces is only needed by trace-bearing
+        # scenarios, and environment.py's record() exporters reach back
+        # into it.
+        from repro.spec.model import TraceSpecV1
+        from repro.traces import ReplayTrace
+
+        trace_spec = TraceSpecV1.from_dict(data)
+        if trace_spec.samples is not None:
+            return ReplayTrace.from_samples(
+                trace_spec.samples, interpolation=trace_spec.interpolation
+            )
+        return ReplayTrace.open(
+            trace_spec.path,
+            interpolation=trace_spec.interpolation,
+            expected_hash=trace_spec.trace_hash,
         )
     raise SpecError(f"unknown trace kind {kind!r}")
 
@@ -174,6 +193,140 @@ def platform_to_spec(platform: PlatformSpec) -> PlatformSpecV1:
         return PlatformSpecV1.from_dict(platform.spec_dict())
     except NotImplementedError as error:
         raise SpecError(str(error)) from error
+
+
+# ---------------------------------------------------------------------------
+# Recorded-trace resolution
+# ---------------------------------------------------------------------------
+
+
+def _collect_replay_traces(spec: HarvesterSpec) -> "list[Mapping[str, Any]]":
+    """Every replay-trace dict reachable from a harvester spec."""
+    found: "list[Mapping[str, Any]]" = []
+    if spec.kind == "solar":
+        irradiance = spec.params.get("irradiance")
+        if isinstance(irradiance, Mapping) and irradiance.get("kind") == "replay":
+            found.append(irradiance)
+    if spec.kind == "scaled":
+        inner = spec.params.get("inner")
+        if isinstance(inner, HarvesterSpec):
+            found.extend(_collect_replay_traces(inner))
+    return found
+
+
+def _map_replay_traces(
+    spec: HarvesterSpec,
+    transform: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+) -> HarvesterSpec:
+    """Rebuild a harvester spec with *transform* applied to replay traces."""
+    params = dict(spec.params)
+    changed = False
+    if spec.kind == "solar":
+        irradiance = params.get("irradiance")
+        if isinstance(irradiance, Mapping) and irradiance.get("kind") == "replay":
+            replaced = dict(transform(irradiance))
+            if replaced != irradiance:
+                params["irradiance"] = replaced
+                changed = True
+    if spec.kind == "scaled":
+        inner = params.get("inner")
+        if isinstance(inner, HarvesterSpec):
+            rebuilt = _map_replay_traces(inner, transform)
+            if rebuilt is not inner:
+                params["inner"] = rebuilt
+                changed = True
+    if not changed:
+        return spec
+    return HarvesterSpec(kind=spec.kind, params=params)
+
+
+def resolve_scenario_traces(scenario: ScenarioSpec) -> ScenarioSpec:
+    """Verify and pin every trace file reference in *scenario*.
+
+    For each replay trace that references a file, streams the whole file
+    (bounded memory), checks every chunk checksum plus the footer digest,
+    and pins the verified ``trace_hash`` into the returned scenario.  A
+    missing or corrupt file — or a pinned hash the content no longer
+    matches — raises :class:`~repro.errors.TraceFormatError` (a
+    :class:`SpecError`, so service edges map it to a 4xx).  Scenarios
+    without trace references are returned unchanged.
+
+    This is the edge step: the service and the CLI resolve before
+    computing cache keys or touching the worker pool, so every key
+    downstream embeds the *actual* content hash.
+    """
+    from repro.spec.model import TraceSpecV1
+
+    if not _collect_replay_traces(scenario.platform.harvester):
+        return scenario
+
+    from repro.errors import TraceFormatError
+    from repro.traces import compute_trace_hash
+
+    def pin(data: Mapping[str, Any]) -> Mapping[str, Any]:
+        trace_spec = TraceSpecV1.from_dict(data)
+        if trace_spec.path is None:
+            return data
+        verified = compute_trace_hash(trace_spec.path)
+        if trace_spec.trace_hash is not None and trace_spec.trace_hash != verified:
+            raise TraceFormatError(
+                f"trace {trace_spec.path!r} content hash {verified} does not "
+                f"match the scenario's pinned trace_hash {trace_spec.trace_hash}"
+            )
+        return trace_spec.pinned(verified).to_dict()
+
+    harvester = _map_replay_traces(scenario.platform.harvester, pin)
+    if harvester is scenario.platform.harvester:
+        return scenario
+    platform = dataclasses.replace(scenario.platform, harvester=harvester)
+    return dataclasses.replace(scenario, platform=platform)
+
+
+def scenario_trace_hashes(scenario: ScenarioSpec) -> "list[str]":
+    """Content hashes of every recorded trace a scenario replays.
+
+    Inline samples hash directly; pinned file references use their pin.
+    An *unpinned* file reference forces a full verify of the file here —
+    edges are expected to :func:`resolve_scenario_traces` first, which
+    makes this lookup free.
+    """
+    from repro.spec.model import TraceSpecV1
+    from repro.traces import compute_trace_hash, content_hash
+
+    hashes = []
+    for data in _collect_replay_traces(scenario.platform.harvester):
+        trace_spec = TraceSpecV1.from_dict(data)
+        if trace_spec.samples is not None:
+            hashes.append(
+                content_hash(
+                    trace_spec.samples, interpolation=trace_spec.interpolation
+                )
+            )
+        elif trace_spec.trace_hash is not None:
+            hashes.append(trace_spec.trace_hash)
+        else:
+            hashes.append(compute_trace_hash(trace_spec.path))
+    return hashes
+
+
+def scenario_trace_hash(scenario: ScenarioSpec) -> Optional[str]:
+    """One stable trace identity for cache keys and planner cohorts.
+
+    ``None`` when the scenario replays no recorded traces (the common
+    case — existing cache keys stay byte-identical); the single
+    ``trace_hash`` when it replays one; a sha256 over the ordered hashes
+    when it replays several.
+    """
+    hashes = scenario_trace_hashes(scenario)
+    if not hashes:
+        return None
+    if len(hashes) == 1:
+        return hashes[0]
+    digest = hashlib.sha256()
+    for value in hashes:
+        digest.update(value.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def assemble_from_spec(

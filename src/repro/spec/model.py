@@ -268,7 +268,147 @@ TRACE_FIELDS: Dict[str, Tuple[str, ...]] = {
     "dimmed_lamp": ("full_irradiance", "duty"),
     "orbit": ("period", "eclipse_fraction", "irradiance"),
     "piecewise": ("breakpoints", "initial"),
+    "replay": ("path", "trace_hash", "samples", "interpolation"),
 }
+
+#: Interpolation policies a replay trace spec may name (mirrors
+#: repro.traces.format.INTERPOLATIONS without importing the package).
+TRACE_INTERPOLATIONS = ("hold", "linear")
+
+
+def _parse_sample_time(value: Any, context: str) -> float:
+    """A sample time: a number (seconds) or unit-suffixed sugar ("10ms")."""
+    try:
+        return units.parse_duration(value)
+    except ValueError as error:
+        raise SpecError(f"{context}: {error}") from error
+
+
+@dataclass(frozen=True)
+class TraceSpecV1:
+    """A recorded environment trace as a scenario ingredient.
+
+    Two forms, exactly one of which must be given:
+
+    * **inline**: ``samples`` carries ``[[time, level], ...]`` pairs
+      directly in the scenario (small adversarial step patterns); sample
+      times accept the duration sugar of :func:`repro.units.parse_duration`
+      (``"10ms"``, ``"1h"``) and are canonicalised to seconds.
+    * **file reference**: ``path`` names a :mod:`repro.traces` file,
+      optionally pinned by ``trace_hash``.  The model layer never touches
+      the filesystem — :func:`repro.spec.build.resolve_scenario_traces`
+      verifies the file and pins the hash at the edge.
+
+    ``interpolation`` selects the replay policy (``"hold"`` default,
+    ``"linear"``).
+    """
+
+    path: Optional[str] = None
+    trace_hash: Optional[str] = None
+    samples: Optional[Tuple[Tuple[float, float], ...]] = None
+    interpolation: str = "hold"
+
+    def __post_init__(self) -> None:
+        context = "replay trace"
+        if (self.path is None) == (self.samples is None):
+            raise SpecError(
+                f"{context}: exactly one of 'path' or 'samples' must be given"
+            )
+        if self.interpolation not in TRACE_INTERPOLATIONS:
+            raise SpecError(
+                f"{context}: interpolation must be one of "
+                f"{list(TRACE_INTERPOLATIONS)}, got {self.interpolation!r}"
+            )
+        if self.path is not None:
+            if not isinstance(self.path, str) or not self.path:
+                raise SpecError(f"{context}: 'path' must be a non-empty string")
+            if self.trace_hash is not None and not (
+                isinstance(self.trace_hash, str)
+                and len(self.trace_hash) == 64
+                and all(c in "0123456789abcdef" for c in self.trace_hash)
+            ):
+                raise SpecError(
+                    f"{context}: 'trace_hash' must be a 64-char lowercase sha256 "
+                    f"hex digest, got {self.trace_hash!r}"
+                )
+        else:
+            if self.trace_hash is not None:
+                raise SpecError(
+                    f"{context}: 'trace_hash' only pins file references; inline "
+                    "samples are their own content"
+                )
+            if not isinstance(self.samples, (list, tuple)) or not self.samples:
+                raise SpecError(
+                    f"{context}: 'samples' must be a non-empty list of "
+                    "[time, level] pairs"
+                )
+            parsed: List[Tuple[float, float]] = []
+            previous = -math.inf
+            for pair in self.samples:
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise SpecError(
+                        f"{context}: each sample must be a [time, level] pair, "
+                        f"got {pair!r}"
+                    )
+                time = _parse_sample_time(pair[0], context)
+                level = pair[1]
+                if isinstance(level, bool) or not isinstance(level, (int, float)):
+                    raise SpecError(
+                        f"{context}: sample levels must be numbers, got {level!r}"
+                    )
+                level = float(level)
+                if not math.isfinite(level) or level < 0.0:
+                    raise SpecError(
+                        f"{context}: sample levels must be finite and "
+                        f"non-negative, got {level!r}"
+                    )
+                if time <= previous:
+                    raise SpecError(
+                        f"{context}: sample times must be strictly increasing "
+                        f"({time!r} after {previous!r})"
+                    )
+                previous = time
+                parsed.append((time, level))
+            object.__setattr__(self, "samples", tuple(parsed))
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.path is not None:
+            return {
+                "kind": "replay",
+                "path": self.path,
+                "trace_hash": self.trace_hash,
+                "interpolation": self.interpolation,
+            }
+        assert self.samples is not None
+        return {
+            "kind": "replay",
+            "samples": [[time, level] for time, level in self.samples],
+            "interpolation": self.interpolation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSpecV1":
+        context = "replay trace"
+        body = {k: v for k, v in data.items() if k != "kind"}
+        _check_fields(body, TRACE_FIELDS["replay"], context)
+        samples = body.get("samples")
+        return cls(
+            path=body.get("path"),
+            trace_hash=body.get("trace_hash"),
+            samples=None if samples is None else tuple(
+                tuple(pair) if isinstance(pair, (list, tuple)) else pair
+                for pair in samples
+            ),
+            interpolation=str(body.get("interpolation", "hold")),
+        )
+
+    def pinned(self, trace_hash: str) -> "TraceSpecV1":
+        """A copy with the content hash pinned (file references only)."""
+        if self.path is None:
+            return self
+        return TraceSpecV1(
+            path=self.path, trace_hash=trace_hash, interpolation=self.interpolation
+        )
 
 
 def _validate_trace_dict(data: Mapping[str, Any], context: str) -> Dict[str, Any]:
@@ -278,6 +418,8 @@ def _validate_trace_dict(data: Mapping[str, Any], context: str) -> Dict[str, Any
             f"{context}: unknown trace kind {kind!r}; "
             f"known: {sorted(TRACE_FIELDS)}"
         )
+    if kind == "replay":
+        return TraceSpecV1.from_dict(data).to_dict()
     body = normalize_units(
         {k: v for k, v in data.items() if k != "kind"}, context
     )

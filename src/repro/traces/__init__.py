@@ -1,0 +1,50 @@
+"""First-class environment traces: record once, replay many.
+
+The paper drives every board from a physical energy environment; this
+package makes those environments durable artifacts instead of ad-hoc
+Python callables — a versioned, chunked, seekable on-disk format with
+per-chunk sha256 checksums and a content ``trace_hash`` (the cache-key
+component), a streaming writer/reader pair that never materializes a
+multi-day trace, and :class:`ReplayTrace`, which replays a recording
+through the same ``trace(time) -> level`` contract the synthetic
+environments implement.
+
+Typical round trip::
+
+    from repro.energy.environment import DimmedLampTrace
+    from repro.traces import ReplayTrace
+
+    lamp = DimmedLampTrace(full_irradiance=1000.0, duty=0.42)
+    lamp.record("halogen.rtrc", duration=600.0, dt=0.05)
+    replay = ReplayTrace.open("halogen.rtrc")
+    assert replay(3.7) == lamp(3.7)
+
+Corruption anywhere (flipped bytes, truncation, a stale pinned hash)
+raises :class:`repro.errors.TraceFormatError` — never garbage samples.
+"""
+
+from repro.traces.format import (
+    DEFAULT_CHUNK_SAMPLES,
+    INTERPOLATIONS,
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    TraceReader,
+    TraceWriter,
+    compute_trace_hash,
+    content_hash,
+)
+from repro.traces.record import record_trace
+from repro.traces.replay import ReplayTrace
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_FORMAT_VERSION",
+    "DEFAULT_CHUNK_SAMPLES",
+    "INTERPOLATIONS",
+    "TraceReader",
+    "TraceWriter",
+    "ReplayTrace",
+    "record_trace",
+    "content_hash",
+    "compute_trace_hash",
+]

@@ -1,0 +1,521 @@
+"""The on-disk environment-trace format: versioned, chunked, seekable.
+
+Record-once/replay-many harvesting traces are what make batteryless
+evaluation reproducible: capture an energy environment once (a dimmed
+halogen, a bench supply, an orbit — or real captured hardware data) and
+replay it bit-identically against many configurations.  This module
+defines the container those recordings live in.
+
+Layout — UTF-8 text, one JSON document per line, in the spirit of the
+v3 result cache's checksum framing:
+
+* **Header** (first line): ``{"magic": "RTRC", "version": 1, "t0": ...,
+  "dt": <float or null>, "units": ..., "interpolation": "hold"|"linear",
+  "chunk_samples": N, "metadata": {...}}``.  ``dt`` non-null means
+  *regular* sampling — times are implied as ``t0 + i*dt`` and chunks
+  store bare levels.  ``dt: null`` means *timestamped* frames — chunks
+  store ``[time, level]`` pairs.
+* **Chunks** (middle lines): ``{"chunk": i, "t0": ..., "count": n,
+  "samples": [...], "sha256": hex}`` where the checksum is the sha256 of
+  the canonical JSON (sorted keys, compact separators) of the chunk
+  object *without* its ``sha256`` key.  A flipped byte anywhere in a
+  chunk fails this check and raises :class:`TraceFormatError` — the
+  reader never yields garbage samples.
+* **Footer** (last line): ``{"footer": 1, "chunks": C, "count": M,
+  "t_end": ..., "index": [[byte_offset, chunk_t0, count], ...],
+  "trace_hash": hex}``.  The index makes the file seekable: a reader
+  jumps straight to the chunk covering a requested time without
+  scanning, and streaming iteration never holds more than one chunk in
+  memory.
+
+``trace_hash`` is the *content* digest: sha256 over the semantic header
+(version, units, interpolation) plus every resolved ``[time, level]``
+sample in order.  It is deliberately independent of ``chunk_samples``
+and of the regular-vs-timestamped encoding, so the same environment
+recorded with different chunking hashes identically — that hash is what
+cache keys embed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import math
+import os
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceFormatError
+
+#: File magic for the trace container.
+TRACE_MAGIC = "RTRC"
+
+#: Current trace schema version.
+TRACE_FORMAT_VERSION = 1
+
+#: Default samples per chunk.  4096 float samples is ~100 KB of JSON —
+#: small enough to page in per seek, large enough to amortize checksums.
+DEFAULT_CHUNK_SAMPLES = 4096
+
+#: Interpolation policies a trace may declare.
+INTERPOLATIONS = ("hold", "linear")
+
+
+def _canonical(data) -> str:
+    """Canonical JSON: sorted keys, no whitespace (the spec-layer rule)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _check_level(level: float) -> float:
+    level = float(level)
+    if not math.isfinite(level) or level < 0.0:
+        raise TraceFormatError(
+            f"trace levels must be finite and non-negative, got {level!r}"
+        )
+    return level
+
+
+class _ContentDigest:
+    """Streaming ``trace_hash`` accumulator over resolved samples."""
+
+    def __init__(self, units: str, interpolation: str) -> None:
+        self._digest = hashlib.sha256()
+        self._digest.update(
+            _canonical(
+                {
+                    "interpolation": interpolation,
+                    "units": units,
+                    "version": TRACE_FORMAT_VERSION,
+                }
+            ).encode("utf-8")
+        )
+        self._digest.update(b"\n")
+
+    def add(self, time: float, level: float) -> None:
+        self._digest.update(_canonical([time, level]).encode("utf-8"))
+        self._digest.update(b"\n")
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def content_hash(
+    samples: Sequence[Tuple[float, float]],
+    units: str = "W/m^2",
+    interpolation: str = "hold",
+) -> str:
+    """``trace_hash`` of an in-memory ``[(time, level), ...]`` sequence.
+
+    Inline spec samples and an on-disk file with identical resolved
+    content produce identical hashes.
+    """
+    digest = _ContentDigest(units, interpolation)
+    for time, level in samples:
+        digest.add(float(time), float(level))
+    return digest.hexdigest()
+
+
+class TraceWriter:
+    """Streaming writer: buffers at most one chunk of samples.
+
+    Use as a context manager, or call :meth:`close` explicitly; the
+    footer (chunk index + ``trace_hash``) is written on close and the
+    final hash is available as :attr:`trace_hash` afterwards.
+    """
+
+    def __init__(
+        self,
+        path,
+        t0: float = 0.0,
+        dt: Optional[float] = None,
+        units: str = "W/m^2",
+        interpolation: str = "hold",
+        metadata: Optional[dict] = None,
+        chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+    ) -> None:
+        if interpolation not in INTERPOLATIONS:
+            raise TraceFormatError(
+                f"interpolation must be one of {INTERPOLATIONS}, got {interpolation!r}"
+            )
+        if dt is not None and not (math.isfinite(dt) and dt > 0.0):
+            raise TraceFormatError(f"dt must be positive and finite, got {dt!r}")
+        if not math.isfinite(t0):
+            raise TraceFormatError(f"t0 must be finite, got {t0!r}")
+        if chunk_samples < 1:
+            raise TraceFormatError(f"chunk_samples must be >= 1, got {chunk_samples}")
+        self._path = os.fspath(path)
+        self._t0 = float(t0)
+        self._dt = None if dt is None else float(dt)
+        self._units = str(units)
+        self._interpolation = interpolation
+        self._chunk_samples = int(chunk_samples)
+        self._metadata = dict(metadata or {})
+        # Binary mode so tell() yields true byte offsets for the footer
+        # index (the reader seeks on them in binary mode).
+        self._file: Optional[IO[bytes]] = open(self._path, "wb")
+        header = {
+            "magic": TRACE_MAGIC,
+            "version": TRACE_FORMAT_VERSION,
+            "t0": self._t0,
+            "dt": self._dt,
+            "units": self._units,
+            "interpolation": self._interpolation,
+            "chunk_samples": self._chunk_samples,
+            "metadata": self._metadata,
+        }
+        self._file.write((_canonical(header) + "\n").encode("utf-8"))
+        self._digest = _ContentDigest(self._units, self._interpolation)
+        self._buffer: List = []
+        self._buffer_t0 = self._t0
+        self._count = 0
+        self._chunks = 0
+        self._index: List[List] = []
+        self._last_time = -math.inf
+        self._t_end = self._t0
+        self.trace_hash: Optional[str] = None
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, level: float) -> None:
+        """Append the next regularly-sampled level (``dt`` mode only)."""
+        if self._dt is None:
+            raise TraceFormatError(
+                "append() requires a regular-sampling writer (dt=...); "
+                "use append_at(time, level) for timestamped traces"
+            )
+        level = _check_level(level)
+        time = self._t0 + self._count * self._dt
+        if not self._buffer:
+            self._buffer_t0 = time
+        self._buffer.append(level)
+        self._record_sample(time, level)
+
+    def append_at(self, time: float, level: float) -> None:
+        """Append a timestamped ``(time, level)`` frame (``dt=None`` only)."""
+        if self._dt is not None:
+            raise TraceFormatError(
+                "append_at() requires a timestamped writer (dt=None); "
+                "use append(level) for regularly-sampled traces"
+            )
+        time = float(time)
+        if not math.isfinite(time):
+            raise TraceFormatError(f"sample times must be finite, got {time!r}")
+        level = _check_level(level)
+        if not self._buffer:
+            self._buffer_t0 = time
+        self._buffer.append([time, level])
+        self._record_sample(time, level)
+
+    def _record_sample(self, time: float, level: float) -> None:
+        if time <= self._last_time:
+            raise TraceFormatError(
+                f"sample times must be strictly increasing: {time!r} after "
+                f"{self._last_time!r}"
+            )
+        self._last_time = time
+        self._t_end = time
+        self._digest.add(time, level)
+        self._count += 1
+        if len(self._buffer) >= self._chunk_samples:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        if not self._buffer or self._file is None:
+            return
+        chunk = {
+            "chunk": self._chunks,
+            "t0": self._buffer_t0,
+            "count": len(self._buffer),
+            "samples": self._buffer,
+        }
+        body = _canonical(chunk)
+        chunk["sha256"] = _sha256(body)
+        offset = self._file.tell()
+        self._file.write((_canonical(chunk) + "\n").encode("utf-8"))
+        self._index.append([offset, self._buffer_t0, len(self._buffer)])
+        self._chunks += 1
+        self._buffer = []
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> str:
+        """Flush, write the footer, and return the ``trace_hash``."""
+        if self._file is None:
+            assert self.trace_hash is not None
+            return self.trace_hash
+        if self._count == 0:
+            self._file.close()
+            self._file = None
+            raise TraceFormatError("a trace must contain at least one sample")
+        self._flush_chunk()
+        self.trace_hash = self._digest.hexdigest()
+        footer = {
+            "footer": 1,
+            "chunks": self._chunks,
+            "count": self._count,
+            "t_end": self._t_end,
+            "index": self._index,
+            "trace_hash": self.trace_hash,
+        }
+        self._file.write((_canonical(footer) + "\n").encode("utf-8"))
+        self._file.close()
+        self._file = None
+        return self.trace_hash
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _parse_line(line: str, what: str) -> dict:
+    try:
+        data = json.loads(line)
+    except ValueError as error:
+        raise TraceFormatError(f"corrupt trace {what}: {error}") from error
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"corrupt trace {what}: expected a JSON object")
+    return data
+
+
+class TraceReader:
+    """Seekable, verifying reader over a trace file.
+
+    Holds the header and footer in memory (the footer index is a few
+    bytes per chunk) but never more than one chunk of samples at a time:
+    :meth:`iter_samples` and :meth:`verify` stream, and :meth:`chunk`
+    seeks straight to one chunk via the footer index.  Every chunk's
+    sha256 is checked as it is parsed; any mismatch raises
+    :class:`~repro.errors.TraceFormatError`.
+    """
+
+    def __init__(self, path, expected_hash: Optional[str] = None) -> None:
+        self._path = os.fspath(path)
+        try:
+            self._file: Optional[IO[bytes]] = open(self._path, "rb")
+        except OSError as error:
+            raise TraceFormatError(
+                f"trace file {self._path!r} cannot be opened: {error}"
+            ) from error
+        try:
+            header_line = self._file.readline()
+            self._data_start = self._file.tell()
+            header = _parse_line(header_line.decode("utf-8", "replace"), "header")
+            if header.get("magic") != TRACE_MAGIC:
+                raise TraceFormatError(
+                    f"{self._path!r} is not a trace file (bad magic "
+                    f"{header.get('magic')!r})"
+                )
+            if header.get("version") != TRACE_FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace format version {header.get('version')!r} "
+                    f"(this reader speaks v{TRACE_FORMAT_VERSION})"
+                )
+            self.t0 = float(header.get("t0", 0.0))
+            dt = header.get("dt")
+            self.dt: Optional[float] = None if dt is None else float(dt)
+            if self.dt is not None and self.dt <= 0.0:
+                raise TraceFormatError(f"corrupt trace header: dt={self.dt!r}")
+            self.units = str(header.get("units", ""))
+            self.interpolation = header.get("interpolation")
+            if self.interpolation not in INTERPOLATIONS:
+                raise TraceFormatError(
+                    f"corrupt trace header: interpolation={self.interpolation!r}"
+                )
+            self.metadata = header.get("metadata") or {}
+            self.chunk_samples = int(header.get("chunk_samples", 0))
+            footer = _parse_line(self._read_last_line(), "footer")
+            if footer.get("footer") != 1:
+                raise TraceFormatError(
+                    f"trace {self._path!r} is truncated: footer line missing"
+                )
+            self.n_chunks = int(footer["chunks"])
+            self.n_samples = int(footer["count"])
+            self.t_end = float(footer["t_end"])
+            self.index = [
+                (int(off), float(ct0), int(cnt)) for off, ct0, cnt in footer["index"]
+            ]
+            if len(self.index) != self.n_chunks or self.n_chunks < 1:
+                raise TraceFormatError(
+                    f"trace {self._path!r} footer index is inconsistent"
+                )
+            self._chunk_base = [0] * self.n_chunks
+            running = 0
+            for position, (_, _, cnt) in enumerate(self.index):
+                self._chunk_base[position] = running
+                running += cnt
+            if running != self.n_samples:
+                raise TraceFormatError(
+                    f"trace {self._path!r} footer sample count is inconsistent"
+                )
+            self.trace_hash = str(footer["trace_hash"])
+        except KeyError as error:
+            self.close()
+            raise TraceFormatError(
+                f"trace {self._path!r} footer is missing field {error}"
+            ) from error
+        except TraceFormatError:
+            self.close()
+            raise
+        except Exception as error:
+            self.close()
+            raise TraceFormatError(
+                f"trace {self._path!r} failed to parse: {error}"
+            ) from error
+        if expected_hash is not None and expected_hash != self.trace_hash:
+            self.close()
+            raise TraceFormatError(
+                f"trace {self._path!r} content hash {self.trace_hash} does not "
+                f"match the pinned trace_hash {expected_hash}"
+            )
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the samples (``t_end - t0``)."""
+        return self.t_end - self.t0
+
+    def _read_last_line(self) -> str:
+        """The footer is the last line; read it backwards in blocks."""
+        assert self._file is not None
+        self._file.seek(0, io.SEEK_END)
+        size = self._file.tell()
+        block = 1 << 16
+        buffer = b""
+        position = size
+        while position > 0:
+            step = min(block, position)
+            position -= step
+            self._file.seek(position)
+            buffer = self._file.read(step) + buffer
+            stripped = buffer.rstrip(b"\n")
+            newline = stripped.rfind(b"\n")
+            if newline != -1:
+                return stripped[newline + 1 :].decode("utf-8", "replace")
+        raise TraceFormatError(f"trace {self._path!r} is truncated: no footer")
+
+    # -- chunk access ------------------------------------------------------
+
+    def chunk(self, i: int) -> Tuple[List[float], List[float]]:
+        """Load and verify chunk *i*; returns ``(times, levels)`` lists."""
+        if not 0 <= i < self.n_chunks:
+            raise TraceFormatError(
+                f"chunk index {i} out of range [0, {self.n_chunks})"
+            )
+        if self._file is None:
+            raise TraceFormatError(f"trace reader for {self._path!r} is closed")
+        offset, _, count = self.index[i]
+        self._file.seek(offset)
+        line = self._file.readline().decode("utf-8", "replace")
+        return self._verify_chunk(i, count, line)
+
+    def _verify_chunk(
+        self, i: int, count: int, line: str
+    ) -> Tuple[List[float], List[float]]:
+        data = _parse_line(line, f"chunk {i}")
+        recorded = data.pop("sha256", None)
+        if recorded != _sha256(_canonical(data)):
+            raise TraceFormatError(
+                f"trace {self._path!r} chunk {i} failed its sha256 checksum "
+                "(corrupt or tampered samples are never replayed)"
+            )
+        if data.get("chunk") != i or data.get("count") != count:
+            raise TraceFormatError(
+                f"trace {self._path!r} chunk {i} does not match the footer index"
+            )
+        samples = data.get("samples")
+        if not isinstance(samples, list) or len(samples) != count:
+            raise TraceFormatError(
+                f"trace {self._path!r} chunk {i} sample count mismatch"
+            )
+        base = self._chunk_base[i]
+        if self.dt is not None:
+            times = [self.t0 + (base + j) * self.dt for j in range(count)]
+            levels = [_check_level(value) for value in samples]
+        else:
+            times = []
+            levels = []
+            for pair in samples:
+                if not isinstance(pair, list) or len(pair) != 2:
+                    raise TraceFormatError(
+                        f"trace {self._path!r} chunk {i} has a malformed frame"
+                    )
+                times.append(float(pair[0]))
+                levels.append(_check_level(pair[1]))
+        return times, levels
+
+    def iter_samples(self) -> Iterator[Tuple[float, float]]:
+        """Stream ``(time, level)`` pairs, one verified chunk at a time."""
+        for i in range(self.n_chunks):
+            times, levels = self.chunk(i)
+            for time, level in zip(times, levels):
+                yield time, level
+
+    def verify(self) -> str:
+        """Stream every chunk, check all checksums, recompute the content
+        digest, and confirm it matches the footer's ``trace_hash``.
+
+        This is the edge-resolution primitive: a file that passes
+        ``verify()`` cannot serve stale cache entries (the recomputed
+        hash *is* the cache-key component) and cannot replay corrupt
+        samples.  Returns the verified hash.
+        """
+        digest = _ContentDigest(self.units, self.interpolation)
+        previous = -math.inf
+        count = 0
+        for time, level in self.iter_samples():
+            if time <= previous:
+                raise TraceFormatError(
+                    f"trace {self._path!r} sample times are not strictly "
+                    f"increasing at t={time!r}"
+                )
+            previous = time
+            digest.add(time, level)
+            count += 1
+        if count != self.n_samples:
+            raise TraceFormatError(
+                f"trace {self._path!r} is truncated: footer promises "
+                f"{self.n_samples} samples, found {count}"
+            )
+        recomputed = digest.hexdigest()
+        if recomputed != self.trace_hash:
+            raise TraceFormatError(
+                f"trace {self._path!r} content digest {recomputed} does not "
+                f"match its recorded trace_hash {self.trace_hash}"
+            )
+        return recomputed
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def compute_trace_hash(path) -> str:
+    """Fully verify the trace at *path* and return its ``trace_hash``.
+
+    The resolution primitive used at service/CLI edges: streams the whole
+    file (bounded memory), checks every chunk checksum and the footer
+    digest, and raises :class:`~repro.errors.TraceFormatError` on any
+    corruption.
+    """
+    with TraceReader(path) as reader:
+        return reader.verify()

@@ -1,0 +1,63 @@
+"""Record a synthetic environment into the on-disk trace format.
+
+``record_trace`` is the bridge from the closure-shaped environments in
+:mod:`repro.energy.environment` (and anything else satisfying the
+:class:`~repro.energy.environment.EnvironmentTrace` contract) to the
+record-once/replay-many workflow: sample the callable on a regular grid,
+stream the samples through a :class:`~repro.traces.format.TraceWriter`
+(bounded memory), and hand back a :class:`~repro.traces.replay.ReplayTrace`
+over the recording.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.errors import TraceFormatError
+from repro.traces.format import DEFAULT_CHUNK_SAMPLES, TraceWriter
+from repro.traces.replay import ReplayTrace
+
+
+def record_trace(
+    source: Callable[[float], float],
+    path,
+    duration: float,
+    dt: float,
+    t0: float = 0.0,
+    units: str = "W/m^2",
+    interpolation: str = "hold",
+    metadata: Optional[dict] = None,
+    chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+) -> ReplayTrace:
+    """Sample ``source(t)`` at ``t0 + i*dt`` over *duration* into *path*.
+
+    The endpoint is included (``floor(duration/dt) + 1`` samples), so a
+    replay covers the full ``[t0, t0 + duration]`` span without falling
+    into the hold-last-level clamp at the horizon.  Returns a
+    :class:`ReplayTrace` opened over the finished file.
+
+    If *source* changes level only at multiples of *dt* (every synthetic
+    piecewise environment recorded on its own grid), hold-replay of the
+    recording is **exactly** the source — the property the differential
+    golden tests pin bit-for-bit.
+    """
+    duration = float(duration)
+    dt = float(dt)
+    if not (math.isfinite(duration) and duration > 0.0):
+        raise TraceFormatError(f"duration must be positive, got {duration!r}")
+    if not (math.isfinite(dt) and dt > 0.0):
+        raise TraceFormatError(f"dt must be positive, got {dt!r}")
+    count = int(math.floor(duration / dt + 1e-9)) + 1
+    with TraceWriter(
+        path,
+        t0=t0,
+        dt=dt,
+        units=units,
+        interpolation=interpolation,
+        metadata=metadata,
+        chunk_samples=chunk_samples,
+    ) as writer:
+        for i in range(count):
+            writer.append(source(t0 + i * dt))
+    return ReplayTrace.open(path)

@@ -1,0 +1,286 @@
+"""Replay a recorded environment trace as an :class:`EnvironmentTrace`.
+
+:class:`ReplayTrace` implements the same trace-callable contract as the
+synthetic environments in :mod:`repro.energy.environment` — simulation
+time in, intensity out — but sources its samples from either an on-disk
+:mod:`repro.traces` file (chunk-seek, bounded memory) or an inline
+sample list carried in a scenario spec.
+
+Interpolation semantics:
+
+* ``"hold"`` (default, zero-order hold): the level at time *t* is the
+  level of the greatest sample time ≤ *t*.  This makes a replayed trace
+  piecewise-constant — exactly the shape the vectorized backend can
+  compile into per-segment operating points.
+* ``"linear"``: straight-line interpolation between neighbouring
+  samples.  Smoother, but time-varying within a step, so the vec
+  backend rejects it (scalar only).
+
+Outside the recorded span the trace clamps: before the first sample it
+holds the first level, after the last it holds the last level.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceFormatError
+from repro.traces.format import INTERPOLATIONS, TraceReader, content_hash
+
+
+class ReplayTrace:
+    """A recorded environment, replayable as ``trace(time) -> level``.
+
+    Construct via :meth:`open` (file-backed, seekable, at most two
+    chunks resident) or :meth:`from_samples` (inline spec samples).
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[Tuple[float, float]],
+        interpolation: str = "hold",
+        units: str = "W/m^2",
+        trace_hash: Optional[str] = None,
+    ) -> None:
+        if interpolation not in INTERPOLATIONS:
+            raise TraceFormatError(
+                f"interpolation must be one of {INTERPOLATIONS}, got {interpolation!r}"
+            )
+        times: List[float] = []
+        levels: List[float] = []
+        previous = -math.inf
+        for pair in samples:
+            try:
+                time, level = float(pair[0]), float(pair[1])
+            except (TypeError, ValueError, IndexError) as error:
+                raise TraceFormatError(
+                    f"inline trace samples must be [time, level] pairs: {error}"
+                ) from error
+            if not math.isfinite(time) or time <= previous:
+                raise TraceFormatError(
+                    "inline trace sample times must be finite and strictly "
+                    f"increasing, got {time!r} after {previous!r}"
+                )
+            if not math.isfinite(level) or level < 0.0:
+                raise TraceFormatError(
+                    f"inline trace levels must be finite and non-negative, got {level!r}"
+                )
+            previous = time
+            times.append(time)
+            levels.append(level)
+        if not times:
+            raise TraceFormatError("a replay trace needs at least one sample")
+        self._times = times
+        self._levels = levels
+        self.interpolation = interpolation
+        self.units = units
+        self._path: Optional[str] = None
+        self._reader: Optional[TraceReader] = None
+        self._hash = trace_hash or content_hash(
+            list(zip(times, levels)), units=units, interpolation=interpolation
+        )
+        self.t_start = times[0]
+        self.t_end = times[-1]
+        self.n_samples = len(times)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        interpolation: Optional[str] = None,
+        expected_hash: Optional[str] = None,
+    ) -> "ReplayTrace":
+        """Replay the trace file at *path* without materializing it.
+
+        *interpolation* overrides the policy recorded in the header (the
+        override is part of the scenario spec, so cache keys still
+        distinguish it).  A pinned *expected_hash* that does not match
+        the file's recorded ``trace_hash`` raises
+        :class:`~repro.errors.TraceFormatError` immediately.
+        """
+        reader = TraceReader(path, expected_hash=expected_hash)
+        trace = cls.__new__(cls)
+        trace._reader = reader
+        trace._path = reader.path
+        trace._times = []
+        trace._levels = []
+        trace.interpolation = interpolation or reader.interpolation
+        if trace.interpolation not in INTERPOLATIONS:
+            reader.close()
+            raise TraceFormatError(
+                f"interpolation must be one of {INTERPOLATIONS}, "
+                f"got {trace.interpolation!r}"
+            )
+        trace.units = reader.units
+        trace._hash = reader.trace_hash
+        trace.t_start = reader.t0
+        trace.t_end = reader.t_end
+        trace.n_samples = reader.n_samples
+        # Small LRU of verified chunks: holds the current chunk plus its
+        # successor (linear interpolation peeks across the boundary).
+        trace._chunks = {}
+        trace._chunk_order = []
+        return trace
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Tuple[float, float]],
+        interpolation: str = "hold",
+        units: str = "W/m^2",
+    ) -> "ReplayTrace":
+        """Replay inline ``[[time, level], ...]`` spec samples."""
+        return cls(samples, interpolation=interpolation, units=units)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def trace_hash(self) -> str:
+        """Content digest of the recorded samples (cache-key component)."""
+        return self._hash
+
+    @property
+    def path(self) -> Optional[str]:
+        """Backing file path, or ``None`` for inline traces."""
+        return self._path
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def spec_dict(self) -> dict:
+        """This trace as a plain dict (:mod:`repro.spec` trace schema)."""
+        if self._path is not None:
+            return {
+                "kind": "replay",
+                "path": self._path,
+                "trace_hash": self._hash,
+                "interpolation": self.interpolation,
+            }
+        return {
+            "kind": "replay",
+            "samples": [[time, level] for time, level in zip(self._times, self._levels)],
+            "interpolation": self.interpolation,
+        }
+
+    # -- sample access -----------------------------------------------------
+
+    def _chunk(self, i: int) -> Tuple[List[float], List[float]]:
+        assert self._reader is not None
+        cached = self._chunks.get(i)
+        if cached is not None:
+            return cached
+        loaded = self._reader.chunk(i)
+        self._chunks[i] = loaded
+        self._chunk_order.append(i)
+        while len(self._chunk_order) > 2:
+            evicted = self._chunk_order.pop(0)
+            if evicted in self._chunks and evicted != i:
+                del self._chunks[evicted]
+        return loaded
+
+    def _locate(self, time: float) -> Tuple[float, float, Optional[Tuple[float, float]]]:
+        """The sample at-or-before *time* plus its successor (if any)."""
+        if self._reader is None:
+            times, levels = self._times, self._levels
+            position = bisect_right(times, time) - 1
+            if position < 0:
+                return times[0], levels[0], None
+            after = (
+                (times[position + 1], levels[position + 1])
+                if position + 1 < len(times)
+                else None
+            )
+            return times[position], levels[position], after
+        index = self._reader.index
+        chunk_i = bisect_right([entry[1] for entry in index], time) - 1
+        if chunk_i < 0:
+            times, levels = self._chunk(0)
+            return times[0], levels[0], None
+        times, levels = self._chunk(chunk_i)
+        position = bisect_right(times, time) - 1
+        if position < 0:
+            # Between the previous chunk's last sample and this chunk's
+            # first; the hold sample lives in the previous chunk.
+            if chunk_i == 0:
+                return times[0], levels[0], None
+            prev_times, prev_levels = self._chunk(chunk_i - 1)
+            return prev_times[-1], prev_levels[-1], (times[0], levels[0])
+        if position + 1 < len(times):
+            after: Optional[Tuple[float, float]] = (times[position + 1], levels[position + 1])
+        elif chunk_i + 1 < len(index):
+            next_times, next_levels = self._chunk(chunk_i + 1)
+            after = (next_times[0], next_levels[0])
+        else:
+            after = None
+        return times[position], levels[position], after
+
+    def __call__(self, time: float) -> float:
+        t_at, level_at, after = self._locate(time)
+        if self.interpolation == "hold" or after is None or time <= t_at:
+            return level_at
+        t_next, level_next = after
+        if t_next <= t_at:  # pragma: no cover - guarded by writer validation
+            return level_at
+        fraction = (time - t_at) / (t_next - t_at)
+        return level_at + (level_next - level_at) * fraction
+
+    def change_times(self, until: Optional[float] = None) -> List[float]:
+        """Times where the replayed level changes (hold interpolation).
+
+        Streams the samples (bounded memory for file-backed traces) and
+        collects every sample time whose level differs from its
+        predecessor, up to *until* (exclusive) when given.  The vec
+        backend compiles these into segment boundaries.
+        """
+        changes: List[float] = []
+        previous: Optional[float] = None
+        for time, level in self.iter_samples():
+            if until is not None and time >= until:
+                break
+            if previous is not None and level != previous:
+                changes.append(time)
+            previous = level
+        return changes
+
+    def iter_samples(self):
+        """Stream ``(time, level)`` pairs (verified chunks, one at a time)."""
+        if self._reader is None:
+            yield from zip(self._times, self._levels)
+        else:
+            yield from self._reader.iter_samples()
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+
+    def __repr__(self) -> str:
+        source = self._path if self._path is not None else f"{self.n_samples} inline samples"
+        return (
+            f"ReplayTrace({source}, interpolation={self.interpolation!r}, "
+            f"trace_hash={self._hash[:12]}...)"
+        )
+
+
+# Pickling support: campaign workers receive scenarios as canonical JSON
+# and rebuild traces themselves, but a ReplayTrace captured inside an app
+# closure must still cross a process boundary (ScenarioBuilder pickles by
+# spec, so this is a safety net for direct API users).
+def _rebuild_replay(path, samples, interpolation, units):
+    if path is not None:
+        return ReplayTrace.open(path, interpolation=interpolation)
+    return ReplayTrace(samples, interpolation=interpolation, units=units)
+
+
+def _reduce_replay(trace: ReplayTrace):
+    if trace._path is not None:
+        return _rebuild_replay, (trace._path, None, trace.interpolation, trace.units)
+    samples = list(zip(trace._times, trace._levels))
+    return _rebuild_replay, (None, samples, trace.interpolation, trace.units)
+
+
+ReplayTrace.__reduce__ = _reduce_replay  # type: ignore[assignment]

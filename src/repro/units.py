@@ -16,6 +16,10 @@ of the codebase.
 
 from __future__ import annotations
 
+import math
+import re
+from typing import Union
+
 # ---------------------------------------------------------------------------
 # Time
 # ---------------------------------------------------------------------------
@@ -43,6 +47,90 @@ def minutes(value: float) -> float:
 def hours(value: float) -> float:
     """Convert hours to seconds."""
     return float(value) * 3600.0
+
+
+#: Duration suffixes accepted by :func:`parse_duration`, mapped to their
+#: scale in seconds.  Longest-match wins ("ms" before "m"... there is no
+#: bare "m": minutes are spelled "min" to avoid the metres ambiguity).
+DURATION_SUFFIXES = {
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+
+#: Rate suffixes accepted by :func:`parse_rate`, mapped to hertz.
+RATE_SUFFIXES = {
+    "hz": 1.0,
+    "khz": 1e3,
+    "mhz": 1e6,
+}
+
+_DURATION_RE = re.compile(r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]+)\s*$")
+
+
+def _parse_suffixed(value: Union[str, float, int], table: dict, what: str) -> float:
+    if isinstance(value, bool):
+        raise ValueError(f"{what} must be a number or suffixed string, got {value!r}")
+    if isinstance(value, (int, float)):
+        number = float(value)
+        if not math.isfinite(number):
+            raise ValueError(f"{what} must be finite, got {value!r}")
+        return number
+    if not isinstance(value, str):
+        raise ValueError(f"{what} must be a number or suffixed string, got {value!r}")
+    match = _DURATION_RE.match(value)
+    if match is None:
+        # A bare numeric string ("0", "2.5") means base units, exactly
+        # like a bare number — "10x" or "" stays an error.
+        try:
+            number = float(value)
+        except ValueError:
+            number = None
+        if number is not None and math.isfinite(number):
+            return number
+        raise ValueError(
+            f"malformed {what} {value!r}: expected '<number><suffix>' with a "
+            f"suffix in {sorted(table)}"
+        )
+    magnitude, suffix = match.groups()
+    scale = table.get(suffix.lower())
+    if scale is None:
+        raise ValueError(
+            f"unknown {what} suffix {suffix!r} in {value!r}: expected one of "
+            f"{sorted(table)}"
+        )
+    number = float(magnitude) * scale
+    if not math.isfinite(number):
+        raise ValueError(f"{what} {value!r} is not finite")
+    return number
+
+
+def parse_duration(value: Union[str, float, int]) -> float:
+    """Parse a duration into seconds.
+
+    Accepts a bare number (already seconds) or a suffixed string such as
+    ``"10ms"``, ``"0.5s"``, ``"15min"``, ``"1h"``, or ``"2d"``
+    (:data:`DURATION_SUFFIXES`).  Raises :class:`ValueError` on malformed
+    input — callers in the spec layer translate that into a
+    :class:`~repro.errors.SpecError`.
+    """
+    return _parse_suffixed(value, DURATION_SUFFIXES, "duration")
+
+
+def parse_rate(value: Union[str, float, int]) -> float:
+    """Parse a sampling rate into hertz (``"20Hz"``, ``"1kHz"``, ...).
+
+    Accepts a bare number (already Hz) or a suffixed string
+    (:data:`RATE_SUFFIXES`).  Raises :class:`ValueError` on malformed
+    input.
+    """
+    rate = _parse_suffixed(value, RATE_SUFFIXES, "rate")
+    if rate <= 0.0:
+        raise ValueError(f"rate must be positive, got {value!r}")
+    return rate
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,10 @@ Public names:
   :func:`~repro.vec.batch.ensure_supported`,
   :func:`~repro.vec.batch.vec_capabilities` — capability layer
   (`repro vec-info`, `repro spec check --backend vec`).
+* :func:`~repro.vec.batch.compile_operating_segments`,
+  :func:`~repro.vec.batch.harvester_change_times` — piecewise-constant
+  trace compilation for segment-driven batches
+  (:meth:`FleetKernel.run_segments`).
 * :class:`~repro.vec.compat.ScalarFleet` — the scalar-compat reference.
 """
 
@@ -31,8 +35,10 @@ from repro.vec.batch import (
     build_fleet,
     check_platform,
     check_scenario,
+    compile_operating_segments,
     ensure_supported,
     fleet_from_banks,
+    harvester_change_times,
     vec_capabilities,
 )
 from repro.vec.compat import ScalarFleet
@@ -61,7 +67,9 @@ __all__ = [
     "charge_times",
     "check_platform",
     "check_scenario",
+    "compile_operating_segments",
     "drain_power_vec",
+    "harvester_change_times",
     "ensure_supported",
     "fleet_from_banks",
     "leak_decay",

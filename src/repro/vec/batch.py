@@ -7,11 +7,16 @@ vectorized kernel advances every device on one clock with no per-device
 Python dispatch, it supports a deliberately static subset of the
 scenario language:
 
-* **harvesters** must resolve to a time-invariant operating point:
-  ``regulated``, ``rf``, ``solar`` over a ``constant`` or
-  ``dimmed_lamp`` irradiance trace, and ``scaled`` wrappers over any of
-  those.  ``orbit`` and ``piecewise`` traces vary with time and are
-  rejected.
+* **harvesters** must resolve to a *piecewise-constant* operating
+  point: ``regulated``, ``rf``, ``solar`` over a ``constant``,
+  ``dimmed_lamp``, ``piecewise``, or hold-interpolated ``replay``
+  irradiance trace, and ``scaled`` wrappers over any of those.
+  Time-varying-but-stepwise traces compile into per-segment operating
+  points (:func:`compile_operating_segments`) advanced by
+  :meth:`~repro.vec.kernel.FleetKernel.run_segments`; continuously
+  varying sources — ``orbit``, linear-interpolated replays — are still
+  rejected (record them to a trace at your chosen ``dt`` to batch
+  them).
 * **reconfiguration** is static per device: each device simulates one
   active bank set (the fixed bank for Pwr/Fixed systems, a named energy
   mode — or the union of all banks — for CB systems).  Dynamic
@@ -29,6 +34,7 @@ backend never silently falls back to the scalar engine.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -36,7 +42,7 @@ import numpy as np
 from repro.device.mcu import MCU_MSP430FR5969
 from repro.energy.bank import BankSpec
 from repro.energy.booster import InputBooster, OutputBooster
-from repro.energy.environment import ConstantTrace, DimmedLampTrace
+from repro.energy.environment import ConstantTrace, DimmedLampTrace, PiecewiseTrace
 from repro.energy.harvester import (
     FaultyHarvester,
     Harvester,
@@ -62,6 +68,8 @@ __all__ = [
     "active_bank_spec",
     "build_fleet",
     "fleet_from_banks",
+    "harvester_change_times",
+    "compile_operating_segments",
 ]
 
 #: Default regulated-rail demand per device: the paper's measurement
@@ -77,6 +85,15 @@ ALL_BANKS_MODE = "__all__"
 _STATIC_TRACES = (ConstantTrace, DimmedLampTrace)
 
 
+def _is_piecewise_constant(trace) -> bool:
+    """True for traces the segment compiler can batch (stepwise levels)."""
+    if isinstance(trace, _STATIC_TRACES) or isinstance(trace, PiecewiseTrace):
+        return True
+    from repro.traces import ReplayTrace
+
+    return isinstance(trace, ReplayTrace) and trace.interpolation == "hold"
+
+
 def vec_capabilities() -> dict:
     """The feature matrix `repro vec-info` prints, as plain data."""
     return {
@@ -84,8 +101,11 @@ def vec_capabilities() -> dict:
         "harvesters": {
             "regulated": "supported",
             "rf": "supported",
-            "solar": "supported with a constant or dimmed_lamp irradiance "
-            "trace; orbit and piecewise traces are time-varying and rejected",
+            "solar": "supported with constant, dimmed_lamp, piecewise, or "
+            "hold-interpolated replay irradiance traces (compiled into "
+            "per-segment operating points); orbit and linear-interpolated "
+            "replay traces vary continuously and are rejected — record "
+            "them to a trace file (`repro trace record`) to batch them",
             "scaled": "supported over any supported inner harvester",
         },
         "systems": {
@@ -96,7 +116,10 @@ def vec_capabilities() -> dict:
         },
         "boosters": "full input/output converter models (cold start, "
         "bypass diode, efficiency ramp, ESR droop, regulation floor)",
-        "limiter": "folded into the constant harvester operating point",
+        "limiter": "folded into each segment's harvester operating point",
+        "traces": "piecewise-constant traces (piecewise, replay with hold "
+        "interpolation) batch via FleetKernel.run_segments with segment "
+        "boundaries aligned to the step contract",
         "reconfiguration": "static per device; dynamic mode switching "
         "requires the scalar engine",
         "faults": "unsupported — any simulation fault kind is rejected",
@@ -122,12 +145,21 @@ def _harvester_reasons(harvester: Harvester) -> List[str]:
         return []
     if isinstance(harvester, SolarPanel):
         trace = harvester.irradiance
-        if isinstance(trace, _STATIC_TRACES):
+        if _is_piecewise_constant(trace):
             return []
+        from repro.traces import ReplayTrace
+
+        if isinstance(trace, ReplayTrace):
+            return [
+                f"replay trace with {trace.interpolation!r} interpolation: "
+                f"the vec backend batches hold-interpolated (piecewise-"
+                f"constant) replays only"
+            ]
         return [
-            f"time-varying irradiance trace "
-            f"{type(trace).__name__}: the vec backend needs a constant "
-            f"harvester operating point (constant or dimmed_lamp)"
+            f"continuously time-varying irradiance trace "
+            f"{type(trace).__name__}: the vec backend batches piecewise-"
+            f"constant traces only — record it to a trace file "
+            f"(`repro trace record`) and replay with hold interpolation"
         ]
     return [
         f"harvester {type(harvester).__name__} has no vectorized model"
@@ -178,18 +210,119 @@ def ensure_supported(scenario: ScenarioSpec, fault_schedule=None) -> None:
 
 
 def operating_point(
-    harvester: Harvester, v_clamp: Optional[float] = None
+    harvester: Harvester, v_clamp: Optional[float] = None, time: float = 0.0
 ):
-    """The constant ``(voltage, power)`` a supported harvester provides.
+    """The ``(voltage, power)`` a supported harvester provides at *time*.
 
     Applies the input voltage limiter exactly as the scalar power system
-    does (``v_clamp=None`` uses the default limiter).
+    does (``v_clamp=None`` uses the default limiter).  Static harvesters
+    ignore *time*; piecewise-constant traces make this the per-segment
+    operating point.
     """
-    voltage, power = harvester.output(0.0)
+    voltage, power = harvester.output(time)
     limiter = (
         InputVoltageLimiter() if v_clamp is None else InputVoltageLimiter(v_clamp)
     )
     return limiter.limit(voltage, power)
+
+
+def harvester_change_times(
+    harvester: Harvester, horizon: float
+) -> List[float]:
+    """Times in ``(0, horizon)`` where the operating point steps.
+
+    Static harvesters return ``[]``; piecewise and hold-replay solar
+    traces return their level-change times; scaled wrappers delegate to
+    their inner harvester.  Callers must have passed the capability
+    check — continuously varying harvesters have no meaningful answer.
+    """
+    if isinstance(harvester, ScaledHarvester):
+        return harvester_change_times(harvester.inner, horizon)
+    if not isinstance(harvester, SolarPanel):
+        return []
+    trace = harvester.irradiance
+    if isinstance(trace, _STATIC_TRACES):
+        return []
+    if isinstance(trace, PiecewiseTrace):
+        changes = trace.change_times()
+    else:
+        from repro.traces import ReplayTrace
+
+        if not isinstance(trace, ReplayTrace):
+            raise VecCapabilityError(
+                f"trace {type(trace).__name__} has no segment compilation"
+            )
+        changes = trace.change_times(until=horizon)
+    return [time for time in changes if 0.0 < time < horizon]
+
+
+def compile_operating_segments(
+    scenarios: Sequence[ScenarioSpec],
+    horizon: float,
+    dt: float,
+    power_scales: Union[float, Sequence[float]] = 1.0,
+) -> List:
+    """Compile a batch's traces into kernel segments.
+
+    Returns ``[(steps, harvest_voltage, harvest_power), ...]`` covering
+    ``int(round(horizon / dt))`` steps — the exact step count
+    :meth:`FleetKernel.run` would take.  Each device's level-change
+    times map to the first step whose *start* is at or past the change
+    (``ceil(t/dt)``), the union of all devices' boundaries splits the
+    run, and every segment's operating point is evaluated at its start
+    time through the folded limiter.
+
+    Because the kernel evaluates harvester power at step-start times,
+    a compiled run is **bit-identical** to hypothetically re-evaluating
+    every trace at every step: within a segment the trace is constant
+    at exactly the evaluated level, and spurious (union) boundaries
+    merely re-assign identical values.  Static batches compile to a
+    single segment equal to :func:`build_fleet`'s columns.
+    """
+    if not scenarios:
+        raise ConfigurationError(
+            "compile_operating_segments needs at least one scenario"
+        )
+    if dt <= 0.0:
+        raise ConfigurationError(f"dt must be positive, got {dt}")
+    if horizon < 0.0:
+        raise ConfigurationError(f"horizon must be non-negative, got {horizon}")
+    n = len(scenarios)
+    scales = _broadcast(power_scales, n)
+    total_steps = int(round(horizon / dt))
+
+    harvesters = []
+    clamps = []
+    boundary_steps = {0, total_steps}
+    for scenario in scenarios:
+        harvester = harvester_from_spec(scenario.platform.harvester)
+        harvesters.append(harvester)
+        clamps.append(scenario.platform.limiter_v_clamp)
+        for change in harvester_change_times(harvester, horizon):
+            step = int(math.ceil(change / dt - 1e-9))
+            if 0 < step < total_steps:
+                boundary_steps.add(step)
+    boundaries = sorted(boundary_steps)
+
+    segments = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        t_start = start * dt
+        hv = np.zeros(n)
+        hp = np.zeros(n)
+        for i, (harvester, clamp) in enumerate(zip(harvesters, clamps)):
+            voltage, power = operating_point(harvester, clamp, time=t_start)
+            hv[i] = voltage
+            hp[i] = power * float(scales[i])
+        segments.append((stop - start, hv, hp))
+    if not segments:  # zero-duration horizon still needs one segment
+        hv = np.zeros(n)
+        hp = np.zeros(n)
+        for i, (harvester, clamp) in enumerate(zip(harvesters, clamps)):
+            voltage, power = operating_point(harvester, clamp, time=0.0)
+            hv[i] = voltage
+            hp[i] = power * float(scales[i])
+        segments.append((0, hv, hp))
+    return segments
 
 
 def active_bank_spec(

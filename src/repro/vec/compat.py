@@ -167,6 +167,42 @@ class ScalarFleet:
             "wall_seconds": wall,
         }
 
+    def run_segments(self, segments, dt: float) -> Dict[str, float]:
+        """Per-device reference for :meth:`FleetKernel.run_segments`.
+
+        Reassigns the harvest columns before each segment and steps with
+        the unchanged scalar contract — the differential baseline for
+        trace-driven batches.
+        """
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        segments = list(segments)
+        if not segments:
+            raise ConfigurationError("run_segments needs at least one segment")
+        shape = self.state.voltage.shape
+        total_steps = 0
+        started = time.perf_counter()
+        for steps, hv, hp in segments:
+            hv = np.asarray(hv, dtype=np.float64)
+            hp = np.asarray(hp, dtype=np.float64)
+            if hv.shape != shape or hp.shape != shape:
+                raise ConfigurationError(
+                    f"segment operating points: expected shape {shape}, "
+                    f"got {hv.shape} / {hp.shape}"
+                )
+            self.state.harvest_voltage = hv
+            self.state.harvest_power = hp
+            for _ in range(int(steps)):
+                self.step(dt)
+            total_steps += int(steps)
+        wall = time.perf_counter() - started
+        return {
+            "steps": float(total_steps),
+            "segments": float(len(segments)),
+            "devices": float(self.state.n),
+            "wall_seconds": wall,
+        }
+
     def voltages(self) -> np.ndarray:
         """Snapshot of the terminal voltages (copy)."""
         return self.state.voltage.copy()

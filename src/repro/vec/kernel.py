@@ -257,6 +257,72 @@ class FleetKernel:
             "wall_seconds": wall,
         }
 
+    def run_segments(
+        self,
+        segments,
+        dt: float,
+        decay: Optional[np.ndarray] = None,
+    ) -> Dict[str, float]:
+        """Step through piecewise-constant harvester operating points.
+
+        *segments* is a sequence of ``(steps, harvest_voltage,
+        harvest_power)`` tuples — the output of
+        :func:`repro.vec.batch.compile_operating_segments`.  Before each
+        segment the fleet's harvest columns are reassigned, then the
+        segment's steps run under the unchanged five-phase contract.  A
+        single segment is therefore bit-identical to :meth:`run` over
+        the same operating point: nothing else about the stepping
+        changes, and every operation stays elementwise (batch-of-N ==
+        N batches-of-1 still holds, per :func:`leak_decay`).
+
+        Returns the same summary dict as :meth:`run` plus the segment
+        count; telemetry additionally records ``vec.segments``.
+        """
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        segments = list(segments)
+        if not segments:
+            raise ConfigurationError("run_segments needs at least one segment")
+        shape = self.state.voltage.shape
+        if decay is None:
+            decay = np.exp(-dt / self.state.leak_tau)
+        elif np.shape(decay) != shape:
+            raise ConfigurationError(
+                f"decay: expected shape {shape}, got {np.shape(decay)}"
+            )
+        total_steps = 0
+        started = time.perf_counter()
+        for steps, hv, hp in segments:
+            steps = int(steps)
+            if steps < 0:
+                raise ConfigurationError(
+                    f"segment step counts must be non-negative, got {steps}"
+                )
+            hv = np.asarray(hv, dtype=np.float64)
+            hp = np.asarray(hp, dtype=np.float64)
+            if hv.shape != shape or hp.shape != shape:
+                raise ConfigurationError(
+                    f"segment operating points: expected shape {shape}, "
+                    f"got {hv.shape} / {hp.shape}"
+                )
+            self.state.harvest_voltage = hv
+            self.state.harvest_power = hp
+            for _ in range(steps):
+                self.step(dt, _decay=decay)
+            total_steps += steps
+        wall = time.perf_counter() - started
+        if self.telemetry.enabled:
+            self.telemetry.inc("vec.steps", total_steps)
+            self.telemetry.inc("vec.devices", self.state.n)
+            self.telemetry.inc("vec.segments", len(segments))
+            self.telemetry.observe("vec.batch_seconds", wall)
+        return {
+            "steps": float(total_steps),
+            "segments": float(len(segments)),
+            "devices": float(self.state.n),
+            "wall_seconds": wall,
+        }
+
 
 # ---------------------------------------------------------------------------
 # Analytic design-space sweeps (Figures 3/4, ablations)

@@ -1,0 +1,145 @@
+"""Golden recorded traces: pinned bytes, pinned hashes, pinned replays.
+
+``tests/golden/traces/steps.rtrc`` is a committed recording of a
+deterministic piecewise environment (level changes on the recording
+grid, so hold replay is *exactly* the source).  These tests pin:
+
+* the file bytes and its ``trace_hash`` — the on-disk format is a
+  compatibility surface, and any encoder drift breaks every pinned
+  spec in the wild;
+* record-then-replay bit-identity through **both** backends — a
+  scenario replaying the recording produces byte-identical payloads to
+  the same scenario driven by the original synthetic trace;
+* the replayed results themselves, against committed payload goldens.
+
+Regenerate after an intentional format or engine change with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+"""
+
+import json
+from pathlib import Path
+
+from repro.apps.temp_alarm import scenario
+from repro.energy.environment import PiecewiseTrace
+from repro.spec import canonical_json, dump_scenario, load_scenario
+from repro.service.runner import run_scenario_job
+from repro.traces import TraceReader, compute_trace_hash, record_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "traces"
+GOLDEN_TRACE = GOLDEN_DIR / "steps.rtrc"
+GOLDEN_SCALAR = GOLDEN_DIR / "steps_scalar_result.json"
+GOLDEN_VEC = GOLDEN_DIR / "steps_vec_result.json"
+
+#: Content digest of ``steps.rtrc`` — regenerate with ``--regen``.
+GOLDEN_HASH = "829c0d059f02e557592d11975dc85d55935f0cc38ca9c367ad8650fa11e57f84"
+
+#: The recording: three levels, changes at t=60 and t=180 (multiples of
+#: the 5 s grid), 300 s span -> 61 samples.
+BREAKPOINTS = ((60.0, 6.0), (180.0, 18.0))
+INITIAL = 24.0
+DURATION = 300.0
+DT = 5.0
+CHUNK_SAMPLES = 16
+HORIZON = 300.0
+
+
+def _source():
+    return PiecewiseTrace(breakpoints=BREAKPOINTS, initial=INITIAL)
+
+
+def _record(path):
+    replay = record_trace(
+        _source(), path, duration=DURATION, dt=DT, chunk_samples=CHUNK_SAMPLES
+    )
+    replay.close()
+
+
+def _scenario_with(trace_dict):
+    doc = json.loads(dump_scenario(scenario(seed=3)))
+    doc["platform"]["harvester"]["irradiance"] = trace_dict
+    return canonical_json(load_scenario(json.dumps(doc)))
+
+
+def _synthetic_json():
+    return _scenario_with(
+        {
+            "kind": "piecewise",
+            "breakpoints": [list(pair) for pair in BREAKPOINTS],
+            "initial": INITIAL,
+        }
+    )
+
+
+def _replay_json(path=GOLDEN_TRACE):
+    return _scenario_with({"kind": "replay", "path": str(path)})
+
+
+def _scalar_result(scenario_json):
+    payload = run_scenario_job(scenario_json, horizon=HORIZON)
+    return {"summary": payload["summary"], "counters": payload["counters"]}
+
+
+def _vec_result(scenario_json):
+    return run_scenario_job(scenario_json, horizon=HORIZON, backend="vec")
+
+
+class TestGoldenTraceFile:
+    def test_verifies_with_pinned_hash(self):
+        with TraceReader(GOLDEN_TRACE) as reader:
+            reader.verify()
+            assert reader.n_samples == 61
+            assert reader.dt == DT
+            assert reader.t_end == DURATION
+            assert reader.trace_hash == GOLDEN_HASH
+
+    def test_recording_is_byte_reproducible(self, tmp_path):
+        fresh = tmp_path / "steps.rtrc"
+        _record(fresh)
+        assert fresh.read_bytes() == GOLDEN_TRACE.read_bytes()
+        assert compute_trace_hash(fresh) == GOLDEN_HASH
+
+
+class TestReplayBitIdentity:
+    def test_scalar_replay_matches_synthetic(self):
+        assert _scalar_result(_replay_json()) == _scalar_result(_synthetic_json())
+
+    def test_vec_replay_matches_synthetic(self):
+        assert _vec_result(_replay_json()) == _vec_result(_synthetic_json())
+
+    def test_replay_is_path_independent(self, tmp_path):
+        moved = tmp_path / "elsewhere.rtrc"
+        moved.write_bytes(GOLDEN_TRACE.read_bytes())
+        assert _vec_result(_replay_json(moved)) == _vec_result(_replay_json())
+
+    def test_scalar_result_matches_golden(self):
+        golden = json.loads(GOLDEN_SCALAR.read_text())
+        assert _scalar_result(_replay_json()) == golden
+
+    def test_vec_result_matches_golden(self):
+        golden = json.loads(GOLDEN_VEC.read_text())
+        assert _vec_result(_replay_json()) == golden
+
+
+def _regen():
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    _record(GOLDEN_TRACE)
+    print(f"wrote {GOLDEN_TRACE}")
+    print(f"GOLDEN_HASH = {compute_trace_hash(GOLDEN_TRACE)!r}")
+    GOLDEN_SCALAR.write_text(
+        json.dumps(_scalar_result(_replay_json()), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_SCALAR}")
+    GOLDEN_VEC.write_text(
+        json.dumps(_vec_result(_replay_json()), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_VEC}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,318 @@
+"""The recorded-trace format: writer, reader, corruption, replay.
+
+The contracts under test are the ones every other layer leans on:
+
+* **Round trip** — samples written through :class:`TraceWriter` come
+  back from :class:`TraceReader` exactly (JSON shortest-repr floats are
+  lossless), in both dt-regular and timestamped encodings.
+* **Fail closed** — any byte-level corruption (flipped chunk bytes,
+  truncation, bad magic, wrong version, stale pinned hash) surfaces as
+  a typed :class:`TraceFormatError`, never as garbage samples.
+* **Content addressing** — ``trace_hash`` depends only on the sampled
+  content (units, interpolation, samples), not on chunking or encoding
+  mode, so inline spec samples and files hash identically.
+* **Replay semantics** — :class:`ReplayTrace` implements the
+  environment-trace callable contract with hold/linear interpolation
+  and clamping outside the recorded span.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.energy.environment import OrbitTrace, PiecewiseTrace
+from repro.errors import SpecError, TraceFormatError
+from repro.traces import (
+    TRACE_FORMAT_VERSION,
+    ReplayTrace,
+    TraceReader,
+    TraceWriter,
+    compute_trace_hash,
+    content_hash,
+    record_trace,
+)
+
+
+def _write(path, samples, **kwargs):
+    with TraceWriter(path, **kwargs) as writer:
+        for time, level in samples:
+            writer.append_at(time, level)
+    return writer.trace_hash
+
+
+SAMPLES = [(0.0, 5.0), (0.5, 5.5), (1.25, 0.0), (3.0, 812.75)]
+
+
+class TestRoundTrip:
+    def test_timestamped_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES, units="W/m^2", interpolation="hold")
+        with TraceReader(path) as reader:
+            assert list(reader.iter_samples()) == SAMPLES
+            assert reader.dt is None
+            assert reader.n_samples == len(SAMPLES)
+            assert reader.t_end == 3.0
+
+    def test_dt_mode_round_trip_times_are_derived(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        with TraceWriter(path, t0=1.0, dt=0.25) as writer:
+            for level in (9.0, 8.0, 7.5):
+                writer.append(level)
+        with TraceReader(path) as reader:
+            assert list(reader.iter_samples()) == [
+                (1.0, 9.0), (1.25, 8.0), (1.5, 7.5),
+            ]
+            assert reader.dt == 0.25
+
+    def test_chunked_file_seeks_by_index(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        samples = [(float(i), float(i * 3 % 7)) for i in range(25)]
+        _write(path, samples, chunk_samples=4)
+        with TraceReader(path) as reader:
+            assert reader.n_chunks == math.ceil(25 / 4)
+            # Read a late chunk first: the index makes chunks seekable
+            # without touching earlier ones.
+            times, levels = reader.chunk(5)
+            assert times[0] == 20.0
+            assert list(reader.iter_samples()) == samples
+
+    def test_full_float_precision_survives(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        awkward = [(0.1, 1.0 / 3.0), (0.2 + 1e-16, math.pi), (7.0, 5e-324)]
+        _write(path, awkward)
+        with TraceReader(path) as reader:
+            assert list(reader.iter_samples()) == awkward
+
+    def test_verify_recomputes_everything(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        expected = _write(path, SAMPLES)
+        with TraceReader(path) as reader:
+            assert reader.verify() == expected
+        assert compute_trace_hash(path) == expected
+
+    def test_metadata_round_trips(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES, metadata={"source": "OrbitTrace", "note": "x"})
+        with TraceReader(path) as reader:
+            assert reader.metadata == {"source": "OrbitTrace", "note": "x"}
+
+
+class TestContentHash:
+    def test_hash_is_chunk_size_invariant(self, tmp_path):
+        samples = [(float(i) * 0.5, float(i)) for i in range(50)]
+        hashes = {
+            _write(tmp_path / f"c{size}.rtrc", samples, chunk_samples=size)
+            for size in (3, 7, 4096)
+        }
+        assert len(hashes) == 1
+
+    def test_hash_is_encoding_mode_invariant(self, tmp_path):
+        dt_path = tmp_path / "dt.rtrc"
+        with TraceWriter(dt_path, t0=0.0, dt=0.5) as writer:
+            for level in (1.0, 2.0, 3.0):
+                writer.append(level)
+        ts_path = tmp_path / "ts.rtrc"
+        _write(ts_path, [(0.0, 1.0), (0.5, 2.0), (1.0, 3.0)])
+        assert compute_trace_hash(dt_path) == compute_trace_hash(ts_path)
+
+    def test_inline_hash_matches_file_hash(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        file_hash = _write(path, SAMPLES)
+        assert content_hash(SAMPLES) == file_hash
+
+    def test_hash_covers_units_and_interpolation(self):
+        base = content_hash(SAMPLES)
+        assert content_hash(SAMPLES, units="lux") != base
+        assert content_hash(SAMPLES, interpolation="linear") != base
+
+    def test_hash_changes_with_any_sample(self):
+        mutated = list(SAMPLES)
+        mutated[2] = (1.25, 0.0 + 1e-12)
+        assert content_hash(mutated) != content_hash(SAMPLES)
+
+
+class TestFailClosed:
+    def _flip_in_chunk(self, path):
+        raw = bytearray(path.read_bytes())
+        marker = raw.find(b'"samples"')
+        # Flip a digit inside the chunk's sample array.
+        for offset in range(marker, len(raw)):
+            if chr(raw[offset]).isdigit():
+                raw[offset] = ord("9") if raw[offset] != ord("9") else ord("8")
+                break
+        path.write_bytes(bytes(raw))
+
+    def test_flipped_chunk_byte_raises_typed_error(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        self._flip_in_chunk(path)
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError):
+                list(reader.iter_samples())
+            with pytest.raises(TraceFormatError):
+                reader.verify()
+
+    def test_trace_format_error_is_a_spec_error(self):
+        assert issubclass(TraceFormatError, SpecError)
+
+    def test_truncated_file_missing_footer(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]))
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            TraceReader(tmp_path / "absent.rtrc")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        path.write_bytes(b'{"magic": "NOPE", "version": 1}\n')
+        with pytest.raises(TraceFormatError, match="magic"):
+            TraceReader(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        text = path.read_bytes()
+        text = text.replace(
+            b'"version":%d' % TRACE_FORMAT_VERSION, b'"version":99', 1
+        )
+        path.write_bytes(text)
+        with pytest.raises(TraceFormatError, match="version"):
+            TraceReader(path)
+
+    def test_pinned_hash_mismatch(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        with pytest.raises(TraceFormatError, match="hash"):
+            TraceReader(path, expected_hash="0" * 64)
+
+    def test_aborted_write_leaves_no_valid_trace(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path) as writer:
+                writer.append_at(0.0, 1.0)
+                raise RuntimeError("interrupted")
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_writer_rejects_bad_levels_and_times(self, tmp_path):
+        with TraceWriter(tmp_path / "t.rtrc") as writer:
+            writer.append_at(0.0, 1.0)
+            with pytest.raises(TraceFormatError):
+                writer.append_at(0.0, 2.0)  # non-increasing time
+            with pytest.raises(TraceFormatError):
+                writer.append_at(1.0, -4.0)  # negative level
+            with pytest.raises(TraceFormatError):
+                writer.append_at(2.0, float("nan"))
+            writer.append_at(3.0, 2.0)
+
+
+class TestReplayTrace:
+    def test_hold_semantics_with_clamping(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        trace = ReplayTrace.open(path)
+        try:
+            assert trace(-10.0) == 5.0       # clamp before span
+            assert trace(0.0) == 5.0
+            assert trace(0.49) == 5.0        # hold until next sample
+            assert trace(0.5) == 5.5
+            assert trace(2.0) == 0.0
+            assert trace(99.0) == 812.75     # clamp after span
+        finally:
+            trace.close()
+
+    def test_linear_interpolation(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, [(0.0, 0.0), (2.0, 10.0)], interpolation="linear")
+        trace = ReplayTrace.open(path)
+        try:
+            assert trace(1.0) == pytest.approx(5.0)
+            assert trace(0.5) == pytest.approx(2.5)
+            assert trace(-1.0) == 0.0
+            assert trace(3.0) == 10.0
+        finally:
+            trace.close()
+
+    def test_linear_across_chunk_boundary(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        samples = [(float(i), float(i * 2)) for i in range(10)]
+        _write(path, samples, interpolation="linear", chunk_samples=3)
+        trace = ReplayTrace.open(path)
+        try:
+            # 2.5 sits between chunk 0's last sample (t=2) and chunk 1's
+            # first (t=3): the 2-chunk LRU must peek across the seam.
+            assert trace(2.5) == pytest.approx(5.0)
+            assert trace(8.5) == pytest.approx(17.0)
+        finally:
+            trace.close()
+
+    def test_inline_matches_file_backed(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        from_file = ReplayTrace.open(path)
+        inline = ReplayTrace.from_samples(SAMPLES)
+        try:
+            for time in (-1.0, 0.0, 0.7, 1.25, 2.9, 3.0, 4.0):
+                assert from_file(time) == inline(time)
+            assert from_file.trace_hash == inline.trace_hash
+        finally:
+            from_file.close()
+
+    def test_change_times_skips_repeats(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, [(0.0, 1.0), (1.0, 1.0), (2.0, 5.0), (3.0, 5.0), (4.0, 0.0)])
+        trace = ReplayTrace.open(path)
+        try:
+            assert trace.change_times() == [2.0, 4.0]
+            assert trace.change_times(until=3.0) == [2.0]
+        finally:
+            trace.close()
+
+    def test_pickle_round_trip(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        _write(path, SAMPLES)
+        for original in (ReplayTrace.open(path), ReplayTrace.from_samples(SAMPLES)):
+            try:
+                clone = pickle.loads(pickle.dumps(original))
+                for time in (0.0, 0.6, 3.0):
+                    assert clone(time) == original(time)
+                assert clone.trace_hash == original.trace_hash
+            finally:
+                original.close()
+
+
+class TestRecordTrace:
+    def test_record_includes_endpoint(self, tmp_path):
+        source = PiecewiseTrace(breakpoints=((1.0, 3.0),), initial=7.0)
+        replay = record_trace(source, tmp_path / "t.rtrc", duration=2.0, dt=0.5)
+        try:
+            assert list(replay.iter_samples()) == [
+                (0.0, 7.0), (0.5, 7.0), (1.0, 3.0), (1.5, 3.0), (2.0, 3.0),
+            ]
+        finally:
+            replay.close()
+
+    def test_replay_matches_source_at_sample_times(self, tmp_path):
+        source = OrbitTrace(period=100.0, irradiance=900.0, eclipse_fraction=0.3)
+        replay = record_trace(source, tmp_path / "t.rtrc", duration=250.0, dt=2.5)
+        try:
+            for time, level in replay.iter_samples():
+                assert level == source(time)
+                assert replay(time) == source(time)
+        finally:
+            replay.close()
+
+    def test_environment_record_exporter(self, tmp_path):
+        source = PiecewiseTrace(breakpoints=((5.0, 1.0),), initial=2.0)
+        replay = source.record(tmp_path / "t.rtrc", duration=10.0, dt=1.0)
+        try:
+            assert replay._reader.metadata["source"] == "PiecewiseTrace"
+            assert replay(0.0) == 2.0 and replay(7.0) == 1.0
+        finally:
+            replay.close()

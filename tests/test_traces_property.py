@@ -1,0 +1,167 @@
+"""Property-based guarantees for the trace format.
+
+Three invariants everything downstream leans on:
+
+* **round-trip identity** — any valid sample sequence written through
+  :class:`TraceWriter` reads back exactly (full float precision, both
+  timestamped and uniform-``dt`` encodings, any chunk size);
+* **content addressing** — ``trace_hash`` depends only on resolved
+  content: re-chunking or switching encoding mode never changes it,
+  and replaying inline samples hashes identically to the same samples
+  on disk;
+* **fail-closed corruption** — flip any single byte of a trace file
+  and a verifying read either raises :class:`TraceFormatError` or (for
+  flips confined to non-semantic bytes such as metadata) still yields
+  exactly the original samples.  There is no third outcome: corrupt
+  chunks never decode into garbage levels.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    ReplayTrace,
+    TraceReader,
+    TraceWriter,
+    content_hash,
+    record_trace,
+)
+
+levels = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+deltas = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def sample_runs(draw, min_size=1, max_size=40):
+    """Strictly increasing (time, level) sequences."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    time = draw(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    samples = []
+    for _ in range(count):
+        samples.append((time, draw(levels)))
+        time += draw(deltas)
+    return samples
+
+
+def _write(path, samples, chunk_samples=7, dt=None, interpolation="hold"):
+    with TraceWriter(
+        path,
+        t0=samples[0][0],
+        dt=dt,
+        chunk_samples=chunk_samples,
+        interpolation=interpolation,
+    ) as writer:
+        for time, level in samples:
+            writer.append_at(time, level)
+    return path
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(samples=sample_runs(), chunk_samples=st.integers(1, 11))
+    def test_written_samples_read_back_exactly(
+        self, tmp_path_factory, samples, chunk_samples
+    ):
+        path = tmp_path_factory.mktemp("rt") / "t.rtrc"
+        _write(path, samples, chunk_samples=chunk_samples)
+        with TraceReader(path) as reader:
+            assert list(reader.iter_samples()) == [
+                (float(t), float(level)) for t, level in samples
+            ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=sample_runs(),
+        chunk_a=st.integers(1, 11),
+        chunk_b=st.integers(1, 11),
+    )
+    def test_trace_hash_ignores_chunking(
+        self, tmp_path_factory, samples, chunk_a, chunk_b
+    ):
+        base = tmp_path_factory.mktemp("ch")
+        _write(base / "a.rtrc", samples, chunk_samples=chunk_a)
+        _write(base / "b.rtrc", samples, chunk_samples=chunk_b)
+        with TraceReader(base / "a.rtrc") as ra, TraceReader(base / "b.rtrc") as rb:
+            assert ra.trace_hash == rb.trace_hash
+            assert ra.trace_hash == content_hash(samples)
+
+    @settings(max_examples=40, deadline=None)
+    @given(samples=sample_runs())
+    def test_inline_replay_matches_file_replay(self, tmp_path_factory, samples):
+        path = tmp_path_factory.mktemp("eq") / "t.rtrc"
+        _write(path, samples)
+        file_replay = ReplayTrace.open(path)
+        inline_replay = ReplayTrace.from_samples(samples, interpolation="hold")
+        try:
+            probes = [t for t, _ in samples]
+            probes += [t + 1e-3 for t in probes] + [samples[0][0] - 1.0]
+            for t in probes:
+                assert file_replay(t) == inline_replay(t)
+        finally:
+            file_replay.close()
+
+
+class TestCorruptionSoak:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        samples=sample_runs(min_size=3, max_size=20),
+        data=st.data(),
+    )
+    def test_single_byte_flip_never_yields_garbage(
+        self, tmp_path_factory, samples, data
+    ):
+        path = tmp_path_factory.mktemp("soak") / "t.rtrc"
+        _write(path, samples, chunk_samples=5)
+        original = path.read_bytes()
+        position = data.draw(st.integers(0, len(original) - 1), label="byte")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        mutated = bytearray(original)
+        mutated[position] ^= 1 << bit
+        if mutated == original:
+            return
+        path.write_bytes(bytes(mutated))
+
+        expected = [(float(t), float(level)) for t, level in samples]
+        try:
+            with TraceReader(path) as reader:
+                reader.verify()
+                got = list(reader.iter_samples())
+        except TraceFormatError:
+            return  # fail-closed: the flip was detected
+        # The only acceptable silent outcome: the flip landed in bytes
+        # that do not affect resolved samples (e.g. metadata text whose
+        # chunk... no — metadata is outside chunk checksums only if the
+        # header digest ignores it; a surviving read must still return
+        # the exact original samples).
+        assert got == expected
+
+
+class TestRecordReplayProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        duty=st.floats(min_value=0.05, max_value=0.95),
+        full=st.floats(min_value=1.0, max_value=2000.0),
+        steps=st.integers(min_value=2, max_value=50),
+    )
+    def test_record_then_replay_equals_source_on_grid(
+        self, tmp_path_factory, duty, full, steps
+    ):
+        from repro.energy.environment import DimmedLampTrace
+
+        source = DimmedLampTrace(full_irradiance=full, duty=duty)
+        dt = 0.5
+        path = tmp_path_factory.mktemp("rec") / "lamp.rtrc"
+        replay = record_trace(source, path, duration=steps * dt, dt=dt)
+        try:
+            for i in range(steps + 1):
+                assert replay(i * dt) == source(i * dt)
+        finally:
+            replay.close()

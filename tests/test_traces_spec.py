@@ -1,0 +1,323 @@
+"""Traces through the spec, cache-key, and service layers.
+
+* :class:`TraceSpecV1` validation — inline samples vs file references,
+  interpolation policy, pinned content digests, and the unit-suffix
+  sugar (``"10ms"``, ``"1h"``) shared with :mod:`repro.units`.
+* :func:`resolve_scenario_traces` — full verification and hash pinning
+  at the admission edge; corruption is a typed error, never a stale
+  cache hit.
+* ``result_key``/``job_result_key`` — the trace content digest joins
+  the cache key (same content hits wherever the file lives, mutated
+  bytes miss) while every pre-existing trace-less key stays stable byte
+  for byte.
+* :class:`JobRequest` / the ASGI service — trace-bearing submissions
+  are resolved at the edge: missing or corrupt files are 400s before
+  any queue or pool is touched.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.apps import temp_alarm
+from repro.errors import SpecError, TraceFormatError
+from repro.experiments.cache import CACHE_FORMAT_VERSION, result_key
+from repro.experiments.plan import CampaignJob, job_result_key
+from repro.spec import (
+    ScenarioSpec,
+    TraceSpecV1,
+    canonical_json,
+    load_scenario,
+    resolve_scenario_traces,
+    scenario_trace_hash,
+    spec_hash,
+)
+from repro.traces import ReplayTrace, content_hash, record_trace
+from repro.energy.environment import PiecewiseTrace
+
+SAMPLES = ((0.0, 800.0), (10.0, 100.0), (25.0, 450.0))
+
+
+def _scenario_with_trace(trace_dict, seed=0):
+    doc = json.loads(canonical_json(temp_alarm.scenario(seed=seed, event_count=3)))
+    doc["platform"]["harvester"]["irradiance"] = trace_dict
+    return load_scenario(json.dumps(doc))
+
+
+def _record(tmp_path, name="env.rtrc", samples=SAMPLES):
+    source = PiecewiseTrace(breakpoints=samples[1:], initial=samples[0][1])
+    replay = record_trace(
+        source, tmp_path / name, duration=30.0, dt=5.0
+    )
+    replay.close()
+    return tmp_path / name
+
+
+def _corrupt(path):
+    """Flip one sample digit inside the first chunk (JSON stays valid)."""
+    raw = bytearray(path.read_bytes())
+    at = raw.find(b'"samples"')
+    assert at != -1
+    while not chr(raw[at]).isdigit():
+        at += 1
+    raw[at] = ord("1") if raw[at] != ord("1") else ord("2")
+    path.write_bytes(bytes(raw))
+
+
+class TestTraceSpecV1:
+    def test_inline_form(self):
+        spec = TraceSpecV1(samples=SAMPLES)
+        assert spec.interpolation == "hold"
+        assert spec.to_dict()["kind"] == "replay"
+        assert TraceSpecV1.from_dict(spec.to_dict()) == spec
+
+    def test_file_form_round_trips_with_pin(self):
+        spec = TraceSpecV1(path="env.rtrc", trace_hash="ab" * 32)
+        data = spec.to_dict()
+        assert data["trace_hash"] == "ab" * 32
+        assert TraceSpecV1.from_dict(data) == spec
+
+    def test_exactly_one_source_required(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1()
+        with pytest.raises(SpecError):
+            TraceSpecV1(path="x", samples=SAMPLES)
+
+    def test_inline_samples_cannot_pin_a_hash(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1(samples=SAMPLES, trace_hash="ab" * 32)
+
+    def test_bad_interpolation_rejected(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1(samples=SAMPLES, interpolation="cubic")
+
+    def test_malformed_hash_rejected(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1(path="x", trace_hash="xyz")
+        with pytest.raises(SpecError):
+            TraceSpecV1(path="x", trace_hash="AB" * 32)  # uppercase
+
+    def test_sample_times_take_unit_suffixes(self):
+        spec = TraceSpecV1(
+            samples=(("0ms", 1.0), ("500ms", 2.0), ("1.5s", 3.0), ("1min", 4.0))
+        )
+        assert [time for time, _ in spec.samples] == [0.0, 0.5, 1.5, 60.0]
+
+    def test_malformed_suffix_is_a_spec_error(self):
+        for bad in ("10 parsecs", "ms10", "1..5s", ""):
+            with pytest.raises(SpecError):
+                TraceSpecV1(samples=((bad, 1.0), ("10s", 2.0)))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1(samples=((0.0, 1.0), (0.0, 2.0)))
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(SpecError):
+            TraceSpecV1(samples=((0.0, -1.0),))
+
+    def test_scenario_schema_accepts_replay_kind(self):
+        scenario = _scenario_with_trace(
+            {"kind": "replay", "samples": [[0.0, 800.0], ["10s", 100.0]]}
+        )
+        irradiance = scenario.platform.harvester.params["irradiance"]
+        assert irradiance["kind"] == "replay"
+        assert irradiance["samples"] == [[0.0, 800.0], [10.0, 100.0]]
+
+
+class TestBuildAndResolve:
+    def test_inline_replay_builds_a_callable_trace(self):
+        scenario = _scenario_with_trace(
+            {"kind": "replay", "samples": [list(pair) for pair in SAMPLES]}
+        )
+        from repro.spec.build import harvester_from_spec
+
+        harvester = harvester_from_spec(scenario.platform.harvester)
+        assert isinstance(harvester.irradiance, ReplayTrace)
+        assert harvester.irradiance(12.0) == 100.0
+
+    def test_resolve_pins_the_content_digest(self, tmp_path):
+        path = _record(tmp_path)
+        scenario = _scenario_with_trace({"kind": "replay", "path": str(path)})
+        resolved = resolve_scenario_traces(scenario)
+        pinned = resolved.platform.harvester.params["irradiance"]["trace_hash"]
+        from repro.traces import compute_trace_hash
+
+        assert pinned == compute_trace_hash(path)
+        # Idempotent: resolving again verifies against the pin.
+        assert resolve_scenario_traces(resolved).to_dict() == resolved.to_dict()
+
+    def test_resolve_is_identity_for_traceless_scenarios(self):
+        scenario = temp_alarm.scenario(seed=1)
+        assert resolve_scenario_traces(scenario) is scenario
+
+    def test_resolve_rejects_corrupt_files(self, tmp_path):
+        path = _record(tmp_path)
+        _corrupt(path)
+        scenario = _scenario_with_trace({"kind": "replay", "path": str(path)})
+        with pytest.raises(TraceFormatError):
+            resolve_scenario_traces(scenario)
+
+    def test_resolve_rejects_stale_pins(self, tmp_path):
+        path = _record(tmp_path)
+        scenario = _scenario_with_trace(
+            {"kind": "replay", "path": str(path), "trace_hash": "0" * 64}
+        )
+        with pytest.raises(TraceFormatError):
+            resolve_scenario_traces(scenario)
+
+    def test_scenario_trace_hash_semantics(self, tmp_path):
+        assert scenario_trace_hash(temp_alarm.scenario(seed=1)) is None
+        path = _record(tmp_path)
+        by_file = scenario_trace_hash(
+            _scenario_with_trace({"kind": "replay", "path": str(path)})
+        )
+        by_inline = scenario_trace_hash(
+            _scenario_with_trace(
+                {"kind": "replay", "samples": [list(p) for p in SAMPLES]}
+            )
+        )
+        # The recorded file holds a dt-sampled rendering of the same
+        # piecewise environment; inline samples hash by content too.
+        assert by_inline == content_hash(SAMPLES)
+        assert by_file is not None and len(by_file) == 64
+
+
+class TestCacheKeys:
+    def test_traceless_keys_are_byte_stable(self):
+        # Reconstruct the pre-trace key payload by hand: if this breaks,
+        # every existing cache entry in the wild was silently invalidated.
+        params = {"seed": 3, "scale": 0.5}
+        body = {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": "fig08",
+            "params": params,
+            "code": "fingerprint",
+        }
+        expected = hashlib.sha256(
+            json.dumps(body, sort_keys=True, default=str).encode()
+        ).hexdigest()
+        assert result_key("fig08", params, fingerprint="fingerprint") == expected
+        assert (
+            result_key("fig08", params, fingerprint="fingerprint", trace_hash=None)
+            == expected
+        )
+
+    def test_trace_hash_changes_the_key(self):
+        base = result_key("x", {}, fingerprint="f")
+        traced = result_key("x", {}, fingerprint="f", trace_hash="a" * 64)
+        assert traced != base
+        assert result_key("x", {}, fingerprint="f", trace_hash="b" * 64) != traced
+
+    def test_trace_identity_is_path_independent(self, tmp_path):
+        path_a = _record(tmp_path, "a.rtrc")
+        path_b = _record(tmp_path, "b.rtrc")  # identical content
+        hashes = {
+            scenario_trace_hash(
+                resolve_scenario_traces(
+                    _scenario_with_trace({"kind": "replay", "path": str(path)})
+                )
+            )
+            for path in (path_a, path_b)
+        }
+        # Same recorded content, different paths: one trace identity, so
+        # result_key treats both files as the same cached work.
+        assert len(hashes) == 1
+        digest = hashes.pop()
+        assert result_key("x", {}, fingerprint="f", trace_hash=digest) != result_key(
+            "x", {}, fingerprint="f"
+        )
+
+    def test_rerecorded_trace_misses(self, tmp_path):
+        path = _record(tmp_path)
+        scenario = _scenario_with_trace({"kind": "replay", "path": str(path)})
+        key_before = job_result_key(
+            CampaignJob(label="t", scenario_json=canonical_json(scenario))
+        )
+        # Re-record the same file with different content.
+        replay = record_trace(
+            PiecewiseTrace(breakpoints=((2.0, 9.0),), initial=1.0),
+            path, duration=30.0, dt=5.0,
+        )
+        replay.close()
+        key_after = job_result_key(
+            CampaignJob(label="t", scenario_json=canonical_json(scenario))
+        )
+        assert key_after != key_before
+
+
+class TestServiceEdge:
+    def _payload(self, trace_dict, **envelope):
+        doc = json.loads(canonical_json(temp_alarm.scenario(seed=0, event_count=2)))
+        doc["platform"]["harvester"]["irradiance"] = trace_dict
+        return {"scenario": doc, **envelope}
+
+    def test_from_payload_pins_trace_hash(self, tmp_path):
+        from repro.service.jobs import JobRequest
+        from repro.traces import compute_trace_hash
+
+        path = _record(tmp_path)
+        request = JobRequest.from_payload(self._payload(
+            {"kind": "replay", "path": str(path)}
+        ))
+        irradiance = json.loads(request.scenario_json)["platform"]["harvester"][
+            "irradiance"
+        ]
+        assert irradiance["trace_hash"] == compute_trace_hash(path)
+
+    def test_from_payload_rejects_missing_file(self, tmp_path):
+        from repro.service.jobs import JobRequest
+
+        with pytest.raises(SpecError):
+            JobRequest.from_payload(self._payload(
+                {"kind": "replay", "path": str(tmp_path / "absent.rtrc")}
+            ))
+
+    def test_from_payload_rejects_corrupt_file(self, tmp_path):
+        from repro.service.jobs import JobRequest
+
+        path = _record(tmp_path)
+        _corrupt(path)
+        with pytest.raises(SpecError):
+            JobRequest.from_payload(self._payload(
+                {"kind": "replay", "path": str(path)}
+            ))
+
+    def test_http_submit_corrupt_trace_is_400(self, tmp_path):
+        from repro.service import ServiceConfig
+        from tests.test_service import run_app, submit
+
+        path = _record(tmp_path)
+        _corrupt(path)
+        payload = self._payload({"kind": "replay", "path": str(path)})
+
+        async def body(app):
+            status, _, response = await submit(app, payload)
+            assert status == 400
+            assert b"trace" in response.lower() or b"chunk" in response.lower()
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_http_submit_trace_bearing_job_completes(self, tmp_path):
+        from repro.service import ServiceConfig
+        from tests.test_service import asgi_request, run_app, submit, wait_done
+
+        path = _record(tmp_path)
+        payload = self._payload(
+            {"kind": "replay", "path": str(path)}, horizon=30
+        )
+
+        async def body(app):
+            status, _, response = await submit(app, payload)
+            assert status in (200, 202), response
+            job_id = json.loads(response)["job_id"]
+            done = await wait_done(app, job_id)
+            assert done["state"] == "done", done
+            status, _, result = await asgi_request(
+                app, "GET", f"/v1/jobs/{job_id}/result"
+            )
+            assert status == 200
+            assert json.loads(result)["result"]["summary"]
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))

@@ -108,3 +108,66 @@ class TestCapacitorEnergy:
         one = units.capacitor_energy(1e-3, 1.0)
         two = units.capacitor_energy(1e-3, 2.0)
         assert two == pytest.approx(4.0 * one)
+
+
+class TestParseDuration:
+    def test_bare_numbers_are_seconds(self):
+        assert units.parse_duration(12) == 12.0
+        assert units.parse_duration(0.25) == 0.25
+        assert units.parse_duration(0) == 0.0
+
+    def test_bare_numeric_strings_are_seconds(self):
+        # CLI arguments and JSON-as-strings arrive this way.
+        assert units.parse_duration("0") == 0.0
+        assert units.parse_duration("2.5") == 2.5
+        assert units.parse_duration("1e3") == 1000.0
+
+    def test_suffixes(self):
+        assert units.parse_duration("250us") == pytest.approx(250e-6)
+        assert units.parse_duration("10ms") == pytest.approx(0.01)
+        assert units.parse_duration("0.5s") == 0.5
+        assert units.parse_duration("15min") == 900.0
+        assert units.parse_duration("1.5h") == 5400.0
+        assert units.parse_duration("2d") == 172800.0
+
+    def test_suffix_is_case_insensitive_with_whitespace(self):
+        assert units.parse_duration(" 10 MS ") == pytest.approx(0.01)
+
+    def test_scientific_magnitudes(self):
+        assert units.parse_duration("2.5e-2s") == pytest.approx(0.025)
+
+    def test_malformed_rejected(self):
+        for bad in ("", "s10", "10 parsecs", "1..5s", "10m", "ms", "nan", "inf"):
+            with pytest.raises(ValueError):
+                units.parse_duration(bad)
+
+    def test_non_finite_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_duration(float("nan"))
+        with pytest.raises(ValueError):
+            units.parse_duration(float("inf"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_duration(True)
+
+
+class TestParseRate:
+    def test_bare_numbers_are_hertz(self):
+        assert units.parse_rate(20) == 20.0
+        assert units.parse_rate("20") == 20.0
+
+    def test_suffixes(self):
+        assert units.parse_rate("20Hz") == 20.0
+        assert units.parse_rate("1kHz") == 1000.0
+        assert units.parse_rate("2.4MHz") == pytest.approx(2.4e6)
+
+    def test_non_positive_rejected(self):
+        for bad in (0, -5, "0Hz", "-1kHz"):
+            with pytest.raises(ValueError):
+                units.parse_rate(bad)
+
+    def test_malformed_rejected(self):
+        for bad in ("fast", "20Hzz", "Hz"):
+            with pytest.raises(ValueError):
+                units.parse_rate(bad)

@@ -24,7 +24,7 @@ from repro.vec import (
 
 
 def _piecewise_scenario():
-    """A scenario the vec backend must reject (time-varying trace)."""
+    """A piecewise-constant trace scenario (vec batches it as segments)."""
     doc = json.loads(dump_scenario(scenario(seed=3)))
     doc["platform"]["harvester"]["irradiance"] = {
         "kind": "piecewise",
@@ -34,23 +34,44 @@ def _piecewise_scenario():
     return load_scenario(json.dumps(doc))
 
 
+def _orbit_scenario():
+    """A scenario the vec backend must reject (continuously varying)."""
+    doc = json.loads(dump_scenario(scenario(seed=3)))
+    doc["platform"]["harvester"]["irradiance"] = {
+        "kind": "orbit",
+        "period": 5400.0,
+        "irradiance": 1100.0,
+        "eclipse_fraction": 0.35,
+    }
+    return load_scenario(json.dumps(doc))
+
+
 class TestCapabilities:
     def test_temp_alarm_scenario_supported(self):
         assert check_scenario(scenario(seed=1)) == []
 
-    def test_piecewise_trace_rejected_with_reason(self):
-        reasons = check_scenario(_piecewise_scenario())
+    def test_piecewise_trace_now_supported(self):
+        # The static-configuration restriction is lifted for
+        # piecewise-constant traces: they compile into operating-point
+        # segments instead of downgrading to scalar stragglers.
+        assert check_scenario(_piecewise_scenario()) == []
+        state = build_fleet([_piecewise_scenario()])
+        assert state.n == 1
+
+    def test_orbit_trace_rejected_with_reason(self):
+        reasons = check_scenario(_orbit_scenario())
         assert reasons
         assert any("trace" in reason for reason in reasons)
+        assert any("repro trace record" in reason for reason in reasons)
 
     def test_ensure_supported_raises_listing_reasons(self):
         with pytest.raises(VecCapabilityError) as exc:
-            ensure_supported(_piecewise_scenario())
+            ensure_supported(_orbit_scenario())
         assert "vec-info" in str(exc.value)
 
     def test_no_silent_fallback_in_build_fleet(self):
         with pytest.raises(VecCapabilityError):
-            build_fleet([_piecewise_scenario()])
+            build_fleet([_orbit_scenario()])
 
     def test_capability_matrix_shape(self):
         caps = vec_capabilities()
@@ -113,7 +134,7 @@ class TestCli:
 
     def test_spec_check_vec_fails_unsupported(self, tmp_path, capsys):
         spec = tmp_path / "bad.json"
-        spec.write_text(dump_scenario(_piecewise_scenario()))
+        spec.write_text(dump_scenario(_orbit_scenario()))
         assert cli_main(["spec", "check", str(spec), "--backend", "vec"]) == 1
         out = capsys.readouterr().out
         assert "FAIL" in out

@@ -1,0 +1,327 @@
+"""Trace-driven batching in the vec backend.
+
+PR 6 shipped the vec backend with a static-configuration restriction:
+any time-varying irradiance trace downgraded the job to a scalar
+straggler.  This PR lifts it for piecewise-constant traces — synthetic
+``piecewise`` specs and hold-interpolated replays compile into
+per-segment operating points (:func:`compile_operating_segments`) and
+advance through :meth:`FleetKernel.run_segments`.  These tests pin:
+
+* the capability boundary — piecewise/hold-replay batch, orbit and
+  linear replays still straggle with actionable reasons;
+* segment compilation properties — step counts, ``ceil`` boundary
+  alignment, single-segment fallbacks;
+* bit-identity — kernel segments == the scalar reference, == the
+  single-launch path for static batches, and batch composition stays
+  invisible (batch of N == N batches of one) with traces aboard;
+* the planner — trace jobs join cohorts, cohorts split by trace
+  content (not path), and straggler telemetry uses the ``trace`` slug.
+"""
+
+import json
+
+import numpy as np
+
+from repro.apps.temp_alarm import scenario
+from repro.experiments.plan import (
+    CampaignJob,
+    plan_campaign,
+    run_fleet_batch,
+)
+from repro.spec import canonical_json, dump_scenario, load_scenario
+from repro.traces import record_trace
+from repro.energy.environment import PiecewiseTrace
+from repro.vec import (
+    FleetKernel,
+    ScalarFleet,
+    build_fleet,
+    check_scenario,
+    compile_operating_segments,
+    harvester_change_times,
+    leak_decay,
+)
+from repro.spec.build import harvester_from_spec
+
+HORIZON = 30.0
+DT = 2.0
+
+
+def _with_irradiance(trace_dict, seed=3):
+    doc = json.loads(dump_scenario(scenario(seed=seed)))
+    doc["platform"]["harvester"]["irradiance"] = trace_dict
+    return load_scenario(json.dumps(doc))
+
+
+def _piecewise(breakpoints=((10.0, 2.0),), initial=24.0):
+    return _with_irradiance(
+        {
+            "kind": "piecewise",
+            "breakpoints": [list(pair) for pair in breakpoints],
+            "initial": initial,
+        }
+    )
+
+
+def _replay_file(tmp_path, name="env.rtrc", levels=((0.0, 24.0), (12.0, 6.0))):
+    source = PiecewiseTrace(breakpoints=levels[1:], initial=levels[0][1])
+    replay = record_trace(source, tmp_path / name, duration=HORIZON, dt=DT)
+    replay.close()
+    return _with_irradiance({"kind": "replay", "path": str(tmp_path / name)})
+
+
+def _static():
+    return scenario(seed=3)
+
+
+class TestCapabilityBoundary:
+    def test_hold_replay_batches(self, tmp_path):
+        assert check_scenario(_replay_file(tmp_path)) == []
+
+    def test_inline_replay_batches(self):
+        assert (
+            check_scenario(
+                _with_irradiance(
+                    {"kind": "replay", "samples": [[0.0, 24.0], [9.0, 3.0]]}
+                )
+            )
+            == []
+        )
+
+    def test_linear_replay_still_straggles(self):
+        reasons = check_scenario(
+            _with_irradiance(
+                {
+                    "kind": "replay",
+                    "samples": [[0.0, 24.0], [9.0, 3.0]],
+                    "interpolation": "linear",
+                }
+            )
+        )
+        assert reasons
+        assert any("hold" in reason for reason in reasons)
+
+
+class TestSegmentCompilation:
+    def test_static_batch_is_one_segment(self):
+        segments = compile_operating_segments([_static()], HORIZON, DT)
+        assert len(segments) == 1
+        steps, hv, hp = segments[0]
+        assert steps == int(round(HORIZON / DT))
+        state = build_fleet([_static()])
+        np.testing.assert_array_equal(hv, state.harvest_voltage)
+        np.testing.assert_array_equal(hp, state.harvest_power)
+
+    def test_boundary_step_is_ceil_of_change_time(self):
+        segments = compile_operating_segments([_piecewise()], HORIZON, DT)
+        # Change at t=10 with dt=2: first step starting at or past the
+        # change is step 5, so the split is [5 steps, 10 steps].
+        assert [steps for steps, _, _ in segments] == [5, 10]
+
+    def test_misaligned_change_rounds_up(self):
+        segments = compile_operating_segments(
+            [_piecewise(breakpoints=((9.0, 2.0),))], HORIZON, DT
+        )
+        assert [steps for steps, _, _ in segments] == [5, 10]
+
+    def test_change_past_horizon_folds_away(self):
+        segments = compile_operating_segments(
+            [_piecewise(breakpoints=((HORIZON + 5.0, 2.0),))], HORIZON, DT
+        )
+        assert len(segments) == 1
+
+    def test_change_times_delegate_through_scaling(self):
+        harvester = harvester_from_spec(_piecewise().platform.harvester)
+        assert harvester_change_times(harvester, HORIZON) == [10.0]
+        assert harvester_change_times(harvester_from_spec(
+            _static().platform.harvester
+        ), HORIZON) == []
+
+    def test_power_scales_multiply_segment_power(self):
+        base = compile_operating_segments([_piecewise()], HORIZON, DT)
+        doubled = compile_operating_segments(
+            [_piecewise()], HORIZON, DT, power_scales=[2.0]
+        )
+        for (_, _, hp_base), (_, _, hp_doubled) in zip(base, doubled):
+            np.testing.assert_array_equal(hp_doubled, 2.0 * hp_base)
+
+    def test_union_boundaries_cover_every_device(self, tmp_path):
+        scenarios = [
+            _piecewise(),  # change at 10
+            _replay_file(tmp_path),  # change at 12
+            _static(),
+        ]
+        segments = compile_operating_segments(scenarios, HORIZON, DT)
+        assert [steps for steps, _, _ in segments] == [5, 1, 9]
+        assert sum(steps for steps, _, _ in segments) == int(round(HORIZON / DT))
+        for _, hv, hp in segments:
+            assert hv.shape == (3,) and hp.shape == (3,)
+
+
+class TestBitIdentity:
+    def _segments_and_states(self, tmp_path):
+        scenarios = [_piecewise(), _replay_file(tmp_path), _static()]
+        segments = compile_operating_segments(scenarios, HORIZON, DT)
+        return segments, build_fleet(scenarios), build_fleet(scenarios)
+
+    def test_kernel_segments_match_scalar_reference(self, tmp_path):
+        segments, vec_state, ref_state = self._segments_and_states(tmp_path)
+        kernel = FleetKernel(vec_state)
+        kernel.run_segments(
+            segments, DT, decay=leak_decay(vec_state.leak_tau, DT)
+        )
+        reference = ScalarFleet(ref_state)
+        reference.run_segments(segments, DT)
+        for column in (
+            "voltage",
+            "energy_in",
+            "energy_out",
+            "energy_leaked",
+            "on_seconds",
+            "brownouts",
+        ):
+            np.testing.assert_array_equal(
+                getattr(vec_state, column), getattr(ref_state, column), err_msg=column
+            )
+
+    def test_segments_equal_per_step_reevaluation(self, tmp_path):
+        # The kernel evaluates harvest power at step-start times, so a
+        # compiled segment schedule must be bit-identical to rebuilding
+        # the harvest columns before every single step.
+        scenarios = [_piecewise(), _replay_file(tmp_path)]
+        segments = compile_operating_segments(scenarios, HORIZON, DT)
+        seg_state = build_fleet(scenarios)
+        FleetKernel(seg_state).run_segments(
+            segments, DT, decay=leak_decay(seg_state.leak_tau, DT)
+        )
+
+        step_state = build_fleet(scenarios)
+        harvesters = [
+            harvester_from_spec(s.platform.harvester) for s in scenarios
+        ]
+        kernel = FleetKernel(step_state)
+        total_steps = int(round(HORIZON / DT))
+        decay = leak_decay(step_state.leak_tau, DT)
+        from repro.vec.batch import operating_point
+
+        for step in range(total_steps):
+            for i, harvester in enumerate(harvesters):
+                voltage, power = operating_point(
+                    harvester, scenarios[i].platform.limiter_v_clamp, time=step * DT
+                )
+                step_state.harvest_voltage[i] = voltage
+                step_state.harvest_power[i] = power
+            kernel.run(DT, dt=DT, decay=decay)
+
+        np.testing.assert_array_equal(seg_state.voltage, step_state.voltage)
+        np.testing.assert_array_equal(seg_state.energy_in, step_state.energy_in)
+
+    def test_single_segment_matches_plain_run(self):
+        scenarios = [_static(), _static()]
+        seg_state = build_fleet(scenarios)
+        run_state = build_fleet(scenarios)
+        segments = compile_operating_segments(scenarios, HORIZON, DT)
+        FleetKernel(seg_state).run_segments(
+            segments, DT, decay=leak_decay(seg_state.leak_tau, DT)
+        )
+        FleetKernel(run_state).run(
+            HORIZON, dt=DT, decay=leak_decay(run_state.leak_tau, DT)
+        )
+        np.testing.assert_array_equal(seg_state.voltage, run_state.voltage)
+        np.testing.assert_array_equal(seg_state.energy_in, run_state.energy_in)
+
+    def test_batch_composition_invisible_with_traces(self, tmp_path):
+        jobs = [
+            CampaignJob(
+                label="piecewise",
+                scenario_json=canonical_json(_piecewise()),
+                horizon=HORIZON,
+                backend="vec",
+                dt=DT,
+            ),
+            CampaignJob(
+                label="replay",
+                scenario_json=canonical_json(_replay_file(tmp_path)),
+                horizon=HORIZON,
+                backend="vec",
+                dt=DT,
+            ),
+            CampaignJob(
+                label="static",
+                scenario_json=canonical_json(_static()),
+                horizon=HORIZON,
+                backend="vec",
+                dt=DT,
+            ),
+        ]
+        batched = run_fleet_batch(jobs)
+        solo = [run_fleet_batch([job])[0] for job in jobs]
+        assert batched == solo
+
+
+class TestPlanner:
+    def _job(self, label, spec, **overrides):
+        return CampaignJob(
+            label=label,
+            scenario_json=canonical_json(spec),
+            horizon=HORIZON,
+            backend="vec",
+            dt=DT,
+            **overrides,
+        )
+
+    def test_piecewise_job_joins_the_static_cohort(self):
+        # The PR 6 restriction downgraded this job to a straggler; now
+        # it batches — synthetic piecewise traces carry no replay
+        # content, so they share the trace-less cohort.
+        plan = plan_campaign(
+            [self._job("p", _piecewise()), self._job("s", _static())]
+        )
+        assert not plan.stragglers
+        assert len(plan.cohorts) == 1
+        assert plan.stats()["batched_fraction"] == 1.0
+
+    def test_cohorts_split_by_trace_content(self, tmp_path):
+        same_a = self._job("a", _replay_file(tmp_path, "a.rtrc"))
+        same_b = self._job("b", _replay_file(tmp_path, "b.rtrc"))  # same bytes
+        other = self._job(
+            "c",
+            _replay_file(tmp_path, "c.rtrc", levels=((0.0, 24.0), (6.0, 1.0))),
+        )
+        static = self._job("d", _static())
+        plan = plan_campaign([same_a, same_b, other, static])
+        assert not plan.stragglers
+        cohort_sizes = sorted(len(c.jobs) for c in plan.cohorts)
+        assert cohort_sizes == [1, 1, 2]
+        traced = [c for c in plan.cohorts if c.trace]
+        assert len(traced) == 2
+        assert len({c.trace for c in traced}) == 2
+
+    def test_linear_replay_straggles_with_trace_slug(self):
+        linear = self._job(
+            "lin",
+            _with_irradiance(
+                {
+                    "kind": "replay",
+                    "samples": [[0.0, 24.0], [9.0, 3.0]],
+                    "interpolation": "linear",
+                }
+            ),
+        )
+        plan = plan_campaign([linear, self._job("s", _static())])
+        assert [s.slug for s in plan.stragglers] == ["trace"]
+        assert plan.stragglers[0].job.backend == "scalar"
+
+    def test_orbit_keeps_the_harvester_slug(self):
+        orbit = self._job(
+            "orb",
+            _with_irradiance(
+                {
+                    "kind": "orbit",
+                    "period": 5400.0,
+                    "irradiance": 1100.0,
+                    "eclipse_fraction": 0.35,
+                }
+            ),
+        )
+        plan = plan_campaign([orbit])
+        assert [s.slug for s in plan.stragglers] == ["harvester"]
