@@ -89,7 +89,7 @@ from repro.units import (
     watts,
 )
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 #: Generation of the frozen public facade.  Everything in ``__all__`` is
 #: covered by this contract; the service health endpoint reports it so

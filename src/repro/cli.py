@@ -17,6 +17,8 @@ appears::
     python -m repro.cli trace replay env.rtrc --at 0 30min 1h
     python -m repro.cli experiment fig08 --scale 0.2
     python -m repro.cli experiment all --scale 0.5 --metrics-out m.jsonl
+    python -m repro.cli run-all --resume            # continue after a kill
+    python -m repro.cli campaign report .repro-cache/campaign.ckpt
     python -m repro.cli serve --port 8787 --jobs 4
     python -m repro.cli submit --spec scenario.json --url http://host:8787
 
@@ -671,17 +673,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if name == "all":
         from repro.experiments import run_all
 
-        run_all.main(
-            seed=args.seed,
-            scale=args.scale,
-            jobs=1 if args.serial else args.jobs,
-            use_cache=not args.no_cache,
-            clear_cache=args.clear_cache,
-            metrics_out=args.metrics_out,
-            trace_out=args.trace_out,
-            inject=Path(args.inject) if args.inject is not None else None,
-            backend=args.backend,
-        )
+        from repro.errors import ConfigurationError
+
+        try:
+            run_all.main(
+                seed=args.seed,
+                scale=args.scale,
+                jobs=1 if args.serial else args.jobs,
+                use_cache=not args.no_cache,
+                clear_cache=args.clear_cache,
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
+                inject=Path(args.inject) if args.inject is not None else None,
+                backend=args.backend,
+                resume=getattr(args, "resume", False),
+            )
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return 0
 
     from repro.errors import ConfigurationError
@@ -715,6 +724,52 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     """
     args.name = "all"
     return _cmd_experiment(args)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign report``: analyse checkpoint files.
+
+    Prints each checkpoint's campaign summary plus the same critical
+    path / utilization / suggested ``--jobs`` report ``run-all`` ends
+    with — straight from the state file, no registry needed.  A
+    missing, corrupt, or malformed checkpoint is a FAIL line and exit
+    code 1, which is what lets CI pin the on-disk format with a golden
+    file.
+    """
+    from repro.errors import SpecError
+    from repro.experiments.dag import CheckpointStore, report_from_state
+
+    jobs = args.jobs if args.jobs is not None else 1
+    failures = 0
+    for name in args.files:
+        store = CheckpointStore(Path(name))
+        try:
+            state = store.load()
+        except SpecError as error:  # CheckpointError
+            print(f"FAIL {name}: {error}")
+            failures += 1
+            continue
+        if state is None:
+            print(f"FAIL {name}: no such checkpoint file")
+            failures += 1
+            continue
+        try:
+            report = report_from_state(state, jobs=jobs)
+        except SpecError as error:
+            print(f"FAIL {name}: {error}")
+            failures += 1
+            continue
+        campaign = state.campaign
+        print(
+            f"ok   {name}  campaign {str(campaign.get('name', '?'))!r}  "
+            f"{len(state.completed)}/{len(campaign.get('nodes', {}))} "
+            f"task(s) completed"
+        )
+        print(report.format())
+    if failures:
+        print(f"{failures}/{len(args.files)} checkpoint files failed validation")
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1038,6 +1093,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="drop cached `all` results before running",
     )
+    exp_parser.add_argument(
+        "--resume", action="store_true",
+        help="for `all`: skip tasks the campaign checkpoint records as "
+        "complete (requires the cache)",
+    )
     exp_parser.set_defaults(func=_cmd_experiment)
 
     run_all_parser = sub.add_parser(
@@ -1069,7 +1129,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="drop cached results before running",
     )
+    run_all_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks the campaign checkpoint records as complete "
+        "(requires the cache)",
+    )
     run_all_parser.set_defaults(func=_cmd_run_all)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="inspect campaign checkpoints (critical path, utilization)",
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        parents=[
+            _jobs_parent(
+                "worker count the utilization model assumes (default: 1)"
+            )
+        ],
+        help="verify checkpoint files and print their campaign reports",
+    )
+    campaign_report.add_argument("files", nargs="+", metavar="FILE")
+    campaign_report.set_defaults(func=_cmd_campaign)
 
     serve_parser = sub.add_parser(
         "serve",

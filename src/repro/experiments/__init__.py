@@ -8,6 +8,16 @@ same entry points.
 """
 
 from repro.experiments import metrics
+from repro.experiments.dag import (
+    CampaignDag,
+    CampaignState,
+    CheckpointStore,
+    CompletedTask,
+    DagReport,
+    build_report,
+    report_from_state,
+    run_dag,
+)
 from repro.experiments.registry import (
     REGISTRY,
     Experiment,
@@ -28,4 +38,12 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run_experiment",
+    "CampaignDag",
+    "CampaignState",
+    "CheckpointStore",
+    "CompletedTask",
+    "DagReport",
+    "build_report",
+    "report_from_state",
+    "run_dag",
 ]

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import pickle
+import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -219,18 +220,37 @@ class ResultCache:
             telemetry.inc("cache.corrupt_entries")
 
     def put(self, key: str, payload: Any) -> None:
-        """Store *payload* under *key* (no-op when disabled)."""
+        """Store *payload* under *key* (no-op when disabled).
+
+        The write is atomic *per writer*: each call stages into its own
+        unique temp file before the rename.  A shared temp name (the old
+        ``<key>.tmp``) let two concurrent writers of the same key race —
+        one could rename the file the other was still filling, publishing
+        a truncated entry.  With a unique temp per writer the rename
+        always publishes a fully written file (last writer wins, both
+        payloads being identical by construction), and a worker killed
+        mid-write leaves only an orphan temp, never a partial entry.
+        """
         if not self.enabled:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
         body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        with open(tmp, "wb") as handle:
-            handle.write(CACHE_MAGIC)
-            handle.write(hashlib.sha256(body).digest())
-            handle.write(body)
-        os.replace(tmp, path)
+        handle, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(CACHE_MAGIC)
+                tmp.write(hashlib.sha256(body).digest())
+                tmp.write(body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         self.stats.stores += 1
 
     def clear(self) -> int:

@@ -439,6 +439,29 @@ class WorkerPool:
                 return result, TaskTiming(label, seconds, attempt)
         raise last_error  # pragma: no cover - unreachable (loop raises)
 
+    def submit_attempt(
+        self,
+        fn: Callable[..., T],
+        args: Tuple[Any, ...],
+        chaos: Optional[WorkerChaos],
+        label: str,
+        attempt: int,
+    ):
+        """Submit ONE attempt and return its future (no retry loop).
+
+        The building block the DAG dispatcher (:mod:`repro.experiments.dag`)
+        schedules with: it owns the retry/backoff policy itself because a
+        failed attempt must not block unrelated ready tasks the way the
+        blocking :meth:`run_task` loop would.  Semantics per attempt are
+        identical — the same :func:`_attempt_call` body runs worker-side,
+        so chaos decisions stay a pure function of ``(label, attempt)``.
+        """
+        if self._closed:
+            raise ConfigurationError("WorkerPool is shut down")
+        return self._ensure_executor().submit(
+            _attempt_call, fn, args, chaos, label, attempt
+        )
+
     def map_tasks(
         self,
         fn: Callable[..., T],

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.observability.telemetry import Telemetry, telemetry_scope
@@ -60,6 +60,11 @@ class Experiment:
     #: editing one experiment's scenario parameters invalidates only
     #: that experiment's cached results.
     scenarios: Optional[ScenarioFactory] = None
+    #: Declared predecessors: job ids that must complete before this
+    #: experiment may dispatch (``@experiment(..., after=("power-sweep",))``).
+    #: Scheduling metadata only — it never joins the cache key, because
+    #: every experiment stays a pure function of its own inputs.
+    after: Tuple[str, ...] = ()
 
     def params(
         self, seed: int, scale: float, backend: str = "scalar"
@@ -116,6 +121,7 @@ class ExperimentRegistry:
         uses_backend: bool = False,
         in_suite: bool = True,
         scenarios: Optional[ScenarioFactory] = None,
+        after: Tuple[str, ...] = (),
     ) -> Callable[[ExperimentRunner], ExperimentRunner]:
         """Decorator: register the function as experiment *job_id*."""
 
@@ -130,6 +136,7 @@ class ExperimentRegistry:
                     uses_backend=uses_backend,
                     in_suite=in_suite,
                     scenarios=scenarios,
+                    after=tuple(after),
                 )
             )
             return runner

@@ -4,11 +4,25 @@ Regenerates every figure of the paper's Section 6 plus the Section 5
 ablations.  The suite is whatever the experiment registry
 (:mod:`repro.experiments.registry`) says it is — experiments
 self-register in :mod:`repro.experiments.suite`; this module only
-schedules them.  Independent experiments fan out over a process pool
-(:mod:`repro.experiments.parallel`) and completed experiments are
-replayed from the on-disk result cache (:mod:`repro.experiments.cache`)
-when neither their parameters nor the simulator source has changed —
-a warm-cache rerun prints every table in seconds.
+schedules them.  Scheduling is dependency-aware: experiments may
+declare predecessors (``@experiment(..., after=("power-sweep",))``),
+the declarations build a validated :class:`~repro.experiments.dag.CampaignDag`,
+and a dispatcher feeds ready tasks onto the worker pool the moment
+their predecessors finish — independent chains overlap, dependent
+tasks never start early.  Completed experiments are replayed from the
+on-disk result cache (:mod:`repro.experiments.cache`) when neither
+their parameters nor the simulator source has changed — a warm-cache
+rerun prints every table in seconds.
+
+The campaign checkpoints itself: after every task completion a
+versioned, checksummed state file (``campaign.ckpt`` next to the
+result cache) records what finished and under which result key, so
+``--resume`` skips completed tasks after an interruption.  A resumed
+task is skipped only when its recorded key matches the key the current
+run computes *and* the cached payload is intact — so a resumed
+campaign is bit-identical to an uninterrupted one, which the
+differential chaos suite pins.  A corrupt checkpoint is quarantined
+(fresh start), never trusted.
 
 With ``--metrics-out``/``--trace-out`` each worker job runs inside a
 :func:`~repro.observability.telemetry_scope`; the parent merges the
@@ -18,17 +32,21 @@ canonical JSONL plus a summary table.
 
 The suite degrades gracefully rather than aborting: every experiment
 runs under a :class:`~repro.experiments.parallel.RetryPolicy`
-(exponential backoff, deterministic jitter), and one that fails every
-attempt becomes a structured error row in the output and the summary
-table while the rest of the suite completes.  ``--inject faults.json``
-arms a :mod:`repro.faults` schedule: ``worker_crash`` faults kill
-worker attempts deterministically (exercising the retry path — results
-stay byte-identical because every task is a pure function of its
-arguments), and the schedule's canonical hash joins the cache key so
-faulted and clean runs never share entries.
+(exponential backoff, deterministic jitter); one that fails every
+attempt becomes a structured error row, and everything downstream of
+it a ``[BLOCKED]`` row, while independent chains complete.  ``--inject
+faults.json`` arms a :mod:`repro.faults` schedule: ``worker_crash``
+faults kill worker attempts deterministically (exercising the retry
+path — results stay byte-identical because every task is a pure
+function of its arguments), and the schedule's canonical hash joins
+the cache key so faulted and clean runs never share entries.
+
+Each run ends with the campaign report (critical path, per-worker
+utilization, suggested ``--jobs``); ``repro campaign report`` prints
+the same analysis from a checkpoint file alone.
 
 Run: ``python -m repro.experiments.run_all [--scale S] [--seed N]
-[--jobs J | --serial] [--no-cache] [--clear-cache]
+[--jobs J | --serial] [--no-cache] [--clear-cache] [--resume]
 [--inject faults.json]
 [--metrics-out metrics.jsonl] [--trace-out trace.jsonl]``
 """
@@ -42,13 +60,22 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.cache import ResultCache, result_key
+from repro.experiments.cache import ResultCache, code_fingerprint, result_key
+from repro.experiments.dag import (
+    CampaignDag,
+    CampaignState,
+    CheckpointStore,
+    CompletedTask,
+    build_report,
+    emit_report_telemetry,
+    run_dag,
+)
 from repro.experiments.parallel import (
     ParallelReport,
     RetryPolicy,
     TaskError,
+    WorkerPool,
     default_jobs,
-    parallel_map,
 )
 from repro.faults import build_injector, fault_schedule_hash, load_fault_schedule
 from repro.experiments.registry import Experiment, get_experiment
@@ -56,6 +83,9 @@ from repro.experiments.registry import REGISTRY as _REGISTRY
 from repro.experiments.runner import format_table
 from repro.observability.telemetry import Telemetry, telemetry_scope
 from repro.observability.tracing import write_jsonl
+
+#: Checkpoint filename, persisted inside the result cache directory.
+CHECKPOINT_NAME = "campaign.ckpt"
 
 #: Payload stored per experiment: (captured stdout, telemetry snapshot
 #: or None when the run was uninstrumented).
@@ -104,6 +134,39 @@ def _metric_summary_rows(
     return rows
 
 
+def _usable_payload(payload: object, collect: bool) -> bool:
+    """Whether a cached payload can serve this run's collect setting."""
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and isinstance(payload[0], str)
+        and (not collect or payload[1] is not None)
+    )
+
+
+def _campaign_identity(
+    dag: CampaignDag,
+    keys: Dict[str, str],
+    seed: int,
+    scale: float,
+    backend: str,
+    fault_hash: Optional[str],
+) -> Dict[str, object]:
+    """The checkpoint's identity block: what must match to resume."""
+    return {
+        "name": "run-all",
+        "seed": seed,
+        "scale": scale,
+        "backend": backend,
+        "fault_hash": fault_hash,
+        "fingerprint": code_fingerprint(),
+        "nodes": {
+            node: {"after": list(dag.predecessors(node)), "key": keys[node]}
+            for node in dag.nodes
+        },
+    }
+
+
 def main(
     seed: int = 0,
     scale: float = 1.0,
@@ -116,8 +179,11 @@ def main(
     inject: Optional[Path] = None,
     retry: Optional[RetryPolicy] = None,
     backend: str = "scalar",
+    resume: bool = False,
+    on_error: str = "capture",
+    chaos=None,
 ) -> None:
-    """Run (or replay) the full suite.
+    """Run (or replay, or resume) the full suite.
 
     Args:
         seed: root seed for schedules and noise.
@@ -126,7 +192,8 @@ def main(
             ``REPRO_JOBS`` / the CPU count).  Zero or negative counts
             are rejected.
         use_cache: replay unchanged experiments from the result cache.
-        clear_cache: drop every cached entry before running.
+        clear_cache: drop every cached entry (and the campaign
+            checkpoint) before running.
         cache_dir: cache location override (default ``.repro-cache`` or
             ``REPRO_CACHE_DIR``).
         metrics_out: write suite + per-experiment metrics as JSONL here.
@@ -139,11 +206,25 @@ def main(
         backend: simulation engine for the grid-shaped experiments that
             declare ``uses_backend`` ("scalar" or "vec"); the rest of
             the suite always runs on the scalar engine.
+        resume: skip tasks the campaign checkpoint records as complete
+            (requires the cache; a key mismatch or missing payload
+            re-runs the task, never a wrong skip).
+        on_error: ``"capture"`` (default) degrades a permanently failed
+            experiment into an error row and blocks its dependents;
+            ``"raise"`` aborts the campaign at the first permanent
+            failure, leaving the checkpoint behind for ``--resume``.
+        chaos: explicit :class:`~repro.faults.inject.WorkerChaos`
+            override for tests (``--inject`` is the user-facing path).
     """
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
     if backend not in ("scalar", "vec"):
         raise ConfigurationError(f"--backend must be scalar or vec, got {backend!r}")
+    if resume and not use_cache:
+        raise ConfigurationError(
+            "--resume replays completed tasks from the result cache; "
+            "it cannot be combined with --no-cache"
+        )
     for flag, path in (("--metrics-out", metrics_out), ("--trace-out", trace_out)):
         if path is not None and not Path(path).parent.is_dir():
             raise ConfigurationError(
@@ -155,7 +236,6 @@ def main(
     suite_jobs: List[Experiment] = _REGISTRY.suite()
     retry = retry if retry is not None else RetryPolicy(seed=seed)
 
-    chaos = None
     fault_hash = None
     if inject is not None:
         schedule = load_fault_schedule(Path(inject))
@@ -172,31 +252,15 @@ def main(
 
     cache = ResultCache(**({"root": cache_dir} if cache_dir is not None else {}))
     cache.enabled = use_cache
+    store = CheckpointStore(cache.root / CHECKPOINT_NAME)
     if clear_cache:
         removed = cache.clear()
+        store.clear()
         print(f"[cache] cleared {removed} entries from {cache.root}")
 
-    print("#" * 70)
-    print(
-        f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
-        f"jobs={jobs}, cache={'on' if use_cache else 'off'}, "
-        f"telemetry={'on' if collect else 'off'}"
-        + (f", backend={backend}" if backend != "scalar" else "")
-        + (f", chaos={chaos.mode}x{chaos.max_crashes}" if chaos is not None else "")
-        + ")"
-    )
-    print("#" * 70)
-
-    # Partition into cached replays and experiments that must run.  A
-    # cached entry recorded without telemetry cannot serve an
-    # instrumented run, so it counts as a miss when collecting.
-    outputs: Dict[str, str] = {}
-    snapshots: Dict[str, Optional[Dict[str, object]]] = {}
-    sources: Dict[str, str] = {}
-    pending: List[Experiment] = []
-    # Keys are computed once per job: (experiment id, params, declared
-    # scenario spec hash, code fingerprint).  Experiments that declare
-    # scenarios get per-scenario invalidation; others key on code+params.
+    # Dependency graph + per-task keys.  A malformed declaration (cycle,
+    # unknown predecessor) raises DagError here, before any dispatch.
+    dag = CampaignDag.from_experiments(suite_jobs)
     keys: Dict[str, str] = {
         job.job_id: result_key(
             job.job_id,
@@ -206,53 +270,140 @@ def main(
         )
         for job in suite_jobs
     }
+
+    print("#" * 70)
+    print(
+        f"# Capybara evaluation suite (seed={seed}, scale={scale}, "
+        f"jobs={jobs}, cache={'on' if use_cache else 'off'}, "
+        f"telemetry={'on' if collect else 'off'}"
+        + (f", backend={backend}" if backend != "scalar" else "")
+        + (f", chaos={chaos.mode}x{chaos.max_crashes}" if chaos is not None else "")
+        + (", resume" if resume else "")
+        + ")"
+    )
+    print("#" * 70)
+
+    suite = Telemetry()
+    outputs: Dict[str, str] = {}
+    snapshots: Dict[str, Optional[Dict[str, object]]] = {}
+    sources: Dict[str, str] = {}
+    resumed_seconds: Dict[str, float] = {}
+
+    # Resume partition: a checkpointed completion is honoured only when
+    # its recorded key equals the key this run computes (keys embed the
+    # code fingerprint, params, and fault hash — any drift re-runs the
+    # task) AND the cached payload is intact and collect-compatible.
+    if resume:
+        state = store.load_or_quarantine(suite)
+        if state is not None:
+            for task in state.completed:
+                node = task.node
+                if node not in keys or task.key != keys[node]:
+                    continue
+                payload = cache.get(keys[node])
+                if not _usable_payload(payload, collect):
+                    continue
+                outputs[node], snapshots[node] = payload
+                sources[node] = "resume"
+                resumed_seconds[node] = task.seconds
+
+    # Plain cache partition for everything the checkpoint didn't cover.
+    pending: List[Experiment] = []
     for job in suite_jobs:
+        if job.job_id in sources:
+            continue
         payload = cache.get(keys[job.job_id])
-        usable = (
-            isinstance(payload, tuple)
-            and len(payload) == 2
-            and isinstance(payload[0], str)
-            and (not collect or payload[1] is not None)
-        )
-        if usable:
+        if _usable_payload(payload, collect):
             outputs[job.job_id], snapshots[job.job_id] = payload
             sources[job.job_id] = "cache"
         else:
             pending.append(job)
 
+    # Fresh checkpoint state for this run: skipped tasks are recorded
+    # up front, executed tasks append as they complete.  Checkpointing
+    # rides the cache (the payloads it points at live there), so
+    # --no-cache runs leave no state file behind.
+    state = CampaignState(
+        campaign=_campaign_identity(dag, keys, seed, scale, backend, fault_hash)
+    )
+    for job in suite_jobs:
+        source = sources.get(job.job_id)
+        if source is not None:
+            state.record(
+                CompletedTask(
+                    node=job.job_id,
+                    key=keys[job.job_id],
+                    source=source,
+                    seconds=resumed_seconds.get(job.job_id, 0.0),
+                    attempts=0,
+                    seq=len(state.completed),
+                )
+            )
+    if cache.enabled:
+        store.save(state)
+
     report = ParallelReport()
-    suite = Telemetry()
     if pending:
-        fresh = parallel_map(
-            _run_job,
-            [(job.job_id, seed, scale, collect, backend) for job in pending],
-            jobs=jobs,
-            labels=[job.job_id for job in pending],
-            report=report,
-            retry=retry,
-            chaos=chaos,
-            on_error="capture",
-            telemetry=suite,
-        )
-        for job, result in zip(pending, fresh):
+        def _checkpoint(node: str, result: object, timing) -> None:
+            cache.put(keys[node], result)
+            state.record(
+                CompletedTask(
+                    node=node,
+                    key=keys[node],
+                    source="ran",
+                    seconds=timing.seconds,
+                    attempts=timing.attempts,
+                    seq=len(state.completed),
+                )
+            )
+            if cache.enabled:
+                store.save(state)
+
+        pool = WorkerPool(jobs=jobs)
+        try:
+            results = run_dag(
+                dag,
+                _run_job,
+                {
+                    job.job_id: (job.job_id, seed, scale, collect, backend)
+                    for job in pending
+                },
+                pool=pool,
+                retry=retry,
+                chaos=chaos,
+                on_error=on_error,
+                telemetry=suite,
+                report=report,
+                on_complete=_checkpoint,
+                completed=[job_id for job_id in sources],
+            )
+        finally:
+            pool.shutdown()
+        for job in pending:
+            result = results[job.job_id]
             if isinstance(result, TaskError):
                 # Graceful degradation: a permanently failing experiment
-                # becomes a structured error row, never a cached entry.
+                # becomes a structured error row (its dependents blocked
+                # rows), never a cached entry.
                 outputs[job.job_id] = str(result) + "\n"
                 snapshots[job.job_id] = None
-                sources[job.job_id] = "error"
+                sources[job.job_id] = (
+                    "blocked" if result.attempts == 0 else "error"
+                )
                 continue
             text, snapshot = result
             outputs[job.job_id] = text
             snapshots[job.job_id] = snapshot
             sources[job.job_id] = "ran"
-            cache.put(keys[job.job_id], (text, snapshot))
 
     # Deterministic presentation order, independent of completion order.
     for job in suite_jobs:
-        marker = {"cache": " [cache hit]", "error": " [FAILED]"}.get(
-            sources[job.job_id], ""
-        )
+        marker = {
+            "cache": " [cache hit]",
+            "resume": " [resumed]",
+            "error": " [FAILED]",
+            "blocked": " [BLOCKED]",
+        }.get(sources[job.job_id], "")
         print(f"\n## {job.title}{marker}")
         print(outputs[job.job_id], end="" if outputs[job.job_id].endswith("\n") else "\n")
 
@@ -276,15 +427,26 @@ def main(
             title=f"Execution summary ({report.mode}, jobs={report.jobs})",
         )
     )
-    hits = sum(1 for source in sources.values() if source == "cache")
+    hits = sum(1 for source in sources.values() if source in ("cache", "resume"))
     failures = sum(1 for source in sources.values() if source == "error")
+    blocked = sum(1 for source in sources.values() if source == "blocked")
     print(
         f"\n[total: {time.time() - started:.0f}s elapsed; "
         f"{hits}/{len(suite_jobs)} experiments from cache; "
         f"task time {report.total_task_seconds:.0f}s"
         + (f"; {failures} experiment(s) FAILED" if failures else "")
+        + (f"; {blocked} experiment(s) BLOCKED" if blocked else "")
         + "]"
     )
+
+    # Post-run campaign report: critical path over everything this run
+    # knows a duration for (fresh timings plus checkpointed ones).
+    report_seconds = dict(resumed_seconds)
+    report_seconds.update(seconds_by_id)
+    dag_report = build_report(dag, report_seconds, jobs=jobs)
+    print()
+    print(dag_report.format())
+    emit_report_telemetry(dag_report, suite)
 
     if collect:
         _emit_telemetry(
@@ -307,9 +469,10 @@ def _emit_telemetry(
 ) -> None:
     """Merge per-experiment snapshots, write JSONL, print the summary.
 
-    *suite* arrives holding the campaign counters ``parallel_map``
-    recorded (``campaign.retries`` / ``campaign.gave_up``); suite-level
-    gauges and per-experiment snapshots merge into it here.
+    *suite* arrives holding the campaign counters the dispatcher
+    recorded (``campaign.retries`` / ``campaign.gave_up`` /
+    ``campaign.blocked``) plus the report gauges; suite-level gauges
+    and per-experiment snapshots merge into it here.
     """
     suite.set_gauge("suite.jobs", jobs)
     suite.set_gauge("suite.wall_seconds", elapsed)
@@ -320,11 +483,17 @@ def _emit_telemetry(
         suite.inc("suite.cache.corrupt", cache.stats.corrupt)
     suite.inc(
         "suite.experiments_from_cache",
-        sum(1 for source in sources.values() if source == "cache"),
+        sum(1 for source in sources.values() if source in ("cache", "resume")),
     )
+    resumed = sum(1 for source in sources.values() if source == "resume")
+    if resumed:
+        suite.inc("suite.experiments_resumed", resumed)
     failed = sum(1 for source in sources.values() if source == "error")
     if failed:
         suite.inc("suite.experiments_failed", failed)
+    blocked = sum(1 for source in sources.values() if source == "blocked")
+    if blocked:
+        suite.inc("suite.experiments_blocked", blocked)
     for job in suite_jobs:
         if job.job_id in seconds_by_id:
             suite.observe("suite.experiment_seconds", seconds_by_id[job.job_id])
@@ -421,6 +590,10 @@ if __name__ == "__main__":
         "--clear-cache", action="store_true", help="drop cached results first"
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks the campaign checkpoint records as complete",
+    )
+    parser.add_argument(
         "--inject", type=Path, default=None, metavar="FILE",
         help="fault schedule JSON (repro.faults); worker_crash faults "
         "inject deterministic chaos into the pool",
@@ -449,4 +622,5 @@ if __name__ == "__main__":
         trace_out=arguments.trace_out,
         inject=arguments.inject,
         backend=arguments.backend,
+        resume=arguments.resume,
     )

@@ -69,12 +69,17 @@ class WorkerChaos:
             with ``max_attempts > max_crashes`` is guaranteed to finish.
         mode: "crash" (:class:`InjectedWorkerCrash`) or "timeout"
             (:class:`InjectedWorkerTimeout`).
+        only_label: when set, draws apply only to the job with exactly
+            this label; every other job runs clean.  This is the
+            surgical strike the DAG-resume differential tests use to
+            kill a campaign at one chosen task boundary.
     """
 
     seed: int
     probability: float = 1.0
     max_crashes: int = 1
     mode: str = "crash"
+    only_label: Optional[str] = None
 
     def injected_failure(self, label: str, attempt: int) -> Optional[str]:
         """The failure mode to inject for *attempt* of *label*, if any.
@@ -83,6 +88,8 @@ class WorkerChaos:
         agree, whichever process asks.
         """
         if self.probability <= 0.0 or self.max_crashes <= 0:
+            return None
+        if self.only_label is not None and label != self.only_label:
             return None
         injected_before = 0
         for earlier in range(1, attempt):

@@ -34,6 +34,13 @@ lingers briefly after each dequeue and coalesces queued vec-compatible
 jobs into one fleet batch (:mod:`repro.experiments.plan`) whose
 per-job payloads are byte-identical to solo execution.
 
+Submissions may form a DAG: ``"after": ["job-1", ...]`` parks a job
+until the named predecessors settle (unknown ids are a 400 at the
+edge; a failed predecessor fails the dependent with the blocking id in
+its detail, transitively).  ``after`` is scheduling metadata only — it
+never joins the result key, so a dependent still serves from cache
+instantly when its own inputs were computed before.
+
 Jobs execute on a persistent :class:`~repro.experiments.parallel.WorkerPool`
 under the campaign layer's :class:`RetryPolicy`, and — because serving
 must be chaos-testable like everything else here — an armed
@@ -115,6 +122,9 @@ class _Job:
     #: Coalesced duplicates: jobs with this job's result key submitted
     #: while it was still in flight.  They settle when this job does.
     followers: List["_Job"] = field(default_factory=list)
+    #: Predecessor job ids still outstanding; the job queues only once
+    #: this drains (the app's ``_waiting`` index is the reverse edge).
+    waiting_on: set = field(default_factory=set)
 
     async def emit(self, event: str, **fields: Any) -> None:
         record: Dict[str, Any] = {
@@ -152,6 +162,8 @@ class ServiceApp:
         #: result_key -> job_id of the in-flight leader for that key;
         #: duplicate submissions attach to it instead of queueing.
         self._inflight: Dict[str, str] = {}
+        #: predecessor job_id -> jobs parked until it settles.
+        self._waiting: Dict[str, List[_Job]] = {}
         #: Highest job sequence number ever issued; ids at or below it
         #: that are missing from the store were evicted (410, not 404).
         self._last_job_seq = 0
@@ -347,7 +359,8 @@ class ServiceApp:
             await self._settle(job)
 
     async def _settle(self, job: _Job) -> None:
-        """Propagate a terminal job to its coalesced followers."""
+        """Propagate a terminal job to its coalesced followers and
+        release (or fail) anything parked on it."""
         if self._inflight.get(job.status.result_key) == job.status.job_id:
             del self._inflight[job.status.result_key]
         followers, job.followers = job.followers, []
@@ -369,6 +382,50 @@ class ServiceApp:
                     "failed", error=job.status.detail,
                     coalesced_with=job.status.job_id,
                 )
+            await self._on_terminal(follower)
+        await self._on_terminal(job)
+
+    async def _on_terminal(self, job: _Job) -> None:
+        """Wake the jobs parked on *job*: queue the ready, fail the
+        blocked (transitively, via their own ``_settle``)."""
+        dependents = self._waiting.pop(job.status.job_id, [])
+        for dep in dependents:
+            dep.waiting_on.discard(job.status.job_id)
+            if dep.status.state != "queued":
+                # Already failed through another predecessor.
+                continue
+            if job.status.state == "failed":
+                dep.waiting_on.clear()
+                dep.status.state = "failed"
+                dep.status.detail = f"predecessor {job.status.job_id} failed"
+                dep.status.finished_at = time.time()
+                dep.status.waiting_on = ()
+                self.telemetry.inc("service.jobs_blocked")
+                await dep.emit(
+                    "failed", error=dep.status.detail,
+                    blocked_by=job.status.job_id,
+                )
+                await self._settle(dep)
+                continue
+            if dep.waiting_on:
+                dep.status.waiting_on = tuple(sorted(dep.waiting_on))
+                continue
+            dep.status.waiting_on = ()
+            assert self._queue is not None
+            try:
+                self._queue.put_nowait(dep)
+            except asyncio.QueueFull:
+                # Parked jobs never reserved queue capacity; degrade the
+                # same way an over-full submit would, but per job.
+                dep.status.state = "failed"
+                dep.status.detail = "job queue full when dependencies released"
+                dep.status.finished_at = time.time()
+                self.telemetry.inc("service.rejected_queue")
+                await dep.emit("failed", error=dep.status.detail)
+                await self._settle(dep)
+                continue
+            self.telemetry.inc("service.jobs_released")
+            await dep.emit("queued", released_by=job.status.job_id)
 
     def _was_issued(self, job_id: str) -> bool:
         """Whether an id missing from the store was once a real job.
@@ -530,6 +587,9 @@ class ServiceApp:
             "queue": {
                 "depth": self._queue.qsize() if self._queue is not None else 0,
                 "limit": self.config.queue_limit,
+                "waiting": sum(
+                    1 for job in self.jobs.values() if job.waiting_on
+                ),
             },
             "pool": {"jobs": self.pool.jobs, "mode": self.pool.mode},
             "quota": self.quotas.snapshot(),
@@ -567,6 +627,26 @@ class ServiceApp:
             )
             return
 
+        # Dependency edges are validated at the edge like everything
+        # else: every id in "after" must name a job the store still
+        # knows (evicted ids get a distinct message).
+        predecessors: List[_Job] = []
+        for pred_id in request.after:
+            pred = self.jobs.get(pred_id)
+            if pred is None:
+                hint = (
+                    "evicted" if self._was_issued(pred_id) else "unknown"
+                )
+                self.telemetry.inc("service.rejected_invalid")
+                await self._send_json(
+                    send,
+                    400,
+                    {"error": f"'after' references {hint} job {pred_id!r}"},
+                    request_id,
+                )
+                return
+            predecessors.append(pred)
+
         seq = next(self._ids)
         self._last_job_seq = seq
         job_id = f"job-{seq}"
@@ -591,6 +671,38 @@ class ServiceApp:
             self.telemetry.inc("service.cache_hits")
             await job.emit("done", cached=True)
             await self._send_json(send, 200, status.to_dict(), request_id)
+            return
+
+        failed_pred = next(
+            (p for p in predecessors if p.status.state == "failed"), None
+        )
+        if failed_pred is not None:
+            status.state = "failed"
+            status.detail = f"predecessor {failed_pred.status.job_id} failed"
+            status.finished_at = status.submitted_at
+            self.jobs[job_id] = job
+            self.telemetry.inc("service.jobs_blocked")
+            await job.emit(
+                "failed", error=status.detail,
+                blocked_by=failed_pred.status.job_id,
+            )
+            await self._send_json(send, 202, status.to_dict(), request_id)
+            return
+
+        pending_preds = [
+            p for p in predecessors if p.status.state in ("queued", "running")
+        ]
+        if pending_preds:
+            # Park: the job holds no queue slot and no worker until its
+            # last outstanding predecessor settles.
+            job.waiting_on = {p.status.job_id for p in pending_preds}
+            status.waiting_on = tuple(sorted(job.waiting_on))
+            for pred in pending_preds:
+                self._waiting.setdefault(pred.status.job_id, []).append(job)
+            self.jobs[job_id] = job
+            self.telemetry.inc("service.jobs_waiting")
+            await job.emit("waiting", on=sorted(job.waiting_on))
+            await self._send_json(send, 202, status.to_dict(), request_id)
             return
 
         leader_id = self._inflight.get(key)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SpecError
 
@@ -39,6 +39,10 @@ class JobRequest:
     horizon: Optional[float] = None
     faults_json: Optional[str] = None
     backend: str = "scalar"
+    #: Job ids this submission waits for.  Scheduling metadata only: it
+    #: joins neither :meth:`result_key` nor the cache, so a dependent
+    #: job still hits the cache of an identical independent one.
+    after: Tuple[str, ...] = ()
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "JobRequest":
@@ -47,7 +51,8 @@ class JobRequest:
         The body is either a bare scenario document or an envelope::
 
             {"scenario": {...}, "system": "CB-P", "horizon": 600,
-             "faults": {...}, "backend": "scalar"}
+             "faults": {...}, "backend": "scalar",
+             "after": ["<job id>", ...]}
         """
         from repro.core.builder import SystemKind
         from repro.spec import (
@@ -64,11 +69,20 @@ class JobRequest:
         else:
             envelope = {}
             scenario_data = dict(payload)
-        unknown = set(envelope) - {"system", "horizon", "faults", "backend"}
+        unknown = set(envelope) - {"system", "horizon", "faults", "backend", "after"}
         if unknown:
             raise SpecError(
                 f"unknown job field(s) {sorted(unknown)}; allowed: "
-                f"scenario, system, horizon, faults, backend"
+                f"scenario, system, horizon, faults, backend, after"
+            )
+        after_data = envelope.get("after", ())
+        if (
+            isinstance(after_data, str)
+            or not isinstance(after_data, (list, tuple))
+            or not all(isinstance(item, str) and item for item in after_data)
+        ):
+            raise SpecError(
+                f"'after' must be a list of job id strings, got {after_data!r}"
             )
         if not isinstance(scenario_data, Mapping):
             raise SpecError("'scenario' must be a JSON object")
@@ -125,6 +139,7 @@ class JobRequest:
             horizon=horizon,
             faults_json=faults_json,
             backend=backend,
+            after=tuple(after_data),
         )
 
     # -- hashing --------------------------------------------------------
@@ -166,6 +181,8 @@ class JobRequest:
             data["faults"] = json.loads(self.faults_json)
         if self.backend != "scalar":
             data["backend"] = self.backend
+        if self.after:
+            data["after"] = list(self.after)
         return data
 
 
@@ -187,6 +204,10 @@ class JobStatus:
     result_key: str = ""
     submitted_at: float = 0.0
     finished_at: Optional[float] = None
+    #: Predecessor job ids this job is parked on (empty once released).
+    #: A parked job reads as "queued" — the v1 state set is frozen — and
+    #: this field is the additive signal that it is waiting, not racing.
+    waiting_on: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -201,6 +222,8 @@ class JobStatus:
             data["detail"] = self.detail
         if self.finished_at is not None:
             data["finished_at"] = self.finished_at
+        if self.waiting_on:
+            data["waiting_on"] = list(self.waiting_on)
         return data
 
 

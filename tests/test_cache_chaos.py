@@ -92,6 +92,96 @@ def test_pre_v3_entry_is_treated_as_corrupt(tmp_cache):
     assert tmp_cache.stats.corrupt == 1
 
 
+# ---------------------------------------------------------------------------
+# Write atomicity: each put stages into its own unique temp file, so
+# concurrent same-key writers can never publish a truncated entry (the
+# old shared `<key>.tmp` name let one writer rename the half-written
+# file of another) and a writer killed mid-write never leaves damage.
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_same_key_writers_never_publish_a_torn_entry(tmp_cache):
+    import threading
+
+    key = "e" * 64
+    payload = _payload("big " * 4096)  # large body widens the race window
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        try:
+            while not stop.is_set():
+                tmp_cache.put(key, payload)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        # Read continuously while four writers hammer the same slot.
+        for _ in range(300):
+            result = tmp_cache.get(key)
+            assert result is None or result == _payload("big " * 4096)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors
+    assert tmp_cache.stats.corrupt == 0
+    assert tmp_cache.get(key) == payload
+
+
+def test_each_writer_stages_into_a_unique_temp(tmp_cache, monkeypatch):
+    """Two interleaved writers must never share a staging path — the
+    exact regression that produced torn entries under the pool."""
+    import repro.experiments.cache as cache_mod
+
+    staged = []
+    real_mkstemp = cache_mod.tempfile.mkstemp
+
+    def spy(*args, **kwargs):
+        handle, name = real_mkstemp(*args, **kwargs)
+        staged.append(name)
+        return handle, name
+
+    monkeypatch.setattr(cache_mod.tempfile, "mkstemp", spy)
+    key = "f" * 64
+    tmp_cache.put(key, _payload("one"))
+    tmp_cache.put(key, _payload("two"))
+    assert len(staged) == 2 and staged[0] != staged[1]
+    assert tmp_cache.get(key) == _payload("two")
+
+
+def test_failed_publish_cleans_its_temp_and_keeps_the_old_entry(
+    tmp_cache, monkeypatch
+):
+    import os as os_mod
+
+    import repro.experiments.cache as cache_mod
+
+    key = "a1" * 32
+    tmp_cache.put(key, _payload("original"))
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(cache_mod.os, "replace", boom)
+    with pytest.raises(OSError, match="disk full"):
+        tmp_cache.put(key, _payload("replacement"))
+    monkeypatch.setattr(cache_mod.os, "replace", os_mod.replace)
+
+    # The old entry is untouched and no staging litter remains.
+    assert tmp_cache.get(key) == _payload("original")
+    assert not list(tmp_cache.root.glob("*.tmp"))
+
+
+def test_successful_puts_leave_no_temp_litter(tmp_cache):
+    for index in range(8):
+        tmp_cache.put(f"{'9' * 60}{index:04d}", _payload(index))
+    assert not list(tmp_cache.root.glob("*.tmp"))
+
+
 def test_corruption_reports_telemetry(tmp_cache):
     from repro.observability.telemetry import Telemetry
 

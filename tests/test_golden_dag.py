@@ -1,0 +1,92 @@
+"""Pin the campaign-checkpoint on-disk format against a golden file.
+
+``tests/golden/dag/campaign.ckpt`` was written with a *synthetic*
+identity (fingerprint ``"0"*64``, literal keys) precisely so its bytes
+are stable across commits — the live ``code_fingerprint()`` changes
+whenever simulator source changes, a golden file must not.
+
+If this test fails you changed the checkpoint format.  That is a
+breaking change for every ``--resume`` user: bump
+``CHECKPOINT_VERSION``, keep a loader for version 1, and regenerate the
+golden alongside a new one — do not silently rewrite this file.
+"""
+
+import hashlib
+from pathlib import Path
+
+from repro.experiments.dag import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    decode_state,
+    encode_state,
+    report_from_state,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "dag" / "campaign.ckpt"
+
+
+def test_framing_constants_are_pinned():
+    assert CHECKPOINT_MAGIC == b"RDG1"
+    assert CHECKPOINT_VERSION == 1
+
+
+def test_golden_checkpoint_framing():
+    raw = GOLDEN.read_bytes()
+    assert raw.startswith(CHECKPOINT_MAGIC)
+    digest = raw[len(CHECKPOINT_MAGIC) : len(CHECKPOINT_MAGIC) + 32]
+    body = raw[len(CHECKPOINT_MAGIC) + 32 :]
+    assert hashlib.sha256(body).digest() == digest
+
+
+def test_golden_checkpoint_decodes_to_the_pinned_campaign():
+    state = decode_state(GOLDEN.read_bytes())
+    data = state.to_dict()
+    assert data["version"] == 1
+    campaign = data["campaign"]
+    assert campaign["name"] == "run-all"
+    assert campaign["seed"] == 0
+    assert campaign["scale"] == 0.05
+    assert campaign["backend"] == "scalar"
+    assert campaign["fault_hash"] is None
+    assert campaign["fingerprint"] == "0" * 64
+    assert campaign["nodes"] == {
+        "power-sweep": {"after": [], "key": "a" * 64},
+        "ablation": {"after": ["power-sweep"], "key": "b" * 64},
+        "fleet": {"after": ["power-sweep"], "key": "c" * 64},
+    }
+    assert data["completed"] == [
+        {
+            "node": "power-sweep",
+            "key": "a" * 64,
+            "source": "ran",
+            "seconds": 12.5,
+            "attempts": 1,
+            "seq": 0,
+        },
+        {
+            "node": "ablation",
+            "key": "b" * 64,
+            "source": "ran",
+            "seconds": 7.25,
+            "attempts": 2,
+            "seq": 1,
+        },
+    ]
+
+
+def test_encoder_reproduces_the_golden_bytes_exactly():
+    """The encoding is canonical: re-encoding the decoded state must
+    reproduce the committed file byte for byte."""
+    raw = GOLDEN.read_bytes()
+    assert encode_state(decode_state(raw)) == raw
+
+
+def test_store_and_report_accept_the_golden_file():
+    state = CheckpointStore(GOLDEN).load()
+    assert state is not None
+    assert set(state.completed_nodes()) == {"power-sweep", "ablation"}
+    report = report_from_state(state, jobs=2)
+    assert report.tasks == 3 and report.timed_tasks == 2
+    assert list(report.critical_path) == ["power-sweep", "ablation"]
+    assert report.critical_seconds == 19.75

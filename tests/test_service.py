@@ -630,3 +630,105 @@ class TestVecJobs:
                 jobs=1, cache_dir=tmp_path / "cache", batch_window=0.25
             ),
         )
+
+
+# ---------------------------------------------------------------------------
+# Job dependencies: the `after` envelope field
+# ---------------------------------------------------------------------------
+
+
+class TestJobDependencies:
+    def test_after_never_joins_the_result_key(self):
+        data = scenario_dict()
+        plain = JobRequest.from_payload({"scenario": data})
+        ordered = JobRequest.from_payload(
+            {"scenario": data, "after": ["job-00000001"]}
+        )
+        assert ordered.after == ("job-00000001",)
+        assert plain.result_key() == ordered.result_key()
+
+    @pytest.mark.parametrize(
+        "after", ["job-1", [1], [""], [None], {"a": 1}]
+    )
+    def test_malformed_after_rejected(self, after):
+        with pytest.raises(SpecError, match="'after' must be a list"):
+            JobRequest.from_payload(
+                {"scenario": scenario_dict(), "after": after}
+            )
+
+    def test_unknown_predecessor_is_a_400(self, tmp_path):
+        async def body(app):
+            status, _, payload = await submit(
+                app, {"scenario": scenario_dict(), "after": ["job-99999999"]}
+            )
+            assert status == 400
+            assert "'after' references" in json.loads(payload)["error"]
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_dependent_job_completes_after_predecessor(self, tmp_path):
+        """A chain A <- B <- C lands every member `done` with results
+        byte-identical to independent submissions of the same specs."""
+        from repro.service.runner import run_scenario_job
+
+        async def body(app):
+            ids = []
+            for seed in (1, 2, 3):
+                status, _, payload = await submit(
+                    app,
+                    {
+                        "scenario": scenario_dict(seed=seed),
+                        "after": ids[-1:],
+                    },
+                )
+                assert status == 202
+                ids.append(json.loads(payload)["job_id"])
+            finals = [await wait_done(app, job_id) for job_id in ids]
+            assert [f["state"] for f in finals] == ["done"] * 3
+            for job_id in ids:
+                status, _, payload = await asgi_request(
+                    app, "GET", f"/v1/jobs/{job_id}/result"
+                )
+                assert status == 200
+                solo = run_scenario_job(
+                    app.jobs[job_id].request.scenario_json, collect=True
+                )
+                assert json.loads(payload)["result"] == json.loads(
+                    json.dumps(solo)
+                )
+
+        run_app(body, ServiceConfig(jobs=1, cache_dir=tmp_path / "cache"))
+
+    def test_failed_predecessor_fails_dependents_transitively(self, tmp_path):
+        """Chaos kills every attempt of A; B (after A) and C (after B)
+        must fail with a blocked-by detail, never execute."""
+
+        async def body(app):
+            ids = []
+            for seed in (1, 2, 3):
+                status, _, payload = await submit(
+                    app,
+                    {
+                        "scenario": scenario_dict(seed=seed),
+                        "after": ids[-1:],
+                    },
+                )
+                assert status == 202
+                ids.append(json.loads(payload)["job_id"])
+            finals = [await wait_done(app, job_id) for job_id in ids]
+            assert [f["state"] for f in finals] == ["failed"] * 3
+            # A failed on its own; B and C were blocked, not executed.
+            for final, predecessor in zip(finals[1:], ids):
+                assert f"predecessor {predecessor} failed" in final["detail"]
+            blocked = app.telemetry.metrics.counter("service.jobs_blocked")
+            assert blocked.value == 2
+
+        run_app(
+            body,
+            ServiceConfig(
+                jobs=1,
+                cache_dir=tmp_path / "cache",
+                retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                chaos=WorkerChaos(seed=7, probability=1.0, max_crashes=99),
+            ),
+        )
